@@ -1,0 +1,46 @@
+// Section VI-A2: Bloom-filter atomic-ID accuracy stress test. Over one
+// million lock-address pairs are injected as known different-lock races;
+// a race is missed when the two locks' signatures still intersect. The
+// paper reports 2-bin signatures beating 4-bin ones at equal size, with
+// 8/16/32-bit 2-bin signatures missing 25% / 12.5% / 6.25%.
+#include "bench/harness.hpp"
+#include "common/rng.hpp"
+#include "haccrg/bloom.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Bloom signature accuracy stress test", "Section VI-A2");
+
+  constexpr u32 kPairs = 1'200'000;  // "over 1 million addresses"
+  TablePrinter table({"Signature", "Bins", "MissedRaces", "MissRate", "Paper(2-bin)"});
+  for (u32 bits : {8u, 16u, 32u}) {
+    for (u32 bins : {2u, 4u}) {
+      const rd::BloomGeometry geom{bits, bins};
+      if (!geom.valid()) continue;
+      SplitMix64 gen(0xb10011f1u);
+      u64 missed = 0;
+      for (u32 i = 0; i < kPairs; ++i) {
+        // Two distinct word-aligned lock addresses.
+        const Addr a = (gen.next() & 0x3ffffffu) << 2;
+        Addr b = (gen.next() & 0x3ffffffu) << 2;
+        if (a == b) b ^= 4;
+        rd::BloomSignature sa, sb;
+        sa.insert(a, geom);
+        sb.insert(b, geom);
+        // Different locks whose signatures cannot be distinguished: the
+        // intersection is not provably empty, so the race is missed.
+        if (!rd::BloomSignature::intersection_null(sa, sb, geom)) ++missed;
+      }
+      const f64 rate = static_cast<f64>(missed) / kPairs;
+      std::string paper = "-";
+      if (bins == 2) {
+        paper = bits == 8 ? "25%" : bits == 16 ? "12.5%" : "6.25%";
+      }
+      table.add_row({std::to_string(bits) + "-bit", std::to_string(bins),
+                     std::to_string(missed), TablePrinter::pct(rate, 2), paper});
+    }
+  }
+  table.print();
+  std::printf("\nThe paper selects 16-bit, 2-bin signatures as the cost/accuracy tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8: splitting the shared-memory shadow entries between hardware
+// and software. Both shared and global detection are enabled; in the
+// software placement the shared shadow entries live in global memory and
+// are fetched through the L1. The paper finds small penalties for most
+// kernels (the L1 holds the whole shadow) but a large one for OFFT,
+// whose banked strided shared accesses touch many shadow lines per warp.
+#include <vector>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Figure 8 — shared shadow placement (hardware vs global memory)",
+                      "Figure 8");
+
+  TablePrinter table({"Benchmark", "HW shadow", "SW shadow", "SW/HW"});
+  std::vector<f64> ratios;
+  for (const auto& info : kernels::all_benchmarks()) {
+    rd::HaccrgConfig hw = bench::detection_combined();
+    rd::HaccrgConfig sw = hw;
+    sw.shared_shadow = rd::SharedShadowPlacement::kGlobalMemory;
+    const Cycle hw_cycles = bench::run_benchmark(info.name, hw).cycles;
+    const Cycle sw_cycles = bench::run_benchmark(info.name, sw).cycles;
+    const f64 ratio = static_cast<f64>(sw_cycles) / static_cast<f64>(hw_cycles);
+    ratios.push_back(ratio);
+    table.add_row({info.name, std::to_string(hw_cycles), std::to_string(sw_cycles),
+                   TablePrinter::fmt(ratio, 3)});
+  }
+  table.add_row({"GEOMEAN", "-", "-", TablePrinter::fmt(geomean(ratios), 3)});
+  table.print();
+  std::printf("\nPaper: near-1.0 for most benchmarks; OFFT suffers the most.\n");
+  return 0;
+}

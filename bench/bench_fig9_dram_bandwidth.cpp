@@ -1,0 +1,30 @@
+// Figure 9: average DRAM bandwidth utilization without detection, with
+// shared-memory-only detection, and with combined detection. Paper:
+// shared-only leaves utilization unchanged (no memory traffic); combined
+// detection raises it for L2-dependent applications (shadow entries
+// pollute the L2) while L1-friendly ones barely move.
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Figure 9 — DRAM bandwidth utilization", "Figure 9");
+
+  TablePrinter table({"Benchmark", "Baseline", "Shared-only", "Shared+Global", "L1 miss%"});
+  for (const auto& info : kernels::all_benchmarks()) {
+    const sim::SimResult base = bench::run_benchmark(info.name, bench::detection_off());
+    const sim::SimResult shared =
+        bench::run_benchmark(info.name, bench::detection_shared_only());
+    const sim::SimResult combined = bench::run_benchmark(info.name, bench::detection_combined());
+    const u64 l1_acc = base.stats.get("l1.accesses");
+    const u64 l1_hits = base.stats.get("l1.hits");
+    const f64 miss =
+        l1_acc == 0 ? 0.0 : 1.0 - static_cast<f64>(l1_hits) / static_cast<f64>(l1_acc);
+    table.add_row({info.name, TablePrinter::pct(base.avg_dram_utilization),
+                   TablePrinter::pct(shared.avg_dram_utilization),
+                   TablePrinter::pct(combined.avg_dram_utilization), TablePrinter::pct(miss)});
+  }
+  table.print();
+  std::printf("\nPaper: shared-only identical to baseline; combined raises utilization for\n"
+              "L2-dependent benchmarks; all remain within DRAM limits.\n");
+  return 0;
+}

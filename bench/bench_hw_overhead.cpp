@@ -1,0 +1,19 @@
+// Section VI-C2: hardware overhead of the RDUs — comparator counts and
+// storage — from the analytic cost model.
+#include "bench/harness.hpp"
+#include "haccrg/hardware_cost.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Hardware overhead (control logic and storage)", "Section VI-C2");
+
+  const arch::GpuConfig gpu = bench::experiment_gpu();
+  const rd::HaccrgConfig det = bench::detection_combined();
+  const rd::HardwareCost cost = rd::compute_hardware_cost(gpu, det);
+  std::printf("%s\n", cost.describe().c_str());
+  std::printf("Paper reference points: 8x12-bit comparators per SM at 16 B shared\n"
+              "granularity; 32x28-bit + 16x24-bit comparators per memory slice at 4 B\n"
+              "global granularity; 4.5 KB shared shadow per (48 KB) Fermi SM; ~3 KB of ID\n"
+              "registers per SM; 0.75 KB race register file per slice.\n");
+  return 0;
+}

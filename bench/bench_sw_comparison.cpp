@@ -1,0 +1,50 @@
+// Section VI-B: hardware HAccRG vs its software implementation vs the
+// GRace-add instrumentation baseline, on SCAN, HIST, and KMEANS. Paper:
+// hardware costs 0.2% / 0.3% / 22.1%; software HAccRG costs 6.6x / 12.4x
+// / 18.1x; GRace is orders of magnitude slower than software HAccRG.
+#include "bench/harness.hpp"
+#include "swrace/grace.hpp"
+#include "swrace/sw_haccrg.hpp"
+
+namespace {
+
+haccrg::Cycle run_with(const std::string& name,
+                       void (*attach)(haccrg::sim::Gpu&, haccrg::kernels::PreparedKernel&)) {
+  using namespace haccrg;
+  sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
+  kernels::BenchOptions opts;
+  opts.scale = bench::kExperimentScale;  // same workload as run_benchmark
+  kernels::PreparedKernel prep = kernels::find_benchmark(name)->prepare(gpu, opts);
+  if (attach != nullptr) attach(gpu, prep);
+  sim::SimResult r = gpu.launch(prep.launch());
+  if (!r.completed) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(), r.error.c_str());
+    std::abort();
+  }
+  return r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Hardware vs software race detection", "Section VI-B text");
+
+  TablePrinter table({"Benchmark", "Base", "HW HAccRG", "SW HAccRG", "GRace-add", "HW ovh",
+                      "SW slowdown", "GRace slowdown", "GRace/SW"});
+  for (const char* name : {"SCAN", "HIST", "KMEANS"}) {
+    const Cycle base = run_with(name, nullptr);
+    const Cycle hw = bench::run_benchmark(name, bench::detection_combined()).cycles;
+    const Cycle sw = run_with(name, &swrace::attach_sw_haccrg);
+    const Cycle grace = run_with(name, &swrace::attach_grace);
+    table.add_row({name, std::to_string(base), std::to_string(hw), std::to_string(sw),
+                   std::to_string(grace),
+                   TablePrinter::pct(static_cast<f64>(hw) / base - 1.0),
+                   TablePrinter::fmt(static_cast<f64>(sw) / base, 1) + "x",
+                   TablePrinter::fmt(static_cast<f64>(grace) / base, 1) + "x",
+                   TablePrinter::fmt(static_cast<f64>(grace) / sw, 1) + "x"});
+  }
+  table.print();
+  std::printf("\nPaper: HW 0.2%%/0.3%%/22.1%%; SW 6.6x/12.4x/18.1x; GRace ~100x the SW cost.\n");
+  return 0;
+}

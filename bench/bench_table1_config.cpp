@@ -1,0 +1,15 @@
+// Table I: the simulated GPU hardware configuration.
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Table I — GPU hardware parameters", "Table I");
+  const arch::GpuConfig cfg = bench::experiment_gpu();
+  std::printf("%s\n", cfg.describe().c_str());
+  const std::string err = cfg.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "config invalid: %s\n", err.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table II: benchmark characteristics — the memory-instruction mix of
+// each application (shares of shared-memory and global-memory accesses,
+// barrier/fence/atomic usage). Inputs are scaled down from the paper's
+// (see DESIGN.md); the mix, not absolute counts, is the reproduced shape.
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Table II — benchmark characterization", "Table II");
+
+  TablePrinter table({"Benchmark", "WarpInst", "Mem%", "SharedRd%", "SharedWr%", "GlobalRd%",
+                      "GlobalWr%", "Atomics", "Barriers", "Fences"});
+  for (const auto& info : kernels::all_benchmarks()) {
+    sim::SimResult r = bench::run_benchmark(info.name, bench::detection_off());
+    const f64 inst = static_cast<f64>(r.warp_instructions);
+    table.add_row({info.name, std::to_string(r.warp_instructions),
+                   TablePrinter::pct(static_cast<f64>(r.memory_instructions()) / inst),
+                   TablePrinter::pct(static_cast<f64>(r.shared_reads) / inst),
+                   TablePrinter::pct(static_cast<f64>(r.shared_writes) / inst),
+                   TablePrinter::pct(static_cast<f64>(r.global_reads) / inst),
+                   TablePrinter::pct(static_cast<f64>(r.global_writes) / inst),
+                   std::to_string(r.shared_atomics + r.global_atomics),
+                   std::to_string(r.barriers), std::to_string(r.fences)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Section IV-B "Supporting Virtual Memory": the two proposed TLB designs
+// for the dual app/shadow translation — appending a tag bit to a unified
+// GPU TLB vs a separate (smaller) shadow TLB. Driven with the real
+// global-access traces of the benchmark suite, captured from the
+// simulator, plus a random-access stressor. The shape to observe: the
+// appended-bit scheme sacrifices application hit rate (shadow entries
+// consume unified capacity), while the separate-TLB scheme preserves it
+// with far fewer total entries.
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/rng.hpp"
+#include "mem/tlb.hpp"
+
+int main() {
+  using namespace haccrg;
+  bench::print_header("Virtual-memory TLB study", "Section IV-B (Supporting Virtual Memory)");
+
+  constexpr u32 kMainEntries = 64;
+  constexpr u32 kShadowEntries = 16;
+  constexpr u32 kWays = 4;
+
+  TablePrinter table({"Trace", "Scheme", "App hit%", "Shadow hit%", "Main entries",
+                      "Shadow entries"});
+
+  auto run_trace = [&](const std::string& name, const std::vector<Addr>& trace,
+                       u32 shadow_base) {
+    for (mem::TlbMode mode : {mem::TlbMode::kAppendedBit, mem::TlbMode::kSeparateShadowTlb}) {
+      mem::DualTlb tlb(mode, kMainEntries, kWays, kShadowEntries);
+      for (Addr a : trace) {
+        // The shadow region is 2x the heap (8 B per 4 B granule).
+        tlb.access(a, shadow_base + a * 2, /*with_shadow=*/true);
+      }
+      table.add_row({name,
+                     mode == mem::TlbMode::kAppendedBit ? "appended-bit" : "separate-tlb",
+                     TablePrinter::pct(tlb.stats().app_hit_rate()),
+                     TablePrinter::pct(tlb.stats().shadow_hit_rate()),
+                     std::to_string(kMainEntries),
+                     std::to_string(mode == mem::TlbMode::kSeparateShadowTlb ? kShadowEntries
+                                                                             : 0)});
+    }
+  };
+
+  // Benchmark-derived traces.
+  for (const char* name : {"REDUCE", "FWALSH", "HASH"}) {
+    std::vector<Addr> trace;
+    sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
+    gpu.set_global_trace(&trace);
+    kernels::PreparedKernel prep = kernels::find_benchmark(name)->prepare(gpu, {});
+    sim::SimResult r = gpu.launch(prep.launch());
+    if (!r.completed) {
+      std::fprintf(stderr, "%s failed: %s\n", name, r.error.c_str());
+      return 1;
+    }
+    run_trace(name, trace, gpu.allocator().heap_top());
+  }
+
+  // Random stressor over a 16 MB footprint (thrashes a 64-entry TLB).
+  {
+    std::vector<Addr> trace;
+    SplitMix64 rng(0x71bu);
+    for (u32 i = 0; i < 200000; ++i) trace.push_back(static_cast<Addr>(rng.next() & 0xffffff));
+    run_trace("RANDOM", trace, 0x1000000);
+  }
+
+  // The revealing case: a loop whose application pages fill half the
+  // main TLB. Alone they fit (near-100% hits); in the appended-bit
+  // scheme the shadow pages double the demand to exactly the unified
+  // capacity and LRU thrashes both.
+  {
+    std::vector<Addr> trace;
+    for (u32 rep = 0; rep < 200; ++rep) {
+      for (u32 page = 0; page < kMainEntries / 2; ++page) trace.push_back(page * 4096);
+    }
+    run_trace("HALF-TLB LOOP", trace, 0x1000000);
+  }
+
+  table.print();
+  std::printf("\nThe separate shadow TLB keeps the application hit rate of an unmodified\n"
+              "TLB while needing only a fraction of the entries, as Section IV-B argues.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper; EXPERIMENTS.md
+// records paper-vs-measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+
+namespace haccrg::bench {
+
+/// The experiment GPU: the paper's Table I machine (30 SMs, 8 slices).
+inline arch::GpuConfig experiment_gpu() {
+  arch::GpuConfig cfg;  // defaults follow Table I
+  cfg.device_mem_bytes = 64u * 1024u * 1024u;
+  return cfg;
+}
+
+/// Detection configurations used across experiments.
+inline rd::HaccrgConfig detection_off() { return rd::HaccrgConfig{}; }
+
+inline rd::HaccrgConfig detection_shared_only() {
+  rd::HaccrgConfig cfg;
+  cfg.enable_shared = true;
+  cfg.shared_granularity = 16;  // the paper's chosen operating point
+  return cfg;
+}
+
+inline rd::HaccrgConfig detection_combined() {
+  rd::HaccrgConfig cfg;
+  cfg.enable_shared = true;
+  cfg.enable_global = true;
+  cfg.shared_granularity = 16;
+  cfg.global_granularity = 4;
+  return cfg;
+}
+
+/// Word-granularity detection (the effectiveness study's setting).
+inline rd::HaccrgConfig detection_word() {
+  rd::HaccrgConfig cfg;
+  cfg.enable_shared = true;
+  cfg.enable_global = true;
+  cfg.shared_granularity = 4;
+  cfg.global_granularity = 4;
+  return cfg;
+}
+
+/// Workload scale for the performance experiments: enough blocks to keep
+/// the 30-SM machine loaded (the paper runs full-size inputs; see the
+/// scaling notes in DESIGN.md).
+constexpr u32 kExperimentScale = 4;
+
+/// Run one benchmark under one detection config; aborts on sim errors.
+inline sim::SimResult run_benchmark(const std::string& name, const rd::HaccrgConfig& det,
+                                    kernels::BenchOptions opts = {}) {
+  if (opts.scale == 1) opts.scale = kExperimentScale;
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", name.c_str());
+    std::abort();
+  }
+  sim::Gpu gpu(experiment_gpu(), det);
+  kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  sim::SimResult result = gpu.launch(prep.launch());
+  if (!result.completed) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(), result.error.c_str());
+    std::abort();
+  }
+  return result;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s of 'HAccRG: Hardware-Accelerated Data Race "
+              "Detection in GPUs', ICPP 2013)\n\n",
+              title.c_str(), paper_ref.c_str());
+}
+
+}  // namespace haccrg::bench

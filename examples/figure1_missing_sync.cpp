@@ -1,0 +1,90 @@
+// Figure 1 of the paper: a kernel where every thread updates out[tid] in
+// a loop, the last thread to pass an atomic counter sums the array, and
+// the missing barrier lets the other threads overwrite the array while
+// the summing thread is still reading it. HAccRG flags the global-memory
+// races; inserting the barrier silences them.
+//
+//   $ ./examples/figure1_missing_sync [--fixed]
+#include <cstdio>
+#include <cstring>
+
+#include "isa/builder.hpp"
+#include "sim/gpu.hpp"
+
+using namespace haccrg;
+
+namespace {
+
+sim::SimResult run(bool with_barrier) {
+  arch::GpuConfig gpu_config;
+  gpu_config.num_sms = 4;
+  gpu_config.device_mem_bytes = 4 * 1024 * 1024;
+  rd::HaccrgConfig detector;
+  detector.enable_global = true;
+
+  sim::Gpu gpu(gpu_config, detector);
+  const u32 block = 64;
+  const u32 iters = 4;  // the paper's kernel loops 32 times
+  const Addr out = gpu.allocator().alloc(block * 4, "out");
+  const Addr count = gpu.allocator().alloc(4, "count");
+  gpu.memory().fill(out, block * 4, 0);
+  gpu.memory().fill(count, 4, 0);
+
+  isa::KernelBuilder kb("race_example");
+  isa::Reg tid = kb.special(isa::SpecialReg::kTid);
+  isa::Reg pout = kb.param(0);
+  isa::Reg pcount = kb.param(1);
+  isa::Reg dst = kb.addr(pout, tid, 4);
+
+  isa::Reg i = kb.reg();
+  kb.for_range(i, 0u, iters, 1u, [&] {
+    // out[tid] = foo(in, tid, i): a stand-in computation.
+    isa::Reg v = kb.reg();
+    kb.mul(v, tid, 3u);
+    kb.add(v, v, isa::Operand(i));
+    kb.st_global(dst, v);
+
+    // if (blockDim-1 == atomicInc(&count, blockDim)) { sum; count = 0; }
+    isa::Reg limit = kb.imm(block - 1);
+    isa::Reg old = kb.reg();
+    kb.atom_global(old, isa::AtomicOp::kInc, pcount, limit);
+    isa::Pred last = kb.pred();
+    kb.setp(last, isa::CmpOp::kEq, old, isa::Operand(limit));
+    kb.if_(last, [&] {
+      isa::Reg sum = kb.imm(0);
+      isa::Reg j = kb.reg();
+      kb.for_range(j, 0u, block, 1u, [&] {
+        isa::Reg src = kb.addr(pout, j, 4);
+        isa::Reg e = kb.reg();
+        kb.ld_global(e, src);
+        kb.add(sum, sum, isa::Operand(e));
+      });
+      isa::Reg first = kb.addr(pout, kb.imm(0), 4);
+      kb.st_global(first, sum);
+    });
+    if (with_barrier) kb.barrier();  // the fix for the line-12 race
+  });
+  isa::Program program = kb.build();
+
+  sim::LaunchConfig launch;
+  launch.program = &program;
+  launch.grid_dim = 1;
+  launch.block_dim = block;
+  launch.params = {out, count};
+  return gpu.launch(launch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fixed = argc > 1 && std::strcmp(argv[1], "--fixed") == 0;
+  sim::SimResult result = run(fixed);
+  if (!result.completed) {
+    std::fprintf(stderr, "launch failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("Figure-1 kernel (%s):\n%s\n", fixed ? "with barrier" : "missing barrier",
+              result.races.summary().c_str());
+  if (fixed) return result.races.empty() ? 0 : 1;
+  return result.races.empty() ? 1 : 0;
+}

@@ -1,0 +1,45 @@
+// Section IV-C's accuracy/overhead tradeoff, live: run the HIST benchmark
+// (1-byte elements — the paper's pathological case) across shadow
+// tracking granularities and watch false positives appear as granules
+// coarsen while the shadow footprint shrinks.
+//
+//   $ ./examples/granularity_tradeoff
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "haccrg/global_rdu.hpp"
+#include "kernels/common.hpp"
+
+using namespace haccrg;
+
+int main() {
+  arch::GpuConfig gpu_config;
+  gpu_config.num_sms = 8;
+  gpu_config.device_mem_bytes = 16 * 1024 * 1024;
+
+  std::printf("HIST under shared-memory detection at different tracking granularities.\n"
+              "The kernel is race-free; everything reported is a granularity artifact of\n"
+              "its one-byte counters interleaved across warps (Section IV-C / Table III).\n\n");
+
+  TablePrinter table({"Granularity", "FalseRaces", "ShadowBytesPerSM", "ShadowBytes(16KB smem)"});
+  for (u32 gran : {4u, 8u, 16u, 32u, 64u}) {
+    rd::HaccrgConfig det;
+    det.enable_shared = true;
+    det.shared_granularity = gran;
+
+    sim::Gpu gpu(gpu_config, det);
+    kernels::PreparedKernel prep = kernels::find_benchmark("HIST")->prepare(gpu, {});
+    sim::SimResult result = gpu.launch(prep.launch());
+    if (!result.completed) {
+      std::fprintf(stderr, "HIST failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    const u32 entries = gpu_config.shared_mem_per_sm / gran;
+    table.add_row({std::to_string(gran) + " B", std::to_string(result.races.total()),
+                   std::to_string(entries * 2), std::to_string(entries) + " entries"});
+  }
+  table.print();
+  std::printf("\nThe paper picks 16 B for shared memory (7/10 benchmarks false-positive\n"
+              "free there) and 4 B for the roomier global memory.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a tiny kernel with the structured assembler, run it
+// on the simulated GPU with HAccRG enabled, and print what the detector
+// found. The kernel deliberately omits a __syncthreads between writing
+// and reading shared memory, so HAccRG reports shared-memory races.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/gpu.hpp"
+
+using namespace haccrg;
+
+int main() {
+  // 1. Configure the GPU (Table I defaults) and the detector.
+  arch::GpuConfig gpu_config;
+  gpu_config.num_sms = 4;  // a small machine is plenty for this demo
+  gpu_config.device_mem_bytes = 4 * 1024 * 1024;
+
+  rd::HaccrgConfig detector;
+  detector.enable_shared = true;
+  detector.enable_global = true;
+
+  sim::Gpu gpu(gpu_config, detector);
+
+  // 2. Allocate and fill device memory (the cudaMalloc/cudaMemcpy step).
+  const u32 n = 128;
+  const Addr out = gpu.allocator().alloc(n * 4, "out");
+
+  // 3. Write the kernel. Each thread stores its id to shared memory and
+  //    then reads its neighbor's slot — without a barrier in between.
+  isa::KernelBuilder kb("missing_barrier_demo");
+  isa::Reg tid = kb.special(isa::SpecialReg::kTid);
+  isa::Reg pout = kb.param(0);
+  isa::Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  // kb.barrier();   <-- the missing __syncthreads
+  isa::Reg neighbor = kb.reg();
+  kb.add(neighbor, tid, 32u);      // read the next warp's slot
+  kb.rem(neighbor, neighbor, n);
+  kb.mul(neighbor, neighbor, 4u);
+  isa::Reg value = kb.reg();
+  kb.ld_shared(value, neighbor);
+  isa::Reg dst = kb.addr(pout, tid, 4);
+  kb.st_global(dst, value);
+  isa::Program program = kb.build();
+
+  std::printf("Kernel listing:\n%s\n", program.disassemble().c_str());
+
+  // 4. Launch.
+  sim::LaunchConfig launch;
+  launch.program = &program;
+  launch.grid_dim = 1;
+  launch.block_dim = n;
+  launch.shared_mem_bytes = n * 4;
+  launch.params = {out};
+  sim::SimResult result = gpu.launch(launch);
+
+  if (!result.completed) {
+    std::fprintf(stderr, "launch failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  // 5. Inspect the results.
+  std::printf("Executed %llu warp instructions in %llu cycles.\n",
+              static_cast<unsigned long long>(result.warp_instructions),
+              static_cast<unsigned long long>(result.cycles));
+  std::printf("\nHAccRG report: %s\n", result.races.summary().c_str());
+  std::printf("(add the barrier back and the report is empty)\n");
+  return result.races.empty() ? 1 : 0;  // the demo *expects* races
+}

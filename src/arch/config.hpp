@@ -1,0 +1,75 @@
+// GPU hardware configuration, mirroring the paper's Table I (GPGPU-Sim
+// 3.0.2 modelling an NVIDIA Quadro FX5800 with Fermi-style L1/L2 caches).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace haccrg::arch {
+
+/// All timing/capacity parameters of the simulated GPU. Defaults follow
+/// Table I of the paper; every field is overridable for experiments.
+struct GpuConfig {
+  // --- Compute ---
+  u32 num_sms = 30;              ///< streaming multiprocessors
+  u32 num_clusters = 10;         ///< SM clusters (3 SMs per cluster)
+  u32 simd_width = 8;            ///< SPs per SM: a 32-thread warp issues over 4 cycles
+  u32 warp_size = 32;            ///< threads per warp
+  u32 max_threads_per_sm = 1024; ///< concurrent thread contexts per SM
+  u32 max_blocks_per_sm = 8;     ///< concurrent thread-block slots per SM
+  u32 registers_per_sm = 16384;  ///< register file entries per SM
+
+  // --- Shared memory ---
+  u32 shared_mem_per_sm = 16 * 1024;  ///< bytes of scratchpad per SM
+  u32 shared_mem_banks = 16;          ///< banks; conflicts serialize
+  u32 shared_mem_latency = 4;         ///< cycles for a conflict-free access
+
+  // --- L1 data cache (per SM, non-coherent; global stores write through) ---
+  u32 l1_size = 48 * 1024;
+  u32 l1_ways = 6;
+  u32 l1_line = 128;
+  u32 l1_latency = 4;  ///< hit latency in cycles
+
+  // --- Unified L2 cache (one slice per memory partition, coherent) ---
+  u32 l2_slice_size = 64 * 1024;
+  u32 l2_ways = 8;
+  u32 l2_line = 128;
+  u32 l2_latency = 20;  ///< hit latency in cycles
+
+  // --- Memory system ---
+  u32 num_mem_partitions = 8;    ///< memory slices (L2 slice + DRAM channel each)
+  u32 dram_queue_size = 32;      ///< per-channel request queue entries
+  u32 dram_latency = 100;        ///< cycles from issue to first data
+  /// Channel busy cycles per 128B transfer: FX5800-class GDDR3 delivers
+  /// ~102 GB/s over 8 slices at a ~1.3 GHz core clock, i.e. ~10 B per
+  /// core cycle per slice -> ~12 cycles per 128 B line.
+  u32 dram_burst_cycles = 12;
+  u32 icnt_latency = 8;          ///< interconnect traversal latency (cycles)
+  u32 icnt_flits_per_cycle = 1;  ///< accepted packets per direction per cycle
+
+  // --- Execution timing ---
+  u32 alu_initiation = 4;  ///< cycles a warp occupies issue for an ALU op (warp/simd)
+  u32 atomic_latency = 24; ///< extra latency of an atomic at the L2 slice
+  u32 fence_latency = 8;   ///< fixed cycles to drain a memory fence
+
+  /// Device memory capacity in bytes (flat address space).
+  u32 device_mem_bytes = 64u * 1024u * 1024u;
+
+  /// Warps per SM at full occupancy.
+  u32 warps_per_sm() const { return max_threads_per_sm / warp_size; }
+
+  /// Cycles for a full warp to issue through the SIMD pipeline.
+  u32 warp_issue_cycles() const { return warp_size / simd_width; }
+
+  /// Memory partition that owns address `addr` (line-interleaved).
+  u32 partition_of(Addr addr) const { return (addr / l2_line) % num_mem_partitions; }
+
+  /// Validate invariants (pow2 sizes, divisibility); returns error or empty.
+  std::string validate() const;
+
+  /// Multi-line human-readable dump, in the shape of the paper's Table I.
+  std::string describe() const;
+};
+
+}  // namespace haccrg::arch

@@ -1,0 +1,32 @@
+// Grid/block dimensions and thread coordinate math. The simulator models
+// one-dimensional grids and blocks (all the paper's kernels are 1-D or
+// trivially linearized), so Dim3 keeps y/z for API familiarity but the
+// launch path uses the linear extent.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace haccrg::arch {
+
+/// CUDA-style dimension triple; linear extent is x*y*z.
+struct Dim3 {
+  u32 x = 1;
+  u32 y = 1;
+  u32 z = 1;
+
+  constexpr u32 count() const { return x * y * z; }
+};
+
+/// Identity of one logical thread inside a launched grid.
+struct ThreadCoord {
+  u32 block = 0;   ///< linear block index within the grid
+  u32 thread = 0;  ///< linear thread index within the block
+};
+
+/// Warp index of a thread within its block.
+constexpr u32 warp_of(u32 thread_in_block, u32 warp_size) { return thread_in_block / warp_size; }
+
+/// SIMD lane of a thread within its warp.
+constexpr u32 lane_of(u32 thread_in_block, u32 warp_size) { return thread_in_block % warp_size; }
+
+}  // namespace haccrg::arch

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generators. SplitMix64 drives host-side
+// workload generation; Lcg32 matches the in-kernel generator used by the
+// MCARLO benchmark (the kernel computes the identical recurrence in ISA
+// code, so host reference checks can replay it exactly).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace haccrg {
+
+/// SplitMix64: fast, well-distributed 64-bit generator for workloads.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    u64 z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  u32 next_below(u32 bound) { return bound == 0 ? 0 : static_cast<u32>(next() % bound); }
+
+  /// Uniform float in [0, 1).
+  f32 next_f32() { return static_cast<f32>(next() >> 40) * (1.0f / 16777216.0f); }
+
+ private:
+  u64 state_;
+};
+
+/// 32-bit LCG (numerical recipes constants); identical recurrence is
+/// emitted as ISA code inside the MCARLO kernel.
+class Lcg32 {
+ public:
+  explicit Lcg32(u32 seed) : state_(seed) {}
+
+  static constexpr u32 kMul = 1664525u;
+  static constexpr u32 kAdd = 1013904223u;
+
+  u32 next() {
+    state_ = state_ * kMul + kAdd;
+    return state_;
+  }
+
+  /// Uniform float in [0, 1) from the high 24 bits.
+  f32 next_f32() { return static_cast<f32>(next() >> 8) * (1.0f / 16777216.0f); }
+
+ private:
+  u32 state_;
+};
+
+}  // namespace haccrg

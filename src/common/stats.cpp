@@ -1,0 +1,29 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace haccrg {
+
+f64 mean(const std::vector<f64>& values) {
+  if (values.empty()) return 0.0;
+  f64 sum = 0.0;
+  for (f64 v : values) sum += v;
+  return sum / static_cast<f64>(values.size());
+}
+
+f64 geomean(const std::vector<f64>& values) {
+  if (values.empty()) return 0.0;
+  f64 log_sum = 0.0;
+  for (f64 v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<f64>(values.size()));
+}
+
+f64 stddev(const std::vector<f64>& values) {
+  if (values.size() < 2) return 0.0;
+  const f64 m = mean(values);
+  f64 acc = 0.0;
+  for (f64 v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<f64>(values.size() - 1));
+}
+
+}  // namespace haccrg

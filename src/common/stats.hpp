@@ -1,0 +1,43 @@
+// Named-counter statistics registry plus small numeric summaries
+// (mean / geomean) used by the benchmark harnesses.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haccrg {
+
+/// A bag of named 64-bit counters. Each simulator component owns one and
+/// merges it into the run-level report when the simulation finishes.
+class StatSet {
+ public:
+  void add(const std::string& name, u64 delta = 1) { counters_[name] += delta; }
+  void set(const std::string& name, u64 value) { counters_[name] = value; }
+  u64 get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  bool has(const std::string& name) const { return counters_.count(name) != 0; }
+  void merge(const StatSet& other, const std::string& prefix = "") {
+    for (const auto& [k, v] : other.counters_) counters_[prefix + k] += v;
+  }
+  void clear() { counters_.clear(); }
+  const std::map<std::string, u64>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+f64 mean(const std::vector<f64>& values);
+
+/// Geometric mean; 0 for an empty vector. Values must be positive.
+f64 geomean(const std::vector<f64>& values);
+
+/// Sample standard deviation; 0 when fewer than two values.
+f64 stddev(const std::vector<f64>& values);
+
+}  // namespace haccrg

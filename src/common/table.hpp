@@ -1,0 +1,32 @@
+// ASCII table printer used by the bench harnesses to emit rows in the
+// shape of the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace haccrg {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table to a string (aligned columns, header rule).
+  std::string render() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  /// Format helpers for numeric cells.
+  static std::string fmt(double value, int precision = 2);
+  static std::string pct(double ratio, int precision = 1);  // 0.27 -> "27.0%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace haccrg

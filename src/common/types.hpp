@@ -1,0 +1,50 @@
+// Fixed-width aliases and small numeric helpers used across the simulator.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace haccrg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// Simulated device address (global memory space).
+using Addr = u32;
+/// Simulation time in core clock cycles.
+using Cycle = u64;
+
+/// Reinterpret a 32-bit integer as IEEE float (PTX-style register view).
+inline f32 as_f32(u32 bits) { return std::bit_cast<f32>(bits); }
+/// Reinterpret an IEEE float as its 32-bit pattern.
+inline u32 as_u32(f32 value) { return std::bit_cast<u32>(value); }
+
+/// True if `v` is a power of two (zero is not).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr u32 log2_pow2(u64 v) {
+  u32 n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Round `v` up to the next multiple of `align` (align must be pow2).
+constexpr u64 align_up(u64 v, u64 align) { return (v + align - 1) & ~(align - 1); }
+
+/// Integer ceiling division.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace haccrg

@@ -1,0 +1,29 @@
+#include "haccrg/bloom.hpp"
+
+namespace haccrg::rd {
+
+void BloomSignature::insert(Addr lock_addr, const BloomGeometry& geom) {
+  const u32 word = lock_addr >> 2;  // locks are word-aligned variables
+  const u32 per_bin = geom.bits_per_bin();
+  for (u32 bin = 0; bin < geom.bins; ++bin) {
+    // Direct indexing by the low-order word bits (Section VI-A2). Every
+    // bin indexes with the same bits, so extra bins add redundancy, not
+    // capacity — which is exactly why the paper finds 2 bins strictly
+    // better than 4 at equal total signature size.
+    const u32 bit = word & (per_bin - 1);
+    bits_ |= 1u << (bin * per_bin + bit);
+  }
+}
+
+bool BloomSignature::intersection_null(BloomSignature a, BloomSignature b,
+                                       const BloomGeometry& geom) {
+  const u32 per_bin = geom.bits_per_bin();
+  const u32 both = a.bits_ & b.bits_;
+  for (u32 bin = 0; bin < geom.bins; ++bin) {
+    const u32 mask = ((per_bin == 32) ? ~0u : ((1u << per_bin) - 1)) << (bin * per_bin);
+    if ((both & mask) == 0) return true;  // provably no common lock
+  }
+  return false;
+}
+
+}  // namespace haccrg::rd

@@ -1,0 +1,55 @@
+// Bloom-filter "atomic ID" signatures tracking the set of locks a thread
+// holds (Section III-B). A signature is a bit vector split into bins; an
+// inserted lock address sets one bit per bin by direct indexing of its
+// low-order word bits, mirroring the paper's design (and prior CPU work
+// it cites). Signatures are cleared when a thread releases its last lock.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace haccrg::rd {
+
+/// Geometry of a signature. total_bits must be divisible by bins and each
+/// bin must hold a power-of-two number of bits.
+struct BloomGeometry {
+  u32 total_bits = 16;
+  u32 bins = 2;
+
+  u32 bits_per_bin() const { return total_bits / bins; }
+  bool valid() const {
+    return bins > 0 && total_bits % bins == 0 && is_pow2(bits_per_bin()) &&
+           total_bits <= 32;
+  }
+};
+
+/// A signature value (up to 32 bits, matching the paper's largest sweep).
+class BloomSignature {
+ public:
+  BloomSignature() = default;
+  explicit BloomSignature(u32 bits) : bits_(bits) {}
+
+  /// Insert a lock-variable address.
+  void insert(Addr lock_addr, const BloomGeometry& geom);
+
+  /// Clear all entries (thread released its last lock).
+  void clear() { bits_ = 0; }
+
+  bool empty() const { return bits_ == 0; }
+  u32 bits() const { return bits_; }
+
+  /// Bitwise AND of two signatures (the lockset intersection).
+  static BloomSignature intersect(BloomSignature a, BloomSignature b) {
+    return BloomSignature(a.bits_ & b.bits_);
+  }
+
+  /// True when the intersection can be proven empty: some bin has no
+  /// common bit, so no lock can be in both signatures.
+  static bool intersection_null(BloomSignature a, BloomSignature b, const BloomGeometry& geom);
+
+  bool operator==(const BloomSignature&) const = default;
+
+ private:
+  u32 bits_ = 0;
+};
+
+}  // namespace haccrg::rd

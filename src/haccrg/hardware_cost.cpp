@@ -1,0 +1,54 @@
+#include "haccrg/hardware_cost.hpp"
+
+#include <sstream>
+
+namespace haccrg::rd {
+
+HardwareCost compute_hardware_cost(const arch::GpuConfig& gpu, const HaccrgConfig& config) {
+  HardwareCost cost;
+
+  // A full warp shared access touches warp_size*4 bytes; one comparator
+  // per granule lets the whole access check in parallel with the banks.
+  cost.shared_comparators_per_sm = gpu.warp_size * 4 / config.shared_granularity;
+  cost.shared_comparator_bits = kSharedEntryBits;
+
+  // Global RDU checks one L2 line of shadow-covered data associatively.
+  cost.global_comparators_per_slice = gpu.l2_line / config.global_granularity;
+  cost.global_comparator_bits = kGlobalEntryBits;
+  cost.global_id_comparators_per_slice = cost.global_comparators_per_slice / 2;
+  cost.global_id_comparator_bits = kGlobalIdBits;
+
+  // Storage.
+  const u32 shared_entries = gpu.shared_mem_per_sm / config.shared_granularity;
+  cost.shared_shadow_bytes_per_sm =
+      static_cast<u32>(ceil_div(static_cast<u64>(shared_entries) * kSharedEntryBits, 8));
+
+  const u32 sync_bits = gpu.max_blocks_per_sm * 8;
+  const u32 fence_bits = gpu.warps_per_sm() * 8;
+  const u32 atomic_bits = gpu.max_threads_per_sm * config.bloom_bits;
+  cost.id_register_bytes_per_sm =
+      static_cast<u32>(ceil_div(sync_bits + fence_bits + atomic_bits, 8));
+
+  cost.race_register_file_bytes =
+      static_cast<u32>(ceil_div(static_cast<u64>(gpu.num_sms) * gpu.warps_per_sm() * 8, 8));
+
+  return cost;
+}
+
+std::string HardwareCost::describe() const {
+  std::ostringstream out;
+  out << "Control logic:\n"
+      << "  shared RDU:  " << shared_comparators_per_sm << " x " << shared_comparator_bits
+      << "-bit comparators per SM\n"
+      << "  global RDU:  " << global_comparators_per_slice << " x " << global_comparator_bits
+      << "-bit + " << global_id_comparators_per_slice << " x " << global_id_comparator_bits
+      << "-bit comparators per memory slice\n"
+      << "Storage:\n"
+      << "  shared shadow entries: " << shared_shadow_bytes_per_sm / 1024.0 << " KB per SM\n"
+      << "  ID registers:          " << id_register_bytes_per_sm / 1024.0 << " KB per SM\n"
+      << "  race register file:    " << race_register_file_bytes / 1024.0
+      << " KB per memory slice\n";
+  return out.str();
+}
+
+}  // namespace haccrg::rd

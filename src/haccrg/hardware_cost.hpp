@@ -1,0 +1,39 @@
+// Analytic hardware-overhead model (Section VI-C2): comparator counts and
+// storage requirements of the RDUs as a function of the GPU configuration
+// and HAccRG parameters. Used by the bench_hw_overhead harness.
+#pragma once
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "haccrg/options.hpp"
+
+namespace haccrg::rd {
+
+struct HardwareCost {
+  // Control logic.
+  u32 shared_comparators_per_sm = 0;  ///< one per granule a warp access covers
+  u32 shared_comparator_bits = 0;     ///< width of each (M + S + tid)
+  u32 global_comparators_per_slice = 0;  ///< granules per L2 line
+  u32 global_comparator_bits = 0;        ///< basic entry width
+  u32 global_id_comparators_per_slice = 0;  ///< fence + atomic ID comparators
+  u32 global_id_comparator_bits = 0;
+
+  // Storage (bytes).
+  u32 shared_shadow_bytes_per_sm = 0;
+  u32 id_register_bytes_per_sm = 0;     ///< sync + fence + atomic IDs
+  u32 race_register_file_bytes = 0;     ///< per-slice replica of all fence IDs
+
+  std::string describe() const;
+};
+
+/// Shared shadow entry width in bits (M + S + 10-bit tid).
+constexpr u32 kSharedEntryBits = 12;
+/// Basic global shadow entry width in bits (M,S,tid,bid,sid,sync).
+constexpr u32 kGlobalEntryBits = 28;
+/// Fence (8) + atomic (16) extension bits.
+constexpr u32 kGlobalIdBits = 24;
+
+HardwareCost compute_hardware_cost(const arch::GpuConfig& gpu, const HaccrgConfig& config);
+
+}  // namespace haccrg::rd

@@ -1,0 +1,97 @@
+// Per-SM HAccRG identifier registers (Section IV-B "Storage"):
+//  * per-block-slot 8-bit sync IDs (logical barrier clocks), incremented
+//    at a barrier only if the block touched global memory since its last
+//    barrier — the paper's optimization to bound increments;
+//  * per-warp-slot 8-bit fence IDs (logical fence clocks);
+//  * per-thread-slot Bloom-filter atomic IDs with critical-section depth.
+//
+// The collection of fence-ID tables across all SMs is the "race register
+// file" the global RDUs read; in hardware it is replicated per memory
+// slice, here a single authoritative copy is shared (timing for the
+// replica reads is folded into the RDU's fixed check cost).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "haccrg/bloom.hpp"
+
+namespace haccrg::rd {
+
+class SmIdRegisters {
+ public:
+  SmIdRegisters(u32 max_blocks, u32 max_warps, u32 max_threads)
+      : sync_ids_(max_blocks, 0), global_touched_(max_blocks, false), fence_ids_(max_warps, 0),
+        sigs_(max_threads), cs_depth_(max_threads, 0) {}
+
+  // --- Sync IDs (per block slot) ---
+  u8 sync_id(u32 block_slot) const { return sync_ids_[block_slot]; }
+
+  /// Mark that the block touched global memory since its last barrier.
+  void note_global_access(u32 block_slot) { global_touched_[block_slot] = true; }
+
+  /// Called when the block passes a barrier; bumps the sync ID only if
+  /// global memory was accessed since the previous barrier (the paper's
+  /// increment-suppression optimization). `force` disables the
+  /// optimization for the ablation study.
+  void on_barrier(u32 block_slot, bool force = false) {
+    ++barrier_events_;
+    if (force || global_touched_[block_slot]) {
+      ++sync_ids_[block_slot];  // 8-bit wrap is intentional (Sec. VI-A2)
+      ++sync_increments_;
+      global_touched_[block_slot] = false;
+    }
+  }
+
+  /// Ablation counters: barriers seen vs sync-ID increments actually
+  /// performed (Section VI-A2 notes at most 5 increments in practice).
+  u64 barrier_events() const { return barrier_events_; }
+  u64 sync_increments() const { return sync_increments_; }
+
+  /// A new block launched into this slot. Hardware does not reset the
+  /// counter — stale shadow entries from the previous tenant then fail
+  /// the sync-ID match and are treated as ordered, which is the paper's
+  /// implicit slot-reuse behavior. We bump to guarantee a fresh epoch.
+  void on_block_launch(u32 block_slot) {
+    ++sync_ids_[block_slot];
+    global_touched_[block_slot] = false;
+  }
+
+  // --- Fence IDs (per warp slot) ---
+  u8 fence_id(u32 warp_slot) const { return fence_ids_[warp_slot]; }
+  void on_fence(u32 warp_slot) { ++fence_ids_[warp_slot]; }
+
+  // --- Atomic IDs (per thread slot) ---
+  const BloomSignature& sig(u32 thread_slot) const { return sigs_[thread_slot]; }
+  bool in_cs(u32 thread_slot) const { return cs_depth_[thread_slot] > 0; }
+
+  void on_lock_acquired(u32 thread_slot, Addr lock_addr, const BloomGeometry& geom) {
+    sigs_[thread_slot].insert(lock_addr, geom);
+    ++cs_depth_[thread_slot];
+  }
+
+  void on_lock_releasing(u32 thread_slot) {
+    if (cs_depth_[thread_slot] > 0 && --cs_depth_[thread_slot] == 0) {
+      // Clearing on release of the last lock is the paper's low-overhead
+      // removal mechanism (nesting levels are tiny in practice).
+      sigs_[thread_slot].clear();
+    }
+  }
+
+  /// Reset a thread slot when a new block launches over it.
+  void reset_thread(u32 thread_slot) {
+    sigs_[thread_slot].clear();
+    cs_depth_[thread_slot] = 0;
+  }
+
+ private:
+  u64 barrier_events_ = 0;
+  u64 sync_increments_ = 0;
+  std::vector<u8> sync_ids_;
+  std::vector<bool> global_touched_;
+  std::vector<u8> fence_ids_;
+  std::vector<BloomSignature> sigs_;
+  std::vector<u8> cs_depth_;
+};
+
+}  // namespace haccrg::rd

@@ -1,0 +1,18 @@
+#include "haccrg/options.hpp"
+
+#include <sstream>
+
+namespace haccrg::rd {
+
+std::string HaccrgConfig::describe() const {
+  std::ostringstream out;
+  out << "HAccRG{shared=" << (enable_shared ? "on" : "off")
+      << ", global=" << (enable_global ? "on" : "off") << ", gran=" << shared_granularity << "B/"
+      << global_granularity << "B, bloom=" << bloom_bits << "b/" << bloom_bins << "bins"
+      << ", shared_shadow="
+      << (shared_shadow == SharedShadowPlacement::kHardware ? "hw" : "global-mem")
+      << (warp_regrouping ? ", warp-regroup" : "") << "}";
+  return out.str();
+}
+
+}  // namespace haccrg::rd

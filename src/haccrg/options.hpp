@@ -1,0 +1,48 @@
+// Configuration of the HAccRG race-detection hardware (Sections III-IV).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace haccrg::rd {
+
+/// Where the shared-memory shadow entries live (Figure 8 experiment).
+enum class SharedShadowPlacement {
+  kHardware,      ///< dedicated per-SM storage, checks run beside the banks
+  kGlobalMemory,  ///< entries in device memory, fetched through the L1
+};
+
+struct HaccrgConfig {
+  bool enable_shared = false;  ///< shared-memory race detection
+  bool enable_global = false;  ///< global-memory race detection
+
+  /// Tracking granularity (bytes per shadow entry), Section IV-C.
+  /// The paper settles on 16 B shared / 4 B global.
+  u32 shared_granularity = 16;
+  u32 global_granularity = 4;
+
+  /// Bloom-filter atomic ID geometry (Section VI-A2; paper picks 16/2).
+  u32 bloom_bits = 16;
+  u32 bloom_bins = 2;
+
+  SharedShadowPlacement shared_shadow = SharedShadowPlacement::kHardware;
+
+  /// When warps are dynamically re-grouped the intra-warp filter is
+  /// unsound, so races are reported regardless of warp (Section III-A).
+  bool warp_regrouping = false;
+
+  /// Ablation switch: disable the Section III-C fence gate so every
+  /// cross-thread read-after-write between barriers is reported.
+  bool disable_fence_gate = false;
+
+  /// Stop recording after this many unique races (reporting only; checks
+  /// continue so timing is unaffected).
+  u32 max_recorded_races = 4096;
+
+  bool any_enabled() const { return enable_shared || enable_global; }
+
+  std::string describe() const;
+};
+
+}  // namespace haccrg::rd

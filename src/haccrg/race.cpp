@@ -1,0 +1,91 @@
+#include "haccrg/race.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace haccrg::rd {
+
+std::string_view race_type_name(RaceType t) {
+  switch (t) {
+    case RaceType::kWaw: return "WAW";
+    case RaceType::kWar: return "WAR";
+    case RaceType::kRaw: return "RAW";
+  }
+  return "?";
+}
+
+std::string_view race_mechanism_name(RaceMechanism m) {
+  switch (m) {
+    case RaceMechanism::kBarrier: return "barrier";
+    case RaceMechanism::kLockset: return "lockset";
+    case RaceMechanism::kFence: return "fence";
+    case RaceMechanism::kL1Stale: return "l1-stale";
+    case RaceMechanism::kIntraWarpWaw: return "intra-warp-waw";
+  }
+  return "?";
+}
+
+std::string RaceRecord::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s race (%s) in %s memory at 0x%x: threads %u and %u on SM%u, pc %u, cycle %llu",
+                std::string(race_type_name(type)).c_str(),
+                std::string(race_mechanism_name(mechanism)).c_str(),
+                space == MemSpace::kShared ? "shared" : "global", granule_addr, first_thread,
+                second_thread, sm_id, pc, static_cast<unsigned long long>(cycle));
+  return buf;
+}
+
+bool RaceLog::record(const RaceRecord& race) {
+  ++total_;
+  Key key{static_cast<u8>(race.space), static_cast<u8>(race.type),
+          static_cast<u8>(race.mechanism), race.granule_addr, race.pc};
+  auto [it, inserted] = seen_.emplace(key, 1);
+  if (!inserted) {
+    ++it->second;
+    return false;
+  }
+  if (races_.size() < max_recorded_) races_.push_back(race);
+  return true;
+}
+
+u64 RaceLog::count(RaceMechanism m) const {
+  u64 n = 0;
+  for (const auto& r : races_)
+    if (r.mechanism == m) ++n;
+  return n;
+}
+
+u64 RaceLog::count(RaceType t) const {
+  u64 n = 0;
+  for (const auto& r : races_)
+    if (r.type == t) ++n;
+  return n;
+}
+
+u64 RaceLog::count(MemSpace s) const {
+  u64 n = 0;
+  for (const auto& r : races_)
+    if (r.space == s) ++n;
+  return n;
+}
+
+void RaceLog::clear() {
+  total_ = 0;
+  seen_.clear();
+  races_.clear();
+}
+
+std::string RaceLog::summary() const {
+  std::ostringstream out;
+  out << unique() << " unique races (" << total_ << " dynamic):";
+  if (races_.empty()) {
+    out << " none";
+  } else {
+    out << "\n";
+    for (const auto& r : races_) out << "  " << r.describe() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace haccrg::rd

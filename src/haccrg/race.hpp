@@ -1,0 +1,80 @@
+// Race records and the deduplicating race log.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haccrg::rd {
+
+/// Dependence flavor of the race (Figure 3).
+enum class RaceType : u8 { kWaw, kWar, kRaw };
+
+/// Which detection mechanism fired.
+enum class RaceMechanism : u8 {
+  kBarrier,       ///< happens-before between barriers (Section III-A)
+  kLockset,       ///< critical-section lockset (Section III-B)
+  kFence,         ///< missing memory fence (Section III-C)
+  kL1Stale,       ///< cross-SM RAW observed through a stale L1 hit (Sec. IV-B)
+  kIntraWarpWaw,  ///< same-warp same-granule WAW caught before issue
+};
+
+/// Memory space the racy granule lives in.
+enum class MemSpace : u8 { kShared, kGlobal };
+
+std::string_view race_type_name(RaceType t);
+std::string_view race_mechanism_name(RaceMechanism m);
+
+/// One detected race.
+struct RaceRecord {
+  RaceType type = RaceType::kWaw;
+  RaceMechanism mechanism = RaceMechanism::kBarrier;
+  MemSpace space = MemSpace::kGlobal;
+  Addr granule_addr = 0;  ///< granule base address (SM-local for shared)
+  u32 sm_id = 0;
+  u16 first_thread = 0;   ///< thread slot recorded in the shadow entry
+  u16 second_thread = 0;  ///< thread slot of the access that triggered it
+  u32 pc = 0;             ///< pc of the triggering access
+  Cycle cycle = 0;
+
+  std::string describe() const;
+};
+
+/// Collects races, deduplicating by (space, granule, type, mechanism, pc).
+class RaceLog {
+ public:
+  explicit RaceLog(u32 max_recorded = 4096) : max_recorded_(max_recorded) {}
+
+  /// Record a race; returns true if it was new (not a duplicate).
+  bool record(const RaceRecord& race);
+
+  u64 total() const { return total_; }
+  u64 unique() const { return static_cast<u64>(races_.size()); }
+  u64 count(RaceMechanism m) const;
+  u64 count(RaceType t) const;
+  u64 count(MemSpace s) const;
+  const std::vector<RaceRecord>& races() const { return races_; }
+  bool empty() const { return races_.empty(); }
+  void clear();
+
+  std::string summary() const;
+
+ private:
+  struct Key {
+    u8 space;
+    u8 type;
+    u8 mechanism;
+    Addr granule;
+    u32 pc;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  u32 max_recorded_;
+  u64 total_ = 0;
+  std::map<Key, u32> seen_;
+  std::vector<RaceRecord> races_;
+};
+
+}  // namespace haccrg::rd

@@ -1,0 +1,59 @@
+#include "haccrg/shared_rdu.hpp"
+
+#include <algorithm>
+
+namespace haccrg::rd {
+
+SharedRdu::SharedRdu(u32 sm_id, u32 smem_bytes, const HaccrgConfig& config,
+                     const DetectPolicy& policy, RaceLog& log)
+    : sm_id_(sm_id), granularity_(config.shared_granularity), policy_(policy), log_(&log),
+      shadow_(ceil_div(smem_bytes, config.shared_granularity), 0) {}
+
+void SharedRdu::check(const AccessInfo& access) {
+  const u32 first = access.addr / granularity_;
+  const u32 last = (access.addr + access.size - 1) / granularity_;
+  for (u32 g = first; g <= last && g < shadow_.size(); ++g) {
+    ++checks_;
+    SharedShadowEntry entry = SharedShadowEntry::unpack(shadow_[g]);
+    AccessInfo granule_access = access;
+    granule_access.addr = g * granularity_;
+    CheckOutcome out = check_shared_access(entry, granule_access, policy_);
+    if (out.entry_changed) shadow_[g] = entry.pack();
+    if (out.race) {
+      out.race->sm_id = sm_id_;
+      ++races_;
+      log_->record(*out.race);
+    }
+  }
+}
+
+std::vector<u32> SharedRdu::shadow_lines(const std::vector<u32>& lane_addrs,
+                                         u32 line_bytes) const {
+  // Each granule's software shadow entry is 2 bytes; entries are packed
+  // densely in the per-SM shadow array mirrored to global memory.
+  std::vector<u32> lines;
+  for (u32 addr : lane_addrs) {
+    const u32 entry_offset = (addr / granularity_) * 2;
+    const u32 line = entry_offset / line_bytes;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end()) lines.push_back(line);
+  }
+  return lines;
+}
+
+u32 SharedRdu::reset_region(u32 base, u32 bytes, u32 banks) {
+  const u32 first = base / granularity_;
+  const u32 last = std::min<u32>(static_cast<u32>(shadow_.size()),
+                                 static_cast<u32>(ceil_div(base + bytes, granularity_)));
+  for (u32 g = first; g < last; ++g) shadow_[g] = 0;
+  ++resets_;
+  const u32 entries = last > first ? last - first : 0;
+  return static_cast<u32>(ceil_div(entries, std::max(banks, 1u)));
+}
+
+void SharedRdu::export_stats(StatSet& stats) const {
+  stats.add("shared_rdu.checks", checks_);
+  stats.add("shared_rdu.races", races_);
+  stats.add("shared_rdu.barrier_resets", resets_);
+}
+
+}  // namespace haccrg::rd

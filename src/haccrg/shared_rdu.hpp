@@ -1,0 +1,58 @@
+// Shared-memory Race Detection Unit (Section IV-A). One per SM. In the
+// default hardware placement the shadow entries are dedicated per-SM
+// storage checked in parallel with the banks (no per-access cycle cost;
+// the visible overhead is the barrier-time invalidation). In the
+// global-memory placement (Figure 8) the entries live in device memory
+// and are fetched through the L1 — the RDU then reports which shadow
+// lines each warp access touches so the SM can model that traffic.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "haccrg/id_regs.hpp"
+#include "haccrg/options.hpp"
+#include "haccrg/race.hpp"
+#include "haccrg/shadow.hpp"
+
+namespace haccrg::rd {
+
+class SharedRdu {
+ public:
+  SharedRdu(u32 sm_id, u32 smem_bytes, const HaccrgConfig& config, const DetectPolicy& policy,
+            RaceLog& log);
+
+  /// Check one lane's shared-memory access and update the shadow state.
+  void check(const AccessInfo& access);
+
+  /// Shadow lines (global shadow-region offsets) covering the granules of
+  /// the given lane addresses — only meaningful in the kGlobalMemory
+  /// placement, where each line must be fetched through the L1.
+  std::vector<u32> shadow_lines(const std::vector<u32>& lane_addrs, u32 line_bytes) const;
+
+  /// Barrier reached: invalidate the shadow entries of the block's shared
+  /// region. Returns the invalidation cost in cycles (entries reset
+  /// `banks` at a time, matching the parallel comparators).
+  u32 reset_region(u32 base, u32 bytes, u32 banks);
+
+  u64 checks() const { return checks_; }
+  u64 races_found() const { return races_; }
+  void export_stats(StatSet& stats) const;
+
+  /// Direct shadow inspection for tests.
+  SharedShadowEntry entry_at(u32 addr) const {
+    return SharedShadowEntry::unpack(shadow_[addr / granularity_]);
+  }
+
+ private:
+  u32 sm_id_;
+  u32 granularity_;
+  DetectPolicy policy_;
+  RaceLog* log_;
+  std::vector<u16> shadow_;  // one packed entry per granule; 0 == initial
+  u64 checks_ = 0;
+  u64 races_ = 0;
+  u64 resets_ = 0;
+};
+
+}  // namespace haccrg::rd

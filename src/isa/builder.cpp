@@ -1,0 +1,378 @@
+#include "isa/builder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace haccrg::isa {
+
+namespace {
+[[noreturn]] void builder_fatal(const std::string& name, const std::string& msg) {
+  std::fprintf(stderr, "KernelBuilder(%s): %s\n", name.c_str(), msg.c_str());
+  std::abort();
+}
+}  // namespace
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+void KernelBuilder::emit(Instr ins) { code_.push_back(ins); }
+
+Reg KernelBuilder::reg() {
+  if (next_reg_ >= kMaxRegs) builder_fatal(name_, "out of registers");
+  return Reg{static_cast<u8>(next_reg_++)};
+}
+
+Pred KernelBuilder::pred() {
+  if (next_pred_ >= kMaxPreds) builder_fatal(name_, "out of predicate registers");
+  return Pred{static_cast<u8>(next_pred_++)};
+}
+
+Reg KernelBuilder::imm(u32 value) {
+  Reg r = reg();
+  mov(r, Operand(value));
+  return r;
+}
+
+Reg KernelBuilder::fimm(f32 value) { return imm(as_u32(value)); }
+
+Reg KernelBuilder::special(SpecialReg which) {
+  Reg r = reg();
+  Instr ins;
+  ins.op = Opcode::kSpecial;
+  ins.dst = r.idx;
+  ins.imm = static_cast<u32>(which);
+  emit(ins);
+  return r;
+}
+
+Reg KernelBuilder::param(u32 slot) {
+  if (slot >= kMaxParams) builder_fatal(name_, "parameter slot out of range");
+  Reg r = reg();
+  Instr ins;
+  ins.op = Opcode::kParam;
+  ins.dst = r.idx;
+  ins.imm = slot;
+  emit(ins);
+  return r;
+}
+
+void KernelBuilder::alu(Opcode op, Reg dst, Reg a, Operand b) {
+  Instr ins;
+  ins.op = op;
+  ins.dst = dst.idx;
+  ins.src0 = a.idx;
+  if (b.is_imm) {
+    ins.src1_is_imm = true;
+    ins.imm = b.imm;
+  } else {
+    ins.src1 = b.reg;
+  }
+  emit(ins);
+}
+
+void KernelBuilder::alu1(Opcode op, Reg dst, Reg a) {
+  Instr ins;
+  ins.op = op;
+  ins.dst = dst.idx;
+  ins.src0 = a.idx;
+  emit(ins);
+}
+
+void KernelBuilder::mov(Reg dst, Operand a) {
+  Instr ins;
+  ins.op = Opcode::kMov;
+  ins.dst = dst.idx;
+  if (a.is_imm) {
+    ins.src1_is_imm = true;
+    ins.imm = a.imm;
+  } else {
+    ins.src0 = a.reg;
+  }
+  emit(ins);
+}
+
+void KernelBuilder::add(Reg d, Reg a, Operand b) { alu(Opcode::kAdd, d, a, b); }
+void KernelBuilder::sub(Reg d, Reg a, Operand b) { alu(Opcode::kSub, d, a, b); }
+void KernelBuilder::mul(Reg d, Reg a, Operand b) { alu(Opcode::kMul, d, a, b); }
+void KernelBuilder::mulhi(Reg d, Reg a, Operand b) { alu(Opcode::kMulHi, d, a, b); }
+void KernelBuilder::div(Reg d, Reg a, Operand b) { alu(Opcode::kDiv, d, a, b); }
+void KernelBuilder::rem(Reg d, Reg a, Operand b) { alu(Opcode::kRem, d, a, b); }
+void KernelBuilder::umin(Reg d, Reg a, Operand b) { alu(Opcode::kMin, d, a, b); }
+void KernelBuilder::umax(Reg d, Reg a, Operand b) { alu(Opcode::kMax, d, a, b); }
+void KernelBuilder::and_(Reg d, Reg a, Operand b) { alu(Opcode::kAnd, d, a, b); }
+void KernelBuilder::or_(Reg d, Reg a, Operand b) { alu(Opcode::kOr, d, a, b); }
+void KernelBuilder::xor_(Reg d, Reg a, Operand b) { alu(Opcode::kXor, d, a, b); }
+void KernelBuilder::not_(Reg d, Reg a) { alu1(Opcode::kNot, d, a); }
+void KernelBuilder::shl(Reg d, Reg a, Operand b) { alu(Opcode::kShl, d, a, b); }
+void KernelBuilder::shr(Reg d, Reg a, Operand b) { alu(Opcode::kShr, d, a, b); }
+void KernelBuilder::sra(Reg d, Reg a, Operand b) { alu(Opcode::kSra, d, a, b); }
+
+void KernelBuilder::fadd(Reg d, Reg a, Operand b) { alu(Opcode::kFAdd, d, a, b); }
+void KernelBuilder::fsub(Reg d, Reg a, Operand b) { alu(Opcode::kFSub, d, a, b); }
+void KernelBuilder::fmul(Reg d, Reg a, Operand b) { alu(Opcode::kFMul, d, a, b); }
+void KernelBuilder::fdiv(Reg d, Reg a, Operand b) { alu(Opcode::kFDiv, d, a, b); }
+void KernelBuilder::fsqrt(Reg d, Reg a) { alu1(Opcode::kFSqrt, d, a); }
+void KernelBuilder::fmin(Reg d, Reg a, Operand b) { alu(Opcode::kFMin, d, a, b); }
+void KernelBuilder::fmax(Reg d, Reg a, Operand b) { alu(Opcode::kFMax, d, a, b); }
+void KernelBuilder::fabs_(Reg d, Reg a) { alu1(Opcode::kFAbs, d, a); }
+void KernelBuilder::flog(Reg d, Reg a) { alu1(Opcode::kFLog, d, a); }
+void KernelBuilder::fexp(Reg d, Reg a) { alu1(Opcode::kFExp, d, a); }
+void KernelBuilder::i2f(Reg d, Reg a) { alu1(Opcode::kI2F, d, a); }
+void KernelBuilder::f2i(Reg d, Reg a) { alu1(Opcode::kF2I, d, a); }
+
+void KernelBuilder::setp(Pred p, CmpOp op, Reg a, Operand b) {
+  Instr ins;
+  ins.op = Opcode::kSetp;
+  ins.dst = p.idx;
+  ins.src0 = a.idx;
+  ins.aux = static_cast<u8>(op);
+  if (b.is_imm) {
+    ins.src1_is_imm = true;
+    ins.imm = b.imm;
+  } else {
+    ins.src1 = b.reg;
+  }
+  emit(ins);
+}
+
+void KernelBuilder::sel(Reg dst, Pred p, Reg if_true, Reg if_false) {
+  Instr ins;
+  ins.op = Opcode::kSel;
+  ins.dst = dst.idx;
+  ins.src0 = if_true.idx;
+  ins.src1 = if_false.idx;
+  ins.aux = p.idx;
+  emit(ins);
+}
+
+void KernelBuilder::ld_global(Reg dst, Reg addr, u32 offset, u32 width) {
+  Instr ins;
+  ins.op = Opcode::kLdGlobal;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.imm = offset;
+  ins.aux = static_cast<u8>(width);
+  emit(ins);
+}
+
+void KernelBuilder::st_global(Reg addr, Reg value, u32 offset, u32 width) {
+  Instr ins;
+  ins.op = Opcode::kStGlobal;
+  ins.src0 = addr.idx;
+  ins.src1 = value.idx;
+  ins.imm = offset;
+  ins.aux = static_cast<u8>(width);
+  emit(ins);
+}
+
+void KernelBuilder::ld_shared(Reg dst, Reg addr, u32 offset, u32 width) {
+  Instr ins;
+  ins.op = Opcode::kLdShared;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.imm = offset;
+  ins.aux = static_cast<u8>(width);
+  emit(ins);
+}
+
+void KernelBuilder::st_shared(Reg addr, Reg value, u32 offset, u32 width) {
+  Instr ins;
+  ins.op = Opcode::kStShared;
+  ins.src0 = addr.idx;
+  ins.src1 = value.idx;
+  ins.imm = offset;
+  ins.aux = static_cast<u8>(width);
+  emit(ins);
+}
+
+void KernelBuilder::atom_global(Reg dst, AtomicOp op, Reg addr, Reg operand, u32 offset) {
+  Instr ins;
+  ins.op = Opcode::kAtomGlobal;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.src1 = operand.idx;
+  ins.aux = static_cast<u8>(op);
+  ins.imm = offset;
+  emit(ins);
+}
+
+void KernelBuilder::atom_global_cas(Reg dst, Reg addr, Reg compare, Reg value, u32 offset) {
+  Instr ins;
+  ins.op = Opcode::kAtomGlobal;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.src1 = value.idx;
+  ins.src2 = compare.idx;
+  ins.aux = static_cast<u8>(AtomicOp::kCas);
+  ins.imm = offset;
+  emit(ins);
+}
+
+void KernelBuilder::atom_shared(Reg dst, AtomicOp op, Reg addr, Reg operand, u32 offset) {
+  Instr ins;
+  ins.op = Opcode::kAtomShared;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.src1 = operand.idx;
+  ins.aux = static_cast<u8>(op);
+  ins.imm = offset;
+  emit(ins);
+}
+
+void KernelBuilder::barrier() { emit(Instr{.op = Opcode::kBar}); }
+void KernelBuilder::memfence() { emit(Instr{.op = Opcode::kMemBar}); }
+void KernelBuilder::memfence_block() { emit(Instr{.op = Opcode::kMemBarBlock}); }
+
+void KernelBuilder::lock_acquired(Reg lock_addr) {
+  Instr ins;
+  ins.op = Opcode::kLockAcqMark;
+  ins.src0 = lock_addr.idx;
+  emit(ins);
+}
+
+void KernelBuilder::lock_releasing() { emit(Instr{.op = Opcode::kLockRelMark}); }
+void KernelBuilder::exit() { emit(Instr{.op = Opcode::kExit}); }
+
+void KernelBuilder::if_(Pred p, const BodyFn& then_body) {
+  Instr ins;
+  ins.op = Opcode::kIf;
+  ins.aux = p.idx;
+  emit(ins);
+  ++open_scopes_;
+  then_body();
+  emit(Instr{.op = Opcode::kEndIf});
+  --open_scopes_;
+}
+
+void KernelBuilder::if_else(Pred p, const BodyFn& then_body, const BodyFn& else_body) {
+  Instr ins;
+  ins.op = Opcode::kIf;
+  ins.aux = p.idx;
+  emit(ins);
+  ++open_scopes_;
+  then_body();
+  emit(Instr{.op = Opcode::kElse, .aux = p.idx});
+  else_body();
+  emit(Instr{.op = Opcode::kEndIf});
+  --open_scopes_;
+}
+
+void KernelBuilder::while_(const std::function<Pred()>& cond, const BodyFn& body) {
+  emit(Instr{.op = Opcode::kLoopBegin});
+  ++open_scopes_;
+  const u32 top = here();
+  Pred p = cond();
+  Instr brk;
+  brk.op = Opcode::kBreakIfNot;
+  brk.aux = p.idx;
+  const u32 brk_pc = here();
+  emit(brk);
+  body();
+  emit(Instr{.op = Opcode::kJump, .imm = top});
+  const u32 end_pc = here();
+  emit(Instr{.op = Opcode::kLoopEnd});
+  code_[brk_pc].imm = end_pc;
+  --open_scopes_;
+}
+
+void KernelBuilder::do_while(const BodyFn& body, const std::function<Pred()>& cond) {
+  emit(Instr{.op = Opcode::kLoopBegin});
+  ++open_scopes_;
+  const u32 top = here();
+  body();
+  Pred p = cond();
+  // Loop while p holds: lanes with !p leave; when none remain, fall out.
+  Instr brk;
+  brk.op = Opcode::kBreakIfNot;
+  brk.aux = p.idx;
+  const u32 brk_pc = here();
+  emit(brk);
+  emit(Instr{.op = Opcode::kJump, .imm = top});
+  const u32 end_pc = here();
+  emit(Instr{.op = Opcode::kLoopEnd});
+  code_[brk_pc].imm = end_pc;
+  --open_scopes_;
+}
+
+void KernelBuilder::for_range(Reg i, Operand start, Operand bound, Operand step,
+                              const BodyFn& body) {
+  mov(i, start);
+  Pred p = pred();
+  while_(
+      [&] {
+        setp(p, CmpOp::kLtU, i, bound);
+        return p;
+      },
+      [&] {
+        body();
+        add(i, i, step);
+      });
+}
+
+Reg KernelBuilder::addr(Reg base, Reg index, u32 scale) {
+  Reg r = reg();
+  mul(r, index, Operand(scale));
+  add(r, r, base);
+  return r;
+}
+
+void KernelBuilder::spin_lock(Reg lock_addr) {
+  Reg zero = imm(0);
+  Reg one = imm(1);
+  Reg old = reg();
+  Pred got = pred();
+  do_while(
+      [&] { atom_global_cas(old, lock_addr, zero, one); },
+      [&] {
+        setp(got, CmpOp::kNe, old, Operand(0u));
+        return got;  // keep looping while the CAS found the lock taken
+      });
+  lock_acquired(lock_addr);
+}
+
+void KernelBuilder::spin_unlock(Reg lock_addr, bool with_fence) {
+  lock_releasing();
+  if (with_fence) memfence();
+  Reg zero = imm(0);
+  Reg dummy = reg();
+  atom_global(dummy, AtomicOp::kExch, lock_addr, zero);
+}
+
+void KernelBuilder::with_lock(Reg lock_addr, const BodyFn& body, bool release_fence) {
+  Reg done = imm(0);
+  Reg zero = imm(0);
+  Reg one = imm(1);
+  Reg old = reg();
+  Reg dummy = reg();
+  Pred keep_trying = pred();
+  Pred won = pred();
+  while_(
+      [&] {
+        setp(keep_trying, CmpOp::kEq, done, Operand(0u));
+        return keep_trying;
+      },
+      [&] {
+        atom_global_cas(old, lock_addr, zero, one);
+        setp(won, CmpOp::kEq, old, Operand(0u));
+        if_(won, [&] {
+          lock_acquired(lock_addr);
+          body();
+          lock_releasing();
+          if (release_fence) memfence();
+          atom_global(dummy, AtomicOp::kExch, lock_addr, zero);
+          mov(done, Operand(1u));
+        });
+      });
+}
+
+Program KernelBuilder::build() {
+  if (built_) builder_fatal(name_, "build() called twice");
+  if (open_scopes_ != 0) builder_fatal(name_, "unclosed control scope at build()");
+  built_ = true;
+  if (code_.empty() || code_.back().op != Opcode::kExit) emit(Instr{.op = Opcode::kExit});
+  Program prog(name_, std::move(code_), next_reg_, next_pred_);
+  const std::string err = prog.validate();
+  if (!err.empty()) builder_fatal(name_, "invalid program: " + err);
+  return prog;
+}
+
+}  // namespace haccrg::isa

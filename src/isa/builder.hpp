@@ -1,0 +1,158 @@
+// Structured kernel assembler. Kernels are authored as C++ code that emits
+// mini-PTX instructions; control flow uses structured constructs (if_/
+// while_/for_range) that lower onto the interpreter's active-mask stack,
+// so divergence is always well-nested — the same guarantee structured CUDA
+// source compiled through PDOM reconvergence gives on real hardware.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace haccrg::isa {
+
+/// Opaque handle to a 32-bit register allocated from a builder.
+struct Reg {
+  u8 idx = 0;
+};
+
+/// Opaque handle to a predicate register.
+struct Pred {
+  u8 idx = 0;
+};
+
+/// Right-hand operand: a register or a 32-bit immediate.
+struct Operand {
+  bool is_imm = false;
+  u8 reg = 0;
+  u32 imm = 0;
+
+  Operand(Reg r) : reg(r.idx) {}                 // NOLINT(google-explicit-constructor)
+  Operand(u32 v) : is_imm(true), imm(v) {}       // NOLINT(google-explicit-constructor)
+  Operand(int v) : is_imm(true), imm(u32(v)) {}  // NOLINT(google-explicit-constructor)
+};
+
+/// Builds one kernel Program. Register allocation is linear (no reuse);
+/// scratch registers can be released in stack order via a scope guard.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // --- Register management -------------------------------------------------
+  Reg reg();            ///< allocate a fresh register
+  Pred pred();          ///< allocate a fresh predicate register
+  u32 regs_used() const { return next_reg_; }
+
+  // --- Constants / special values ------------------------------------------
+  Reg imm(u32 value);                ///< fresh register preloaded with value
+  Reg special(SpecialReg which);     ///< fresh register loaded from a special
+  Reg param(u32 slot);               ///< fresh register loaded from launch param
+
+  // --- ALU -------------------------------------------------------------------
+  void mov(Reg dst, Operand a);
+  void add(Reg dst, Reg a, Operand b);
+  void sub(Reg dst, Reg a, Operand b);
+  void mul(Reg dst, Reg a, Operand b);
+  void mulhi(Reg dst, Reg a, Operand b);
+  void div(Reg dst, Reg a, Operand b);
+  void rem(Reg dst, Reg a, Operand b);
+  void umin(Reg dst, Reg a, Operand b);
+  void umax(Reg dst, Reg a, Operand b);
+  void and_(Reg dst, Reg a, Operand b);
+  void or_(Reg dst, Reg a, Operand b);
+  void xor_(Reg dst, Reg a, Operand b);
+  void not_(Reg dst, Reg a);
+  void shl(Reg dst, Reg a, Operand b);
+  void shr(Reg dst, Reg a, Operand b);
+  void sra(Reg dst, Reg a, Operand b);
+
+  void fadd(Reg dst, Reg a, Operand b);
+  void fsub(Reg dst, Reg a, Operand b);
+  void fmul(Reg dst, Reg a, Operand b);
+  void fdiv(Reg dst, Reg a, Operand b);
+  void fsqrt(Reg dst, Reg a);
+  void fmin(Reg dst, Reg a, Operand b);
+  void fmax(Reg dst, Reg a, Operand b);
+  void fabs_(Reg dst, Reg a);
+  void flog(Reg dst, Reg a);
+  void fexp(Reg dst, Reg a);
+  void i2f(Reg dst, Reg a);
+  void f2i(Reg dst, Reg a);
+
+  /// Load a float immediate (bit pattern) into a fresh register.
+  Reg fimm(f32 value);
+
+  // --- Predicates ------------------------------------------------------------
+  void setp(Pred p, CmpOp op, Reg a, Operand b);
+  void sel(Reg dst, Pred p, Reg if_true, Reg if_false);
+
+  // --- Memory ---------------------------------------------------------------
+  void ld_global(Reg dst, Reg addr, u32 offset = 0, u32 width = 4);
+  void st_global(Reg addr, Reg value, u32 offset = 0, u32 width = 4);
+  void ld_shared(Reg dst, Reg addr, u32 offset = 0, u32 width = 4);
+  void st_shared(Reg addr, Reg value, u32 offset = 0, u32 width = 4);
+  void atom_global(Reg dst, AtomicOp op, Reg addr, Reg operand, u32 offset = 0);
+  void atom_global_cas(Reg dst, Reg addr, Reg compare, Reg value, u32 offset = 0);
+  void atom_shared(Reg dst, AtomicOp op, Reg addr, Reg operand, u32 offset = 0);
+
+  // --- Synchronization --------------------------------------------------------
+  void barrier();
+  void memfence();        ///< __threadfence (device scope)
+  void memfence_block();  ///< __threadfence_block
+  void lock_acquired(Reg lock_addr);  ///< HAccRG marker after lock acquire
+  void lock_releasing();              ///< HAccRG marker before lock release
+  void exit();
+
+  // --- Structured control flow -------------------------------------------------
+  using BodyFn = std::function<void()>;
+
+  /// if (p) { then_body() }
+  void if_(Pred p, const BodyFn& then_body);
+  /// if (p) { then_body() } else { else_body() }
+  void if_else(Pred p, const BodyFn& then_body, const BodyFn& else_body);
+  /// while (cond()) { body() } — cond emits code and returns the predicate.
+  void while_(const std::function<Pred()>& cond, const BodyFn& body);
+  /// do { body() } while (cond()) — at least one iteration per active lane.
+  void do_while(const BodyFn& body, const std::function<Pred()>& cond);
+  /// for (i = start; i < bound; i += step) { body() }; `i` must be
+  /// builder-allocated; bound/step may be registers or immediates.
+  void for_range(Reg i, Operand start, Operand bound, Operand step, const BodyFn& body);
+
+  // --- Common idioms -----------------------------------------------------------
+  /// dst = base + index*scale (address arithmetic in one call).
+  Reg addr(Reg base, Reg index, u32 scale);
+  /// Spin until atomicCAS(lock, 0, 1) succeeds, then emit the acquire marker.
+  /// WARNING: deadlocks if two lanes of one warp contend for the same lock
+  /// (the classic SIMT spinlock hazard); prefer with_lock.
+  void spin_lock(Reg lock_addr);
+  /// Emit the release marker, a fence, then store 0 to the lock.
+  void spin_unlock(Reg lock_addr, bool with_fence = true);
+  /// SIMT-safe critical section: loop { if (CAS wins) { acquire marker;
+  /// body; release marker; fence; unlock; done } } — lanes that lose the
+  /// CAS retry on the next iteration, so intra-warp contention cannot
+  /// deadlock. `lock_addr` may differ per lane.
+  void with_lock(Reg lock_addr, const BodyFn& body, bool release_fence = true);
+
+  /// Seal the program. Runs Program::validate and aborts on malformed code
+  /// (builder bugs are programming errors, not runtime conditions).
+  Program build();
+
+  /// Current emit position (used by tests and instrumentation).
+  u32 here() const { return static_cast<u32>(code_.size()); }
+
+ private:
+  void emit(Instr ins);
+  void alu(Opcode op, Reg dst, Reg a, Operand b);
+  void alu1(Opcode op, Reg dst, Reg a);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  u32 next_reg_ = 0;
+  u32 next_pred_ = 0;
+  int open_scopes_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace haccrg::isa

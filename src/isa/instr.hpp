@@ -1,0 +1,43 @@
+// Instruction encoding of the mini-PTX ISA. A fixed-format struct keeps
+// the interpreter's dispatch cheap; builders and instrumentation passes
+// construct these directly.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace haccrg::isa {
+
+constexpr u32 kMaxRegs = 64;   ///< 32-bit registers per thread
+constexpr u32 kMaxPreds = 16;  ///< predicate registers per thread
+constexpr u32 kMaxParams = 16; ///< u32 kernel parameters per launch
+
+/// One decoded instruction.
+///
+/// Field usage by class:
+///  * ALU: dst, src0, src1 (or imm when `src1_is_imm`)
+///  * kSetp: dst = predicate index, aux = CmpOp
+///  * kSel: dst, src0, src1, aux = predicate index
+///  * kSpecial/kParam: dst, imm = selector/slot
+///  * control flow: aux = predicate index, imm = jump target pc
+///  * memory: dst (loads), src0 = address reg, src1 = store value,
+///    imm = byte offset, aux = width in bytes (1 or 4)
+///  * atomics: dst = old value, src0 = address reg, src1 = operand,
+///    src2 = CAS compare, aux = AtomicOp, imm = byte offset
+struct Instr {
+  Opcode op = Opcode::kNop;
+  u8 dst = 0;
+  u8 src0 = 0;
+  u8 src1 = 0;
+  u8 src2 = 0;
+  u8 aux = 0;
+  bool src1_is_imm = false;
+  u32 imm = 0;
+
+  CmpOp cmp() const { return static_cast<CmpOp>(aux); }
+  AtomicOp atomic() const { return static_cast<AtomicOp>(aux); }
+  SpecialReg special() const { return static_cast<SpecialReg>(imm); }
+  u32 width() const { return aux; }
+};
+
+}  // namespace haccrg::isa

@@ -1,0 +1,126 @@
+#include "isa/opcode.hpp"
+
+namespace haccrg::isa {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMulHi: return "mulhi";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSra: return "sra";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kFSqrt: return "fsqrt";
+    case Opcode::kFMin: return "fmin";
+    case Opcode::kFMax: return "fmax";
+    case Opcode::kFAbs: return "fabs";
+    case Opcode::kFLog: return "flog";
+    case Opcode::kFExp: return "fexp";
+    case Opcode::kI2F: return "i2f";
+    case Opcode::kF2I: return "f2i";
+    case Opcode::kSetp: return "setp";
+    case Opcode::kSel: return "sel";
+    case Opcode::kSpecial: return "special";
+    case Opcode::kParam: return "param";
+    case Opcode::kIf: return "if";
+    case Opcode::kElse: return "else";
+    case Opcode::kEndIf: return "endif";
+    case Opcode::kLoopBegin: return "loop";
+    case Opcode::kBreakIfNot: return "brk.ifnot";
+    case Opcode::kBreakIf: return "brk.if";
+    case Opcode::kJump: return "jmp";
+    case Opcode::kLoopEnd: return "endloop";
+    case Opcode::kLdGlobal: return "ld.global";
+    case Opcode::kStGlobal: return "st.global";
+    case Opcode::kLdShared: return "ld.shared";
+    case Opcode::kStShared: return "st.shared";
+    case Opcode::kAtomGlobal: return "atom.global";
+    case Opcode::kAtomShared: return "atom.shared";
+    case Opcode::kBar: return "bar.sync";
+    case Opcode::kMemBar: return "membar.gl";
+    case Opcode::kMemBarBlock: return "membar.cta";
+    case Opcode::kLockAcqMark: return "mark.acq";
+    case Opcode::kLockRelMark: return "mark.rel";
+    case Opcode::kExit: return "exit";
+    case Opcode::kNop: return "nop";
+  }
+  return "?";
+}
+
+std::string_view cmp_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLtU: return "lt.u";
+    case CmpOp::kLeU: return "le.u";
+    case CmpOp::kGtU: return "gt.u";
+    case CmpOp::kGeU: return "ge.u";
+    case CmpOp::kLtS: return "lt.s";
+    case CmpOp::kLeS: return "le.s";
+    case CmpOp::kGtS: return "gt.s";
+    case CmpOp::kGeS: return "ge.s";
+    case CmpOp::kLtF: return "lt.f";
+    case CmpOp::kLeF: return "le.f";
+    case CmpOp::kGtF: return "gt.f";
+    case CmpOp::kGeF: return "ge.f";
+    case CmpOp::kEqF: return "eq.f";
+    case CmpOp::kNeF: return "ne.f";
+  }
+  return "?";
+}
+
+std::string_view atomic_name(AtomicOp op) {
+  switch (op) {
+    case AtomicOp::kAdd: return "add";
+    case AtomicOp::kInc: return "inc";
+    case AtomicOp::kExch: return "exch";
+    case AtomicOp::kCas: return "cas";
+    case AtomicOp::kMin: return "min";
+    case AtomicOp::kMax: return "max";
+    case AtomicOp::kAnd: return "and";
+    case AtomicOp::kOr: return "or";
+  }
+  return "?";
+}
+
+bool is_memory_op(Opcode op) {
+  switch (op) {
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal:
+    case Opcode::kLdShared:
+    case Opcode::kStShared:
+    case Opcode::kAtomGlobal:
+    case Opcode::kAtomShared:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_global_op(Opcode op) {
+  return op == Opcode::kLdGlobal || op == Opcode::kStGlobal || op == Opcode::kAtomGlobal;
+}
+
+bool is_shared_op(Opcode op) {
+  return op == Opcode::kLdShared || op == Opcode::kStShared || op == Opcode::kAtomShared;
+}
+
+bool is_load_op(Opcode op) { return op == Opcode::kLdGlobal || op == Opcode::kLdShared; }
+
+bool is_atomic_op(Opcode op) { return op == Opcode::kAtomGlobal || op == Opcode::kAtomShared; }
+
+}  // namespace haccrg::isa

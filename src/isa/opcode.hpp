@@ -1,0 +1,153 @@
+// Opcodes of the mini-PTX ISA executed by the simulator. The set is the
+// subset of PTX the paper's benchmarks need: 32-bit integer/float ALU,
+// predicated structured control flow, shared/global loads/stores/atomics,
+// barriers, memory fences, and the critical-section marker instructions
+// HAccRG inserts around lock acquire/release (Section III-B).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace haccrg::isa {
+
+enum class Opcode : u8 {
+  // ALU (integer, 32-bit). src1 may be an immediate.
+  kMov,    ///< dst = src0 (or imm)
+  kAdd,    ///< dst = src0 + src1
+  kSub,    ///< dst = src0 - src1
+  kMul,    ///< dst = src0 * src1 (low 32 bits)
+  kMulHi,  ///< dst = high 32 bits of u64(src0)*u64(src1)
+  kDiv,    ///< dst = src0 / src1 (unsigned; div by 0 -> 0)
+  kRem,    ///< dst = src0 % src1 (unsigned; mod by 0 -> 0)
+  kMin,    ///< dst = min(src0, src1) (unsigned)
+  kMax,    ///< dst = max(src0, src1) (unsigned)
+  kAnd,    ///< dst = src0 & src1
+  kOr,     ///< dst = src0 | src1
+  kXor,    ///< dst = src0 ^ src1
+  kNot,    ///< dst = ~src0
+  kShl,    ///< dst = src0 << (src1 & 31)
+  kShr,    ///< dst = src0 >> (src1 & 31) logical
+  kSra,    ///< dst = i32(src0) >> (src1 & 31) arithmetic
+
+  // ALU (IEEE f32 on the register bit pattern).
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFSqrt,  ///< dst = sqrt(src0)
+  kFMin,
+  kFMax,
+  kFAbs,  ///< dst = |src0|
+  kFLog,  ///< dst = ln(src0)
+  kFExp,  ///< dst = e^src0
+  kI2F,   ///< dst = f32(i32(src0))
+  kF2I,   ///< dst = i32(trunc(f32 src0))
+
+  // Predicates and selection.
+  kSetp,  ///< pred[dst] = cmp(src0, src1); aux = CmpOp
+  kSel,   ///< dst = pred[aux] ? src0 : src1
+
+  // Special-register / parameter reads. imm selects SpecialReg; for
+  // kParam, imm is the parameter slot.
+  kSpecial,
+  kParam,
+
+  // Structured control flow (vector-machine style active-mask stack).
+  kIf,         ///< push mask scope; active &= pred[aux]
+  kElse,       ///< active = saved & ~taken
+  kEndIf,      ///< pop mask scope
+  kLoopBegin,  ///< push loop scope
+  kBreakIfNot, ///< active &= pred[aux]; if none active, jump to imm (the kLoopEnd)
+  kBreakIf,    ///< active &= ~pred[aux]; if none active, jump to imm
+  kJump,       ///< pc = imm (loop back-edge)
+  kLoopEnd,    ///< pop loop scope (restores the pre-loop mask)
+
+  // Memory. aux = access width in bytes (1 or 4). Address = src0 + imm.
+  kLdGlobal,
+  kStGlobal,  ///< mem[src0 + imm] = src1
+  kLdShared,
+  kStShared,
+
+  // Atomics: dst = old value; address = src0; operand = src1; for CAS the
+  // compare value is src2. aux = AtomicOp.
+  kAtomGlobal,
+  kAtomShared,
+
+  // Synchronization.
+  kBar,          ///< block-wide barrier (__syncthreads)
+  kMemBar,       ///< device-scope fence (__threadfence); bumps the warp fence ID
+  kMemBarBlock,  ///< block-scope fence (__threadfence_block)
+
+  // HAccRG critical-section markers (Section III-B): inserted after lock
+  // acquire and before lock release. Acquire adds the lock variable
+  // address (in src0) to the thread's Bloom-filter atomic ID; release
+  // clears the signature once the outermost lock is released.
+  kLockAcqMark,
+  kLockRelMark,
+
+  kExit,  ///< thread (warp) terminates
+  kNop,
+};
+
+/// Comparison operators for kSetp (aux field).
+enum class CmpOp : u8 {
+  kEq,
+  kNe,
+  kLtU,
+  kLeU,
+  kGtU,
+  kGeU,
+  kLtS,
+  kLeS,
+  kGtS,
+  kGeS,
+  kLtF,
+  kLeF,
+  kGtF,
+  kGeF,
+  kEqF,
+  kNeF,
+};
+
+/// Atomic operations for kAtomGlobal / kAtomShared (aux field).
+enum class AtomicOp : u8 {
+  kAdd,
+  kInc,   ///< CUDA atomicInc: old = m; m = (m >= src1) ? 0 : m + 1
+  kExch,
+  kCas,   ///< if (m == src2) m = src1; returns old
+  kMin,
+  kMax,
+  kAnd,
+  kOr,
+};
+
+/// Special registers readable via kSpecial (imm field).
+enum class SpecialReg : u8 {
+  kTid,       ///< thread index within block (x)
+  kNTid,      ///< block dimension (threads per block)
+  kCtaId,     ///< block index within grid
+  kNCtaId,    ///< grid dimension (number of blocks)
+  kGTid,      ///< global thread id = ctaid * ntid + tid
+  kLane,      ///< lane within warp
+  kWarpId,    ///< warp index within block
+  kSmId,      ///< hardware SM executing the thread
+};
+
+std::string_view opcode_name(Opcode op);
+std::string_view cmp_name(CmpOp op);
+std::string_view atomic_name(AtomicOp op);
+
+/// True for opcodes that read or write shared/global memory (including
+/// atomics) — the set the race-detection instrumentation wraps.
+bool is_memory_op(Opcode op);
+/// True for global-space memory opcodes.
+bool is_global_op(Opcode op);
+/// True for shared-space memory opcodes.
+bool is_shared_op(Opcode op);
+/// True for loads (global or shared).
+bool is_load_op(Opcode op);
+/// True for atomics (global or shared).
+bool is_atomic_op(Opcode op);
+
+}  // namespace haccrg::isa

@@ -1,0 +1,145 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace haccrg::isa {
+
+std::string Program::validate() const {
+  if (code_.empty()) return "empty program";
+  if (regs_used_ > kMaxRegs) return "too many registers";
+  if (preds_used_ > kMaxPreds) return "too many predicates";
+
+  int depth = 0;
+  bool has_exit = false;
+  for (u32 pc = 0; pc < size(); ++pc) {
+    const Instr& ins = code_[pc];
+    if (ins.dst >= kMaxRegs || ins.src0 >= kMaxRegs || ins.src1 >= kMaxRegs ||
+        ins.src2 >= kMaxRegs) {
+      return "register index out of range at pc " + std::to_string(pc);
+    }
+    switch (ins.op) {
+      case Opcode::kIf:
+      case Opcode::kLoopBegin:
+        ++depth;
+        break;
+      case Opcode::kEndIf:
+      case Opcode::kLoopEnd:
+        if (--depth < 0) return "unbalanced scope at pc " + std::to_string(pc);
+        break;
+      case Opcode::kBreakIfNot:
+      case Opcode::kBreakIf:
+      case Opcode::kJump:
+        if (ins.imm >= size()) return "jump target out of range at pc " + std::to_string(pc);
+        break;
+      case Opcode::kSetp:
+        if (ins.dst >= kMaxPreds) return "predicate index out of range at pc " + std::to_string(pc);
+        break;
+      case Opcode::kParam:
+        if (ins.imm >= kMaxParams) return "parameter slot out of range at pc " + std::to_string(pc);
+        break;
+      case Opcode::kLdGlobal:
+      case Opcode::kStGlobal:
+      case Opcode::kLdShared:
+      case Opcode::kStShared:
+        if (ins.aux != 1 && ins.aux != 4)
+          return "unsupported access width at pc " + std::to_string(pc);
+        break;
+      case Opcode::kExit:
+        has_exit = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (depth != 0) return "unclosed control scope";
+  if (!has_exit && code_.back().op != Opcode::kExit) return "missing exit";
+  return {};
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream out;
+  int indent = 0;
+  for (u32 pc = 0; pc < size(); ++pc) {
+    const Instr& ins = code_[pc];
+    if (ins.op == Opcode::kEndIf || ins.op == Opcode::kLoopEnd || ins.op == Opcode::kElse) {
+      if (indent > 0) --indent;
+    }
+    out << pc << ":\t";
+    for (int i = 0; i < indent; ++i) out << "  ";
+    out << opcode_name(ins.op);
+    switch (ins.op) {
+      case Opcode::kSetp:
+        out << "." << cmp_name(ins.cmp()) << " p" << int(ins.dst) << ", r" << int(ins.src0) << ", ";
+        if (ins.src1_is_imm)
+          out << ins.imm;
+        else
+          out << "r" << int(ins.src1);
+        break;
+      case Opcode::kSel:
+        out << " r" << int(ins.dst) << ", p" << int(ins.aux) << " ? r" << int(ins.src0) << " : r"
+            << int(ins.src1);
+        break;
+      case Opcode::kSpecial:
+        out << " r" << int(ins.dst) << ", %" << ins.imm;
+        break;
+      case Opcode::kParam:
+        out << " r" << int(ins.dst) << ", param[" << ins.imm << "]";
+        break;
+      case Opcode::kIf:
+      case Opcode::kBreakIfNot:
+      case Opcode::kBreakIf:
+        out << " p" << int(ins.aux);
+        if (ins.op != Opcode::kIf) out << " -> " << ins.imm;
+        break;
+      case Opcode::kJump:
+        out << " -> " << ins.imm;
+        break;
+      case Opcode::kLdGlobal:
+      case Opcode::kLdShared:
+        out << ".w" << int(ins.aux) << " r" << int(ins.dst) << ", [r" << int(ins.src0) << "+"
+            << ins.imm << "]";
+        break;
+      case Opcode::kStGlobal:
+      case Opcode::kStShared:
+        out << ".w" << int(ins.aux) << " [r" << int(ins.src0) << "+" << ins.imm << "], r"
+            << int(ins.src1);
+        break;
+      case Opcode::kAtomGlobal:
+      case Opcode::kAtomShared:
+        out << "." << atomic_name(ins.atomic()) << " r" << int(ins.dst) << ", [r" << int(ins.src0)
+            << "+" << ins.imm << "], r" << int(ins.src1);
+        if (ins.atomic() == AtomicOp::kCas) out << ", r" << int(ins.src2);
+        break;
+      case Opcode::kLockAcqMark:
+        out << " r" << int(ins.src0);
+        break;
+      case Opcode::kBar:
+      case Opcode::kMemBar:
+      case Opcode::kMemBarBlock:
+      case Opcode::kLockRelMark:
+      case Opcode::kExit:
+      case Opcode::kNop:
+      case Opcode::kElse:
+      case Opcode::kEndIf:
+      case Opcode::kLoopBegin:
+      case Opcode::kLoopEnd:
+        break;
+      default:
+        // Generic ALU form.
+        out << " r" << int(ins.dst) << ", r" << int(ins.src0);
+        if (ins.src1_is_imm)
+          out << ", " << ins.imm;
+        else if (ins.op != Opcode::kMov && ins.op != Opcode::kNot && ins.op != Opcode::kFSqrt &&
+                 ins.op != Opcode::kFAbs && ins.op != Opcode::kI2F && ins.op != Opcode::kF2I &&
+                 ins.op != Opcode::kFLog && ins.op != Opcode::kFExp)
+          out << ", r" << int(ins.src1);
+        break;
+    }
+    out << "\n";
+    if (ins.op == Opcode::kIf || ins.op == Opcode::kElse || ins.op == Opcode::kLoopBegin) ++indent;
+  }
+  return out.str();
+}
+
+}  // namespace haccrg::isa

@@ -1,0 +1,52 @@
+// A kernel program: a flat instruction vector plus metadata. Programs are
+// immutable once sealed by the builder; instrumentation passes produce new
+// programs rather than mutating in place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace haccrg::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code, u32 regs_used, u32 preds_used)
+      : name_(std::move(name)), code_(std::move(code)), regs_used_(regs_used),
+        preds_used_(preds_used) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instr>& code() const { return code_; }
+  const Instr& at(u32 pc) const { return code_[pc]; }
+  u32 size() const { return static_cast<u32>(code_.size()); }
+  bool empty() const { return code_.empty(); }
+  u32 regs_used() const { return regs_used_; }
+  u32 preds_used() const { return preds_used_; }
+
+  /// Structural well-formedness: balanced control scopes, jump targets in
+  /// range, register indices within limits, terminating kExit reachable.
+  /// Returns an error description or the empty string.
+  std::string validate() const;
+
+  /// Human-readable listing (one instruction per line, pc-prefixed).
+  std::string disassemble() const;
+
+  /// Count instructions satisfying a predicate (used by characterization).
+  template <typename Fn>
+  u32 count_if(Fn&& fn) const {
+    u32 n = 0;
+    for (const auto& ins : code_)
+      if (fn(ins)) ++n;
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+  u32 regs_used_ = 0;
+  u32 preds_used_ = 0;
+};
+
+}  // namespace haccrg::isa

@@ -1,0 +1,28 @@
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+void emit_rogue_cross_block(KernelBuilder& kb, const BenchOptions& opts, u32 site, Reg base,
+                            u32 block_words) {
+  if (!opts.injection.rogue_cross_block(site)) return;
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg nblocks = kb.special(isa::SpecialReg::kNCtaId);
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg neighbor = kb.reg();
+    kb.add(neighbor, bid, 1u);
+    kb.rem(neighbor, neighbor, isa::Operand(nblocks));
+    Reg dst = kb.addr(base, neighbor, block_words * 4);
+    Reg junk = kb.imm(0xDEADBEEF);
+    kb.st_global(dst, junk);
+  });
+}
+
+}  // namespace haccrg::kernels

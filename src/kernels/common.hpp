@@ -1,0 +1,125 @@
+// Benchmark framework: each of the paper's ten CUDA applications is a
+// factory that allocates its workload on a Gpu, builds its kernel with
+// the structured assembler, and returns a verifier that replays the
+// computation on the host. Race injection (Section VI-A: 41 injected
+// races) is driven by flags interpreted inside the kernel builders.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "sim/gpu.hpp"
+
+namespace haccrg::kernels {
+
+/// The four injection classes of Section VI-A.
+enum class InjectionKind : u8 {
+  kNone,
+  kRemoveBarrier,    ///< drop one barrier call (23 sites suite-wide)
+  kRogueCrossBlock,  ///< add a store across thread-block boundaries (13)
+  kRemoveFence,      ///< drop one memory-fence call (3)
+  kRogueCritical,    ///< add an access in/around critical sections (2)
+};
+
+struct Injection {
+  InjectionKind kind = InjectionKind::kNone;
+  u32 site = 0;  ///< which static site within the benchmark
+
+  bool removes_barrier(u32 s) const { return kind == InjectionKind::kRemoveBarrier && site == s; }
+  bool rogue_cross_block(u32 s) const {
+    return kind == InjectionKind::kRogueCrossBlock && site == s;
+  }
+  bool removes_fence(u32 s) const { return kind == InjectionKind::kRemoveFence && site == s; }
+  bool rogue_critical(u32 s) const { return kind == InjectionKind::kRogueCritical && site == s; }
+};
+
+struct BenchOptions {
+  bool single_block = false;  ///< run SCAN/KMEANS as designed (one block)
+  u32 scale = 1;              ///< input-size multiplier
+  Injection injection;
+};
+
+/// A benchmark instance ready to launch: the owned program plus launch
+/// geometry and a host-side verifier.
+struct PreparedKernel {
+  isa::Program program;
+  u32 grid_dim = 1;
+  u32 block_dim = 32;
+  u32 shared_mem_bytes = 0;
+  std::array<u32, isa::kMaxParams> params{};
+
+  /// Host verification against a reference; returns false and fills *msg
+  /// on mismatch. Null for injected runs (rogue stores corrupt outputs).
+  std::function<bool(const mem::DeviceMemory&, std::string* msg)> verify;
+
+  sim::LaunchConfig launch() const {
+    sim::LaunchConfig cfg;
+    cfg.program = &program;
+    cfg.grid_dim = grid_dim;
+    cfg.block_dim = block_dim;
+    cfg.shared_mem_bytes = shared_mem_bytes;
+    cfg.params = params;
+    return cfg;
+  }
+};
+
+/// Number of injection sites a benchmark exposes, per kind.
+struct InjectionSites {
+  u32 barriers = 0;
+  u32 cross_block = 0;
+  u32 fences = 0;
+  u32 critical = 0;
+};
+
+using PrepareFn = PreparedKernel (*)(sim::Gpu&, const BenchOptions&);
+
+struct BenchmarkInfo {
+  std::string name;         ///< paper's name (MCARLO, SCAN, ...)
+  std::string description;
+  PrepareFn prepare = nullptr;
+  InjectionSites sites;
+  bool uses_shared = false;
+  bool uses_fences = false;
+  bool uses_locks = false;
+  /// Has a documented real race when run multi-block (SCAN, KMEANS, OFFT).
+  bool real_race_multiblock = false;
+};
+
+// --- Shared builder helpers ------------------------------------------------
+
+/// Emit a barrier unless this site is injection-removed.
+inline void maybe_barrier(isa::KernelBuilder& kb, const BenchOptions& opts, u32 site) {
+  if (!opts.injection.removes_barrier(site)) kb.barrier();
+}
+
+/// Emit a device fence unless this site is injection-removed.
+inline void maybe_fence(isa::KernelBuilder& kb, const BenchOptions& opts, u32 site) {
+  if (!opts.injection.removes_fence(site)) kb.memfence();
+}
+
+/// If this rogue site is active, thread 0 of every block stores a junk
+/// value into the word at `base + neighbor_block*block_words*4`, i.e.
+/// into memory owned by the next block — a guaranteed cross-block race.
+void emit_rogue_cross_block(isa::KernelBuilder& kb, const BenchOptions& opts, u32 site,
+                            isa::Reg base, u32 block_words);
+
+/// Per-benchmark factories.
+PreparedKernel prepare_mcarlo(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_scan(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_fwalsh(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_hist(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_sortnw(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_reduce(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_psum(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_offt(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_kmeans(sim::Gpu& gpu, const BenchOptions& opts);
+PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts);
+
+/// Registry of all ten benchmarks, in the paper's order.
+const std::vector<BenchmarkInfo>& all_benchmarks();
+const BenchmarkInfo* find_benchmark(const std::string& name);
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,147 @@
+// FWALSH: fast Walsh-Hadamard transform. Each block transforms its own
+// 2*blockDim-element chunk entirely in shared memory (the CUDA SDK
+// fastWalshTransform's shared-memory stage), with a barrier between
+// butterfly stages. Integer data keeps host verification exact.
+//
+// Injection sites: barriers {0: after load, 1: stage loop}; cross-block
+// rogue {0: output chunk, 1: input chunk}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 128;
+constexpr u32 kChunk = 2 * kBlockDim;  // 256 elements per block
+}
+
+PreparedKernel prepare_fwalsh(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 8 * opts.scale;
+  const u32 n = blocks * kChunk;
+  const Addr in = gpu.allocator().alloc(n * 4, "fwalsh.in");
+  const Addr out = gpu.allocator().alloc(n * 4, "fwalsh.out");
+  std::vector<u32> host_in(n);
+  SplitMix64 rng(0xfa15e);
+  for (u32 i = 0; i < n; ++i) {
+    host_in[i] = static_cast<u32>(rng.next() & 0xff);
+    gpu.memory().write_u32(in + i * 4, host_in[i]);
+  }
+
+  KernelBuilder kb("fwalsh");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg pin = kb.param(0);
+  Reg pout = kb.param(1);
+
+  // Load two elements per thread: chunk base + {tid, tid+blockDim}.
+  Reg chunk_base = kb.reg();
+  kb.mul(chunk_base, bid, kChunk * 4);
+  Reg g0 = kb.reg();
+  kb.mul(g0, tid, 4u);
+  kb.add(g0, g0, isa::Operand(chunk_base));
+  kb.add(g0, g0, isa::Operand(pin));
+  Reg v0 = kb.reg();
+  Reg v1 = kb.reg();
+  kb.ld_global(v0, g0);
+  kb.ld_global(v1, g0, kBlockDim * 4);
+  Reg s0 = kb.reg();
+  kb.mul(s0, tid, 4u);
+  kb.st_shared(s0, v0);
+  kb.st_shared(s0, v1, kBlockDim * 4);
+  maybe_barrier(kb, opts, 0);
+
+  // Butterfly stages: for h = 1, 2, ..., kChunk/2, each thread handles
+  // the pair (i, i+h) with i = (tid/h)*2h + tid%h.
+  Reg h = kb.imm(1);
+  Pred more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(more, CmpOp::kLtU, h, kChunk);
+        return more;
+      },
+      [&] {
+        Reg q = kb.reg();
+        kb.div(q, tid, isa::Operand(h));
+        Reg r = kb.reg();
+        kb.rem(r, tid, isa::Operand(h));
+        Reg i = kb.reg();
+        kb.mul(i, q, isa::Operand(h));
+        kb.shl(i, i, 1u);
+        kb.add(i, i, isa::Operand(r));
+        Reg ia = kb.reg();
+        kb.mul(ia, i, 4u);
+        Reg ib = kb.reg();
+        kb.add(ib, i, isa::Operand(h));
+        kb.mul(ib, ib, 4u);
+        Reg a = kb.reg();
+        Reg b2 = kb.reg();
+        kb.ld_shared(a, ia);
+        kb.ld_shared(b2, ib);
+        Reg sum = kb.reg();
+        kb.add(sum, a, isa::Operand(b2));
+        Reg diff = kb.reg();
+        kb.sub(diff, a, isa::Operand(b2));
+        kb.st_shared(ia, sum);
+        kb.st_shared(ib, diff);
+        kb.shl(h, h, 1u);
+        maybe_barrier(kb, opts, 1);
+      });
+
+  Reg d0 = kb.reg();
+  kb.mul(d0, tid, 4u);
+  kb.add(d0, d0, isa::Operand(chunk_base));
+  kb.add(d0, d0, isa::Operand(pout));
+  Reg r0 = kb.reg();
+  Reg r1 = kb.reg();
+  kb.ld_shared(r0, s0);
+  kb.ld_shared(r1, s0, kBlockDim * 4);
+  kb.st_global(d0, r0);
+  kb.st_global(d0, r1, kBlockDim * 4);
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), kChunk);
+  emit_rogue_cross_block(kb, opts, 1, kb.param(0), kChunk);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kChunk * 4;
+  prep.params = {in, out};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [out, host_in, blocks](const mem::DeviceMemory& memory, std::string* msg) {
+      for (u32 b = 0; b < blocks; ++b) {
+        u32 ref[kChunk];
+        for (u32 i = 0; i < kChunk; ++i) ref[i] = host_in[b * kChunk + i];
+        for (u32 h = 1; h < kChunk; h *= 2) {
+          for (u32 i = 0; i < kChunk; i += 2 * h) {
+            for (u32 j = i; j < i + h; ++j) {
+              const u32 a = ref[j];
+              const u32 c = ref[j + h];
+              ref[j] = a + c;
+              ref[j + h] = a - c;
+            }
+          }
+        }
+        for (u32 i = 0; i < kChunk; ++i) {
+          const u32 got = memory.read_u32(out + (b * kChunk + i) * 4);
+          if (got != ref[i]) {
+            if (msg) *msg = "fwalsh[" + std::to_string(b * kChunk + i) + "]: got " +
+                            std::to_string(got) + " want " + std::to_string(ref[i]);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

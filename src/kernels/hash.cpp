@@ -1,0 +1,192 @@
+// HASH: microbenchmark where every thread atomically updates a hash
+// table (Section V). Keys are staged per block in shared memory (with a
+// barrier), then each thread inserts its keys into lock-protected
+// buckets: a fine-grained lock per bucket, the critical section delimited
+// by the HAccRG acquire/release markers, the table update a plain
+// read-modify-write under the lock.
+//
+// Injection sites: barriers {0: after key staging, 1: after the summary
+// staging}; cross-block rogue {0: per-bucket counters}; critical rogues
+// {0: a CS write under different locks to one shared word, 1: an
+// unprotected write to the lock-protected table}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 64;
+constexpr u32 kBuckets = 512;
+constexpr u32 kKeysPerThread = 4;
+
+constexpr u32 hash_key(u32 key) { return (key * 2654435761u) >> 7; }
+}  // namespace
+
+PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 8 * opts.scale;
+  const u32 threads = blocks * kBlockDim;
+  const Addr table = gpu.allocator().alloc(kBuckets * 4, "hash.table");    // counts
+  const Addr keysum = gpu.allocator().alloc(kBuckets * 4, "hash.keysum");  // xor of keys
+  const Addr locks = gpu.allocator().alloc(kBuckets * 4, "hash.locks");
+  const Addr aux = gpu.allocator().alloc(64 * 4, "hash.aux");  // rogue-injection target
+  const Addr summary = gpu.allocator().alloc(threads * 4, "hash.summary");
+  gpu.memory().fill(table, kBuckets * 4, 0);
+  gpu.memory().fill(keysum, kBuckets * 4, 0);
+  gpu.memory().fill(locks, kBuckets * 4, 0);
+  gpu.memory().fill(aux, 64 * 4, 0);
+  gpu.memory().fill(summary, threads * 4, 0);
+
+  KernelBuilder kb("hash");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg ptable = kb.param(0);
+  Reg pkeysum = kb.param(1);
+  Reg plocks = kb.param(2);
+  Reg paux = kb.param(3);
+
+  // Stage this block's base keys in shared memory; each thread then reads
+  // its neighbor's staged key as the mixing salt (needs the barrier).
+  Reg my_key = kb.reg();
+  kb.mul(my_key, gid, 2246822519u);
+  Reg saddr = kb.reg();
+  kb.mul(saddr, tid, 4u);
+  kb.st_shared(saddr, my_key);
+  maybe_barrier(kb, opts, 0);
+  Reg neighbor = kb.reg();
+  kb.add(neighbor, tid, 1u);
+  kb.rem(neighbor, neighbor, kBlockDim);
+  kb.mul(neighbor, neighbor, 4u);
+  Reg salt = kb.reg();
+  kb.ld_shared(salt, neighbor);
+
+  Reg k = kb.reg();
+  kb.for_range(k, 0u, kKeysPerThread, 1u, [&] {
+    Reg key = kb.reg();
+    kb.mul(key, k, 374761393u);
+    kb.add(key, key, isa::Operand(my_key));
+    kb.xor_(key, key, isa::Operand(salt));
+    Reg bucket = kb.reg();
+    kb.mul(bucket, key, 2654435761u);
+    kb.shr(bucket, bucket, 7u);
+    kb.rem(bucket, bucket, kBuckets);
+    Reg lock_addr = kb.addr(plocks, bucket, 4);
+    Reg count_addr = kb.addr(ptable, bucket, 4);
+    Reg sum_addr = kb.addr(pkeysum, bucket, 4);
+    kb.with_lock(lock_addr, [&] {
+      Reg count = kb.reg();
+      kb.ld_global(count, count_addr);
+      kb.add(count, count, 1u);
+      kb.st_global(count_addr, count);
+      Reg sum = kb.reg();
+      kb.ld_global(sum, sum_addr);
+      kb.xor_(sum, sum, isa::Operand(key));
+      kb.st_global(sum_addr, sum);
+      if (opts.injection.rogue_critical(0)) {
+        // A write to aux[bucket % 61] while holding this bucket's lock:
+        // threads holding *different* bucket locks collide on the same
+        // aux word -> lockset "no common lock" race. The modulus is
+        // coprime with the Bloom bin size so colliding aux slots do not
+        // imply colliding lock signatures.
+        Reg aux_idx = kb.reg();
+        kb.rem(aux_idx, bucket, 61u);
+        Reg aux_dst = kb.addr(paux, aux_idx, 4);
+        kb.st_global(aux_dst, count);
+      }
+    });
+    if (opts.injection.rogue_critical(1)) {
+      // An unprotected write to the lock-protected table entry.
+      Reg junk = kb.imm(0x5eeded);
+      kb.st_global(count_addr, junk);
+    }
+  });
+
+  // Summary phase: each thread publishes its last inserted bucket; the
+  // previous lane (cross-warp at the wrap-around) reads it and records it
+  // globally.
+  Reg last_b = kb.reg();
+  {
+    // Recompute the bucket of key index kKeysPerThread-1.
+    Reg key = kb.reg();
+    kb.mov(key, (kKeysPerThread - 1) * 374761393u);
+    kb.add(key, key, isa::Operand(my_key));
+    kb.xor_(key, key, isa::Operand(salt));
+    kb.mul(last_b, key, 2654435761u);
+    kb.shr(last_b, last_b, 7u);
+    kb.rem(last_b, last_b, kBuckets);
+  }
+  kb.barrier();  // all salt reads complete before the staging slot is reused
+  kb.st_shared(saddr, last_b);
+  maybe_barrier(kb, opts, 1);
+  Reg prev = kb.reg();
+  kb.add(prev, tid, kBlockDim - 1);
+  kb.rem(prev, prev, kBlockDim);
+  kb.mul(prev, prev, 4u);
+  Reg prev_bucket = kb.reg();
+  kb.ld_shared(prev_bucket, prev);
+  Reg summary_dst = kb.addr(kb.param(4), gid, 4);
+  kb.st_global(summary_dst, prev_bucket);
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(0), 4);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBlockDim * 4;
+  prep.params = {table, keysum, locks, aux, summary};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [=](const mem::DeviceMemory& memory, std::string* msg) {
+      std::vector<u32> ref_count(kBuckets, 0), ref_sum(kBuckets, 0);
+      for (u32 t = 0; t < threads; ++t) {
+        const u32 base = t * 2246822519u;
+        const u32 block = t / kBlockDim;
+        const u32 neighbor_tid = (t % kBlockDim + 1) % kBlockDim;
+        const u32 salt_v = (block * kBlockDim + neighbor_tid) * 2246822519u;
+        for (u32 kk = 0; kk < kKeysPerThread; ++kk) {
+          const u32 key = (kk * 374761393u + base) ^ salt_v;
+          const u32 bucket = hash_key(key) % kBuckets;
+          ++ref_count[bucket];
+          ref_sum[bucket] ^= key;
+        }
+      }
+      for (u32 b = 0; b < kBuckets; ++b) {
+        const u32 got_count = memory.read_u32(table + b * 4);
+        const u32 got_sum = memory.read_u32(keysum + b * 4);
+        if (got_count != ref_count[b] || got_sum != ref_sum[b]) {
+          if (msg) *msg = "hash bucket " + std::to_string(b) + ": count " +
+                          std::to_string(got_count) + "/" + std::to_string(ref_count[b]) +
+                          " sum " + std::to_string(got_sum) + "/" + std::to_string(ref_sum[b]);
+          return false;
+        }
+      }
+      // Summary: thread t records the previous lane's last bucket.
+      for (u32 t = 0; t < threads; ++t) {
+        const u32 block = t / kBlockDim;
+        const u32 prev_tid = (t % kBlockDim + kBlockDim - 1) % kBlockDim;
+        const u32 prev_gid = block * kBlockDim + prev_tid;
+        const u32 base = prev_gid * 2246822519u;
+        const u32 neigh = block * kBlockDim + (prev_tid + 1) % kBlockDim;
+        const u32 salt_v = neigh * 2246822519u;
+        const u32 key = ((kKeysPerThread - 1) * 374761393u + base) ^ salt_v;
+        const u32 want = hash_key(key) % kBuckets;
+        const u32 got = memory.read_u32(summary + t * 4);
+        if (got != want) {
+          if (msg) *msg = "hash summary[" + std::to_string(t) + "]: got " + std::to_string(got) +
+                          " want " + std::to_string(want);
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,222 @@
+// HIST: 64-bin byte histogram in the style of the CUDA SDK histogram64.
+// Each thread owns a column of 64 one-byte counters in shared memory; the
+// classic bank-conflict-avoiding thread-position shuffle interleaves the
+// byte columns of different warps inside the same 32-bit words. That
+// interleaving is exactly why the paper calls HIST out in the granularity
+// study: one-byte elements from multiple warps map onto the same shadow
+// granule, so coarse tracking reports false shared-memory races.
+//
+// The interleaving keeps each 32-bit word single-warp (so word-granularity
+// tracking stays clean, matching the paper's "no shared races detected")
+// while adjacent words belong to different warps — so any granule of 8
+// bytes or more spans two warps and false positives explode, exactly the
+// HIST behavior Table III reports.
+//
+// After the counting phase a barrier separates the merge phase, where each
+// thread sums one bin's row (word loads, byte extraction) and atomically
+// adds it to the global histogram.
+//
+// Injection sites: barriers {0: after counter zeroing, 1: between count
+// and merge, 2: after staging the per-bin totals}; cross-block rogue
+// {0: the input array}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 64;
+constexpr u32 kBins = 64;
+constexpr u32 kBytesPerThread = 256;
+
+/// Bank-spreading byte-column shuffle: lanes 4k..4k+3 of warp w own the
+/// four bytes of word 2k+w, i.e. words alternate between the two warps.
+constexpr u32 thread_pos(u32 tid) {
+  const u32 warp = tid >> 5;
+  const u32 idx = tid & 31u;
+  return ((idx >> 2) << 3) | (warp << 2) | (idx & 3u);
+}
+}  // namespace
+
+PreparedKernel prepare_hist(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 8 * opts.scale;
+  const u32 n = blocks * kBlockDim * kBytesPerThread;
+  const Addr in = gpu.allocator().alloc(n, "hist.in");
+  const Addr hist = gpu.allocator().alloc(kBins * 4, "hist.out");
+  const Addr check = gpu.allocator().alloc(blocks * kBlockDim * 4, "hist.check");
+  std::vector<u8> host_in(n);
+  SplitMix64 rng(0x4157u);
+  for (u32 i = 0; i < n; ++i) {
+    host_in[i] = static_cast<u8>(rng.next());
+    gpu.memory().write_u8(in + i, host_in[i]);
+  }
+  gpu.memory().fill(hist, kBins * 4, 0);
+  gpu.memory().fill(check, blocks * kBlockDim * 4, 0);
+
+  KernelBuilder kb("hist");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg pin = kb.param(0);
+  Reg phist = kb.param(1);
+
+  // Zero this thread's 64 byte counters (16 word stores at its column...
+  // the byte layout is bin*64 + thread_pos, so zero by words of the
+  // whole array cooperatively: thread t zeroes words t, t+64, ...).
+  Reg zero = kb.imm(0);
+  Reg w = kb.reg();
+  kb.for_range(w, 0u, kBins * kBlockDim / 4, kBlockDim, [&] {
+    Reg word_idx = kb.reg();
+    kb.add(word_idx, w, isa::Operand(tid));
+    Reg a = kb.reg();
+    kb.mul(a, word_idx, 4u);
+    kb.st_shared(a, zero);
+  });
+  maybe_barrier(kb, opts, 0);
+
+  // Counting phase: each thread processes kBytesPerThread input bytes.
+  Reg pos = kb.reg();  // shuffled byte column of this thread
+  {
+    Reg warp = kb.reg();
+    kb.shr(warp, tid, 5u);
+    kb.shl(warp, warp, 2u);
+    Reg idx = kb.reg();
+    kb.and_(idx, tid, 31u);
+    Reg hi = kb.reg();
+    kb.shr(hi, idx, 2u);
+    kb.shl(hi, hi, 3u);
+    Reg lo = kb.reg();
+    kb.and_(lo, idx, 3u);
+    kb.or_(pos, hi, isa::Operand(warp));
+    kb.or_(pos, pos, isa::Operand(lo));
+  }
+  // Stride-interleaved input walk (thread t reads bytes t, t+N, t+2N, ...)
+  // so each warp load coalesces into one transaction, as in the SDK.
+  Reg nblocks = kb.special(isa::SpecialReg::kNCtaId);
+  Reg total_threads = kb.reg();
+  kb.mul(total_threads, nblocks, kBlockDim);
+  Reg base_in = kb.reg();
+  kb.add(base_in, gid, isa::Operand(pin));
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, kBytesPerThread, 1u, [&] {
+    Reg stride = kb.reg();
+    kb.mul(stride, i, isa::Operand(total_threads));
+    Reg src = kb.reg();
+    kb.add(src, base_in, isa::Operand(stride));
+    Reg byte = kb.reg();
+    kb.ld_global(byte, src, 0, 1);
+    Reg bin = kb.reg();
+    kb.and_(bin, byte, kBins - 1);
+    Reg caddr = kb.reg();
+    kb.mul(caddr, bin, kBlockDim);
+    kb.add(caddr, caddr, isa::Operand(pos));
+    Reg count = kb.reg();
+    kb.ld_shared(count, caddr, 0, 1);
+    kb.add(count, count, 1u);
+    kb.st_shared(caddr, count, 0, 1);
+  });
+  maybe_barrier(kb, opts, 1);
+
+  // Merge phase: thread t sums bin t's 64-byte row and adds it globally.
+  Reg row = kb.reg();
+  kb.mul(row, tid, kBlockDim);  // byte offset of bin t's row
+  Reg total = kb.imm(0);
+  Reg wofs = kb.reg();
+  kb.for_range(wofs, 0u, kBlockDim, 4u, [&] {
+    Reg a = kb.reg();
+    kb.add(a, row, isa::Operand(wofs));
+    Reg word = kb.reg();
+    kb.ld_shared(word, a);
+    Reg b0 = kb.reg();
+    kb.and_(b0, word, 0xffu);
+    kb.add(total, total, isa::Operand(b0));
+    kb.shr(b0, word, 8u);
+    kb.and_(b0, b0, 0xffu);
+    kb.add(total, total, isa::Operand(b0));
+    Reg b2 = kb.reg();
+    kb.shr(b2, word, 16u);
+    kb.and_(b2, b2, 0xffu);
+    kb.add(total, total, isa::Operand(b2));
+    kb.shr(b2, word, 24u);
+    kb.add(total, total, isa::Operand(b2));
+  });
+  Reg dst = kb.addr(phist, tid, 4);
+  Reg old = kb.reg();
+  kb.atom_global(old, isa::AtomicOp::kAdd, dst, total);
+
+  // Stage each bin's block-local total and let the neighboring thread
+  // record it (a per-block cross-check output the host can verify).
+  constexpr u32 kTotalsBase = kBins * kBlockDim;  // after the byte counters
+  Reg taddr = kb.reg();
+  kb.mul(taddr, tid, 4u);
+  kb.st_shared(taddr, total, kTotalsBase);
+  maybe_barrier(kb, opts, 2);
+  Reg prev = kb.reg();
+  kb.add(prev, tid, kBlockDim - 1);
+  kb.rem(prev, prev, kBlockDim);
+  kb.mul(prev, prev, 4u);
+  Reg prev_total = kb.reg();
+  kb.ld_shared(prev_total, prev, kTotalsBase);
+  Reg pcheck = kb.param(2);
+  Reg cdst = kb.addr(pcheck, gid, 4);
+  kb.st_global(cdst, prev_total);
+
+  // Rogue target is the *input* array (read by every thread with plain
+  // loads); the global histogram itself is only touched by unchecked
+  // atomics, so a store there would not be a checkable race.
+  emit_rogue_cross_block(kb, opts, 0, kb.param(0), kBlockDim * kBytesPerThread / 4);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBins * kBlockDim + kBlockDim * 4;  // counters + totals row
+  prep.params = {in, hist, check};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [hist, check, host_in, blocks](const mem::DeviceMemory& memory,
+                                                 std::string* msg) {
+      u32 ref[kBins] = {};
+      for (u8 byte : host_in) ++ref[byte & (kBins - 1)];
+      for (u32 b = 0; b < kBins; ++b) {
+        const u32 got = memory.read_u32(hist + b * 4);
+        if (got != ref[b]) {
+          if (msg) *msg = "hist bin " + std::to_string(b) + ": got " + std::to_string(got) +
+                          " want " + std::to_string(ref[b]);
+          return false;
+        }
+      }
+      // Neighbor totals: thread t of block blk records the block-local
+      // total of bin (t + kBlockDim - 1) % kBlockDim.
+      const u32 total_threads = blocks * kBlockDim;
+      for (u32 blk = 0; blk < blocks; ++blk) {
+        u32 block_bins[kBins] = {};
+        for (u32 t = 0; t < kBlockDim; ++t) {
+          const u32 gid = blk * kBlockDim + t;
+          for (u32 i = 0; i < kBytesPerThread; ++i) {
+            ++block_bins[host_in[gid + i * total_threads] & (kBins - 1)];
+          }
+        }
+        for (u32 t = 0; t < kBlockDim; ++t) {
+          const u32 want = block_bins[(t + kBlockDim - 1) % kBlockDim];
+          const u32 got = memory.read_u32(check + (blk * kBlockDim + t) * 4);
+          if (got != want) {
+            if (msg) *msg = "hist check block " + std::to_string(blk) + " thread " +
+                            std::to_string(t) + ": got " + std::to_string(got) + " want " +
+                            std::to_string(want);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,86 @@
+#include "kernels/injection.hpp"
+
+namespace haccrg::kernels {
+
+std::string InjectionCase::label() const {
+  const char* kind = "";
+  switch (injection.kind) {
+    case InjectionKind::kNone: kind = "none"; break;
+    case InjectionKind::kRemoveBarrier: kind = "-barrier"; break;
+    case InjectionKind::kRogueCrossBlock: kind = "+crossblock"; break;
+    case InjectionKind::kRemoveFence: kind = "-fence"; break;
+    case InjectionKind::kRogueCritical: kind = "+critical"; break;
+  }
+  return benchmark + " " + kind + "#" + std::to_string(injection.site);
+}
+
+std::vector<InjectionCase> all_injection_cases() {
+  std::vector<InjectionCase> cases;
+  for (const auto& info : all_benchmarks()) {
+    for (u32 s = 0; s < info.sites.barriers; ++s) {
+      // Removed barriers expose unordered shared-memory accesses.
+      cases.push_back({info.name,
+                       {InjectionKind::kRemoveBarrier, s},
+                       rd::MemSpace::kShared});
+    }
+    for (u32 s = 0; s < info.sites.cross_block; ++s) {
+      cases.push_back({info.name,
+                       {InjectionKind::kRogueCrossBlock, s},
+                       rd::MemSpace::kGlobal});
+    }
+    for (u32 s = 0; s < info.sites.fences; ++s) {
+      cases.push_back({info.name,
+                       {InjectionKind::kRemoveFence, s},
+                       rd::MemSpace::kGlobal});
+    }
+    for (u32 s = 0; s < info.sites.critical; ++s) {
+      cases.push_back({info.name,
+                       {InjectionKind::kRogueCritical, s},
+                       rd::MemSpace::kGlobal});
+    }
+  }
+  return cases;
+}
+
+InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config) {
+  const BenchmarkInfo* info = find_benchmark(test.benchmark);
+  InjectionResult result;
+  result.test = test;
+  if (info == nullptr) return result;
+
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 4;  // word granularity, as in the paper's
+  det.global_granularity = 4;  // effectiveness study
+
+  BenchOptions opts;
+  opts.injection = test.injection;
+  // SCAN and KMEANS have pre-existing *global* races when multi-block; run
+  // their barrier-removal cases single-block so the only shared-memory
+  // race present is the injected one.
+  if (info->real_race_multiblock && test.injection.kind == InjectionKind::kRemoveBarrier) {
+    opts.single_block = true;
+  }
+
+  sim::Gpu gpu(gpu_config, det);
+  PreparedKernel prep = info->prepare(gpu, opts);
+  sim::SimResult run = gpu.launch(prep.launch());
+  if (!run.completed) return result;
+
+  result.races_total = run.races.unique();
+  result.races_in_space = run.races.count(test.expected_space);
+  // For the lockset rogues, require the lockset mechanism specifically.
+  if (test.injection.kind == InjectionKind::kRogueCritical) {
+    result.detected = run.races.count(rd::RaceMechanism::kLockset) > 0;
+  } else if (test.injection.kind == InjectionKind::kRemoveFence) {
+    result.detected = run.races.count(rd::RaceMechanism::kFence) +
+                          run.races.count(rd::RaceMechanism::kL1Stale) >
+                      0;
+  } else {
+    result.detected = result.races_in_space > 0;
+  }
+  return result;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,39 @@
+// Enumeration of the 41 injected races (Section VI-A): 23 removed
+// barriers, 13 rogue cross-block accesses, 3 removed fences, and 2 rogue
+// accesses around critical sections, spread over the ten benchmarks
+// according to each benchmark's declared injection sites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+/// One entry of the injected-race campaign.
+struct InjectionCase {
+  std::string benchmark;
+  Injection injection;
+  /// Memory space the injected race is expected to appear in.
+  rd::MemSpace expected_space = rd::MemSpace::kGlobal;
+  /// Human-readable label, e.g. "SCAN -barrier#1".
+  std::string label() const;
+};
+
+/// All injection cases, derived from the registry's site counts.
+/// Totals: 23 + 13 + 3 + 2 = 41.
+std::vector<InjectionCase> all_injection_cases();
+
+/// Run one case and report whether HAccRG (shared+global, word/16-byte
+/// default granularities) detects a race in the expected space.
+struct InjectionResult {
+  InjectionCase test;
+  bool detected = false;
+  u64 races_in_space = 0;
+  u64 races_total = 0;
+};
+
+InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config);
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,279 @@
+// KMEANS: one iteration of parallel k-means clustering (2-D integer
+// points, K centroids). Centroids are staged in shared memory; each
+// thread assigns its points to the nearest centroid, blocks accumulate
+// per-block sums/counts in shared memory and publish them with the
+// threadfence pattern; the last block computes the new centroids.
+//
+// Documented bug (Section VI-A): like SCAN, the kernel is written for a
+// single thread-block — its point loop strides by blockDim, not by the
+// grid size — so when the workload launches several blocks, every block
+// processes (and writes the assignment of) every point: cross-block WAW
+// races on the assignment array. single_block=true removes them.
+//
+// Injection sites: barriers {0: after centroid staging, 1: before
+// publishing block sums}; fences {0}; cross-block rogue {0: assignments}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 128;
+constexpr u32 kK = 8;       // clusters
+constexpr u32 kPoints = 2048;
+}
+
+PreparedKernel prepare_kmeans(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = opts.single_block ? 1 : 4 * opts.scale;
+  const Addr px = gpu.allocator().alloc(kPoints * 4, "kmeans.px");
+  const Addr py = gpu.allocator().alloc(kPoints * 4, "kmeans.py");
+  const Addr centroids = gpu.allocator().alloc(kK * 2 * 4, "kmeans.centroids");
+  const Addr assign = gpu.allocator().alloc(kPoints * 4, "kmeans.assign");
+  const Addr block_sums = gpu.allocator().alloc(16 * kK * 3 * 4, "kmeans.block_sums");
+  const Addr counter = gpu.allocator().alloc(4, "kmeans.counter");
+  const Addr new_centroids = gpu.allocator().alloc(kK * 2 * 4, "kmeans.new_centroids");
+
+  std::vector<u32> host_px(kPoints), host_py(kPoints);
+  std::vector<u32> host_cx(kK), host_cy(kK);
+  SplitMix64 rng(0x42eau);
+  for (u32 i = 0; i < kPoints; ++i) {
+    host_px[i] = rng.next_below(1024);
+    host_py[i] = rng.next_below(1024);
+    gpu.memory().write_u32(px + i * 4, host_px[i]);
+    gpu.memory().write_u32(py + i * 4, host_py[i]);
+  }
+  for (u32 c = 0; c < kK; ++c) {
+    host_cx[c] = rng.next_below(1024);
+    host_cy[c] = rng.next_below(1024);
+    gpu.memory().write_u32(centroids + (c * 2 + 0) * 4, host_cx[c]);
+    gpu.memory().write_u32(centroids + (c * 2 + 1) * 4, host_cy[c]);
+  }
+  gpu.memory().fill(assign, kPoints * 4, 0);
+  gpu.memory().fill(block_sums, 16 * kK * 3 * 4, 0);
+  gpu.memory().fill(counter, 4, 0);
+  gpu.memory().fill(new_centroids, kK * 2 * 4, 0);
+
+  KernelBuilder kb("kmeans");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg nblocks = kb.special(isa::SpecialReg::kNCtaId);
+  Reg ppx = kb.param(0);
+  Reg ppy = kb.param(1);
+  Reg pcent = kb.param(2);
+  Reg passign = kb.param(3);
+  Reg psums = kb.param(4);
+  Reg pcount = kb.param(5);
+  Reg pnew = kb.param(6);
+
+  // Shared layout: [0, kK*2) centroid words; [kK*2, kK*2 + kK*3) block
+  // accumulators (sum_x, sum_y, count per cluster).
+  constexpr u32 kAccBase = kK * 2 * 4;
+
+  // Stage centroids and zero the accumulators (first kK*5 threads).
+  Pred stager = kb.pred();
+  kb.setp(stager, CmpOp::kLtU, tid, kK * 2);
+  kb.if_(stager, [&] {
+    Reg src = kb.addr(pcent, tid, 4);
+    Reg v = kb.reg();
+    kb.ld_global(v, src);
+    Reg sa = kb.reg();
+    kb.mul(sa, tid, 4u);
+    kb.st_shared(sa, v);
+  });
+  Pred zeroer = kb.pred();
+  kb.setp(zeroer, CmpOp::kLtU, tid, kK * 3);
+  kb.if_(zeroer, [&] {
+    Reg zero = kb.imm(0);
+    Reg sa = kb.reg();
+    kb.mul(sa, tid, 4u);
+    kb.st_shared(sa, zero, kAccBase);
+  });
+  maybe_barrier(kb, opts, 0);
+
+  // Point loop with the single-block design bug: i = tid; i += blockDim.
+  Reg i = kb.reg();
+  kb.mov(i, isa::Operand(tid));
+  Pred in_range = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(in_range, CmpOp::kLtU, i, kPoints);
+        return in_range;
+      },
+      [&] {
+        Reg xsrc = kb.addr(ppx, i, 4);
+        Reg ysrc = kb.addr(ppy, i, 4);
+        Reg x = kb.reg();
+        Reg y = kb.reg();
+        kb.ld_global(x, xsrc);
+        kb.ld_global(y, ysrc);
+
+        Reg best = kb.imm(0);
+        Reg best_dist = kb.imm(0xffffffffu);
+        Reg c = kb.reg();
+        kb.for_range(c, 0u, kK, 1u, [&] {
+          Reg ca = kb.reg();
+          kb.mul(ca, c, 8u);
+          Reg cx = kb.reg();
+          Reg cy = kb.reg();
+          kb.ld_shared(cx, ca);
+          kb.ld_shared(cy, ca, 4);
+          Reg dx = kb.reg();
+          kb.sub(dx, x, isa::Operand(cx));
+          kb.mul(dx, dx, isa::Operand(dx));
+          Reg dy = kb.reg();
+          kb.sub(dy, y, isa::Operand(cy));
+          kb.mul(dy, dy, isa::Operand(dy));
+          kb.add(dx, dx, isa::Operand(dy));
+          Pred closer = kb.pred();
+          kb.setp(closer, CmpOp::kLtU, dx, isa::Operand(best_dist));
+          kb.if_(closer, [&] {
+            kb.mov(best_dist, isa::Operand(dx));
+            kb.mov(best, isa::Operand(c));
+          });
+        });
+
+        // The bug: every block writes assign[i] for every point.
+        Reg adst = kb.addr(passign, i, 4);
+        kb.st_global(adst, best);
+
+        // Accumulate into the block's shared sums with shared atomics.
+        Reg acc = kb.reg();
+        kb.mul(acc, best, 12u);
+        kb.add(acc, acc, kAccBase);
+        Reg old = kb.reg();
+        kb.atom_shared(old, isa::AtomicOp::kAdd, acc, x);
+        Reg acc_y = kb.reg();
+        kb.add(acc_y, acc, 4u);
+        kb.atom_shared(old, isa::AtomicOp::kAdd, acc_y, y);
+        Reg acc_n = kb.reg();
+        kb.add(acc_n, acc, 8u);
+        Reg one = kb.imm(1);
+        kb.atom_shared(old, isa::AtomicOp::kAdd, acc_n, one);
+
+        kb.add(i, i, kBlockDim);
+      });
+
+  maybe_barrier(kb, opts, 1);
+
+  // Publish block sums (plain stores), fence, count, last block reduces.
+  Pred publisher = kb.pred();
+  kb.setp(publisher, CmpOp::kLtU, tid, kK * 3);
+  kb.if_(publisher, [&] {
+    Reg sa = kb.reg();
+    kb.mul(sa, tid, 4u);
+    Reg v = kb.reg();
+    kb.ld_shared(v, sa, kAccBase);
+    Reg slot = kb.reg();
+    kb.mul(slot, bid, kK * 3);
+    kb.add(slot, slot, isa::Operand(tid));
+    Reg dst = kb.addr(psums, slot, 4);
+    kb.st_global(dst, v);
+  });
+  maybe_fence(kb, opts, 0);
+
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg limit = kb.reg();
+    kb.sub(limit, nblocks, 1u);
+    Reg old = kb.reg();
+    kb.atom_global(old, isa::AtomicOp::kInc, pcount, limit);
+    Pred last = kb.pred();
+    kb.setp(last, CmpOp::kEq, old, isa::Operand(limit));
+    kb.if_(last, [&] {
+      Reg c = kb.reg();
+      kb.for_range(c, 0u, kK, 1u, [&] {
+        Reg sx = kb.imm(0);
+        Reg sy = kb.imm(0);
+        Reg sn = kb.imm(0);
+        Reg b = kb.reg();
+        kb.for_range(b, 0u, isa::Operand(nblocks), 1u, [&] {
+          Reg slot = kb.reg();
+          kb.mul(slot, b, kK * 3);
+          Reg coff = kb.reg();
+          kb.mul(coff, c, 3u);
+          kb.add(slot, slot, isa::Operand(coff));
+          Reg src = kb.addr(psums, slot, 4);
+          Reg v = kb.reg();
+          kb.ld_global(v, src);
+          kb.add(sx, sx, isa::Operand(v));
+          kb.ld_global(v, src, 4);
+          kb.add(sy, sy, isa::Operand(v));
+          kb.ld_global(v, src, 8);
+          kb.add(sn, sn, isa::Operand(v));
+        });
+        Reg nx = kb.reg();
+        kb.div(nx, sx, isa::Operand(sn));
+        Reg ny = kb.reg();
+        kb.div(ny, sy, isa::Operand(sn));
+        Reg dst = kb.addr(pnew, c, 8);
+        kb.st_global(dst, nx);
+        kb.st_global(dst, ny, 4);
+      });
+    });
+  });
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(3), 16);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kAccBase + kK * 3 * 4;
+  prep.params = {px, py, centroids, assign, block_sums, counter, new_centroids};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [=](const mem::DeviceMemory& memory, std::string* msg) {
+      // Host reference assignment + centroid update. With the multi-block
+      // bug every block computes the same values, so sums are scaled by
+      // the block count but the means are unchanged... except they are
+      // not scaled: each block accumulates only into its own slot and the
+      // final reduce adds every block's identical full sums, so counts
+      // and sums are all multiplied by `blocks` — the means still match.
+      std::vector<u64> sx(kK, 0), sy(kK, 0), sn(kK, 0);
+      for (u32 p = 0; p < kPoints; ++p) {
+        u32 best = 0;
+        u64 best_dist = ~0ull;
+        for (u32 c = 0; c < kK; ++c) {
+          const i64 dx = static_cast<i64>(host_px[p]) - host_cx[c];
+          const i64 dy = static_cast<i64>(host_py[p]) - host_cy[c];
+          const u64 d = static_cast<u64>(dx * dx + dy * dy);
+          if (d < best_dist) {
+            best_dist = d;
+            best = c;
+          }
+        }
+        const u32 got = memory.read_u32(assign + p * 4);
+        if (got != best) {
+          if (msg) *msg = "kmeans assign[" + std::to_string(p) + "]: got " + std::to_string(got) +
+                          " want " + std::to_string(best);
+          return false;
+        }
+        sx[best] += host_px[p];
+        sy[best] += host_py[p];
+        ++sn[best];
+      }
+      for (u32 c = 0; c < kK; ++c) {
+        if (sn[c] == 0) continue;
+        const u32 want_x = static_cast<u32>(sx[c] / sn[c]);
+        const u32 want_y = static_cast<u32>(sy[c] / sn[c]);
+        const u32 got_x = memory.read_u32(new_centroids + (c * 2 + 0) * 4);
+        const u32 got_y = memory.read_u32(new_centroids + (c * 2 + 1) * 4);
+        if (got_x != want_x || got_y != want_y) {
+          if (msg) *msg = "kmeans centroid " + std::to_string(c) + " mismatch";
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

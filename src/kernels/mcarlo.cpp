@@ -1,0 +1,173 @@
+// MCARLO: Monte Carlo option pricing (CUDA SDK MonteCarlo, scaled down).
+// Each thread simulates `paths` price samples with an in-register LCG,
+// accumulates the payoff, then the block tree-reduces the per-thread sums
+// in shared memory and writes one partial result per block. The host
+// verifier replays the identical f32 arithmetic, so results compare
+// bit-exactly.
+//
+// Injection sites: barriers {0: after the shared store, 1: inside the
+// reduction loop, 2: after the first pairwise-sum step}; cross-block
+// rogue {0: partial-results array}.
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+
+constexpr u32 kBlockDim = 256;
+constexpr u32 kPathsPerThread = 16;
+constexpr f32 kSpot = 40.0f;
+constexpr f32 kStrike = 38.0f;
+constexpr f32 kVol = 0.4f;
+
+/// Exactly the payoff loop the kernel runs, for one thread.
+f32 host_thread_sum(u32 gid) {
+  u32 state = 1234567u + gid;
+  f32 acc = 0.0f;
+  for (u32 p = 0; p < kPathsPerThread; ++p) {
+    state = state * Lcg32::kMul + Lcg32::kAdd;
+    const f32 u = static_cast<f32>(state >> 8) * (1.0f / 16777216.0f);
+    const f32 s = kSpot * (1.0f + kVol * (u - 0.5f));
+    const f32 payoff = s - kStrike;
+    acc = acc + (payoff > 0.0f ? payoff : 0.0f);
+  }
+  return acc;
+}
+
+}  // namespace
+
+PreparedKernel prepare_mcarlo(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 8 * opts.scale;
+  const Addr out = gpu.allocator().alloc(blocks * 4, "mcarlo.out");
+  gpu.memory().fill(out, blocks * 4, 0);
+
+  KernelBuilder kb("mcarlo");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg pout = kb.param(0);
+
+  // Per-thread LCG Monte Carlo loop, all in registers.
+  Reg state = kb.reg();
+  kb.add(state, gid, 1234567u);
+  Reg acc = kb.fimm(0.0f);
+  Reg spot = kb.fimm(kSpot);
+  Reg strike = kb.fimm(kStrike);
+  Reg vol = kb.fimm(kVol);
+  Reg half = kb.fimm(0.5f);
+  Reg inv24 = kb.fimm(1.0f / 16777216.0f);
+  Reg fzero = kb.fimm(0.0f);
+  Reg one = kb.fimm(1.0f);
+  Reg p = kb.reg();
+  kb.for_range(p, 0u, kPathsPerThread, 1u, [&] {
+    kb.mul(state, state, Lcg32::kMul);
+    kb.add(state, state, Lcg32::kAdd);
+    Reg u = kb.reg();
+    kb.shr(u, state, 8u);
+    kb.i2f(u, u);
+    kb.fmul(u, u, isa::Operand(inv24));
+    kb.fsub(u, u, isa::Operand(half));   // u - 0.5
+    kb.fmul(u, u, isa::Operand(vol));    // vol*(u-0.5)
+    kb.fadd(u, u, isa::Operand(one));    // 1 + ...
+    kb.fmul(u, u, isa::Operand(spot));   // s
+    kb.fsub(u, u, isa::Operand(strike)); // payoff
+    kb.fmax(u, u, isa::Operand(fzero));
+    kb.fadd(acc, acc, isa::Operand(u));
+  });
+
+  // Block tree reduction in shared memory. The first pairwise step sums
+  // s[t] + s[t+64] into a second buffer (cross-warp reads), then the tree
+  // reduces that buffer.
+  constexpr u32 kStage2 = kBlockDim * 4;  // byte offset of the 64-entry buffer
+  Reg saddr = kb.reg();
+  kb.mul(saddr, tid, 4u);
+  kb.st_shared(saddr, acc);
+  maybe_barrier(kb, opts, 0);
+
+  Pred first_half = kb.pred();
+  kb.setp(first_half, CmpOp::kLtU, tid, kBlockDim / 2);
+  kb.if_(first_half, [&] {
+    Reg mine = kb.reg();
+    Reg theirs = kb.reg();
+    kb.ld_shared(mine, saddr);
+    kb.ld_shared(theirs, saddr, (kBlockDim / 2) * 4);
+    kb.fadd(mine, mine, isa::Operand(theirs));
+    kb.st_shared(saddr, mine, kStage2);
+  });
+  maybe_barrier(kb, opts, 2);
+
+  Reg stride = kb.imm(kBlockDim / 4);
+  Pred more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(more, CmpOp::kGtU, stride, 0u);
+        return more;
+      },
+      [&] {
+        Pred lower = kb.pred();
+        kb.setp(lower, CmpOp::kLtU, tid, isa::Operand(stride));
+        kb.if_(lower, [&] {
+          Reg other = kb.reg();
+          kb.add(other, tid, isa::Operand(stride));
+          kb.mul(other, other, 4u);
+          Reg mine = kb.reg();
+          Reg theirs = kb.reg();
+          kb.ld_shared(mine, saddr, kStage2);
+          kb.ld_shared(theirs, other, kStage2);
+          kb.fadd(mine, mine, isa::Operand(theirs));
+          kb.st_shared(saddr, mine, kStage2);
+        });
+        kb.shr(stride, stride, 1u);
+        maybe_barrier(kb, opts, 1);
+      });
+
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg sum = kb.reg();
+    Reg zero = kb.imm(0);
+    kb.ld_shared(sum, zero, kStage2);
+    Reg dst = kb.addr(pout, bid, 4);
+    kb.st_global(dst, sum);
+  });
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(0), 1);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBlockDim * 4 + (kBlockDim / 2) * 4;
+  prep.params = {out};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [out, blocks](const mem::DeviceMemory& memory, std::string* msg) {
+      for (u32 b = 0; b < blocks; ++b) {
+        // Replay the pairwise step + tree reduction in kernel order.
+        f32 vals[kBlockDim];
+        for (u32 t = 0; t < kBlockDim; ++t) vals[t] = host_thread_sum(b * kBlockDim + t);
+        for (u32 t = 0; t < kBlockDim / 2; ++t) vals[t] = vals[t] + vals[t + kBlockDim / 2];
+        for (u32 stride = kBlockDim / 4; stride > 0; stride /= 2) {
+          for (u32 t = 0; t < stride; ++t) vals[t] = vals[t] + vals[t + stride];
+        }
+        const f32 got = memory.read_f32(out + b * 4);
+        if (std::fabs(got - vals[0]) > 1e-3f * std::fabs(vals[0])) {
+          if (msg) *msg = "mcarlo block " + std::to_string(b) + ": got " + std::to_string(got) +
+                          " want " + std::to_string(vals[0]);
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,150 @@
+// OFFT: the ocean-simulation spectrum-generation kernel (after the CUDA
+// SDK oceanFFT demo). Each thread accumulates a spectrum value into its
+// own output cell; a per-block twiddle table lives in shared memory and
+// is read with a large stride (the banked access pattern the paper's
+// Figure 8 blames for OFFT's software-shadow slowdown).
+//
+// Documented real race (Section VI-A): the mirror-address computation of
+// the Hermitian boundary column is wrong — threads in column x==0 write
+// to `row*W + W`, which is the next row's x==0 cell, i.e. a neighboring
+// thread's output that the neighbor has already read and written: a
+// write-after-read data race in global memory. `single_block=false` has
+// no bearing here; the bug is present whenever W>1 (as published).
+//
+// Injection sites: barriers {0: after the twiddle-table store, 1: after
+// the first strided read, 2: after the second-phase store}; cross-block
+// rogue {0: output rows, 1: input rows}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kW = 64;          // mesh width
+constexpr u32 kBlockDim = 128;  // 2 rows per block
+constexpr u32 kTwiddleStride = 33;  // strided shared reads (bank sweep)
+}
+
+PreparedKernel prepare_offt(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 rows = 16 * opts.scale;  // mesh height
+  const u32 n = rows * kW;
+  const u32 blocks = n / kBlockDim;
+  const Addr in = gpu.allocator().alloc(n * 4, "offt.in");
+  const Addr out = gpu.allocator().alloc((n + kW) * 4, "offt.out");  // +kW: buggy overflow row
+  std::vector<u32> host_in(n);
+  SplitMix64 rng(0x0feau);
+  for (u32 i = 0; i < n; ++i) {
+    host_in[i] = static_cast<u32>(rng.next() & 0x3ff);
+    gpu.memory().write_u32(in + i * 4, host_in[i]);
+  }
+  gpu.memory().fill(out, (n + kW) * 4, 0);
+
+  KernelBuilder kb("offt");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg pin = kb.param(0);
+  Reg pout = kb.param(1);
+
+  // Build the per-block twiddle table: s_tw[t] = (t*2654435761) >> 16.
+  Reg tw = kb.reg();
+  kb.mul(tw, tid, 2654435761u);
+  kb.shr(tw, tw, 16u);
+  Reg saddr = kb.reg();
+  kb.mul(saddr, tid, 4u);
+  kb.st_shared(saddr, tw);
+  maybe_barrier(kb, opts, 0);
+
+  // Strided twiddle read: lane t reads s_tw[(t*kTwiddleStride) % blockDim].
+  Reg tw_idx = kb.reg();
+  kb.mul(tw_idx, tid, kTwiddleStride);
+  kb.rem(tw_idx, tw_idx, kBlockDim);
+  kb.mul(tw_idx, tw_idx, 4u);
+  Reg twiddle = kb.reg();
+  kb.ld_shared(twiddle, tw_idx);
+  maybe_barrier(kb, opts, 1);
+
+  // Second mixing phase: write the gathered value back and gather again
+  // with a different stride (the two-pass twiddle mix of the SDK demo).
+  kb.st_shared(saddr, twiddle);
+  maybe_barrier(kb, opts, 2);
+  Reg tw_idx2 = kb.reg();
+  kb.mul(tw_idx2, tid, 97u);
+  kb.rem(tw_idx2, tw_idx2, kBlockDim);
+  kb.mul(tw_idx2, tw_idx2, 4u);
+  kb.ld_shared(twiddle, tw_idx2);
+
+  // Spectrum accumulation: out[i] += f(in[i], twiddle). Read-then-write
+  // so the buggy mirror store below produces a WAR.
+  Reg x = kb.reg();
+  kb.rem(x, gid, kW);
+  Reg y = kb.reg();
+  kb.div(y, gid, kW);
+  Reg src = kb.addr(pin, gid, 4);
+  Reg h0 = kb.reg();
+  kb.ld_global(h0, src);
+  Reg value = kb.reg();
+  kb.mul(value, h0, 3u);
+  kb.add(value, value, isa::Operand(twiddle));
+  Reg dst = kb.addr(pout, gid, 4);
+  Reg old = kb.reg();
+  kb.ld_global(old, dst);
+  kb.add(value, value, isa::Operand(old));
+  kb.st_global(dst, value);
+
+  // The buggy Hermitian mirror write: for x == 0 the mirror column is
+  // computed as W - x = W instead of (W - x) % W = 0, so the store lands
+  // on the next row's first cell — another thread's output.
+  Pred boundary = kb.pred();
+  kb.setp(boundary, CmpOp::kEq, x, 0u);
+  kb.if_(boundary, [&] {
+    Reg mirror = kb.reg();
+    kb.mul(mirror, y, kW);
+    kb.add(mirror, mirror, kW);  // y*W + W  ==  (y+1)*W + 0
+    Reg mdst = kb.addr(pout, mirror, 4);
+    Reg conj = kb.reg();
+    kb.xor_(conj, value, 0x80000000u);
+    kb.st_global(mdst, conj);
+  });
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), kBlockDim);
+  emit_rogue_cross_block(kb, opts, 1, kb.param(0), kBlockDim);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBlockDim * 4;
+  prep.params = {in, out};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [out, host_in](const mem::DeviceMemory& memory, std::string* msg) {
+      // Cells in column 0 are racy (the documented bug), so verify only
+      // the interior columns, which are single-writer.
+      const u32 n_local = static_cast<u32>(host_in.size());
+      for (u32 i = 0; i < n_local; ++i) {
+        if (i % kW == 0) continue;
+        const u32 t = i % kBlockDim;
+        const u32 t1 = (t * 97u) % kBlockDim;              // second gather
+        const u32 t2 = (t1 * kTwiddleStride) % kBlockDim;  // first gather
+        const u32 twiddle = (t2 * 2654435761u) >> 16;
+        const u32 want = host_in[i] * 3u + twiddle;
+        const u32 got = memory.read_u32(out + i * 4);
+        if (got != want) {
+          if (msg) *msg = "offt[" + std::to_string(i) + "]: got " + std::to_string(got) +
+                          " want " + std::to_string(want);
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,136 @@
+// PSUM: microbenchmark based on the threadfence example in the CUDA
+// programming guide — the sum of an array computed in one kernel launch.
+// Each block reduces one tile; thread 0 stores the partial result, fences,
+// and atomically counts finished blocks; the last block adds up the
+// partials. Structurally the guide's example, smaller and simpler than
+// REDUCE (one element per thread, no grid-stride loop).
+//
+// Injection sites: barriers {0: after shared store, 1: reduction loop};
+// fences {0}; cross-block rogue {0: partials array}.
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 128;
+}
+
+PreparedKernel prepare_psum(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 16 * opts.scale;
+  const u32 n = blocks * kBlockDim;
+  const Addr in = gpu.allocator().alloc(n * 4, "psum.in");
+  const Addr partials = gpu.allocator().alloc(blocks * 4, "psum.partials");
+  const Addr counter = gpu.allocator().alloc(4, "psum.counter");
+  const Addr result = gpu.allocator().alloc(4, "psum.result");
+  u64 host_sum = 0;
+  SplitMix64 rng(0x9505u);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 v = static_cast<u32>(rng.next() & 0xffff);
+    gpu.memory().write_u32(in + i * 4, v);
+    host_sum += v;
+  }
+  gpu.memory().fill(partials, blocks * 4, 0);
+  gpu.memory().fill(counter, 4, 0);
+  gpu.memory().fill(result, 4, 0);
+
+  KernelBuilder kb("psum");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg nblocks = kb.special(isa::SpecialReg::kNCtaId);
+  Reg pin = kb.param(0);
+  Reg ppart = kb.param(1);
+  Reg pcount = kb.param(2);
+  Reg pres = kb.param(3);
+
+  Reg src = kb.addr(pin, gid, 4);
+  Reg v = kb.reg();
+  kb.ld_global(v, src);
+  Reg saddr = kb.reg();
+  kb.mul(saddr, tid, 4u);
+  kb.st_shared(saddr, v);
+  maybe_barrier(kb, opts, 0);
+
+  Reg stride = kb.imm(kBlockDim / 2);
+  Pred more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(more, CmpOp::kGtU, stride, 0u);
+        return more;
+      },
+      [&] {
+        Pred lower = kb.pred();
+        kb.setp(lower, CmpOp::kLtU, tid, isa::Operand(stride));
+        kb.if_(lower, [&] {
+          Reg other = kb.reg();
+          kb.add(other, tid, isa::Operand(stride));
+          kb.mul(other, other, 4u);
+          Reg mine = kb.reg();
+          Reg theirs = kb.reg();
+          kb.ld_shared(mine, saddr);
+          kb.ld_shared(theirs, other);
+          kb.add(mine, mine, isa::Operand(theirs));
+          kb.st_shared(saddr, mine);
+        });
+        kb.shr(stride, stride, 1u);
+        maybe_barrier(kb, opts, 1);
+      });
+
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg sum = kb.reg();
+    Reg zero = kb.imm(0);
+    kb.ld_shared(sum, zero);
+    Reg dst = kb.addr(ppart, bid, 4);
+    kb.st_global(dst, sum);
+    maybe_fence(kb, opts, 0);
+
+    Reg limit = kb.reg();
+    kb.sub(limit, nblocks, 1u);
+    Reg old = kb.reg();
+    kb.atom_global(old, isa::AtomicOp::kInc, pcount, limit);
+    Pred last = kb.pred();
+    kb.setp(last, CmpOp::kEq, old, isa::Operand(limit));
+    kb.if_(last, [&] {
+      Reg final_sum = kb.imm(0);
+      Reg b = kb.reg();
+      kb.for_range(b, 0u, isa::Operand(nblocks), 1u, [&] {
+        Reg p = kb.addr(ppart, b, 4);
+        Reg pv = kb.reg();
+        kb.ld_global(pv, p);
+        kb.add(final_sum, final_sum, isa::Operand(pv));
+      });
+      kb.st_global(pres, final_sum);
+    });
+  });
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), 1);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBlockDim * 4;
+  prep.params = {in, partials, counter, result};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [result, host_sum](const mem::DeviceMemory& memory, std::string* msg) {
+      const u32 got = memory.read_u32(result);
+      const u32 want = static_cast<u32>(host_sum);
+      if (got != want) {
+        if (msg) *msg = "psum: got " + std::to_string(got) + " want " + std::to_string(want);
+        return false;
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,173 @@
+// REDUCE: single-kernel parallel reduction with the threadfence pattern
+// from the CUDA programming guide. Every block grid-strides over the
+// input, tree-reduces its accumulators in shared memory, writes a partial
+// sum, fences, and atomically counts finished blocks; the last block to
+// finish re-reads all partials and produces the final value. The fence is
+// what makes the cross-block partial-sum consumption safe — removing it
+// (injection) is a fence race HAccRG must flag.
+//
+// Injection sites: barriers {0: after shared store, 1: reduction loop,
+// 2: after the first pairwise-sum step}; fences {0: the pre-count fence};
+// cross-block rogue {0: partials array}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 256;
+constexpr u32 kElemsPerThread = 8;
+}
+
+PreparedKernel prepare_reduce(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 16 * opts.scale;
+  const u32 n = blocks * kBlockDim * kElemsPerThread;
+  const Addr in = gpu.allocator().alloc(n * 4, "reduce.in");
+  const Addr partials = gpu.allocator().alloc(blocks * 4, "reduce.partials");
+  const Addr counter = gpu.allocator().alloc(4, "reduce.counter");
+  const Addr result = gpu.allocator().alloc(4, "reduce.result");
+  u64 host_sum = 0;
+  SplitMix64 rng(0x2ed0ceu);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 v = static_cast<u32>(rng.next() & 0xfff);
+    gpu.memory().write_u32(in + i * 4, v);
+    host_sum += v;
+  }
+  gpu.memory().fill(partials, blocks * 4, 0);
+  gpu.memory().fill(counter, 4, 0);
+  gpu.memory().fill(result, 4, 0);
+
+  KernelBuilder kb("reduce");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg nblocks = kb.special(isa::SpecialReg::kNCtaId);
+  Reg pin = kb.param(0);
+  Reg ppart = kb.param(1);
+  Reg pcount = kb.param(2);
+  Reg pres = kb.param(3);
+
+  // Grid-stride accumulation: thread handles elements gid, gid+stride, ...
+  Reg total_threads = kb.reg();
+  kb.mul(total_threads, nblocks, kBlockDim);
+  Reg acc = kb.imm(0);
+  Reg idx = kb.reg();
+  kb.mov(idx, isa::Operand(gid));
+  Pred in_range = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(in_range, CmpOp::kLtU, idx, n);
+        return in_range;
+      },
+      [&] {
+        Reg src = kb.addr(pin, idx, 4);
+        Reg v = kb.reg();
+        kb.ld_global(v, src);
+        kb.add(acc, acc, isa::Operand(v));
+        kb.add(idx, idx, isa::Operand(total_threads));
+      });
+
+  constexpr u32 kStage2 = kBlockDim * 4;
+  Reg saddr = kb.reg();
+  kb.mul(saddr, tid, 4u);
+  kb.st_shared(saddr, acc);
+  maybe_barrier(kb, opts, 0);
+
+  // First pairwise step into a second buffer (cross-warp reads), then the
+  // tree reduces that buffer.
+  Pred first_half = kb.pred();
+  kb.setp(first_half, CmpOp::kLtU, tid, kBlockDim / 2);
+  kb.if_(first_half, [&] {
+    Reg mine = kb.reg();
+    Reg theirs = kb.reg();
+    kb.ld_shared(mine, saddr);
+    kb.ld_shared(theirs, saddr, (kBlockDim / 2) * 4);
+    kb.add(mine, mine, isa::Operand(theirs));
+    kb.st_shared(saddr, mine, kStage2);
+  });
+  maybe_barrier(kb, opts, 2);
+
+  Reg stride = kb.imm(kBlockDim / 4);
+  Pred more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(more, CmpOp::kGtU, stride, 0u);
+        return more;
+      },
+      [&] {
+        Pred lower = kb.pred();
+        kb.setp(lower, CmpOp::kLtU, tid, isa::Operand(stride));
+        kb.if_(lower, [&] {
+          Reg other = kb.reg();
+          kb.add(other, tid, isa::Operand(stride));
+          kb.mul(other, other, 4u);
+          Reg mine = kb.reg();
+          Reg theirs = kb.reg();
+          kb.ld_shared(mine, saddr, kStage2);
+          kb.ld_shared(theirs, other, kStage2);
+          kb.add(mine, mine, isa::Operand(theirs));
+          kb.st_shared(saddr, mine, kStage2);
+        });
+        kb.shr(stride, stride, 1u);
+        maybe_barrier(kb, opts, 1);
+      });
+
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg sum = kb.reg();
+    Reg zero = kb.imm(0);
+    kb.ld_shared(sum, zero, kStage2);
+    Reg dst = kb.addr(ppart, bid, 4);
+    kb.st_global(dst, sum);
+    maybe_fence(kb, opts, 0);  // publish the partial before signalling
+
+    Reg limit = kb.reg();
+    kb.sub(limit, nblocks, 1u);
+    Reg old = kb.reg();
+    kb.atom_global(old, isa::AtomicOp::kInc, pcount, limit);
+    Pred last = kb.pred();
+    kb.setp(last, CmpOp::kEq, old, isa::Operand(limit));
+    kb.if_(last, [&] {
+      Reg final_sum = kb.imm(0);
+      Reg b = kb.reg();
+      kb.for_range(b, 0u, isa::Operand(nblocks), 1u, [&] {
+        Reg src = kb.addr(ppart, b, 4);
+        Reg v = kb.reg();
+        kb.ld_global(v, src);
+        kb.add(final_sum, final_sum, isa::Operand(v));
+      });
+      kb.st_global(pres, final_sum);
+    });
+  });
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), 1);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kBlockDim * 4 + (kBlockDim / 2) * 4;
+  prep.params = {in, partials, counter, result};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [result, host_sum](const mem::DeviceMemory& memory, std::string* msg) {
+      const u32 got = memory.read_u32(result);
+      const u32 want = static_cast<u32>(host_sum);  // mod 2^32, same as device
+      if (got != want) {
+        if (msg) *msg = "reduce: got " + std::to_string(got) + " want " + std::to_string(want);
+        return false;
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

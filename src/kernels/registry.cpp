@@ -1,0 +1,79 @@
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+const std::vector<BenchmarkInfo>& all_benchmarks() {
+  static const std::vector<BenchmarkInfo> registry = [] {
+    std::vector<BenchmarkInfo> list;
+    auto add = [&](BenchmarkInfo info) { list.push_back(std::move(info)); };
+
+    add({.name = "MCARLO",
+         .description = "Monte Carlo option pricing (CUDA SDK)",
+         .prepare = &prepare_mcarlo,
+         .sites = {.barriers = 3, .cross_block = 1, .fences = 0, .critical = 0},
+         .uses_shared = true});
+    add({.name = "SCAN",
+         .description = "parallel prefix sum (CUDA SDK); documented single-block bug",
+         .prepare = &prepare_scan,
+         .sites = {.barriers = 2, .cross_block = 1, .fences = 0, .critical = 0},
+         .uses_shared = true,
+         .real_race_multiblock = true});
+    add({.name = "FWALSH",
+         .description = "fast Walsh transform (CUDA SDK)",
+         .prepare = &prepare_fwalsh,
+         .sites = {.barriers = 2, .cross_block = 2, .fences = 0, .critical = 0},
+         .uses_shared = true});
+    add({.name = "HIST",
+         .description = "64-bin byte histogram (CUDA SDK histogram64)",
+         .prepare = &prepare_hist,
+         .sites = {.barriers = 3, .cross_block = 1, .fences = 0, .critical = 0},
+         .uses_shared = true});
+    add({.name = "SORTNW",
+         .description = "bitonic sorting networks (CUDA SDK)",
+         .prepare = &prepare_sortnw,
+         .sites = {.barriers = 2, .cross_block = 2, .fences = 0, .critical = 0},
+         .uses_shared = true});
+    add({.name = "REDUCE",
+         .description = "parallel reduction with the threadfence pattern",
+         .prepare = &prepare_reduce,
+         .sites = {.barriers = 3, .cross_block = 1, .fences = 1, .critical = 0},
+         .uses_shared = true,
+         .uses_fences = true});
+    add({.name = "PSUM",
+         .description = "threadfence example from the CUDA programming guide",
+         .prepare = &prepare_psum,
+         .sites = {.barriers = 2, .cross_block = 1, .fences = 1, .critical = 0},
+         .uses_shared = true,
+         .uses_fences = true});
+    add({.name = "OFFT",
+         .description = "ocean FFT spectrum generation; documented WAR bug",
+         .prepare = &prepare_offt,
+         .sites = {.barriers = 3, .cross_block = 2, .fences = 0, .critical = 0},
+         .uses_shared = true,
+         .real_race_multiblock = true});
+    add({.name = "KMEANS",
+         .description = "parallel k-means clustering; documented single-block bug",
+         .prepare = &prepare_kmeans,
+         .sites = {.barriers = 1, .cross_block = 1, .fences = 1, .critical = 0},
+         .uses_shared = true,
+         .uses_fences = true,
+         .real_race_multiblock = true});
+    add({.name = "HASH",
+         .description = "lock-protected hash table updates",
+         .prepare = &prepare_hash,
+         .sites = {.barriers = 2, .cross_block = 1, .fences = 0, .critical = 2},
+         .uses_shared = true,
+         .uses_locks = true});
+    return list;
+  }();
+  return registry;
+}
+
+const BenchmarkInfo* find_benchmark(const std::string& name) {
+  for (const auto& info : all_benchmarks()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace haccrg::kernels

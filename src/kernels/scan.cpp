@@ -1,0 +1,130 @@
+// SCAN: per-block parallel prefix sum (Hillis-Steele with a ping-pong
+// shared buffer), after the CUDA SDK scan sample.
+//
+// Documented bug (Section VI-A): the kernel is written for a single
+// thread-block — it indexes global memory by `tid`, not by the global
+// thread id — but the workload launches multiple blocks, so every block
+// reads and writes the same `in[0..n)` / `out[0..n)` words, producing
+// cross-block WAW/WAR races in global memory. With single_block=true no
+// race exists. All blocks compute identical values, so the output still
+// verifies either way.
+//
+// Injection sites: barriers {0: after load, 1: scan loop}; cross-block
+// rogue {0: output array}.
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kN = 256;  // elements (= threads per block)
+}
+
+PreparedKernel prepare_scan(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = opts.single_block ? 1 : 4 * opts.scale;
+  const Addr in = gpu.allocator().alloc(kN * 4, "scan.in");
+  const Addr out = gpu.allocator().alloc(kN * 4, "scan.out");
+  std::vector<u32> host_in(kN);
+  SplitMix64 rng(0x5ca11u);
+  for (u32 i = 0; i < kN; ++i) {
+    host_in[i] = static_cast<u32>(rng.next() & 0xffff);
+    gpu.memory().write_u32(in + i * 4, host_in[i]);
+  }
+  gpu.memory().fill(out, kN * 4, 0);
+
+  KernelBuilder kb("scan");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg pin = kb.param(0);
+  Reg pout = kb.param(1);
+
+  // The single-block design bug: global addresses use tid directly.
+  Reg src = kb.addr(pin, tid, 4);
+  Reg v = kb.reg();
+  kb.ld_global(v, src);
+
+  // Ping-pong buffers at shared offsets 0 and kN*4.
+  Reg ping = kb.imm(0);          // byte offset of the read buffer
+  Reg pong = kb.imm(kN * 4);     // byte offset of the write buffer
+  Reg my_off = kb.reg();
+  kb.mul(my_off, tid, 4u);
+  Reg waddr = kb.reg();
+  kb.add(waddr, ping, isa::Operand(my_off));
+  kb.st_shared(waddr, v);
+  maybe_barrier(kb, opts, 0);
+
+  Reg offset = kb.imm(1);
+  Pred more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(more, CmpOp::kLtU, offset, kN);
+        return more;
+      },
+      [&] {
+        Reg raddr = kb.reg();
+        kb.add(raddr, ping, isa::Operand(my_off));
+        Reg mine = kb.reg();
+        kb.ld_shared(mine, raddr);
+        Pred has_left = kb.pred();
+        kb.setp(has_left, CmpOp::kGeU, tid, isa::Operand(offset));
+        kb.if_(has_left, [&] {
+          Reg left = kb.reg();
+          kb.sub(left, tid, isa::Operand(offset));
+          kb.mul(left, left, 4u);
+          kb.add(left, left, isa::Operand(ping));
+          Reg lv = kb.reg();
+          kb.ld_shared(lv, left);
+          kb.add(mine, mine, isa::Operand(lv));
+        });
+        Reg wp = kb.reg();
+        kb.add(wp, pong, isa::Operand(my_off));
+        kb.st_shared(wp, mine);
+        maybe_barrier(kb, opts, 1);
+        // Swap ping/pong.
+        Reg tmp = kb.reg();
+        kb.mov(tmp, isa::Operand(ping));
+        kb.mov(ping, isa::Operand(pong));
+        kb.mov(pong, isa::Operand(tmp));
+        kb.shl(offset, offset, 1u);
+      });
+
+  Reg final_addr = kb.reg();
+  kb.add(final_addr, ping, isa::Operand(my_off));
+  Reg result = kb.reg();
+  kb.ld_shared(result, final_addr);
+  Reg dst = kb.addr(pout, tid, 4);  // same bug: tid-indexed output
+  kb.st_global(dst, result);
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), 8);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kN;
+  prep.shared_mem_bytes = 2 * kN * 4;
+  prep.params = {in, out};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [out, host_in](const mem::DeviceMemory& memory, std::string* msg) {
+      u32 running = 0;
+      for (u32 i = 0; i < kN; ++i) {
+        running += host_in[i];
+        const u32 got = memory.read_u32(out + i * 4);
+        if (got != running) {
+          if (msg) *msg = "scan[" + std::to_string(i) + "]: got " + std::to_string(got) +
+                          " want " + std::to_string(running);
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,161 @@
+// SORTNW: bitonic sorting network (CUDA SDK sortingNetworks). Each block
+// sorts its own 2*blockDim-element tile in shared memory; the two nested
+// stage loops synchronize with a barrier before every compare-exchange
+// sweep, exactly as the SDK kernel does.
+//
+// Injection sites: barriers {0: after load, 1: inner stage loop (after
+// each sweep)}; cross-block rogue {0: output tile, 1: input tile}.
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr u32 kBlockDim = 128;
+constexpr u32 kTile = 2 * kBlockDim;  // 256 keys per block
+}
+
+PreparedKernel prepare_sortnw(sim::Gpu& gpu, const BenchOptions& opts) {
+  const u32 blocks = 8 * opts.scale;
+  const u32 n = blocks * kTile;
+  const Addr in = gpu.allocator().alloc(n * 4, "sortnw.in");
+  const Addr out = gpu.allocator().alloc(n * 4, "sortnw.out");
+  std::vector<u32> host_in(n);
+  SplitMix64 rng(0x50127u);
+  for (u32 i = 0; i < n; ++i) {
+    host_in[i] = static_cast<u32>(rng.next() & 0xffffff);
+    gpu.memory().write_u32(in + i * 4, host_in[i]);
+  }
+
+  KernelBuilder kb("sortnw");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg bid = kb.special(isa::SpecialReg::kCtaId);
+  Reg pin = kb.param(0);
+  Reg pout = kb.param(1);
+
+  Reg tile_base = kb.reg();
+  kb.mul(tile_base, bid, kTile * 4);
+  Reg g0 = kb.reg();
+  kb.mul(g0, tid, 4u);
+  kb.add(g0, g0, isa::Operand(tile_base));
+  kb.add(g0, g0, isa::Operand(pin));
+  Reg v0 = kb.reg();
+  Reg v1 = kb.reg();
+  kb.ld_global(v0, g0);
+  kb.ld_global(v1, g0, kBlockDim * 4);
+  Reg s0 = kb.reg();
+  kb.mul(s0, tid, 4u);
+  kb.st_shared(s0, v0);
+  kb.st_shared(s0, v1, kBlockDim * 4);
+  maybe_barrier(kb, opts, 0);
+
+  // for (size = 2; size <= kTile; size <<= 1)
+  //   for (stride = size/2; stride > 0; stride >>= 1)
+  //     compare-exchange pairs (i, i+stride) with direction (i & size).
+  Reg size = kb.imm(2);
+  Pred size_more = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(size_more, CmpOp::kLeU, size, kTile);
+        return size_more;
+      },
+      [&] {
+        Reg stride = kb.reg();
+        kb.shr(stride, size, 1u);
+        Pred stride_more = kb.pred();
+        kb.while_(
+            [&] {
+              kb.setp(stride_more, CmpOp::kGtU, stride, 0u);
+              return stride_more;
+            },
+            [&] {
+              // i = 2*stride*(tid/stride) + tid%stride
+              Reg q = kb.reg();
+              kb.div(q, tid, isa::Operand(stride));
+              Reg r = kb.reg();
+              kb.rem(r, tid, isa::Operand(stride));
+              Reg i = kb.reg();
+              kb.mul(i, q, isa::Operand(stride));
+              kb.shl(i, i, 1u);
+              kb.add(i, i, isa::Operand(r));
+              // Ascending iff (i & size) == 0.
+              Reg dirbit = kb.reg();
+              kb.and_(dirbit, i, isa::Operand(size));
+              Pred ascending = kb.pred();
+              kb.setp(ascending, CmpOp::kEq, dirbit, 0u);
+              Reg ia = kb.reg();
+              kb.mul(ia, i, 4u);
+              Reg ib = kb.reg();
+              kb.add(ib, i, isa::Operand(stride));
+              kb.mul(ib, ib, 4u);
+              Reg a = kb.reg();
+              Reg b2 = kb.reg();
+              kb.ld_shared(a, ia);
+              kb.ld_shared(b2, ib);
+              Reg lo = kb.reg();
+              kb.umin(lo, a, isa::Operand(b2));
+              Reg hi = kb.reg();
+              kb.umax(hi, a, isa::Operand(b2));
+              Reg first = kb.reg();
+              Reg second = kb.reg();
+              kb.sel(first, ascending, lo, hi);
+              kb.sel(second, ascending, hi, lo);
+              kb.st_shared(ia, first);
+              kb.st_shared(ib, second);
+              kb.shr(stride, stride, 1u);
+              maybe_barrier(kb, opts, 1);
+            });
+        kb.shl(size, size, 1u);
+      });
+
+  // No barrier needed here: the final sweep's trailing barrier already
+  // orders the write-back reads.
+  Reg d0 = kb.reg();
+  kb.mul(d0, tid, 4u);
+  kb.add(d0, d0, isa::Operand(tile_base));
+  kb.add(d0, d0, isa::Operand(pout));
+  Reg r0 = kb.reg();
+  Reg r1 = kb.reg();
+  kb.ld_shared(r0, s0);
+  kb.ld_shared(r1, s0, kBlockDim * 4);
+  kb.st_global(d0, r0);
+  kb.st_global(d0, r1, kBlockDim * 4);
+
+  emit_rogue_cross_block(kb, opts, 0, kb.param(1), kTile);
+  emit_rogue_cross_block(kb, opts, 1, kb.param(0), kTile);
+
+  PreparedKernel prep;
+  prep.program = kb.build();
+  prep.grid_dim = blocks;
+  prep.block_dim = kBlockDim;
+  prep.shared_mem_bytes = kTile * 4;
+  prep.params = {in, out};
+  if (opts.injection.kind == InjectionKind::kNone) {
+    prep.verify = [out, host_in, blocks](const mem::DeviceMemory& memory, std::string* msg) {
+      for (u32 b = 0; b < blocks; ++b) {
+        std::vector<u32> ref(host_in.begin() + b * kTile, host_in.begin() + (b + 1) * kTile);
+        std::sort(ref.begin(), ref.end());
+        for (u32 i = 0; i < kTile; ++i) {
+          const u32 got = memory.read_u32(out + (b * kTile + i) * 4);
+          if (got != ref[i]) {
+            if (msg) *msg = "sortnw tile " + std::to_string(b) + " index " + std::to_string(i) +
+                            ": got " + std::to_string(got) + " want " + std::to_string(ref[i]);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+  }
+  return prep;
+}
+
+}  // namespace haccrg::kernels

@@ -1,0 +1,101 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace haccrg::mem {
+
+Cache::Cache(std::string name, u32 size_bytes, u32 ways, u32 line_bytes, WritePolicy policy)
+    : name_(std::move(name)), line_(line_bytes), ways_(ways),
+      sets_(size_bytes / (ways * line_bytes)), policy_(policy), lines_(sets_ * ways_) {
+  assert(sets_ > 0 && is_pow2(line_));
+}
+
+Cache::Line* Cache::find(Addr addr) {
+  const u64 tag = tag_of(addr);
+  const u32 set = set_of(addr);
+  for (u32 w = 0; w < ways_; ++w) {
+    Line& line = lines_[set * ways_ + w];
+    if (line.valid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(Addr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+Cache::Line& Cache::victim(u32 set) {
+  Line* best = &lines_[set * ways_];
+  for (u32 w = 0; w < ways_; ++w) {
+    Line& line = lines_[set * ways_ + w];
+    if (!line.valid) return line;
+    if (line.lru < best->lru) best = &line;
+  }
+  return *best;
+}
+
+CacheAccessResult Cache::access(Addr addr, bool is_write, Cycle now) {
+  ++accesses_;
+  ++tick_;
+  CacheAccessResult result;
+
+  if (Line* line = find(addr)) {
+    ++hits_;
+    result.hit = true;
+    line->lru = tick_;
+    if (is_write) {
+      // Write-through keeps the line clean (data goes downstream anyway);
+      // write-back marks it dirty.
+      line->dirty = policy_ == WritePolicy::kWriteBackAllocate;
+    }
+    return result;
+  }
+
+  // Miss.
+  if (is_write && policy_ == WritePolicy::kWriteThroughNoAllocate) {
+    return result;  // no allocation; the store continues downstream
+  }
+
+  const u32 set = set_of(addr);
+  Line& v = victim(set);
+  if (v.valid && v.dirty) {
+    result.writeback = true;
+    ++writebacks_;
+    result.victim_addr = static_cast<Addr>((v.tag * sets_ + set) * line_);
+  }
+  v.valid = true;
+  v.dirty = is_write && policy_ == WritePolicy::kWriteBackAllocate;
+  v.tag = tag_of(addr);
+  v.lru = tick_;
+  v.filled_at = now;
+  return result;
+}
+
+bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
+
+Cycle Cache::fill_time(Addr addr) const {
+  const Line* line = find(addr);
+  return line != nullptr ? line->filled_at : 0;
+}
+
+void Cache::invalidate(Addr addr) {
+  if (Line* line = find(addr)) {
+    line->valid = false;
+    line->dirty = false;
+  }
+}
+
+void Cache::invalidate_all() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+void Cache::export_stats(StatSet& stats) const {
+  stats.add(name_ + ".accesses", accesses_);
+  stats.add(name_ + ".hits", hits_);
+  stats.add(name_ + ".writebacks", writebacks_);
+}
+
+}  // namespace haccrg::mem

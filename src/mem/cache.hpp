@@ -1,0 +1,84 @@
+// Set-associative cache tag model with LRU replacement. Only tags are
+// modelled — functional data lives in DeviceMemory — so the same class
+// serves the per-SM non-coherent L1s and the banked unified L2 slices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace haccrg::mem {
+
+enum class WritePolicy {
+  kWriteThroughNoAllocate,  ///< L1 for global stores (Fermi-style)
+  kWriteBackAllocate,       ///< L2 slices
+};
+
+/// Result of a cache probe-with-update.
+struct CacheAccessResult {
+  bool hit = false;
+  bool writeback = false;  ///< a dirty victim must be written to DRAM
+  Addr victim_addr = 0;    ///< line address of the dirty victim
+};
+
+class Cache {
+ public:
+  Cache(std::string name, u32 size_bytes, u32 ways, u32 line_bytes, WritePolicy policy);
+
+  /// Probe and update state for an access to `addr` at time `now`.
+  /// Reads allocate on miss; writes follow the policy. `now` stamps the
+  /// fill time of allocated lines (see fill_time).
+  CacheAccessResult access(Addr addr, bool is_write, Cycle now = 0);
+
+  /// Probe without side effects (used for the L1-hit race flag).
+  bool probe(Addr addr) const;
+
+  /// Cycle at which the line containing `addr` was filled; 0 when the
+  /// line is absent. Lets the race detector qualify stale-L1-hit reads:
+  /// a hit on a line filled *after* the racing write observed fresh data.
+  Cycle fill_time(Addr addr) const;
+
+  /// Invalidate the line containing `addr` if present.
+  void invalidate(Addr addr);
+  /// Invalidate everything (kernel boundary).
+  void invalidate_all();
+
+  u32 line_bytes() const { return line_; }
+  u64 accesses() const { return accesses_; }
+  u64 hits() const { return hits_; }
+  f64 miss_rate() const {
+    return accesses_ == 0 ? 0.0 : 1.0 - static_cast<f64>(hits_) / static_cast<f64>(accesses_);
+  }
+
+  void export_stats(StatSet& stats) const;
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru = 0;
+    Cycle filled_at = 0;
+  };
+
+  u64 tag_of(Addr addr) const { return addr / line_ / sets_; }
+  u32 set_of(Addr addr) const { return (addr / line_) % sets_; }
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+  Line& victim(u32 set);
+
+  std::string name_;
+  u32 line_;
+  u32 ways_;
+  u32 sets_;
+  WritePolicy policy_;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+  u64 tick_ = 0;
+  u64 accesses_ = 0;
+  u64 hits_ = 0;
+  u64 writebacks_ = 0;
+};
+
+}  // namespace haccrg::mem

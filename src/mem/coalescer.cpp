@@ -1,0 +1,49 @@
+#include "mem/coalescer.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace haccrg::mem {
+
+std::vector<CoalescedSegment> coalesce(const std::vector<LaneAccess>& accesses,
+                                       u32 segment_bytes) {
+  // Map segment base -> lanes, preserving lane order within a segment and
+  // first-touch order across segments (deterministic issue order).
+  std::vector<CoalescedSegment> segments;
+  for (const LaneAccess& a : accesses) {
+    const Addr first = a.addr & ~(segment_bytes - 1);
+    const Addr last = (a.addr + a.size - 1) & ~(segment_bytes - 1);
+    for (Addr seg = first; seg <= last; seg += segment_bytes) {
+      auto it = std::find_if(segments.begin(), segments.end(),
+                             [&](const CoalescedSegment& s) { return s.addr == seg; });
+      if (it == segments.end()) {
+        segments.push_back({seg, {a.lane}});
+      } else if (it->lanes.empty() || it->lanes.back() != a.lane) {
+        it->lanes.push_back(a.lane);
+      }
+      if (seg > last - segment_bytes && seg == last) break;  // avoid overflow wrap
+    }
+  }
+  return segments;
+}
+
+std::vector<IntraWarpConflict> intra_warp_waw(const std::vector<LaneAccess>& accesses,
+                                              u32 granule_bytes) {
+  std::map<Addr, u32> first_writer;  // granule base -> first lane
+  std::vector<IntraWarpConflict> conflicts;
+  for (const LaneAccess& a : accesses) {
+    const Addr granule = a.addr & ~(granule_bytes - 1);
+    auto [it, inserted] = first_writer.emplace(granule, a.lane);
+    if (!inserted && it->second != a.lane) {
+      // Report each granule once.
+      const bool already = std::any_of(conflicts.begin(), conflicts.end(),
+                                       [&](const IntraWarpConflict& c) {
+                                         return c.granule_addr == granule;
+                                       });
+      if (!already) conflicts.push_back({it->second, a.lane, granule});
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace haccrg::mem

@@ -1,0 +1,43 @@
+// Global-memory access coalescer: merges the active lanes' addresses of a
+// warp memory instruction into line-sized transactions, as CUDA hardware
+// does. Also reports lanes whose accesses fall into the same
+// race-detection granule — the intra-warp write-after-write check HAccRG
+// performs before a request is issued (Section III-A).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haccrg::mem {
+
+/// One lane's memory access within a warp instruction.
+struct LaneAccess {
+  u32 lane = 0;
+  Addr addr = 0;
+  u8 size = 4;
+};
+
+/// A coalesced transaction: the segment-aligned address plus the lanes it
+/// serves.
+struct CoalescedSegment {
+  Addr addr = 0;  ///< aligned to segment_bytes
+  std::vector<u32> lanes;
+};
+
+/// Merge lane accesses into `segment_bytes`-sized transactions.
+std::vector<CoalescedSegment> coalesce(const std::vector<LaneAccess>& accesses,
+                                       u32 segment_bytes);
+
+/// Pairs of lanes writing to the same granule within one warp store
+/// (intra-warp WAW). Returns one representative pair per granule.
+struct IntraWarpConflict {
+  u32 lane_a = 0;
+  u32 lane_b = 0;
+  Addr granule_addr = 0;
+};
+
+std::vector<IntraWarpConflict> intra_warp_waw(const std::vector<LaneAccess>& accesses,
+                                              u32 granule_bytes);
+
+}  // namespace haccrg::mem

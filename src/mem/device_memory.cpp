@@ -1,0 +1,83 @@
+#include "mem/device_memory.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace haccrg::mem {
+
+void DeviceMemory::check(Addr addr, u32 bytes) const {
+  if (static_cast<u64>(addr) + bytes > data_.size()) {
+    std::fprintf(stderr, "DeviceMemory: out-of-bounds access at 0x%x (+%u), size 0x%zx\n", addr,
+                 bytes, data_.size());
+    std::abort();
+  }
+}
+
+u8 DeviceMemory::read_u8(Addr addr) const {
+  check(addr, 1);
+  return data_[addr];
+}
+
+void DeviceMemory::write_u8(Addr addr, u8 value) {
+  check(addr, 1);
+  data_[addr] = value;
+}
+
+u32 DeviceMemory::read_u32(Addr addr) const {
+  check(addr & ~3u, 4);
+  u32 v;
+  std::memcpy(&v, data_.data() + (addr & ~3u), 4);
+  return v;
+}
+
+void DeviceMemory::write_u32(Addr addr, u32 value) {
+  check(addr & ~3u, 4);
+  std::memcpy(data_.data() + (addr & ~3u), &value, 4);
+}
+
+u64 DeviceMemory::read_u64(Addr addr) const {
+  check(addr & ~7u, 8);
+  u64 v;
+  std::memcpy(&v, data_.data() + (addr & ~7u), 8);
+  return v;
+}
+
+void DeviceMemory::write_u64(Addr addr, u64 value) {
+  check(addr & ~7u, 8);
+  std::memcpy(data_.data() + (addr & ~7u), &value, 8);
+}
+
+void DeviceMemory::fill(Addr addr, u32 bytes, u8 value) {
+  check(addr, bytes);
+  std::memset(data_.data() + addr, value, bytes);
+}
+
+void DeviceMemory::copy_in(Addr dst, const void* src, u32 bytes) {
+  check(dst, bytes);
+  std::memcpy(data_.data() + dst, src, bytes);
+}
+
+void DeviceMemory::copy_out(void* dst, Addr src, u32 bytes) const {
+  check(src, bytes);
+  std::memcpy(dst, data_.data() + src, bytes);
+}
+
+Addr DeviceAllocator::alloc(u32 bytes, const std::string& name) {
+  const Addr addr = static_cast<Addr>(align_up(top_, 256));
+  if (static_cast<u64>(addr) + bytes > memory_->size()) {
+    std::fprintf(stderr, "DeviceAllocator: out of device memory allocating %u bytes for '%s'\n",
+                 bytes, name.c_str());
+    std::abort();
+  }
+  top_ = addr + bytes;
+  allocations_.push_back({name, addr, bytes});
+  return addr;
+}
+
+void DeviceAllocator::reset() {
+  top_ = 0;
+  allocations_.clear();
+}
+
+}  // namespace haccrg::mem

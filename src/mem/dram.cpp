@@ -1,0 +1,31 @@
+#include "mem/dram.hpp"
+
+namespace haccrg::mem {
+
+void DramChannel::push(Cycle now, Packet pkt) {
+  queue_.push_back({now + latency_, std::move(pkt)});
+}
+
+std::optional<Packet> DramChannel::cycle(Cycle now) {
+  if (queue_.empty()) return std::nullopt;
+  if (now < busy_until_) return std::nullopt;
+  Pending& head = queue_.front();
+  if (head.ready > now) return std::nullopt;
+
+  // Start (and account) the burst; the request completes when the burst
+  // finishes, which we approximate by returning it now and blocking the
+  // bus for burst_cycles.
+  busy_until_ = now + burst_cycles_;
+  busy_cycles_ += burst_cycles_;
+  ++serviced_;
+  Packet done = std::move(head.pkt);
+  queue_.pop_front();
+  return done;
+}
+
+void DramChannel::export_stats(StatSet& stats, const std::string& prefix) const {
+  stats.add(prefix + ".requests", serviced_);
+  stats.add(prefix + ".busy_cycles", busy_cycles_);
+}
+
+}  // namespace haccrg::mem

@@ -1,0 +1,55 @@
+// DRAM channel model: a bounded request queue, fixed access latency, and
+// a data bus that is busy for a burst period per transaction. Busy-cycle
+// accounting feeds the Figure-9 bandwidth-utilization experiment.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/packets.hpp"
+
+namespace haccrg::mem {
+
+class DramChannel {
+ public:
+  DramChannel(u32 queue_size, u32 latency, u32 burst_cycles)
+      : queue_size_(queue_size), latency_(latency), burst_cycles_(burst_cycles) {}
+
+  bool can_accept() const { return queue_.size() < queue_size_; }
+
+  /// Enqueue a request at cycle `now`. Caller must check can_accept().
+  void push(Cycle now, Packet pkt);
+
+  /// Advance the channel; returns a completed packet if one finished this
+  /// cycle (at most one per call).
+  std::optional<Packet> cycle(Cycle now);
+
+  bool idle() const { return queue_.empty(); }
+
+  u64 serviced() const { return serviced_; }
+  u64 busy_cycles() const { return busy_cycles_; }
+  /// Fraction of cycles the data bus was transferring, over `total`.
+  f64 utilization(Cycle total) const {
+    return total == 0 ? 0.0 : static_cast<f64>(busy_cycles_) / static_cast<f64>(total);
+  }
+
+  void export_stats(StatSet& stats, const std::string& prefix) const;
+
+ private:
+  struct Pending {
+    Cycle ready;  ///< earliest cycle the access may start its burst
+    Packet pkt;
+  };
+
+  u32 queue_size_;
+  u32 latency_;
+  u32 burst_cycles_;
+  std::deque<Pending> queue_;
+  Cycle busy_until_ = 0;
+  u64 serviced_ = 0;
+  u64 busy_cycles_ = 0;
+};
+
+}  // namespace haccrg::mem

@@ -1,0 +1,55 @@
+#include "mem/interconnect.hpp"
+
+namespace haccrg::mem {
+
+Interconnect::Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle) {
+  to_partition_.reserve(num_partitions);
+  for (u32 p = 0; p < num_partitions; ++p) to_partition_.emplace_back(latency, per_cycle);
+  to_sm_.reserve(num_sms);
+  for (u32 s = 0; s < num_sms; ++s) to_sm_.emplace_back(latency, per_cycle);
+}
+
+bool Interconnect::can_send_request(u32 partition, Cycle now) const {
+  return to_partition_[partition].can_push(now);
+}
+
+void Interconnect::send_request(u32 partition, Cycle now, Packet pkt) {
+  ++request_packets_;
+  to_partition_[partition].push(now, std::move(pkt));
+}
+
+bool Interconnect::has_request(u32 partition, Cycle now) const {
+  return to_partition_[partition].has_ready(now);
+}
+
+std::optional<Packet> Interconnect::recv_request(u32 partition, Cycle now) {
+  return to_partition_[partition].pop_ready(now);
+}
+
+bool Interconnect::can_send_response(u32 sm, Cycle now) const {
+  return to_sm_[sm].can_push(now);
+}
+
+void Interconnect::send_response(u32 sm, Cycle now, Response rsp) {
+  ++response_packets_;
+  to_sm_[sm].push(now, rsp);
+}
+
+std::optional<Response> Interconnect::recv_response(u32 sm, Cycle now) {
+  return to_sm_[sm].pop_ready(now);
+}
+
+bool Interconnect::idle() const {
+  for (const auto& pipe : to_partition_)
+    if (!pipe.empty()) return false;
+  for (const auto& pipe : to_sm_)
+    if (!pipe.empty()) return false;
+  return true;
+}
+
+void Interconnect::export_stats(StatSet& stats) const {
+  stats.add("icnt.request_packets", request_packets_);
+  stats.add("icnt.response_packets", response_packets_);
+}
+
+}  // namespace haccrg::mem

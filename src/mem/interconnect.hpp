@@ -1,0 +1,89 @@
+// SM <-> memory-partition interconnect: per-partition request queues and
+// per-SM response queues, each modelled as a fixed-latency pipe with a
+// bounded per-cycle acceptance rate.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/packets.hpp"
+
+namespace haccrg::mem {
+
+/// Fixed-latency, rate-limited pipe of T.
+template <typename T>
+class LatencyPipe {
+ public:
+  LatencyPipe(u32 latency, u32 per_cycle) : latency_(latency), per_cycle_(per_cycle) {}
+
+  /// Can another item be accepted at `now`?
+  bool can_push(Cycle now) const {
+    return last_push_cycle_ != now || pushed_this_cycle_ < per_cycle_;
+  }
+
+  void push(Cycle now, T item) {
+    if (last_push_cycle_ != now) {
+      last_push_cycle_ = now;
+      pushed_this_cycle_ = 0;
+    }
+    ++pushed_this_cycle_;
+    queue_.push_back({now + latency_, std::move(item)});
+  }
+
+  /// Is an item ready to pop at `now`?
+  bool has_ready(Cycle now) const { return !queue_.empty() && queue_.front().ready <= now; }
+
+  /// Pop the next item whose latency has elapsed, if any.
+  std::optional<T> pop_ready(Cycle now) {
+    if (!has_ready(now)) return std::nullopt;
+    T item = std::move(queue_.front().item);
+    queue_.pop_front();
+    return item;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t depth() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Cycle ready;
+    T item;
+  };
+  u32 latency_;
+  u32 per_cycle_;
+  std::deque<Entry> queue_;
+  Cycle last_push_cycle_ = ~Cycle{0};
+  u32 pushed_this_cycle_ = 0;
+};
+
+/// The on-chip network: one request pipe per memory partition and one
+/// response pipe per SM.
+class Interconnect {
+ public:
+  Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle);
+
+  bool can_send_request(u32 partition, Cycle now) const;
+  void send_request(u32 partition, Cycle now, Packet pkt);
+  bool has_request(u32 partition, Cycle now) const;
+  std::optional<Packet> recv_request(u32 partition, Cycle now);
+
+  bool can_send_response(u32 sm, Cycle now) const;
+  void send_response(u32 sm, Cycle now, Response rsp);
+  std::optional<Response> recv_response(u32 sm, Cycle now);
+
+  bool idle() const;
+  u64 request_packets() const { return request_packets_; }
+
+  void export_stats(StatSet& stats) const;
+
+ private:
+  std::vector<LatencyPipe<Packet>> to_partition_;
+  std::vector<LatencyPipe<Response>> to_sm_;
+  u64 request_packets_ = 0;
+  u64 response_packets_ = 0;
+};
+
+}  // namespace haccrg::mem

@@ -1,0 +1,47 @@
+#include "mem/shared_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace haccrg::mem {
+
+u32 SharedMemory::read_u32(u32 addr) const {
+  addr &= ~3u;
+  u32 v;
+  std::memcpy(&v, data_.data() + addr, 4);
+  return v;
+}
+
+void SharedMemory::write_u32(u32 addr, u32 v) {
+  addr &= ~3u;
+  std::memcpy(data_.data() + addr, &v, 4);
+}
+
+void SharedMemory::clear(u32 addr, u32 bytes) {
+  std::memset(data_.data() + addr, 0, std::min<size_t>(bytes, data_.size() - addr));
+}
+
+u32 SharedMemory::conflict_cycles(const std::vector<u32>& lane_addrs) const {
+  // For each bank, count distinct word addresses requested from it.
+  // Broadcast (same word from many lanes) costs one cycle.
+  u32 worst = 0;
+  for (u32 b = 0; b < banks_; ++b) {
+    u32 distinct = 0;
+    for (size_t i = 0; i < lane_addrs.size(); ++i) {
+      const u32 word = lane_addrs[i] / 4;
+      if (word % banks_ != b) continue;
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (lane_addrs[j] / 4 == word) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ++distinct;
+    }
+    worst = std::max(worst, distinct);
+  }
+  return std::max(worst, 1u);
+}
+
+}  // namespace haccrg::mem

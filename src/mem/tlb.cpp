@@ -1,0 +1,63 @@
+#include "mem/tlb.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace haccrg::mem {
+
+DualTlb::DualTlb(TlbMode mode, u32 entries, u32 ways, u32 shadow_entries, u32 page_bytes)
+    : mode_(mode), ways_(ways), sets_(entries / ways),
+      shadow_sets_(shadow_entries / ways == 0 ? 1 : shadow_entries / ways),
+      page_shift_(log2_pow2(page_bytes)), main_(entries),
+      shadow_(mode == TlbMode::kSeparateShadowTlb ? shadow_sets_ * ways : 0) {
+  assert(is_pow2(page_bytes));
+  assert(sets_ > 0);
+}
+
+bool DualTlb::lookup(std::vector<Entry>& entries, u32 ways, u64 key) {
+  ++tick_;
+  const u32 num_sets = static_cast<u32>(entries.size()) / ways;
+  const u32 set = static_cast<u32>(key % num_sets);
+  Entry* line = &entries[set * ways];
+  Entry* victim = line;
+  for (u32 w = 0; w < ways; ++w) {
+    Entry& e = line[w];
+    if (e.valid && e.tag == key) {
+      e.lru = tick_;
+      return true;
+    }
+    if (!e.valid || e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->tag = key;
+  victim->lru = tick_;
+  return false;
+}
+
+void DualTlb::access(Addr app_addr, Addr shadow_addr, bool with_shadow) {
+  const u64 app_page = app_addr >> page_shift_;
+  ++stats_.app_accesses;
+  // In the appended-bit scheme, app and shadow pages share the main TLB
+  // but have disjoint tags (the appended bit is the key's top bit).
+  if (lookup(main_, ways_, app_page << 1)) ++stats_.app_hits;
+
+  if (!with_shadow) return;
+  const u64 shadow_page = shadow_addr >> page_shift_;
+  ++stats_.shadow_accesses;
+  const bool hit = mode_ == TlbMode::kAppendedBit
+                       ? lookup(main_, ways_, (shadow_page << 1) | 1)
+                       : lookup(shadow_, ways_, shadow_page);
+  if (hit) ++stats_.shadow_hits;
+}
+
+std::string DualTlb::describe() const {
+  std::ostringstream out;
+  out << (mode_ == TlbMode::kAppendedBit ? "appended-bit unified TLB" : "separate shadow TLB")
+      << " (" << sets_ * ways_ << " entries, " << ways_ << "-way";
+  if (mode_ == TlbMode::kSeparateShadowTlb)
+    out << ", +" << shadow_sets_ * ways_ << "-entry shadow TLB";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace haccrg::mem

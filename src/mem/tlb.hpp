@@ -1,0 +1,81 @@
+// TLB models for HAccRG's virtual-memory support (Section IV-B,
+// "Supporting Virtual Memory"). With paged GPU memory every global
+// access needs two translations: the application page and its on-demand
+// shadow page. The paper proposes two mechanisms:
+//
+//  1. kAppendedBit — one unified TLB whose tags grow by one bit marking
+//     shadow entries; shadow translations share (and reduce) the
+//     effective capacity available to application pages.
+//  2. kSeparateShadowTlb — a second, smaller TLB dedicated to shadow
+//     pages, leaving the main TLB untouched and the lookup faster.
+//
+// These models measure the hit-rate consequences of each choice on an
+// address trace; bench_tlb_virtual_memory drives them with traces
+// captured from the benchmark suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haccrg::mem {
+
+enum class TlbMode {
+  kAppendedBit,        ///< unified TLB, 1 tag bit distinguishes shadow pages
+  kSeparateShadowTlb,  ///< dedicated (smaller) shadow TLB
+};
+
+struct TlbStats {
+  u64 app_accesses = 0;
+  u64 app_hits = 0;
+  u64 shadow_accesses = 0;
+  u64 shadow_hits = 0;
+
+  f64 app_hit_rate() const {
+    return app_accesses == 0 ? 0.0 : static_cast<f64>(app_hits) / app_accesses;
+  }
+  f64 shadow_hit_rate() const {
+    return shadow_accesses == 0 ? 0.0 : static_cast<f64>(shadow_hits) / shadow_accesses;
+  }
+};
+
+/// A set-associative TLB over virtual page numbers, with the dual
+/// app/shadow translation scheme selected by TlbMode.
+class DualTlb {
+ public:
+  /// `entries`/`ways` size the main TLB; `shadow_entries` sizes the
+  /// dedicated shadow TLB (used only in kSeparateShadowTlb mode).
+  DualTlb(TlbMode mode, u32 entries, u32 ways, u32 shadow_entries, u32 page_bytes = 4096);
+
+  /// One global-memory access: translate the application page and (when
+  /// `with_shadow`) its shadow page.
+  void access(Addr app_addr, Addr shadow_addr, bool with_shadow);
+
+  const TlbStats& stats() const { return stats_; }
+  TlbMode mode() const { return mode_; }
+
+  std::string describe() const;
+
+ private:
+  struct Entry {
+    u64 tag = 0;
+    bool valid = false;
+    u64 lru = 0;
+  };
+
+  /// Probe-and-fill in the given array; returns hit.
+  bool lookup(std::vector<Entry>& entries, u32 ways, u64 key);
+
+  TlbMode mode_;
+  u32 ways_;
+  u32 sets_;
+  u32 shadow_sets_;
+  u32 page_shift_;
+  std::vector<Entry> main_;
+  std::vector<Entry> shadow_;
+  u64 tick_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace haccrg::mem

@@ -1,0 +1,209 @@
+#include "sim/gpu.hpp"
+
+namespace haccrg::sim {
+
+Gpu::Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config)
+    : gpu_config_(gpu_config), haccrg_config_(haccrg_config),
+      memory_(gpu_config.device_mem_bytes), allocator_(memory_) {}
+
+Gpu::~Gpu() = default;
+
+SimResult Gpu::launch(const LaunchConfig& launch) {
+  SimResult result;
+  if (launch.program == nullptr) {
+    result.error = "no program";
+    return result;
+  }
+  if (const std::string err = launch.program->validate(); !err.empty()) {
+    result.error = "invalid program: " + err;
+    return result;
+  }
+  if (const std::string err = gpu_config_.validate(); !err.empty()) {
+    result.error = "invalid gpu config: " + err;
+    return result;
+  }
+  if (launch.block_dim == 0 || launch.block_dim > gpu_config_.max_threads_per_sm) {
+    result.error = "block_dim out of range";
+    return result;
+  }
+  if (launch.shared_mem_bytes > gpu_config_.shared_mem_per_sm) {
+    result.error = "shared memory request exceeds capacity";
+    return result;
+  }
+
+  rd::RaceLog race_log(haccrg_config_.max_recorded_races);
+
+  // Race register file: the global RDU reads the current fence ID of any
+  // warp on any SM. SMs are created below; the reader indirects through
+  // this vector so construction order is a non-issue.
+  std::vector<std::unique_ptr<Sm>> sms;
+  rd::FenceIdReader fence_reader = [&sms](u32 sm_id, u32 warp_slot) -> u8 {
+    return sms[sm_id]->ids().fence_id(warp_slot);
+  };
+
+  // Global shadow region: allocated at launch over the application heap
+  // (the paper's cudaMalloc step), invalidated (zeroed) here.
+  std::unique_ptr<rd::GlobalRdu> global_rdu;
+  u32 shadow_bytes = 0;
+  const u32 app_bytes = allocator_.heap_top();
+  if (haccrg_config_.enable_global) {
+    rd::DetectPolicy policy;
+    policy.warp_size = gpu_config_.warp_size;
+    policy.warp_regrouping = haccrg_config_.warp_regrouping;
+    policy.fence_gating = !haccrg_config_.disable_fence_gate;
+    policy.bloom = {haccrg_config_.bloom_bits, haccrg_config_.bloom_bins};
+    global_rdu = std::make_unique<rd::GlobalRdu>(memory_, haccrg_config_, policy, race_log,
+                                                 fence_reader);
+    shadow_bytes = rd::GlobalRdu::shadow_bytes_for(app_bytes, haccrg_config_.global_granularity);
+    const Addr shadow_base = static_cast<Addr>(align_up(app_bytes, 256));
+    if (static_cast<u64>(shadow_base) + shadow_bytes > memory_.size()) {
+      result.error = "device memory too small for the global shadow region";
+      return result;
+    }
+    global_rdu->init_shadow(shadow_base, app_bytes);
+  }
+
+  // Software-placed shared shadow (Figure 8): a per-SM region of device
+  // memory mirrors the scratchpad's shadow entries.
+  Addr sw_shadow_base = 0;
+  u32 sw_shadow_per_sm = 0;
+  if (haccrg_config_.enable_shared &&
+      haccrg_config_.shared_shadow == rd::SharedShadowPlacement::kGlobalMemory) {
+    sw_shadow_per_sm = static_cast<u32>(
+        align_up(ceil_div(gpu_config_.shared_mem_per_sm, haccrg_config_.shared_granularity) * 2,
+                 gpu_config_.l1_line));
+    u64 need = static_cast<u64>(sw_shadow_per_sm) * gpu_config_.num_sms;
+    Addr base = static_cast<Addr>(
+        align_up(app_bytes + (global_rdu ? static_cast<u64>(shadow_bytes) + 256 : 0), 256));
+    if (base + need > memory_.size()) {
+      result.error = "device memory too small for the software shared shadow";
+      return result;
+    }
+    sw_shadow_base = base;
+  }
+
+  mem::Interconnect icnt(gpu_config_.num_sms, gpu_config_.num_mem_partitions,
+                         gpu_config_.icnt_latency, gpu_config_.icnt_flits_per_cycle);
+  std::vector<mem::MemoryPartition> partitions;
+  partitions.reserve(gpu_config_.num_mem_partitions);
+  for (u32 p = 0; p < gpu_config_.num_mem_partitions; ++p) partitions.emplace_back(p, gpu_config_);
+
+  SmEnv env;
+  env.gpu = &gpu_config_;
+  env.haccrg = &haccrg_config_;
+  env.memory = &memory_;
+  env.icnt = &icnt;
+  env.global_rdu = global_rdu.get();
+  env.race_log = &race_log;
+  env.program = launch.program;
+  env.launch = &launch;
+  env.global_trace = global_trace_;
+  sms.reserve(gpu_config_.num_sms);
+  for (u32 s = 0; s < gpu_config_.num_sms; ++s) {
+    SmEnv sm_env = env;
+    sm_env.sw_shared_shadow_base = sw_shadow_base + s * sw_shadow_per_sm;
+    sms.push_back(std::make_unique<Sm>(s, sm_env));
+  }
+
+  // CTA scheduler: hand out blocks round-robin, refilling as SMs drain.
+  std::deque<u32> pending_blocks;
+  for (u32 b = 0; b < launch.grid_dim; ++b) pending_blocks.push_back(b);
+  auto refill = [&]() {
+    bool progress = true;
+    while (progress && !pending_blocks.empty()) {
+      progress = false;
+      for (u32 s = 0; s < gpu_config_.num_sms && !pending_blocks.empty(); ++s) {
+        if (sms[s]->try_launch_block(pending_blocks.front())) {
+          pending_blocks.pop_front();
+          progress = true;
+        }
+      }
+    }
+  };
+  refill();
+  if (pending_blocks.size() == launch.grid_dim) {
+    result.error = "no SM can fit a block (check block_dim / shared memory)";
+    return result;
+  }
+
+  // --- Cycle loop -------------------------------------------------------------
+  Cycle now = 0;
+  u32 completed_last = 0;
+  for (;; ++now) {
+    if (now > max_cycles_) {
+      result.error = "watchdog: kernel exceeded max cycles";
+      break;
+    }
+
+    // SM responses.
+    for (u32 s = 0; s < gpu_config_.num_sms; ++s) {
+      while (auto rsp = icnt.recv_response(s, now)) sms[s]->deliver(*rsp, now);
+    }
+
+    // Core cycles.
+    for (auto& sm : sms) sm->cycle(now);
+
+    // Partitions: accept requests, advance L2/DRAM, return completions.
+    for (auto& part : partitions) {
+      // Only pop a request the partition can actually take (back-pressure
+      // stays in the interconnect queue).
+      if (part.can_accept() && icnt.has_request(part.id(), now)) {
+        auto pkt = icnt.recv_request(part.id(), now);
+        part.accept(std::move(*pkt));
+      }
+      if (auto completion = part.cycle(now)) {
+        const mem::Packet& pkt = completion->pkt;
+        if (pkt.kind != mem::PacketKind::kShadow && pkt.sm_id < gpu_config_.num_sms) {
+          icnt.send_response(pkt.sm_id, now, mem::Response{pkt.kind, pkt.sm_id, pkt.warp_slot});
+        }
+      }
+    }
+
+    // Launch more blocks as slots free up.
+    u32 completed = 0;
+    for (const auto& sm : sms) completed += sm->blocks_completed();
+    if (completed != completed_last) {
+      completed_last = completed;
+      refill();
+    }
+
+    // Done?
+    bool busy = !pending_blocks.empty();
+    if (!busy)
+      for (const auto& sm : sms) busy = busy || sm->busy();
+    if (!busy) busy = !icnt.idle();
+    if (!busy)
+      for (const auto& part : partitions) busy = busy || !part.idle();
+    if (!busy) break;
+  }
+
+  // --- Collect results ---------------------------------------------------------
+  result.completed = result.error.empty();
+  result.cycles = now;
+  for (const auto& sm : sms) {
+    result.warp_instructions += sm->warp_instructions();
+    result.lane_instructions += sm->lane_instructions();
+    result.shared_reads += sm->shared_reads();
+    result.shared_writes += sm->shared_writes();
+    result.shared_atomics += sm->shared_atomics();
+    result.global_reads += sm->global_reads();
+    result.global_writes += sm->global_writes();
+    result.global_atomics += sm->global_atomics();
+    result.barriers += sm->barriers();
+    result.fences += sm->fences();
+    sm->export_stats(result.stats);
+  }
+  icnt.export_stats(result.stats);
+  f64 util_sum = 0.0;
+  for (const auto& part : partitions) {
+    part.export_stats(result.stats);
+    util_sum += part.dram().utilization(now);
+  }
+  result.avg_dram_utilization = util_sum / static_cast<f64>(partitions.size());
+  result.shadow_bytes = shadow_bytes;
+  if (global_rdu) global_rdu->export_stats(result.stats);
+  result.races = race_log;
+  return result;
+}
+
+}  // namespace haccrg::sim

@@ -1,0 +1,54 @@
+// Kernel launch descriptor and simulation result.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "haccrg/race.hpp"
+#include "isa/program.hpp"
+
+namespace haccrg::sim {
+
+/// One kernel launch (<<<grid, block, smem>>> plus scalar parameters).
+struct LaunchConfig {
+  const isa::Program* program = nullptr;
+  u32 grid_dim = 1;            ///< blocks in the grid
+  u32 block_dim = 32;          ///< threads per block
+  u32 shared_mem_bytes = 0;    ///< scratchpad per block
+  std::array<u32, isa::kMaxParams> params{};
+};
+
+/// Everything a harness needs from one simulated kernel run.
+struct SimResult {
+  bool completed = false;      ///< false if the watchdog fired
+  std::string error;
+  Cycle cycles = 0;
+
+  // Instruction mix (Table II characterization).
+  u64 warp_instructions = 0;
+  u64 lane_instructions = 0;
+  u64 shared_reads = 0;
+  u64 shared_writes = 0;
+  u64 shared_atomics = 0;
+  u64 global_reads = 0;
+  u64 global_writes = 0;
+  u64 global_atomics = 0;
+  u64 barriers = 0;
+  u64 fences = 0;
+
+  // Memory system.
+  f64 avg_dram_utilization = 0.0;  ///< mean busy fraction across channels (Fig. 9)
+  u32 shadow_bytes = 0;            ///< global shadow footprint (Table IV)
+
+  rd::RaceLog races;
+  StatSet stats;
+
+  u64 memory_instructions() const {
+    return shared_reads + shared_writes + shared_atomics + global_reads + global_writes +
+           global_atomics;
+  }
+};
+
+}  // namespace haccrg::sim

@@ -1,0 +1,767 @@
+#include "sim/sm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace haccrg::sim {
+
+using isa::AtomicOp;
+using isa::CmpOp;
+using isa::Instr;
+using isa::Opcode;
+using isa::SpecialReg;
+
+Sm::Sm(u32 sm_id, const SmEnv& env)
+    : sm_id_(sm_id), env_(env), warps_(env.gpu->warps_per_sm()),
+      blocks_(env.gpu->max_blocks_per_sm),
+      smem_(env.gpu->shared_mem_per_sm, env.gpu->shared_mem_banks),
+      l1_("l1", env.gpu->l1_size, env.gpu->l1_ways, env.gpu->l1_line,
+          mem::WritePolicy::kWriteThroughNoAllocate),
+      ids_(env.gpu->max_blocks_per_sm, env.gpu->warps_per_sm(), env.gpu->max_threads_per_sm) {
+  if (env_.haccrg->enable_shared) {
+    rd::DetectPolicy policy;
+    policy.warp_size = env_.gpu->warp_size;
+    policy.warp_regrouping = env_.haccrg->warp_regrouping;
+    policy.fence_gating = !env_.haccrg->disable_fence_gate;
+    policy.bloom = {env_.haccrg->bloom_bits, env_.haccrg->bloom_bins};
+    shared_rdu_ = std::make_unique<rd::SharedRdu>(sm_id_, env_.gpu->shared_mem_per_sm,
+                                                  *env_.haccrg, policy, *env_.race_log);
+  }
+}
+
+bool Sm::try_launch_block(u32 block_id) {
+  const LaunchConfig& launch = *env_.launch;
+  const u32 warp_size = env_.gpu->warp_size;
+  const u32 warps_needed = static_cast<u32>(ceil_div(launch.block_dim, warp_size));
+
+  // Find a free block slot with enough contiguous warp slots and smem.
+  u32 slot = ~0u;
+  for (u32 b = 0; b < blocks_.size(); ++b) {
+    if (!blocks_[b].active) {
+      slot = b;
+      break;
+    }
+  }
+  if (slot == ~0u) return false;
+
+  // Thread/warp slots are carved per block slot: slot s owns warps
+  // [s*warps_per_block_slot, ...). Capacity check: total threads.
+  const u32 max_warps = env_.gpu->warps_per_sm();
+  const u32 warp_base = slot * warps_needed;
+  u32 used_warps = 0;
+  for (const auto& b : blocks_)
+    if (b.active) used_warps += b.num_warps;
+  if (used_warps + warps_needed > max_warps) return false;
+  if (warp_base + warps_needed > max_warps) return false;
+
+  // Shared memory partition: fixed region per block slot.
+  const u32 smem_per_slot = launch.shared_mem_bytes;
+  const u32 smem_base = slot * smem_per_slot;
+  if (smem_per_slot > 0 && smem_base + smem_per_slot > smem_.size()) return false;
+
+  BlockContext& block = blocks_[slot];
+  block.active = true;
+  block.block_id = block_id;
+  block.num_warps = warps_needed;
+  block.warps_done = 0;
+  block.warps_at_barrier = 0;
+  block.smem_base = smem_base;
+  block.smem_bytes = smem_per_slot;
+  block.thread_base = warp_base * warp_size;
+
+  if (smem_per_slot > 0) smem_.clear(smem_base, smem_per_slot);
+
+  u32 threads_left = launch.block_dim;
+  for (u32 w = 0; w < warps_needed; ++w) {
+    WarpContext& warp = warps_[warp_base + w];
+    const u32 lanes = std::min(threads_left, warp_size);
+    threads_left -= lanes;
+    warp.init(warp_base + w, slot, block_id, w, lanes, env_.program->regs_used());
+  }
+
+  // HAccRG bookkeeping for the fresh tenant of this slot.
+  ids_.on_block_launch(slot);
+  for (u32 t = 0; t < launch.block_dim; ++t) ids_.reset_thread(block.thread_base + t);
+  if (shared_rdu_ && smem_per_slot > 0) {
+    shared_rdu_->reset_region(smem_base, smem_per_slot, env_.gpu->shared_mem_banks);
+  }
+
+  ++resident_blocks_;
+  return true;
+}
+
+void Sm::deliver(const mem::Response& rsp, Cycle now) {
+  WarpContext& warp = warps_[rsp.warp_slot];
+  if (rsp.kind == mem::PacketKind::kStore) {
+    if (warp.outstanding_stores > 0) --warp.outstanding_stores;
+    if (warp.state == WarpState::kWaitFence && warp.outstanding_stores == 0) {
+      warp.state = WarpState::kReady;
+      warp.ready_at = now + env_.gpu->fence_latency;
+      ids_.on_fence(warp.warp_slot());
+    }
+    return;
+  }
+  // Load or atomic response.
+  if (warp.pending_responses > 0) --warp.pending_responses;
+  if (warp.state == WarpState::kWaitMem && warp.pending_responses == 0) {
+    warp.state = WarpState::kReady;
+    warp.ready_at = now + 1;
+  }
+}
+
+WarpContext* Sm::pick_ready_warp(Cycle now) {
+  const u32 n = static_cast<u32>(warps_.size());
+  for (u32 i = 0; i < n; ++i) {
+    WarpContext& warp = warps_[(rr_cursor_ + i) % n];
+    if (warp.state == WarpState::kReady && warp.ready_at <= now) {
+      rr_cursor_ = (warp.warp_slot() + 1) % n;
+      return &warp;
+    }
+  }
+  return nullptr;
+}
+
+void Sm::cycle(Cycle now) {
+  flush_outbox(now);
+  if (now < issue_free_at_) return;
+  if (outbox_.size() > 64) return;  // severe backpressure: stall issue
+  WarpContext* warp = pick_ready_warp(now);
+  if (warp == nullptr) return;
+  execute(*warp, now);
+}
+
+void Sm::flush_outbox(Cycle now) {
+  while (!outbox_.empty()) {
+    const u32 partition = env_.gpu->partition_of(outbox_.front().addr);
+    if (!env_.icnt->can_send_request(partition, now)) break;
+    env_.icnt->send_request(partition, now, std::move(outbox_.front()));
+    outbox_.pop_front();
+  }
+}
+
+void Sm::send_packet(mem::Packet pkt, Cycle now) {
+  pkt.sm_id = sm_id_;
+  pkt.token = token_counter_++;
+  const u32 partition = env_.gpu->partition_of(pkt.addr);
+  if (outbox_.empty() && env_.icnt->can_send_request(partition, now)) {
+    env_.icnt->send_request(partition, now, std::move(pkt));
+  } else {
+    outbox_.push_back(std::move(pkt));
+  }
+}
+
+u32 Sm::special_value(const WarpContext& warp, SpecialReg which, u32 lane) const {
+  const LaunchConfig& launch = *env_.launch;
+  const u32 tid = warp.warp_in_block() * env_.gpu->warp_size + lane;
+  switch (which) {
+    case SpecialReg::kTid: return tid;
+    case SpecialReg::kNTid: return launch.block_dim;
+    case SpecialReg::kCtaId: return warp.block_id();
+    case SpecialReg::kNCtaId: return launch.grid_dim;
+    case SpecialReg::kGTid: return warp.block_id() * launch.block_dim + tid;
+    case SpecialReg::kLane: return lane;
+    case SpecialReg::kWarpId: return warp.warp_in_block();
+    case SpecialReg::kSmId: return sm_id_;
+  }
+  return 0;
+}
+
+u32 Sm::operand_value(const WarpContext& warp, const Instr& ins, u32 lane) const {
+  return ins.src1_is_imm ? ins.imm : warp.reg(ins.src1, lane);
+}
+
+u32 Sm::apply_atomic(AtomicOp op, u32 old, u32 operand, u32 compare) const {
+  switch (op) {
+    case AtomicOp::kAdd: return old + operand;
+    case AtomicOp::kInc: return old >= operand ? 0 : old + 1;
+    case AtomicOp::kExch: return operand;
+    case AtomicOp::kCas: return old == compare ? operand : old;
+    case AtomicOp::kMin: return std::min(old, operand);
+    case AtomicOp::kMax: return std::max(old, operand);
+    case AtomicOp::kAnd: return old & operand;
+    case AtomicOp::kOr: return old | operand;
+  }
+  return old;
+}
+
+void Sm::exec_alu(WarpContext& warp, const Instr& ins) {
+  for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+    if (!warp.lane_active(lane)) continue;
+    ++lane_instructions_;
+    const u32 a = warp.reg(ins.src0, lane);
+    const u32 b = operand_value(warp, ins, lane);
+    u32 result = 0;
+    switch (ins.op) {
+      case Opcode::kMov: result = ins.src1_is_imm ? ins.imm : a; break;
+      case Opcode::kAdd: result = a + b; break;
+      case Opcode::kSub: result = a - b; break;
+      case Opcode::kMul: result = a * b; break;
+      case Opcode::kMulHi: result = static_cast<u32>((u64(a) * u64(b)) >> 32); break;
+      case Opcode::kDiv: result = b == 0 ? 0 : a / b; break;
+      case Opcode::kRem: result = b == 0 ? 0 : a % b; break;
+      case Opcode::kMin: result = std::min(a, b); break;
+      case Opcode::kMax: result = std::max(a, b); break;
+      case Opcode::kAnd: result = a & b; break;
+      case Opcode::kOr: result = a | b; break;
+      case Opcode::kXor: result = a ^ b; break;
+      case Opcode::kNot: result = ~a; break;
+      case Opcode::kShl: result = a << (b & 31); break;
+      case Opcode::kShr: result = a >> (b & 31); break;
+      case Opcode::kSra: result = static_cast<u32>(static_cast<i32>(a) >> (b & 31)); break;
+      case Opcode::kFAdd: result = as_u32(as_f32(a) + as_f32(b)); break;
+      case Opcode::kFSub: result = as_u32(as_f32(a) - as_f32(b)); break;
+      case Opcode::kFMul: result = as_u32(as_f32(a) * as_f32(b)); break;
+      case Opcode::kFDiv: result = as_u32(as_f32(a) / as_f32(b)); break;
+      case Opcode::kFSqrt: result = as_u32(std::sqrt(as_f32(a))); break;
+      case Opcode::kFMin: result = as_u32(std::min(as_f32(a), as_f32(b))); break;
+      case Opcode::kFMax: result = as_u32(std::max(as_f32(a), as_f32(b))); break;
+      case Opcode::kFAbs: result = as_u32(std::fabs(as_f32(a))); break;
+      case Opcode::kFLog: result = as_u32(std::log(as_f32(a))); break;
+      case Opcode::kFExp: result = as_u32(std::exp(as_f32(a))); break;
+      case Opcode::kI2F: result = as_u32(static_cast<f32>(static_cast<i32>(a))); break;
+      case Opcode::kF2I: result = static_cast<u32>(static_cast<i32>(as_f32(a))); break;
+      case Opcode::kSpecial: result = special_value(warp, ins.special(), lane); break;
+      case Opcode::kParam: result = env_.launch->params[ins.imm]; break;
+      case Opcode::kSel:
+        result = ((warp.preds[ins.aux] >> lane) & 1) ? warp.reg(ins.src0, lane)
+                                                     : warp.reg(ins.src1, lane);
+        break;
+      default: break;
+    }
+    warp.reg(ins.dst, lane) = result;
+  }
+}
+
+rd::AccessInfo Sm::make_access(const WarpContext& warp, u32 lane, Addr addr, u8 size,
+                               bool is_write, u32 pc, Cycle now, bool l1_hit) const {
+  rd::AccessInfo a;
+  a.addr = addr;
+  a.size = size;
+  a.is_write = is_write;
+  const BlockContext& block = blocks_[warp.block_slot()];
+  const u32 tid_in_block = warp.warp_in_block() * env_.gpu->warp_size + lane;
+  a.thread_slot = static_cast<u16>(block.thread_base + tid_in_block);
+  a.warp_in_sm = warp.warp_slot();
+  a.block_slot = warp.block_slot();
+  a.sm_id = sm_id_;
+  a.sync_id = ids_.sync_id(warp.block_slot());
+  a.fence_id = ids_.fence_id(warp.warp_slot());
+  a.sig = ids_.sig(a.thread_slot);
+  a.in_cs = ids_.in_cs(a.thread_slot);
+  a.l1_hit = l1_hit;
+  a.pc = pc;
+  a.cycle = now;
+  return a;
+}
+
+u32 Sm::sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs, Cycle now) {
+  // Shadow lines are fetched through the L1 like local data (write-back:
+  // updates stay cached; only misses and dirty evictions reach memory).
+  u32 extra_cycles = 0;
+  const std::vector<u32> lines = shared_rdu_->shadow_lines(lane_addrs, env_.gpu->l1_line);
+  for (u32 line : lines) {
+    const Addr shadow_addr = env_.sw_shared_shadow_base + line * env_.gpu->l1_line;
+    // Reuse the L1 in write-back mode for shadow lines by doing a read
+    // probe followed by a manual allocate-on-miss.
+    if (l1_.probe(shadow_addr)) {
+      l1_.access(shadow_addr, false);
+      extra_cycles += env_.gpu->l1_latency;
+    } else {
+      l1_.access(shadow_addr, false);  // allocates the line
+      mem::Packet pkt;
+      pkt.kind = mem::PacketKind::kLoad;
+      pkt.addr = shadow_addr;
+      pkt.bytes = env_.gpu->l1_line;
+      pkt.warp_slot = warp.warp_slot();
+      send_packet(pkt, now);
+      ++warp.pending_responses;
+    }
+  }
+  return extra_cycles;
+}
+
+void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
+  const BlockContext& block = blocks_[warp.block_slot()];
+  const bool is_store = ins.op == Opcode::kStShared;
+  const bool is_atomic = ins.op == Opcode::kAtomShared;
+  const u32 width = is_atomic ? 4 : ins.width();
+
+  scratch_accesses_.clear();
+  std::vector<u32> sm_local_addrs;
+  for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+    if (!warp.lane_active(lane)) continue;
+    ++lane_instructions_;
+    const u32 block_addr = warp.reg(ins.src0, lane) + ins.imm;
+    const u32 local = block.smem_base + block_addr;
+    if (block_addr + width > block.smem_bytes) continue;  // out of the block's region
+    sm_local_addrs.push_back(local);
+    scratch_accesses_.push_back({lane, local, static_cast<u8>(width)});
+
+    // Functional effect.
+    if (is_atomic) {
+      const u32 old = smem_.read_u32(local);
+      const u32 operand = warp.reg(ins.src1, lane);
+      const u32 compare = warp.reg(ins.src2, lane);
+      smem_.write_u32(local, apply_atomic(ins.atomic(), old, operand, compare));
+      warp.reg(ins.dst, lane) = old;
+    } else if (is_store) {
+      const u32 value = warp.reg(ins.src1, lane);
+      if (width == 1)
+        smem_.write_u8(local, static_cast<u8>(value));
+      else
+        smem_.write_u32(local, value);
+    } else {
+      warp.reg(ins.dst, lane) = width == 1 ? smem_.read_u8(local) : smem_.read_u32(local);
+    }
+  }
+
+  if (is_atomic)
+    ++shared_atomics_;
+  else if (is_store)
+    ++shared_writes_;
+  else
+    ++shared_reads_;
+
+  // Timing: bank conflicts; atomics to the same word serialize fully.
+  u32 cycles = env_.gpu->shared_mem_latency;
+  if (!sm_local_addrs.empty()) {
+    cycles += is_atomic ? static_cast<u32>(sm_local_addrs.size())
+                        : smem_.conflict_cycles(sm_local_addrs) - 1;
+  }
+  bank_conflict_cycles_ += cycles > env_.gpu->shared_mem_latency
+                               ? cycles - env_.gpu->shared_mem_latency
+                               : 0;
+
+  // HAccRG shared-memory detection. Atomic operations are synchronization
+  // accesses and are not themselves checked (they cannot race).
+  if (shared_rdu_ && !is_atomic) {
+    if (is_store) {
+      // The pre-issue intra-warp WAW check compares exact addresses at
+      // the access width (not the tracking granularity): warp lanes
+      // writing *different* locations of one shadow granule are SIMD-
+      // synchronized and must not be reported (Section III-A/Table III).
+      for (const auto& c : mem::intra_warp_waw(scratch_accesses_, width)) {
+        rd::RaceRecord race;
+        race.type = rd::RaceType::kWaw;
+        race.mechanism = rd::RaceMechanism::kIntraWarpWaw;
+        race.space = rd::MemSpace::kShared;
+        race.granule_addr = c.granule_addr;
+        race.sm_id = sm_id_;
+        race.first_thread = static_cast<u16>(block.thread_base +
+                                             warp.warp_in_block() * env_.gpu->warp_size +
+                                             c.lane_a);
+        race.second_thread = static_cast<u16>(block.thread_base +
+                                              warp.warp_in_block() * env_.gpu->warp_size +
+                                              c.lane_b);
+        race.pc = warp.pc;
+        race.cycle = now;
+        env_.race_log->record(race);
+      }
+    }
+    for (const auto& acc : scratch_accesses_) {
+      shared_rdu_->check(
+          make_access(warp, acc.lane, acc.addr, acc.size, is_store, warp.pc, now, false));
+    }
+    if (env_.haccrg->shared_shadow == rd::SharedShadowPlacement::kGlobalMemory) {
+      cycles += sw_shadow_traffic(warp, sm_local_addrs, now);
+    }
+  }
+
+  issue_free_at_ = now + std::max(env_.gpu->warp_issue_cycles(), cycles);
+  if (warp.pending_responses > 0) {
+    warp.state = WarpState::kWaitMem;  // sw shadow miss outstanding
+  } else {
+    warp.ready_at = now + cycles;
+  }
+  ++warp.pc;
+}
+
+void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
+  const bool is_store = ins.op == Opcode::kStGlobal;
+  const bool is_atomic = ins.op == Opcode::kAtomGlobal;
+  const u32 width = is_atomic ? 4 : ins.width();
+  const bool detect = env_.haccrg->enable_global && env_.global_rdu != nullptr;
+
+  scratch_accesses_.clear();
+  for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+    if (!warp.lane_active(lane)) continue;
+    ++lane_instructions_;
+    const Addr addr = warp.reg(ins.src0, lane) + ins.imm;
+    scratch_accesses_.push_back({lane, addr, static_cast<u8>(width)});
+
+    // Functional effect.
+    if (is_atomic) {
+      const u32 old = env_.memory->read_u32(addr);
+      const u32 operand = warp.reg(ins.src1, lane);
+      const u32 compare = warp.reg(ins.src2, lane);
+      env_.memory->write_u32(addr, apply_atomic(ins.atomic(), old, operand, compare));
+      warp.reg(ins.dst, lane) = old;
+    } else if (is_store) {
+      const u32 value = warp.reg(ins.src1, lane);
+      if (width == 1)
+        env_.memory->write_u8(addr, static_cast<u8>(value));
+      else
+        env_.memory->write_u32(addr, value);
+    } else {
+      warp.reg(ins.dst, lane) =
+          width == 1 ? env_.memory->read_u8(addr) : env_.memory->read_u32(addr);
+    }
+  }
+
+  if (is_atomic)
+    ++global_atomics_;
+  else if (is_store)
+    ++global_writes_;
+  else
+    ++global_reads_;
+
+  if (detect && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
+
+  scratch_shadow_.clear();
+  u32 transactions = 0;
+
+  if (is_atomic) {
+    transactions = static_cast<u32>(scratch_accesses_.size());
+    // One transaction per active lane; atomics are not race-checked.
+    for (const auto& acc : scratch_accesses_) {
+      mem::Packet pkt;
+      pkt.kind = mem::PacketKind::kAtomic;
+      pkt.addr = acc.addr & ~(env_.gpu->l1_line - 1);
+      pkt.bytes = 4;
+      pkt.warp_slot = warp.warp_slot();
+      send_packet(pkt, now);
+      ++warp.pending_responses;
+    }
+  } else {
+    // Intra-warp WAW detection before the request is issued (Sec. III-A).
+    if (detect && is_store) {
+      const BlockContext& block = blocks_[warp.block_slot()];
+      // Exact-address comparison at access width; see the shared path.
+      for (const auto& c : mem::intra_warp_waw(scratch_accesses_, width)) {
+        rd::RaceRecord race;
+        race.type = rd::RaceType::kWaw;
+        race.mechanism = rd::RaceMechanism::kIntraWarpWaw;
+        race.space = rd::MemSpace::kGlobal;
+        race.granule_addr = c.granule_addr;
+        race.sm_id = sm_id_;
+        race.first_thread = static_cast<u16>(block.thread_base +
+                                             warp.warp_in_block() * env_.gpu->warp_size +
+                                             c.lane_a);
+        race.second_thread = static_cast<u16>(block.thread_base +
+                                              warp.warp_in_block() * env_.gpu->warp_size +
+                                              c.lane_b);
+        race.pc = warp.pc;
+        race.cycle = now;
+        env_.race_log->record(race);
+      }
+    }
+
+    // Coalesce into line transactions and run them through the L1.
+    const auto segments = mem::coalesce(scratch_accesses_, env_.gpu->l1_line);
+    transactions = static_cast<u32>(segments.size());
+    for (const auto& seg : segments) {
+      if (env_.global_trace != nullptr) env_.global_trace->push_back(seg.addr);
+      const Cycle line_fill = l1_.fill_time(seg.addr);
+      const bool l1_hit = l1_.access(seg.addr, is_store, now).hit;
+      if (is_store) {
+        mem::Packet pkt;  // write-through
+        pkt.kind = mem::PacketKind::kStore;
+        pkt.addr = seg.addr;
+        pkt.bytes = env_.gpu->l1_line;
+        pkt.warp_slot = warp.warp_slot();
+        send_packet(pkt, now);
+        ++warp.outstanding_stores;
+      } else if (!l1_hit) {
+        mem::Packet pkt;
+        pkt.kind = mem::PacketKind::kLoad;
+        pkt.addr = seg.addr;
+        pkt.bytes = env_.gpu->l1_line;
+        pkt.warp_slot = warp.warp_slot();
+        send_packet(pkt, now);
+        ++warp.pending_responses;
+      }
+      // Race checks for the lanes of this segment, carrying the L1-hit
+      // flag loads need for the stale-data rule.
+      if (detect) {
+        for (u32 lane_idx : seg.lanes) {
+          const auto& acc = scratch_accesses_[std::find_if(scratch_accesses_.begin(),
+                                                           scratch_accesses_.end(),
+                                                           [&](const mem::LaneAccess& a) {
+                                                             return a.lane == lane_idx;
+                                                           }) -
+                                              scratch_accesses_.begin()];
+          rd::AccessInfo info = make_access(warp, acc.lane, acc.addr, acc.size, is_store,
+                                            warp.pc, now, !is_store && l1_hit);
+          info.l1_fill_cycle = line_fill;
+          env_.global_rdu->check(info, scratch_shadow_);
+        }
+      }
+    }
+  }
+
+  // Shadow traffic: one kShadow packet per distinct shadow line touched.
+  if (!scratch_shadow_.empty()) {
+    std::sort(scratch_shadow_.begin(), scratch_shadow_.end());
+    Addr last_line = ~Addr{0};
+    for (Addr shadow_addr : scratch_shadow_) {
+      const Addr line = shadow_addr & ~(env_.gpu->l2_line - 1);
+      if (line == last_line) continue;
+      last_line = line;
+      mem::Packet pkt;
+      pkt.kind = mem::PacketKind::kShadow;
+      pkt.addr = line;
+      pkt.bytes = env_.gpu->l2_line;
+      pkt.warp_slot = warp.warp_slot();
+      pkt.shadow_write = true;
+      send_packet(pkt, now);
+    }
+  }
+
+  // The load/store unit issues one transaction per cycle: poorly
+  // coalesced accesses occupy the issue port longer.
+  issue_free_at_ =
+      now + std::max(env_.gpu->warp_issue_cycles(), std::max(transactions, 1u));
+  if (warp.pending_responses > 0)
+    warp.state = WarpState::kWaitMem;
+  else
+    warp.ready_at = now + 1;
+  ++warp.pc;
+}
+
+void Sm::exec_barrier(WarpContext& warp, Cycle now) {
+  ++barriers_;
+  BlockContext& block = blocks_[warp.block_slot()];
+  warp.state = WarpState::kAtBarrier;
+  ++warp.pc;
+  ++block.warps_at_barrier;
+
+  const u32 expected = block.num_warps - block.warps_done;
+  if (block.warps_at_barrier < expected) return;
+
+  // Release the whole block.
+  block.warps_at_barrier = 0;
+  for (auto& w : warps_) {
+    if (w.state == WarpState::kAtBarrier && w.block_slot() == warp.block_slot()) {
+      w.state = WarpState::kReady;
+      w.ready_at = now + 1;
+    }
+  }
+
+  // HAccRG barrier work: invalidate shared shadow entries (costing issue
+  // cycles) and advance the block's sync ID if global memory was touched.
+  if (shared_rdu_ && block.smem_bytes > 0) {
+    const u32 cost =
+        shared_rdu_->reset_region(block.smem_base, block.smem_bytes, env_.gpu->shared_mem_banks);
+    barrier_reset_cycles_ += cost;
+    issue_free_at_ = std::max(issue_free_at_, now + cost);
+  }
+  if (env_.haccrg->enable_global) ids_.on_barrier(warp.block_slot());
+}
+
+void Sm::exec_fence(WarpContext& warp, Cycle now) {
+  ++fences_;
+  ++warp.pc;
+  if (warp.outstanding_stores == 0) {
+    warp.ready_at = now + env_.gpu->fence_latency;
+    ids_.on_fence(warp.warp_slot());
+  } else {
+    warp.state = WarpState::kWaitFence;  // fence ID bumps when stores drain
+  }
+}
+
+void Sm::exec_exit(WarpContext& warp, Cycle now) {
+  warp.alive &= ~warp.active;
+  if (warp.alive != 0 && !warp.mask_stack.empty()) {
+    // Divergent exit: surviving lanes continue.
+    warp.active = warp.alive & warp.active;
+    ++warp.pc;
+    return;
+  }
+  warp.state = WarpState::kDone;
+  BlockContext& block = blocks_[warp.block_slot()];
+  ++block.warps_done;
+
+  // A warp exiting may release warps waiting at a barrier it will never
+  // reach (CUDA forbids this; we resolve rather than hang, as hardware
+  // effectively does).
+  const u32 expected = block.num_warps - block.warps_done;
+  if (expected > 0 && block.warps_at_barrier >= expected) {
+    block.warps_at_barrier = 0;
+    for (auto& w : warps_) {
+      if (w.state == WarpState::kAtBarrier && w.block_slot() == warp.block_slot()) {
+        w.state = WarpState::kReady;
+        w.ready_at = now + 1;
+      }
+    }
+  }
+
+  if (block.warps_done == block.num_warps) block_finished(warp.block_slot(), now);
+}
+
+void Sm::block_finished(u32 block_slot, Cycle now) {
+  (void)now;
+  BlockContext& block = blocks_[block_slot];
+  for (auto& w : warps_) {
+    if (w.state == WarpState::kDone && w.block_slot() == block_slot) w.release();
+  }
+  if (shared_rdu_ && block.smem_bytes > 0) {
+    shared_rdu_->reset_region(block.smem_base, block.smem_bytes, env_.gpu->shared_mem_banks);
+  }
+  block.active = false;
+  --resident_blocks_;
+  ++blocks_completed_;
+}
+
+void Sm::execute(WarpContext& warp, Cycle now) {
+  const Instr& ins = env_.program->at(warp.pc);
+  ++warp_instructions_;
+
+  switch (ins.op) {
+    case Opcode::kLdShared:
+    case Opcode::kStShared:
+    case Opcode::kAtomShared:
+      exec_shared_mem(warp, ins, now);
+      return;
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal:
+    case Opcode::kAtomGlobal:
+      exec_global_mem(warp, ins, now);
+      return;
+    case Opcode::kBar:
+      issue_free_at_ = std::max(issue_free_at_, now + env_.gpu->warp_issue_cycles());
+      exec_barrier(warp, now);
+      return;
+    case Opcode::kMemBar:
+    case Opcode::kMemBarBlock:
+      issue_free_at_ = now + env_.gpu->warp_issue_cycles();
+      exec_fence(warp, now);
+      return;
+    case Opcode::kExit:
+      issue_free_at_ = now + env_.gpu->warp_issue_cycles();
+      exec_exit(warp, now);
+      return;
+    default:
+      break;
+  }
+
+  // Non-memory, non-sync instructions.
+  issue_free_at_ = now + env_.gpu->warp_issue_cycles();
+  warp.ready_at = now + 1;
+
+  switch (ins.op) {
+    case Opcode::kSetp: {
+      for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+        if (!warp.lane_active(lane)) continue;
+        ++lane_instructions_;
+        const u32 a = warp.reg(ins.src0, lane);
+        const u32 b = operand_value(warp, ins, lane);
+        bool hold = false;
+        switch (ins.cmp()) {
+          case CmpOp::kEq: hold = a == b; break;
+          case CmpOp::kNe: hold = a != b; break;
+          case CmpOp::kLtU: hold = a < b; break;
+          case CmpOp::kLeU: hold = a <= b; break;
+          case CmpOp::kGtU: hold = a > b; break;
+          case CmpOp::kGeU: hold = a >= b; break;
+          case CmpOp::kLtS: hold = static_cast<i32>(a) < static_cast<i32>(b); break;
+          case CmpOp::kLeS: hold = static_cast<i32>(a) <= static_cast<i32>(b); break;
+          case CmpOp::kGtS: hold = static_cast<i32>(a) > static_cast<i32>(b); break;
+          case CmpOp::kGeS: hold = static_cast<i32>(a) >= static_cast<i32>(b); break;
+          case CmpOp::kLtF: hold = as_f32(a) < as_f32(b); break;
+          case CmpOp::kLeF: hold = as_f32(a) <= as_f32(b); break;
+          case CmpOp::kGtF: hold = as_f32(a) > as_f32(b); break;
+          case CmpOp::kGeF: hold = as_f32(a) >= as_f32(b); break;
+          case CmpOp::kEqF: hold = as_f32(a) == as_f32(b); break;
+          case CmpOp::kNeF: hold = as_f32(a) != as_f32(b); break;
+        }
+        if (hold)
+          warp.preds[ins.dst] |= 1u << lane;
+        else
+          warp.preds[ins.dst] &= ~(1u << lane);
+      }
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kIf: {
+      const u32 taken = warp.active & warp.preds[ins.aux];
+      warp.mask_stack.push_back({warp.active, taken});
+      warp.active = taken;
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kElse: {
+      const MaskScope& scope = warp.mask_stack.back();
+      warp.active = scope.saved & ~scope.taken;
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kEndIf:
+    case Opcode::kLoopEnd: {
+      warp.active = warp.mask_stack.back().saved;
+      warp.mask_stack.pop_back();
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kLoopBegin: {
+      warp.mask_stack.push_back({warp.active, warp.active});
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kBreakIfNot: {
+      warp.active &= warp.preds[ins.aux];
+      warp.pc = warp.active == 0 ? ins.imm : warp.pc + 1;
+      return;
+    }
+    case Opcode::kBreakIf: {
+      warp.active &= ~warp.preds[ins.aux];
+      warp.pc = warp.active == 0 ? ins.imm : warp.pc + 1;
+      return;
+    }
+    case Opcode::kJump: {
+      warp.pc = ins.imm;
+      return;
+    }
+    case Opcode::kLockAcqMark: {
+      const BlockContext& block = blocks_[warp.block_slot()];
+      const rd::BloomGeometry geom{env_.haccrg->bloom_bits, env_.haccrg->bloom_bins};
+      for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+        if (!warp.lane_active(lane)) continue;
+        const u32 slot =
+            block.thread_base + warp.warp_in_block() * env_.gpu->warp_size + lane;
+        ids_.on_lock_acquired(slot, warp.reg(ins.src0, lane), geom);
+      }
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kLockRelMark: {
+      const BlockContext& block = blocks_[warp.block_slot()];
+      for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
+        if (!warp.lane_active(lane)) continue;
+        const u32 slot =
+            block.thread_base + warp.warp_in_block() * env_.gpu->warp_size + lane;
+        ids_.on_lock_releasing(slot);
+      }
+      ++warp.pc;
+      return;
+    }
+    case Opcode::kNop:
+      ++warp.pc;
+      return;
+    default:
+      exec_alu(warp, ins);
+      ++warp.pc;
+      return;
+  }
+}
+
+void Sm::export_stats(StatSet& stats) const {
+  l1_.export_stats(stats);
+  if (shared_rdu_) shared_rdu_->export_stats(stats);
+  stats.add("sm.bank_conflict_cycles", bank_conflict_cycles_);
+  stats.add("sm.barrier_reset_cycles", barrier_reset_cycles_);
+  stats.add("ids.barrier_events", ids_.barrier_events());
+  stats.add("ids.sync_increments", ids_.sync_increments());
+}
+
+}  // namespace haccrg::sim

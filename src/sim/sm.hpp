@@ -1,0 +1,149 @@
+// Streaming multiprocessor: warp contexts, a round-robin scheduler, the
+// functional executor for the mini-PTX ISA, banked shared memory, a
+// non-coherent L1, and the HAccRG hooks (shared RDU, ID registers, and
+// race-check dispatch to the global RDU).
+//
+// Functional/timing split: an instruction's architectural effects are
+// applied when it issues; the memory system then moves data-less packets
+// whose completions wake the warp. This is deterministic (single host
+// thread, fixed scheduling) and keeps the race-detection results exactly
+// reproducible across runs.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "haccrg/global_rdu.hpp"
+#include "haccrg/id_regs.hpp"
+#include "haccrg/options.hpp"
+#include "haccrg/shared_rdu.hpp"
+#include "isa/program.hpp"
+#include "mem/cache.hpp"
+#include "mem/coalescer.hpp"
+#include "mem/device_memory.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/packets.hpp"
+#include "mem/shared_memory.hpp"
+#include "sim/launch.hpp"
+#include "sim/warp.hpp"
+
+namespace haccrg::sim {
+
+/// Per-SM view of the shared run infrastructure, owned by Gpu.
+struct SmEnv {
+  const arch::GpuConfig* gpu = nullptr;
+  const rd::HaccrgConfig* haccrg = nullptr;
+  mem::DeviceMemory* memory = nullptr;
+  mem::Interconnect* icnt = nullptr;
+  rd::GlobalRdu* global_rdu = nullptr;  ///< null unless global detection on
+  rd::RaceLog* race_log = nullptr;
+  const isa::Program* program = nullptr;
+  const LaunchConfig* launch = nullptr;
+  Addr sw_shared_shadow_base = 0;  ///< device base of this SM's sw shadow
+  /// Optional sink recording every coalesced global transaction address
+  /// (used by the virtual-memory TLB study).
+  std::vector<Addr>* global_trace = nullptr;
+};
+
+class Sm {
+ public:
+  Sm(u32 sm_id, const SmEnv& env);
+
+  /// Try to start `block_id`; returns false if no capacity.
+  bool try_launch_block(u32 block_id);
+
+  /// Advance one core cycle.
+  void cycle(Cycle now);
+
+  bool busy() const { return resident_blocks_ > 0 || !outbox_.empty(); }
+  u32 resident_blocks() const { return resident_blocks_; }
+  u32 blocks_completed() const { return blocks_completed_; }
+
+  /// Deliver a memory response routed back by the GPU.
+  void deliver(const mem::Response& rsp, Cycle now);
+
+  // Statistics the GPU aggregates at the end of the run.
+  void export_stats(StatSet& stats) const;
+  u64 warp_instructions() const { return warp_instructions_; }
+  u64 lane_instructions() const { return lane_instructions_; }
+  u64 shared_reads() const { return shared_reads_; }
+  u64 shared_writes() const { return shared_writes_; }
+  u64 shared_atomics() const { return shared_atomics_; }
+  u64 global_reads() const { return global_reads_; }
+  u64 global_writes() const { return global_writes_; }
+  u64 global_atomics() const { return global_atomics_; }
+  u64 barriers() const { return barriers_; }
+  u64 fences() const { return fences_; }
+
+  const rd::SmIdRegisters& ids() const { return ids_; }
+  rd::SmIdRegisters& ids() { return ids_; }
+  const mem::Cache& l1() const { return l1_; }
+
+ private:
+  // --- Scheduling -----------------------------------------------------------
+  WarpContext* pick_ready_warp(Cycle now);
+  void execute(WarpContext& warp, Cycle now);
+
+  // --- Execution helpers ------------------------------------------------------
+  u32 operand_value(const WarpContext& warp, const isa::Instr& ins, u32 lane) const;
+  u32 special_value(const WarpContext& warp, isa::SpecialReg which, u32 lane) const;
+  void exec_alu(WarpContext& warp, const isa::Instr& ins);
+  void exec_shared_mem(WarpContext& warp, const isa::Instr& ins, Cycle now);
+  void exec_global_mem(WarpContext& warp, const isa::Instr& ins, Cycle now);
+  void exec_barrier(WarpContext& warp, Cycle now);
+  void exec_fence(WarpContext& warp, Cycle now);
+  void exec_exit(WarpContext& warp, Cycle now);
+
+  u32 apply_atomic(isa::AtomicOp op, u32 old, u32 operand, u32 compare) const;
+
+  /// Build the HAccRG access descriptor for one lane.
+  rd::AccessInfo make_access(const WarpContext& warp, u32 lane, Addr addr, u8 size, bool is_write,
+                             u32 pc, Cycle now, bool l1_hit) const;
+
+  void send_packet(mem::Packet pkt, Cycle now);
+  void flush_outbox(Cycle now);
+
+  /// Software-placed shared shadow: model the L1 fetch of each shadow
+  /// line; returns extra issue-port cycles and may add pending responses.
+  u32 sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs, Cycle now);
+
+  void block_finished(u32 block_slot, Cycle now);
+
+  u32 sm_id_;
+  SmEnv env_;
+  std::vector<WarpContext> warps_;
+  std::vector<BlockContext> blocks_;
+  mem::SharedMemory smem_;
+  mem::Cache l1_;
+  rd::SmIdRegisters ids_;
+  std::unique_ptr<rd::SharedRdu> shared_rdu_;
+
+  u32 resident_blocks_ = 0;
+  u32 blocks_completed_ = 0;
+  u32 rr_cursor_ = 0;
+  Cycle issue_free_at_ = 0;
+  std::deque<mem::Packet> outbox_;
+  u64 token_counter_ = 0;
+
+  // Scratch vectors reused across instructions to avoid per-issue churn.
+  std::vector<mem::LaneAccess> scratch_accesses_;
+  std::vector<Addr> scratch_shadow_;
+
+  // Counters.
+  u64 warp_instructions_ = 0;
+  u64 lane_instructions_ = 0;
+  u64 shared_reads_ = 0;
+  u64 shared_writes_ = 0;
+  u64 shared_atomics_ = 0;
+  u64 global_reads_ = 0;
+  u64 global_writes_ = 0;
+  u64 global_atomics_ = 0;
+  u64 barriers_ = 0;
+  u64 fences_ = 0;
+  u64 bank_conflict_cycles_ = 0;
+  u64 barrier_reset_cycles_ = 0;
+};
+
+}  // namespace haccrg::sim

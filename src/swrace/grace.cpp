@@ -1,0 +1,135 @@
+#include "swrace/grace.hpp"
+
+#include "swrace/rewriter.hpp"
+
+namespace haccrg::swrace {
+
+using isa::AtomicOp;
+using isa::CmpOp;
+using isa::Instr;
+using isa::Opcode;
+using isa::Operand;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+using isa::SpecialReg;
+
+namespace {
+
+struct Ctx {
+  Reg bitmap;   ///< this block's bitmap table base (write bitmap; the
+                ///< read bitmap follows at +kBitmapWords words)
+  Reg counter;
+  Reg warp_id;
+  Reg t0, t1, t2, t3, acc;
+  Pred p0, p1;
+};
+
+void emit_preamble(Rewriter& rw, Ctx& ctx) {
+  ctx.bitmap = rw.scratch_reg();
+  ctx.counter = rw.scratch_reg();
+  ctx.warp_id = rw.scratch_reg();
+  ctx.t0 = rw.scratch_reg();
+  ctx.t1 = rw.scratch_reg();
+  ctx.t2 = rw.scratch_reg();
+  ctx.t3 = rw.scratch_reg();
+  ctx.acc = rw.scratch_reg();
+  ctx.p0 = rw.scratch_pred();
+  ctx.p1 = rw.scratch_pred();
+
+  rw.emit_param(ctx.bitmap, GraceLayout::kBitmapParam);
+  rw.emit_param(ctx.counter, GraceLayout::kCounterParam);
+  rw.emit_special(ctx.t0, SpecialReg::kCtaId);
+  // Two tables (write + read) of kBitmapWords words per block.
+  rw.emit_alu(Opcode::kMul, ctx.t0, ctx.t0.idx, Operand(GraceLayout::kBitmapWords * 2 * 4));
+  rw.emit_alu(Opcode::kAdd, ctx.bitmap, ctx.bitmap.idx, Operand(ctx.t0));
+  rw.emit_special(ctx.warp_id, SpecialReg::kWarpId);
+}
+
+void emit_grace_check(Rewriter& rw, Ctx& ctx, const Instr& ins) {
+  const bool is_write = ins.op == Opcode::kStShared;
+
+  // Bitmap word/bit of the accessed shared address.
+  rw.emit_mov_reg(ctx.t0, ins.src0);
+  if (ins.imm != 0) rw.emit_alu(Opcode::kAdd, ctx.t0, ctx.t0.idx, Operand(ins.imm));
+  rw.emit_alu(Opcode::kShr, ctx.t0, ctx.t0.idx, Operand(2u));  // word index
+  rw.emit_alu(Opcode::kShr, ctx.t1, ctx.t0.idx, Operand(5u));  // bitmap word
+  rw.emit_alu(Opcode::kRem, ctx.t1, ctx.t1.idx, Operand(GraceLayout::kBitmapWords));
+  rw.emit_alu(Opcode::kAnd, ctx.t2, ctx.t0.idx, Operand(31u));
+  rw.emit_mov(ctx.t3, 1);
+  rw.emit_alu(Opcode::kShl, ctx.t3, ctx.t3.idx, Operand(ctx.t2));  // bit mask
+
+  // Set our bit in the appropriate table (write table at +0, read at
+  // +kBitmapWords*4), via a device-memory atomic.
+  rw.emit_alu(Opcode::kMul, ctx.t2, ctx.t1.idx, Operand(4u));
+  rw.emit_alu(Opcode::kAdd, ctx.t2, ctx.t2.idx, Operand(ctx.bitmap));
+  if (!is_write) rw.emit_alu(Opcode::kAdd, ctx.t2, ctx.t2.idx,
+                             Operand(GraceLayout::kBitmapWords * 4));
+  rw.emit_atomic_global(ctx.t0, AtomicOp::kOr, ctx.t2, ctx.t3);
+
+  // Diagnosis scan: read kScanWords of the *write* bitmap and accumulate.
+  rw.emit_mov(ctx.acc, 0);
+  for (u32 j = 0; j < GraceLayout::kScanWords; ++j) {
+    rw.emit_ld_global(ctx.t0, ctx.bitmap, j * 4);
+    rw.emit_alu(Opcode::kOr, ctx.acc, ctx.acc.idx, Operand(ctx.t0));
+  }
+  // Overlap with our bit (by someone else having set it first) counts as
+  // a potential race.
+  rw.emit_alu(Opcode::kAnd, ctx.acc, ctx.acc.idx, Operand(ctx.t3));
+  rw.emit_setp(ctx.p0, CmpOp::kNe, ctx.acc, Operand(0u));
+  if (is_write) {
+    rw.emit_if(ctx.p0);
+    rw.emit_mov(ctx.t0, 1);
+    rw.emit_atomic_global(ctx.t0, AtomicOp::kAdd, ctx.counter, ctx.t0);
+    rw.emit_endif();
+  }
+}
+
+void emit_barrier_clear(Rewriter& rw, Ctx& ctx) {
+  // Each thread clears a slice of both tables (tid-strided words).
+  rw.emit_special(ctx.t0, SpecialReg::kTid);
+  rw.emit_alu(Opcode::kRem, ctx.t0, ctx.t0.idx, Operand(GraceLayout::kBitmapWords));
+  rw.emit_alu(Opcode::kMul, ctx.t0, ctx.t0.idx, Operand(4u));
+  rw.emit_alu(Opcode::kAdd, ctx.t0, ctx.t0.idx, Operand(ctx.bitmap));
+  rw.emit_mov(ctx.t1, 0);
+  rw.emit_st_global(ctx.t0, ctx.t1, 0);
+  rw.emit_st_global(ctx.t0, ctx.t1, GraceLayout::kBitmapWords * 4);
+}
+
+}  // namespace
+
+Program instrument_grace(const Program& program) {
+  Rewriter rw(program);
+  auto ctx = std::make_shared<Ctx>();
+
+  Rewriter::Hooks hooks;
+  hooks.preamble = [ctx](Rewriter& r, const Instr&) { emit_preamble(r, *ctx); };
+  hooks.before = [ctx](Rewriter& r, const Instr& ins) {
+    if (ins.op == Opcode::kLdShared || ins.op == Opcode::kStShared) {
+      emit_grace_check(r, *ctx, ins);
+    }
+    return true;
+  };
+  hooks.after = [ctx](Rewriter& r, const Instr& ins) {
+    if (ins.op == Opcode::kBar) emit_barrier_clear(r, *ctx);
+  };
+  return rw.rewrite(hooks, "+grace");
+}
+
+void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
+  const u32 bitmap_bytes = prep.grid_dim * GraceLayout::kBitmapWords * 2 * 4;
+  const Addr bitmap = gpu.allocator().alloc(bitmap_bytes, "grace.bitmap");
+  const Addr counter = gpu.allocator().alloc(4, "grace.counter");
+  gpu.memory().fill(bitmap, bitmap_bytes, 0);
+  gpu.memory().fill(counter, 4, 0);
+
+  prep.params[GraceLayout::kBitmapParam] = bitmap;
+  prep.params[GraceLayout::kCounterParam] = counter;
+  prep.program = instrument_grace(prep.program);
+}
+
+u64 grace_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep) {
+  return gpu.memory().read_u32(prep.params[GraceLayout::kCounterParam]);
+}
+
+}  // namespace haccrg::swrace

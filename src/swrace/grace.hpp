@@ -1,0 +1,36 @@
+// GRace-add baseline (Zheng et al., modelled from its published design):
+// an instrumentation-based shared-memory race detector that keeps
+// per-block bitmap tables in device memory. After every shared-memory
+// access the inserted code sets the address's bit in the block's
+// read/write bitmap (a global atomic) and then scans a window of the
+// opposite bitmap looking for overlapping accesses by other warps. The
+// scan — a burst of device-memory loads on every shared access — is what
+// makes GRace-add orders of magnitude slower than the software HAccRG,
+// matching the paper's comparison. Barriers clear the thread's bitmap
+// slice.
+#pragma once
+
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+
+namespace haccrg::swrace {
+
+struct GraceLayout {
+  static constexpr u32 kBitmapParam = 12;   ///< per-block bitmap tables base
+  static constexpr u32 kCounterParam = 14;  ///< race counter address
+  /// Bitmap words scanned per instrumented access (the diagnosis pass
+  /// walks the whole table, as GRace-add's per-statement check does).
+  static constexpr u32 kScanWords = 128;
+  /// Bitmap words per block table (16 KB scratchpad / 4 B / 32 bits).
+  static constexpr u32 kBitmapWords = 128;
+};
+
+isa::Program instrument_grace(const isa::Program& program);
+
+/// Allocate the bitmap/counter buffers and swap in the instrumented
+/// program (call after prepare()).
+void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep);
+
+u64 grace_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep);
+
+}  // namespace haccrg::swrace

@@ -1,0 +1,167 @@
+#include "swrace/rewriter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace haccrg::swrace {
+
+using isa::Instr;
+using isa::Opcode;
+
+Rewriter::Rewriter(const isa::Program& original)
+    : original_(&original), next_reg_(original.regs_used()), next_pred_(original.preds_used()) {}
+
+isa::Reg Rewriter::scratch_reg() {
+  if (next_reg_ >= isa::kMaxRegs) {
+    std::fprintf(stderr, "Rewriter: out of scratch registers\n");
+    std::abort();
+  }
+  return isa::Reg{static_cast<u8>(next_reg_++)};
+}
+
+isa::Pred Rewriter::scratch_pred() {
+  if (next_pred_ >= isa::kMaxPreds) {
+    std::fprintf(stderr, "Rewriter: out of scratch predicates\n");
+    std::abort();
+  }
+  return isa::Pred{static_cast<u8>(next_pred_++)};
+}
+
+void Rewriter::emit(Instr ins) { out_.push_back(ins); }
+
+void Rewriter::emit_mov(isa::Reg dst, u32 imm) {
+  Instr ins;
+  ins.op = Opcode::kMov;
+  ins.dst = dst.idx;
+  ins.src1_is_imm = true;
+  ins.imm = imm;
+  emit(ins);
+}
+
+void Rewriter::emit_mov_reg(isa::Reg dst, u8 src) {
+  Instr ins;
+  ins.op = Opcode::kMov;
+  ins.dst = dst.idx;
+  ins.src0 = src;
+  emit(ins);
+}
+
+void Rewriter::emit_alu(Opcode op, isa::Reg dst, u8 src0, isa::Operand b) {
+  Instr ins;
+  ins.op = op;
+  ins.dst = dst.idx;
+  ins.src0 = src0;
+  if (b.is_imm) {
+    ins.src1_is_imm = true;
+    ins.imm = b.imm;
+  } else {
+    ins.src1 = b.reg;
+  }
+  emit(ins);
+}
+
+void Rewriter::emit_setp(isa::Pred p, isa::CmpOp cmp, isa::Reg a, isa::Operand b) {
+  Instr ins;
+  ins.op = Opcode::kSetp;
+  ins.dst = p.idx;
+  ins.src0 = a.idx;
+  ins.aux = static_cast<u8>(cmp);
+  if (b.is_imm) {
+    ins.src1_is_imm = true;
+    ins.imm = b.imm;
+  } else {
+    ins.src1 = b.reg;
+  }
+  emit(ins);
+}
+
+void Rewriter::emit_if(isa::Pred p) {
+  Instr ins;
+  ins.op = Opcode::kIf;
+  ins.aux = p.idx;
+  emit(ins);
+}
+
+void Rewriter::emit_endif() { emit(Instr{.op = Opcode::kEndIf}); }
+
+void Rewriter::emit_ld_global(isa::Reg dst, isa::Reg addr, u32 offset) {
+  Instr ins;
+  ins.op = Opcode::kLdGlobal;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.imm = offset;
+  ins.aux = 4;
+  emit(ins);
+}
+
+void Rewriter::emit_st_global(isa::Reg addr, isa::Reg value, u32 offset) {
+  Instr ins;
+  ins.op = Opcode::kStGlobal;
+  ins.src0 = addr.idx;
+  ins.src1 = value.idx;
+  ins.imm = offset;
+  ins.aux = 4;
+  emit(ins);
+}
+
+void Rewriter::emit_atomic_global(isa::Reg dst, isa::AtomicOp op, isa::Reg addr,
+                                  isa::Reg operand) {
+  Instr ins;
+  ins.op = Opcode::kAtomGlobal;
+  ins.dst = dst.idx;
+  ins.src0 = addr.idx;
+  ins.src1 = operand.idx;
+  ins.aux = static_cast<u8>(op);
+  emit(ins);
+}
+
+void Rewriter::emit_special(isa::Reg dst, isa::SpecialReg which) {
+  Instr ins;
+  ins.op = Opcode::kSpecial;
+  ins.dst = dst.idx;
+  ins.imm = static_cast<u32>(which);
+  emit(ins);
+}
+
+void Rewriter::emit_param(isa::Reg dst, u32 slot) {
+  Instr ins;
+  ins.op = Opcode::kParam;
+  ins.dst = dst.idx;
+  ins.imm = slot;
+  emit(ins);
+}
+
+isa::Program Rewriter::rewrite(const Hooks& hooks, const std::string& name_suffix) {
+  const auto& code = original_->code();
+  out_.clear();
+  new_pc_.assign(code.size(), 0);
+
+  if (hooks.preamble) hooks.preamble(*this, code.empty() ? Instr{} : code.front());
+
+  for (u32 pc = 0; pc < code.size(); ++pc) {
+    const Instr& ins = code[pc];
+    new_pc_[pc] = static_cast<u32>(out_.size());
+    bool keep = true;
+    if (hooks.before) keep = hooks.before(*this, ins);
+    if (keep) out_.push_back(ins);
+    if (hooks.after) hooks.after(*this, ins);
+  }
+
+  // Remap jump targets. Instrumentation never emits pc-relative branches,
+  // so every target in `out_` that came from the original maps cleanly.
+  for (Instr& ins : out_) {
+    switch (ins.op) {
+      case Opcode::kJump:
+      case Opcode::kBreakIf:
+      case Opcode::kBreakIfNot:
+        ins.imm = new_pc_[ins.imm];
+        break;
+      default:
+        break;
+    }
+  }
+
+  return isa::Program(original_->name() + name_suffix, std::move(out_), next_reg_, next_pred_);
+}
+
+}  // namespace haccrg::swrace

@@ -1,0 +1,60 @@
+// Program rewriter: rebuilds a kernel Program while letting an
+// instrumentation pass inject instruction sequences before/after selected
+// instructions. Jump targets are remapped so the structured control flow
+// survives arbitrary insertions; scratch registers and predicates are
+// allocated above the original program's high-water marks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "isa/program.hpp"
+
+namespace haccrg::swrace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(const isa::Program& original);
+
+  /// Scratch register/predicate allocation (above the original's usage).
+  isa::Reg scratch_reg();
+  isa::Pred scratch_pred();
+
+  /// Emit an instrumentation instruction at the current position.
+  void emit(isa::Instr ins);
+
+  // Convenience emitters mirroring KernelBuilder's encodings.
+  void emit_mov(isa::Reg dst, u32 imm);
+  void emit_mov_reg(isa::Reg dst, u8 src);
+  void emit_alu(isa::Opcode op, isa::Reg dst, u8 src0, isa::Operand b);
+  void emit_setp(isa::Pred p, isa::CmpOp cmp, isa::Reg a, isa::Operand b);
+  void emit_if(isa::Pred p);
+  void emit_endif();
+  void emit_ld_global(isa::Reg dst, isa::Reg addr, u32 offset = 0);
+  void emit_st_global(isa::Reg addr, isa::Reg value, u32 offset = 0);
+  void emit_atomic_global(isa::Reg dst, isa::AtomicOp op, isa::Reg addr, isa::Reg operand);
+  void emit_special(isa::Reg dst, isa::SpecialReg which);
+  void emit_param(isa::Reg dst, u32 slot);
+
+  /// Hooks: called for each original instruction. `before` runs with the
+  /// original instruction not yet emitted; returning false suppresses the
+  /// original (rare). `after` runs just after it.
+  struct Hooks {
+    std::function<void(Rewriter&, const isa::Instr&)> preamble;  ///< once, at pc 0
+    std::function<bool(Rewriter&, const isa::Instr&)> before;
+    std::function<void(Rewriter&, const isa::Instr&)> after;
+  };
+
+  /// Run the rewrite and produce the instrumented program.
+  isa::Program rewrite(const Hooks& hooks, const std::string& name_suffix);
+
+ private:
+  const isa::Program* original_;
+  std::vector<isa::Instr> out_;
+  std::vector<u32> new_pc_;  // old pc -> new pc of the original instruction
+  u32 next_reg_;
+  u32 next_pred_;
+};
+
+}  // namespace haccrg::swrace

@@ -1,0 +1,167 @@
+#include "swrace/sw_haccrg.hpp"
+
+#include "swrace/rewriter.hpp"
+
+namespace haccrg::swrace {
+
+using isa::AtomicOp;
+using isa::CmpOp;
+using isa::Opcode;
+using isa::Operand;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+using isa::SpecialReg;
+
+namespace {
+
+/// State threaded through the rewrite: scratch registers holding values
+/// that are computed once in the preamble.
+struct Ctx {
+  Reg gtid;           ///< global thread id (race tag identity)
+  Reg epoch;          ///< per-block barrier epoch (bumped after each kBar)
+  Reg global_shadow;  ///< base of the global shadow region
+  Reg shared_shadow;  ///< base of this block's shared shadow region
+  Reg counter;        ///< race counter address
+  Reg t0, t1, t2, t3; ///< per-access scratch
+  Pred p0, p1, p2;
+};
+
+void emit_preamble(Rewriter& rw, Ctx& ctx) {
+  ctx.gtid = rw.scratch_reg();
+  ctx.epoch = rw.scratch_reg();
+  ctx.global_shadow = rw.scratch_reg();
+  ctx.shared_shadow = rw.scratch_reg();
+  ctx.counter = rw.scratch_reg();
+  ctx.t0 = rw.scratch_reg();
+  ctx.t1 = rw.scratch_reg();
+  ctx.t2 = rw.scratch_reg();
+  ctx.t3 = rw.scratch_reg();
+  ctx.p0 = rw.scratch_pred();
+  ctx.p1 = rw.scratch_pred();
+  ctx.p2 = rw.scratch_pred();
+
+  rw.emit_special(ctx.gtid, SpecialReg::kGTid);
+  rw.emit_mov(ctx.epoch, 0);
+  rw.emit_param(ctx.global_shadow, SwHaccrgLayout::kGlobalShadowParam);
+  rw.emit_param(ctx.counter, SwHaccrgLayout::kCounterParam);
+  // shared_shadow = param + ctaid * <block region>; the region size is
+  // baked into the parameter by attach_sw_haccrg (slot holds the base and
+  // the stride is in the upper... simpler: the stride equals the shared
+  // region's shadow words * 4 passed via the base's low bits is fragile,
+  // so attach passes base and we compute ctaid*stride with a fixed stride
+  // equal to the maximum scratchpad (16 KB -> 4096 words).
+  rw.emit_param(ctx.shared_shadow, SwHaccrgLayout::kSharedShadowParam);
+  rw.emit_special(ctx.t0, SpecialReg::kCtaId);
+  rw.emit_alu(Opcode::kMul, ctx.t0, ctx.t0.idx, Operand(16384u));
+  rw.emit_alu(Opcode::kAdd, ctx.shared_shadow, ctx.shared_shadow.idx, Operand(ctx.t0));
+}
+
+/// The per-access check: claim the shadow word, compare the old tag.
+///   tag  = gtid<<12 | epoch<<2 | rw_bits
+///   race = old != 0 && old>>12 != gtid && old_epoch == epoch
+///          && ((old | tag) & 2) != 0
+void emit_check(Rewriter& rw, Ctx& ctx, const isa::Instr& ins, bool shared_space) {
+  const bool is_write = ins.op == Opcode::kStGlobal || ins.op == Opcode::kStShared;
+
+  // t0 = accessed address (address register + offset), then granule.
+  rw.emit_mov_reg(ctx.t0, ins.src0);
+  if (ins.imm != 0) rw.emit_alu(Opcode::kAdd, ctx.t0, ctx.t0.idx, Operand(ins.imm));
+  rw.emit_alu(Opcode::kShr, ctx.t0, ctx.t0.idx, Operand(2u));  // word granule
+  rw.emit_alu(Opcode::kShl, ctx.t0, ctx.t0.idx, Operand(2u));  // shadow byte offset
+  rw.emit_alu(Opcode::kAdd, ctx.t0, ctx.t0.idx,
+              Operand(shared_space ? ctx.shared_shadow : ctx.global_shadow));
+
+  // t1 = my tag.
+  rw.emit_alu(Opcode::kShl, ctx.t1, ctx.gtid.idx, Operand(12u));
+  rw.emit_alu(Opcode::kAnd, ctx.t2, ctx.epoch.idx, Operand(0x3ffu));
+  rw.emit_alu(Opcode::kShl, ctx.t2, ctx.t2.idx, Operand(2u));
+  rw.emit_alu(Opcode::kOr, ctx.t1, ctx.t1.idx, Operand(ctx.t2));
+  rw.emit_alu(Opcode::kOr, ctx.t1, ctx.t1.idx, Operand(is_write ? 2u : 1u));
+
+  // t2 = old tag (atomic claim).
+  rw.emit_atomic_global(ctx.t2, AtomicOp::kExch, ctx.t0, ctx.t1);
+
+  // Race check, short-circuited with nested ifs.
+  rw.emit_setp(ctx.p0, CmpOp::kNe, ctx.t2, Operand(0u));
+  rw.emit_if(ctx.p0);
+  {
+    // Same epoch?
+    rw.emit_alu(Opcode::kXor, ctx.t3, ctx.t2.idx, Operand(ctx.t1));
+    rw.emit_alu(Opcode::kShr, ctx.t3, ctx.t3.idx, Operand(2u));
+    rw.emit_alu(Opcode::kAnd, ctx.t3, ctx.t3.idx, Operand(0x3ffu));
+    rw.emit_setp(ctx.p1, CmpOp::kEq, ctx.t3, Operand(0u));
+    rw.emit_if(ctx.p1);
+    {
+      // Different thread, and a write involved?
+      rw.emit_alu(Opcode::kShr, ctx.t3, ctx.t2.idx, Operand(12u));
+      rw.emit_setp(ctx.p2, CmpOp::kNe, ctx.t3, Operand(ctx.gtid));
+      rw.emit_if(ctx.p2);
+      {
+        rw.emit_alu(Opcode::kOr, ctx.t3, ctx.t2.idx, Operand(ctx.t1));
+        rw.emit_alu(Opcode::kAnd, ctx.t3, ctx.t3.idx, Operand(2u));
+        rw.emit_setp(ctx.p2, CmpOp::kNe, ctx.t3, Operand(0u));
+        rw.emit_if(ctx.p2);
+        rw.emit_mov(ctx.t3, 1);
+        rw.emit_atomic_global(ctx.t3, AtomicOp::kAdd, ctx.counter, ctx.t3);
+        rw.emit_endif();
+      }
+      rw.emit_endif();
+    }
+    rw.emit_endif();
+  }
+  rw.emit_endif();
+}
+
+}  // namespace
+
+Program instrument_sw_haccrg(const Program& program) {
+  Rewriter rw(program);
+  auto ctx = std::make_shared<Ctx>();
+
+  Rewriter::Hooks hooks;
+  hooks.preamble = [ctx](Rewriter& r, const isa::Instr&) { emit_preamble(r, *ctx); };
+  hooks.before = [ctx](Rewriter& r, const isa::Instr& ins) {
+    switch (ins.op) {
+      case Opcode::kLdGlobal:
+      case Opcode::kStGlobal:
+        emit_check(r, *ctx, ins, /*shared_space=*/false);
+        break;
+      case Opcode::kLdShared:
+      case Opcode::kStShared:
+        emit_check(r, *ctx, ins, /*shared_space=*/true);
+        break;
+      default:
+        break;
+    }
+    return true;
+  };
+  hooks.after = [ctx](Rewriter& r, const isa::Instr& ins) {
+    if (ins.op == Opcode::kBar) {
+      r.emit_alu(Opcode::kAdd, ctx->epoch, ctx->epoch.idx, Operand(1u));
+    }
+  };
+  return rw.rewrite(hooks, "+swrd");
+}
+
+void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
+  const u32 heap = gpu.allocator().heap_top();
+  const Addr global_shadow = gpu.allocator().alloc(heap, "swrd.global_shadow");
+  const Addr shared_shadow =
+      gpu.allocator().alloc(prep.grid_dim * 16384, "swrd.shared_shadow");
+  const Addr counter = gpu.allocator().alloc(4, "swrd.counter");
+  gpu.memory().fill(global_shadow, heap, 0);
+  gpu.memory().fill(shared_shadow, prep.grid_dim * 16384, 0);
+  gpu.memory().fill(counter, 4, 0);
+
+  prep.params[SwHaccrgLayout::kGlobalShadowParam] = global_shadow;
+  prep.params[SwHaccrgLayout::kSharedShadowParam] = shared_shadow;
+  prep.params[SwHaccrgLayout::kCounterParam] = counter;
+  prep.program = instrument_sw_haccrg(prep.program);
+}
+
+u64 sw_haccrg_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep) {
+  return gpu.memory().read_u32(prep.params[SwHaccrgLayout::kCounterParam]);
+}
+
+}  // namespace haccrg::swrace

@@ -1,0 +1,40 @@
+// Software implementation of HAccRG (Section VI-B): the same
+// per-location shadow tracking performed entirely by inserted kernel
+// code instead of hardware RDUs. Every shared/global load/store is
+// wrapped with an instruction sequence that claims the location's shadow
+// tag word with an atomic exchange, decodes the previous owner, and bumps
+// a race counter when a conflicting same-epoch access by another thread
+// is found. This is the instrumentation cost the paper measures at
+// 6.6x/12.4x/18.1x for SCAN/HIST/KMEANS.
+//
+// Tag word layout: [gtid:20 | epoch:10 | rw:2], where rw is 01 for reads
+// and 10 for writes and epoch is the block's barrier count (so accesses
+// separated by a barrier never alias as racing).
+#pragma once
+
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+
+namespace haccrg::swrace {
+
+/// Parameter slots the instrumented kernel reads (kept clear of the
+/// benchmarks, which use slots 0..7).
+struct SwHaccrgLayout {
+  static constexpr u32 kGlobalShadowParam = 12;  ///< global shadow base
+  static constexpr u32 kSharedShadowParam = 13;  ///< per-block shared shadow base
+  static constexpr u32 kCounterParam = 14;       ///< race counter address
+};
+
+/// Instrument `program`. `shared_shadow_words_per_block` is the size of
+/// one block's shared shadow region (scratchpad words).
+isa::Program instrument_sw_haccrg(const isa::Program& program);
+
+/// Allocate the shadow/counter buffers for an already-prepared benchmark
+/// and swap in the instrumented program. Must be called after prepare()
+/// (the global shadow covers the heap at that point).
+void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep);
+
+/// Races the software detector recorded (the counter value).
+u64 sw_haccrg_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep);
+
+}  // namespace haccrg::swrace

@@ -1,0 +1,190 @@
+// Unit tests for the ISA layer: kernel builder, program validation, and
+// the disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+namespace haccrg {
+namespace {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+
+TEST(Builder, EmptyKernelGetsImplicitExit) {
+  KernelBuilder kb("empty");
+  Program prog = kb.build();
+  ASSERT_EQ(prog.size(), 1u);
+  EXPECT_EQ(prog.at(0).op, Opcode::kExit);
+  EXPECT_EQ(prog.validate(), "");
+}
+
+TEST(Builder, RegisterAllocationIsLinear) {
+  KernelBuilder kb("regs");
+  Reg a = kb.reg();
+  Reg b = kb.reg();
+  EXPECT_EQ(a.idx, 0);
+  EXPECT_EQ(b.idx, 1);
+  Reg c = kb.imm(5);
+  EXPECT_EQ(c.idx, 2);
+  EXPECT_EQ(kb.regs_used(), 3u);
+}
+
+TEST(Builder, ImmediateOperandsEncode) {
+  KernelBuilder kb("imm");
+  Reg a = kb.reg();
+  kb.add(a, a, 42u);
+  Program prog = kb.build();
+  EXPECT_EQ(prog.at(0).op, Opcode::kAdd);
+  EXPECT_TRUE(prog.at(0).src1_is_imm);
+  EXPECT_EQ(prog.at(0).imm, 42u);
+}
+
+TEST(Builder, IfElseEmitsBalancedScopes) {
+  KernelBuilder kb("ifelse");
+  Reg a = kb.imm(0);
+  Pred p = kb.pred();
+  kb.setp(p, CmpOp::kEq, a, 0u);
+  kb.if_else(p, [&] { kb.mov(a, 1u); }, [&] { kb.mov(a, 2u); });
+  Program prog = kb.build();
+  EXPECT_EQ(prog.validate(), "");
+  u32 ifs = prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kIf; });
+  u32 elses = prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kElse; });
+  u32 endifs = prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kEndIf; });
+  EXPECT_EQ(ifs, 1u);
+  EXPECT_EQ(elses, 1u);
+  EXPECT_EQ(endifs, 1u);
+}
+
+TEST(Builder, WhileLoopJumpTargetsAreConsistent) {
+  KernelBuilder kb("loop");
+  Reg i = kb.imm(0);
+  Pred p = kb.pred();
+  kb.while_(
+      [&] {
+        kb.setp(p, CmpOp::kLtU, i, 10u);
+        return p;
+      },
+      [&] { kb.add(i, i, 1u); });
+  Program prog = kb.build();
+  EXPECT_EQ(prog.validate(), "");
+
+  // Find the break and verify it targets the loop end.
+  u32 brk_pc = ~0u, end_pc = ~0u, jump_pc = ~0u;
+  for (u32 pc = 0; pc < prog.size(); ++pc) {
+    if (prog.at(pc).op == Opcode::kBreakIfNot) brk_pc = pc;
+    if (prog.at(pc).op == Opcode::kLoopEnd) end_pc = pc;
+    if (prog.at(pc).op == Opcode::kJump) jump_pc = pc;
+  }
+  ASSERT_NE(brk_pc, ~0u);
+  ASSERT_NE(end_pc, ~0u);
+  ASSERT_NE(jump_pc, ~0u);
+  EXPECT_EQ(prog.at(brk_pc).imm, end_pc);
+  EXPECT_LT(prog.at(jump_pc).imm, brk_pc);  // back-edge to the condition
+}
+
+TEST(Builder, NestedLoopsValidate) {
+  KernelBuilder kb("nested");
+  Reg i = kb.reg();
+  Reg j = kb.reg();
+  Reg acc = kb.imm(0);
+  kb.for_range(i, 0u, 4u, 1u,
+               [&] { kb.for_range(j, 0u, 4u, 1u, [&] { kb.add(acc, acc, 1u); }); });
+  Program prog = kb.build();
+  EXPECT_EQ(prog.validate(), "");
+}
+
+TEST(Builder, MemoryEncodings) {
+  KernelBuilder kb("mem");
+  Reg addr = kb.imm(0x100);
+  Reg v = kb.reg();
+  kb.ld_global(v, addr, 8, 1);
+  kb.st_shared(addr, v, 4, 4);
+  Program prog = kb.build();
+  const isa::Instr& ld = prog.at(1);
+  EXPECT_EQ(ld.op, Opcode::kLdGlobal);
+  EXPECT_EQ(ld.imm, 8u);
+  EXPECT_EQ(ld.width(), 1u);
+  const isa::Instr& st = prog.at(2);
+  EXPECT_EQ(st.op, Opcode::kStShared);
+  EXPECT_EQ(st.imm, 4u);
+  EXPECT_EQ(st.width(), 4u);
+}
+
+TEST(Builder, AtomicCasEncodesCompareRegister) {
+  KernelBuilder kb("cas");
+  Reg addr = kb.imm(0);
+  Reg cmp = kb.imm(0);
+  Reg val = kb.imm(1);
+  Reg old = kb.reg();
+  kb.atom_global_cas(old, addr, cmp, val);
+  Program prog = kb.build();
+  const isa::Instr& cas = prog.at(3);
+  EXPECT_EQ(cas.op, Opcode::kAtomGlobal);
+  EXPECT_EQ(cas.atomic(), isa::AtomicOp::kCas);
+  EXPECT_EQ(cas.src2, cmp.idx);
+  EXPECT_EQ(cas.src1, val.idx);
+}
+
+TEST(Builder, WithLockEmitsMarkers) {
+  KernelBuilder kb("lock");
+  Reg lock = kb.imm(0x40);
+  kb.with_lock(lock, [&] {});
+  Program prog = kb.build();
+  EXPECT_EQ(prog.validate(), "");
+  EXPECT_EQ(prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kLockAcqMark; }), 1u);
+  EXPECT_EQ(prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kLockRelMark; }), 1u);
+  EXPECT_EQ(prog.count_if([](const isa::Instr& i) { return i.op == Opcode::kMemBar; }), 1u);
+}
+
+TEST(Program, ValidateRejectsBadJump) {
+  std::vector<isa::Instr> code;
+  code.push_back({.op = Opcode::kJump, .imm = 99});
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsUnbalancedScopes) {
+  std::vector<isa::Instr> code;
+  code.push_back({.op = Opcode::kIf});
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsBadWidth) {
+  std::vector<isa::Instr> code;
+  isa::Instr ld;
+  ld.op = Opcode::kLdGlobal;
+  ld.aux = 3;  // only 1 and 4 are legal
+  code.push_back(ld);
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, DisassemblyMentionsEveryOpcode) {
+  KernelBuilder kb("disasm");
+  Reg a = kb.imm(1);
+  Reg b = kb.reg();
+  kb.add(b, a, a);
+  kb.fadd(b, b, a);
+  Pred p = kb.pred();
+  kb.setp(p, CmpOp::kLtU, b, 10u);
+  kb.if_(p, [&] { kb.barrier(); });
+  kb.ld_global(b, a);
+  kb.st_global(a, b);
+  Program prog = kb.build();
+  const std::string text = prog.disassemble();
+  for (const char* token : {"mov", "add", "fadd", "setp.lt.u", "if", "bar.sync", "ld.global",
+                            "st.global", "exit"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace haccrg

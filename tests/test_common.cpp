@@ -1,0 +1,129 @@
+// Unit tests for the common utility layer: bit helpers, RNGs, statistics,
+// and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace haccrg {
+namespace {
+
+TEST(BitOps, Pow2Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1000));
+}
+
+TEST(BitOps, Log2OfPow2) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(128), 7u);
+  EXPECT_EQ(log2_pow2(1u << 20), 20u);
+}
+
+TEST(BitOps, AlignUp) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 256), 256u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(BitOps, FloatBitCasts) {
+  EXPECT_EQ(as_f32(as_u32(1.5f)), 1.5f);
+  EXPECT_EQ(as_u32(0.0f), 0u);
+  EXPECT_EQ(as_f32(0x3f800000u), 1.0f);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixBelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(37), 37u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, SplitMixF32InUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const f32 v = rng.next_f32();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, Lcg32MatchesRecurrence) {
+  Lcg32 rng(123);
+  u32 state = 123;
+  for (int i = 0; i < 50; ++i) {
+    state = state * Lcg32::kMul + Lcg32::kAdd;
+    EXPECT_EQ(rng.next(), state);
+  }
+}
+
+TEST(Stats, MeanGeomeanStddev) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_NEAR(stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, StatSetAccumulatesAndMerges) {
+  StatSet a;
+  a.add("x");
+  a.add("x", 4);
+  a.set("y", 7);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 7u);
+  EXPECT_EQ(a.get("missing"), 0u);
+
+  StatSet b;
+  b.add("x", 10);
+  a.merge(b, "sub.");
+  EXPECT_EQ(a.get("sub.x"), 10u);
+  EXPECT_EQ(a.get("x"), 5u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "23456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(TablePrinter::pct(0.27, 1), "27.0%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace haccrg

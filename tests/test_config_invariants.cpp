@@ -1,0 +1,101 @@
+// Cross-configuration invariants: knobs that must change timing but
+// never architectural results or detection verdicts.
+#include <gtest/gtest.h>
+
+#include "kernels/common.hpp"
+
+namespace haccrg {
+namespace {
+
+using kernels::BenchOptions;
+using kernels::PreparedKernel;
+using kernels::find_benchmark;
+
+arch::GpuConfig test_gpu() {
+  arch::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.device_mem_bytes = 16 * 1024 * 1024;
+  return cfg;
+}
+
+sim::SimResult run(const std::string& name, const rd::HaccrgConfig& det) {
+  sim::Gpu gpu(test_gpu(), det);
+  PreparedKernel prep = find_benchmark(name)->prepare(gpu, BenchOptions{});
+  sim::SimResult r = gpu.launch(prep.launch());
+  EXPECT_TRUE(r.completed) << r.error;
+  if (prep.verify) {
+    std::string msg;
+    EXPECT_TRUE(prep.verify(gpu.memory(), &msg)) << name << ": " << msg;
+  }
+  return r;
+}
+
+class PlacementInvariance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlacementInvariance, SwSharedShadowAgreesOnRacePresence) {
+  // Placement changes timing, which can reorder scheduling-dependent
+  // races (different granules/classifications); the verdict — whether a
+  // space has races at all — must not change.
+  rd::HaccrgConfig hw;
+  hw.enable_shared = true;
+  hw.enable_global = true;
+  rd::HaccrgConfig sw = hw;
+  sw.shared_shadow = rd::SharedShadowPlacement::kGlobalMemory;
+
+  sim::SimResult hw_run = run(GetParam(), hw);
+  sim::SimResult sw_run = run(GetParam(), sw);
+  EXPECT_EQ(hw_run.races.count(rd::MemSpace::kShared) > 0,
+            sw_run.races.count(rd::MemSpace::kShared) > 0)
+      << GetParam();
+  EXPECT_EQ(hw_run.races.count(rd::MemSpace::kGlobal) > 0,
+            sw_run.races.count(rd::MemSpace::kGlobal) > 0)
+      << GetParam();
+}
+
+TEST_P(PlacementInvariance, DetectionDoesNotChangeInstructionCounts) {
+  // Holds for kernels without timing-dependent retry loops (HASH's CAS
+  // spin legitimately varies with timing, so it is not in this list).
+  sim::SimResult off = run(GetParam(), rd::HaccrgConfig{});
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  sim::SimResult on = run(GetParam(), det);
+  if (GetParam() != "HASH") {
+    EXPECT_EQ(off.warp_instructions, on.warp_instructions) << GetParam();
+    EXPECT_EQ(off.lane_instructions, on.lane_instructions) << GetParam();
+  }
+  EXPECT_EQ(off.barriers, on.barriers) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PlacementInvariance,
+                         ::testing::Values("SCAN", "HIST", "REDUCE", "OFFT", "HASH"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(DeterminismInvariant, RepeatedRunsAreBitIdentical) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  sim::SimResult a = run("REDUCE", det);
+  sim::SimResult b = run("REDUCE", det);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.races.unique(), b.races.unique());
+  EXPECT_EQ(a.races.total(), b.races.total());
+  EXPECT_EQ(a.stats.get("icnt.request_packets"), b.stats.get("icnt.request_packets"));
+}
+
+TEST(DescribeStrings, AreInformative) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.shared_shadow = rd::SharedShadowPlacement::kGlobalMemory;
+  const std::string text = det.describe();
+  EXPECT_NE(text.find("shared=on"), std::string::npos);
+  EXPECT_NE(text.find("global-mem"), std::string::npos);
+
+  arch::GpuConfig gpu;
+  EXPECT_NE(gpu.describe().find("Round Robin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace haccrg

@@ -1,0 +1,56 @@
+// The injected-race campaign of Section VI-A: 23 removed barriers, 13
+// rogue cross-block stores, 3 removed fences, 2 critical-section rogues
+// — 41 in total, every one of which HAccRG must detect.
+#include <gtest/gtest.h>
+
+#include "kernels/injection.hpp"
+
+namespace haccrg {
+namespace {
+
+using kernels::InjectionCase;
+using kernels::InjectionKind;
+using kernels::all_injection_cases;
+using kernels::run_injection_case;
+
+arch::GpuConfig test_gpu() {
+  arch::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.device_mem_bytes = 16 * 1024 * 1024;
+  return cfg;
+}
+
+TEST(InjectionSuite, HasFortyOneCases) {
+  const auto cases = all_injection_cases();
+  EXPECT_EQ(cases.size(), 41u);
+  u32 counts[5] = {};
+  for (const auto& c : cases) counts[static_cast<u32>(c.injection.kind)]++;
+  EXPECT_EQ(counts[static_cast<u32>(InjectionKind::kRemoveBarrier)], 23u);
+  EXPECT_EQ(counts[static_cast<u32>(InjectionKind::kRogueCrossBlock)], 13u);
+  EXPECT_EQ(counts[static_cast<u32>(InjectionKind::kRemoveFence)], 3u);
+  EXPECT_EQ(counts[static_cast<u32>(InjectionKind::kRogueCritical)], 2u);
+}
+
+class InjectionDetection : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(InjectionDetection, InjectedRaceIsDetected) {
+  const auto cases = all_injection_cases();
+  ASSERT_LT(GetParam(), cases.size());
+  const InjectionCase& test = cases[GetParam()];
+  const auto result = run_injection_case(test, test_gpu());
+  EXPECT_TRUE(result.detected) << test.label() << " — races in expected space: "
+                               << result.races_in_space << ", total: " << result.races_total;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFortyOne, InjectionDetection, ::testing::Range<size_t>(0, 41),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           auto cases = all_injection_cases();
+                           std::string label = cases[info.param].label();
+                           for (char& c : label) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return label;
+                         });
+
+}  // namespace
+}  // namespace haccrg

@@ -1,0 +1,131 @@
+// Unit tests for the instrumentation rewriter: jump-target remapping
+// across insertions, scratch allocation above the original high-water
+// marks, and functional equivalence of rewritten loop programs.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/gpu.hpp"
+#include "swrace/rewriter.hpp"
+
+namespace haccrg {
+namespace {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+using swrace::Rewriter;
+
+Program loop_kernel() {
+  KernelBuilder kb("loop");
+  Reg gid = kb.special(isa::SpecialReg::kGTid);
+  Reg pout = kb.param(0);
+  Reg acc = kb.imm(0);
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, 10u, 1u, [&] { kb.add(acc, acc, 3u); });
+  Reg dst = kb.addr(pout, gid, 4);
+  kb.st_global(dst, acc);
+  return kb.build();
+}
+
+TEST(Rewriter, IdentityRewritePreservesProgram) {
+  Program original = loop_kernel();
+  Rewriter rw(original);
+  Program copy = rw.rewrite({}, "+id");
+  ASSERT_EQ(copy.size(), original.size());
+  for (u32 pc = 0; pc < copy.size(); ++pc) {
+    EXPECT_EQ(copy.at(pc).op, original.at(pc).op) << pc;
+    EXPECT_EQ(copy.at(pc).imm, original.at(pc).imm) << pc;
+  }
+  EXPECT_EQ(copy.validate(), "");
+}
+
+TEST(Rewriter, InsertionRemapsJumpTargets) {
+  Program original = loop_kernel();
+  Rewriter rw(original);
+  Rewriter::Hooks hooks;
+  // Insert two NOPs before every ALU add: shifts everything downstream.
+  hooks.before = [](Rewriter& r, const isa::Instr& ins) {
+    if (ins.op == Opcode::kAdd) {
+      r.emit(isa::Instr{.op = Opcode::kNop});
+      r.emit(isa::Instr{.op = Opcode::kNop});
+    }
+    return true;
+  };
+  Program rewritten = rw.rewrite(hooks, "+nops");
+  EXPECT_EQ(rewritten.validate(), "");
+  EXPECT_GT(rewritten.size(), original.size());
+  // Every jump still lands on the right opcode class.
+  for (u32 pc = 0; pc < rewritten.size(); ++pc) {
+    const isa::Instr& ins = rewritten.at(pc);
+    if (ins.op == Opcode::kBreakIfNot) {
+      EXPECT_EQ(rewritten.at(ins.imm).op, Opcode::kLoopEnd);
+    }
+    if (ins.op == Opcode::kJump) {
+      EXPECT_LT(ins.imm, pc);  // back-edge
+    }
+  }
+}
+
+TEST(Rewriter, RewrittenLoopStillComputesCorrectly) {
+  Program original = loop_kernel();
+  Rewriter rw(original);
+  Rewriter::Hooks hooks;
+  hooks.before = [](Rewriter& r, const isa::Instr& ins) {
+    if (ins.op == Opcode::kStGlobal) r.emit(isa::Instr{.op = Opcode::kNop});
+    return true;
+  };
+  hooks.after = [](Rewriter& r, const isa::Instr& ins) {
+    if (ins.op == Opcode::kAdd) r.emit(isa::Instr{.op = Opcode::kNop});
+    return;
+  };
+  Program rewritten = rw.rewrite(hooks, "+pad");
+  ASSERT_EQ(rewritten.validate(), "");
+
+  arch::GpuConfig cfg;
+  cfg.num_sms = 1;
+  cfg.device_mem_bytes = 1024 * 1024;
+  sim::Gpu gpu(cfg, rd::HaccrgConfig{});
+  const Addr out = gpu.allocator().alloc(64 * 4, "out");
+  sim::LaunchConfig launch;
+  launch.program = &rewritten;
+  launch.grid_dim = 1;
+  launch.block_dim = 64;
+  launch.params = {out};
+  sim::SimResult r = gpu.launch(launch);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (u32 t = 0; t < 64; ++t) EXPECT_EQ(gpu.memory().read_u32(out + t * 4), 30u);
+}
+
+TEST(Rewriter, ScratchAllocationStartsAboveOriginal) {
+  Program original = loop_kernel();
+  Rewriter rw(original);
+  isa::Reg r1 = rw.scratch_reg();
+  isa::Reg r2 = rw.scratch_reg();
+  EXPECT_EQ(r1.idx, original.regs_used());
+  EXPECT_EQ(r2.idx, original.regs_used() + 1);
+  isa::Pred p = rw.scratch_pred();
+  EXPECT_EQ(p.idx, original.preds_used());
+}
+
+TEST(Rewriter, SuppressedInstructionIsDropped) {
+  Program original = loop_kernel();
+  Rewriter rw(original);
+  Rewriter::Hooks hooks;
+  hooks.before = [](Rewriter& r, const isa::Instr& ins) {
+    if (ins.op == Opcode::kStGlobal) {
+      r.emit(isa::Instr{.op = Opcode::kNop});
+      return false;  // drop the store
+    }
+    return true;
+  };
+  Program rewritten = rw.rewrite(hooks, "+drop");
+  EXPECT_EQ(rewritten.count_if([](const isa::Instr& i) { return i.op == Opcode::kStGlobal; }),
+            0u);
+  EXPECT_EQ(rewritten.validate(), "");
+}
+
+}  // namespace
+}  // namespace haccrg

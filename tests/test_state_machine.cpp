@@ -1,0 +1,445 @@
+// Exhaustive unit tests of the Figure-3 shadow state machine for shared
+// memory and its global-memory extension (sync IDs, fence gating,
+// lockset priority, stale-L1 rule), plus pack/unpack round-trip
+// properties of both shadow encodings.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "haccrg/shadow.hpp"
+
+namespace haccrg {
+namespace {
+
+using rd::AccessInfo;
+using rd::BloomGeometry;
+using rd::BloomSignature;
+using rd::CheckOutcome;
+using rd::DetectPolicy;
+using rd::GlobalShadowEntry;
+using rd::RaceMechanism;
+using rd::RaceType;
+using rd::SharedShadowEntry;
+
+DetectPolicy policy() {
+  DetectPolicy p;
+  p.warp_size = 32;
+  p.bloom = {16, 2};
+  return p;
+}
+
+AccessInfo access(u16 thread_slot, bool is_write, Addr addr = 0x40) {
+  AccessInfo a;
+  a.addr = addr;
+  a.size = 4;
+  a.is_write = is_write;
+  a.thread_slot = thread_slot;
+  a.warp_in_sm = thread_slot / 32;
+  return a;
+}
+
+// --- Shared-memory state machine (Figure 3) -----------------------------------
+
+TEST(SharedStateMachine, FirstReadEntersState2) {
+  SharedShadowEntry entry;  // initial: M=1, S=1
+  auto out = rd::check_shared_access(entry, access(5, false), policy());
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_FALSE(entry.m);
+  EXPECT_FALSE(entry.s);
+  EXPECT_EQ(entry.tid, 5);
+}
+
+TEST(SharedStateMachine, FirstWriteEntersState3) {
+  SharedShadowEntry entry;
+  auto out = rd::check_shared_access(entry, access(5, true), policy());
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_TRUE(entry.m);
+  EXPECT_FALSE(entry.s);
+}
+
+TEST(SharedStateMachine, SameThreadReadAfterReadIsQuiet) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  auto out = rd::check_shared_access(entry, access(5, false), policy());
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_FALSE(out.entry_changed);
+}
+
+TEST(SharedStateMachine, CrossWarpSecondReaderSetsShared) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  auto out = rd::check_shared_access(entry, access(40, false), policy());  // warp 1
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_TRUE(entry.s);
+  EXPECT_FALSE(entry.m);
+}
+
+TEST(SharedStateMachine, SameWarpSecondReaderDoesNotSetShared) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  auto out = rd::check_shared_access(entry, access(6, false), policy());  // same warp
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_FALSE(entry.s);
+}
+
+TEST(SharedStateMachine, OwnerUpgradeReadToWrite) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  auto out = rd::check_shared_access(entry, access(5, true), policy());
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_TRUE(entry.m);
+}
+
+TEST(SharedStateMachine, CrossWarpWriteAfterReadIsWar) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  auto out = rd::check_shared_access(entry, access(40, true), policy());
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kWar);
+  EXPECT_EQ(out.race->mechanism, RaceMechanism::kBarrier);
+}
+
+TEST(SharedStateMachine, CrossWarpReadAfterWriteIsRaw) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, true), policy());
+  auto out = rd::check_shared_access(entry, access(40, false), policy());
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kRaw);
+}
+
+TEST(SharedStateMachine, CrossWarpWriteAfterWriteIsWaw) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, true), policy());
+  auto out = rd::check_shared_access(entry, access(40, true), policy());
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kWaw);
+}
+
+TEST(SharedStateMachine, SameWarpWriteAfterWriteIsOrdered) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, true), policy());
+  auto out = rd::check_shared_access(entry, access(6, true), policy());
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_EQ(entry.tid, 6);  // ownership moves to the later writer
+}
+
+TEST(SharedStateMachine, State4AnyWriteIsWar) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  rd::check_shared_access(entry, access(40, false), policy());  // S=1
+  // Even the original reader's write races against "some other reader".
+  auto out = rd::check_shared_access(entry, access(5, true), policy());
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kWar);
+}
+
+TEST(SharedStateMachine, State4ReadsStayQuiet) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, false), policy());
+  rd::check_shared_access(entry, access(40, false), policy());
+  auto out = rd::check_shared_access(entry, access(70, false), policy());
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(SharedStateMachine, WarpRegroupingDisablesWarpFilter) {
+  DetectPolicy regroup = policy();
+  regroup.warp_regrouping = true;
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, true), regroup);
+  auto out = rd::check_shared_access(entry, access(6, true), regroup);  // same warp
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kWaw);
+}
+
+TEST(SharedStateMachine, BarrierResetRestartsTracking) {
+  SharedShadowEntry entry;
+  rd::check_shared_access(entry, access(5, true), policy());
+  entry = SharedShadowEntry{};  // RDU barrier reset
+  auto out = rd::check_shared_access(entry, access(40, false), policy());
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(SharedShadowPacking, RoundTripsAllFieldCombos) {
+  for (u16 tid : {0u, 1u, 511u, 1023u}) {
+    for (bool m : {false, true}) {
+      for (bool s : {false, true}) {
+        SharedShadowEntry e;
+        e.m = m;
+        e.s = s;
+        e.tid = tid;
+        SharedShadowEntry r = SharedShadowEntry::unpack(e.pack());
+        EXPECT_EQ(r.m, m);
+        EXPECT_EQ(r.s, s);
+        EXPECT_EQ(r.tid, tid);
+      }
+    }
+  }
+}
+
+TEST(SharedShadowPacking, ZeroIsInitialState) {
+  SharedShadowEntry e = SharedShadowEntry::unpack(0);
+  EXPECT_TRUE(e.m);
+  EXPECT_TRUE(e.s);
+}
+
+// --- Global-memory state machine -----------------------------------------------
+
+AccessInfo global_access(u16 thread_slot, bool is_write, u32 block_slot, u32 sm_id,
+                         u8 sync_id = 0, u8 fence_id = 0) {
+  AccessInfo a = access(thread_slot, is_write);
+  a.block_slot = block_slot;
+  a.sm_id = sm_id;
+  a.sync_id = sync_id;
+  a.fence_id = fence_id;
+  return a;
+}
+
+rd::FenceIdReader static_fences(u8 value) {
+  return [value](u32, u32) { return value; };
+}
+
+TEST(GlobalStateMachine, SyncIdMismatchWithinBlockIsOrdered) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, /*sync=*/1), policy(),
+                          static_fences(0));
+  // Same block, later epoch, different warp: ordered by the barrier.
+  auto out = rd::check_global_access(entry, global_access(40, false, 0, 0, /*sync=*/2), policy(),
+                                     static_fences(0));
+  EXPECT_FALSE(out.race.has_value());
+  EXPECT_EQ(entry.tid, 40);
+}
+
+TEST(GlobalStateMachine, SameSyncIdWithinBlockRaces) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 1), policy(), static_fences(0));
+  auto out =
+      rd::check_global_access(entry, global_access(40, true, 0, 0, 1), policy(), static_fences(0));
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->type, RaceType::kWaw);
+}
+
+TEST(GlobalStateMachine, CrossBlockSkipsSyncCheck) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 1), policy(), static_fences(0));
+  // Different block, different sync id — still a race: barriers have
+  // block scope only.
+  auto out =
+      rd::check_global_access(entry, global_access(5, true, 1, 0, 9), policy(), static_fences(0));
+  ASSERT_TRUE(out.race.has_value());
+}
+
+TEST(GlobalStateMachine, FenceGateSuppressesRawWhenWriterFenced) {
+  GlobalShadowEntry entry;
+  // Writer (warp 0) wrote with fence id 3.
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 0, /*fence=*/3), policy(),
+                          static_fences(3));
+  // Reader in another block; the writer's warp has since fenced (current
+  // fence id 4 != stored 3): safe consumption.
+  auto out = rd::check_global_access(entry, global_access(5, false, 1, 1), policy(),
+                                     static_fences(4));
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(GlobalStateMachine, UnfencedWriteReadCrossBlockIsFenceRace) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 0, 3), policy(), static_fences(3));
+  auto out = rd::check_global_access(entry, global_access(5, false, 1, 1), policy(),
+                                     static_fences(3));
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->mechanism, RaceMechanism::kFence);
+  EXPECT_EQ(out.race->type, RaceType::kRaw);
+}
+
+TEST(GlobalStateMachine, StaleL1HitIsRaceEvenWithFence) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 0, 3), policy(), static_fences(3));
+  AccessInfo read = global_access(5, false, 1, 1);
+  read.l1_hit = true;  // the reader's L1 served (potentially stale) data
+  auto out = rd::check_global_access(entry, read, policy(), static_fences(4));
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->mechanism, RaceMechanism::kL1Stale);
+}
+
+TEST(GlobalStateMachine, L1HitSameSmIsNotStale) {
+  GlobalShadowEntry entry;
+  rd::check_global_access(entry, global_access(5, true, 0, 0, 0, 3), policy(), static_fences(3));
+  AccessInfo read = global_access(70, false, 1, 0);  // same SM, other block
+  read.l1_hit = true;
+  auto out = rd::check_global_access(entry, read, policy(), static_fences(4));
+  // Same-SM L1 is coherent with its own writes: the fence gate applies
+  // instead, and the writer fenced, so no race.
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(GlobalStateMachine, LocksetCommonLockIsSafe) {
+  BloomGeometry geom{16, 2};
+  BloomSignature lock;
+  lock.insert(0x1000, geom);
+
+  GlobalShadowEntry entry;
+  AccessInfo a = global_access(5, true, 0, 0);
+  a.in_cs = true;
+  a.sig = lock;
+  rd::check_global_access(entry, a, policy(), static_fences(0));
+
+  AccessInfo b = global_access(5, true, 1, 1);
+  b.in_cs = true;
+  b.sig = lock;
+  auto out = rd::check_global_access(entry, b, policy(), static_fences(0));
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(GlobalStateMachine, LocksetDifferentLocksRace) {
+  BloomGeometry geom{16, 2};
+  BloomSignature la, lb;
+  la.insert(0x1000, geom);
+  lb.insert(0x1004, geom);  // adjacent word: different direct-index bit
+
+  GlobalShadowEntry entry;
+  AccessInfo a = global_access(5, true, 0, 0);
+  a.in_cs = true;
+  a.sig = la;
+  rd::check_global_access(entry, a, policy(), static_fences(0));
+
+  AccessInfo b = global_access(5, true, 1, 1);
+  b.in_cs = true;
+  b.sig = lb;
+  auto out = rd::check_global_access(entry, b, policy(), static_fences(0));
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->mechanism, RaceMechanism::kLockset);
+}
+
+TEST(GlobalStateMachine, LocksetProtectedUnprotectedMixRaces) {
+  BloomGeometry geom{16, 2};
+  BloomSignature lock;
+  lock.insert(0x1000, geom);
+
+  GlobalShadowEntry entry;
+  AccessInfo a = global_access(5, true, 0, 0);
+  a.in_cs = true;
+  a.sig = lock;
+  rd::check_global_access(entry, a, policy(), static_fences(0));
+
+  // Unprotected write by another thread.
+  AccessInfo b = global_access(5, true, 1, 1);
+  auto out = rd::check_global_access(entry, b, policy(), static_fences(0));
+  ASSERT_TRUE(out.race.has_value());
+  EXPECT_EQ(out.race->mechanism, RaceMechanism::kLockset);
+}
+
+TEST(GlobalStateMachine, LocksetReadsUnderDifferentLocksAreSafe) {
+  BloomGeometry geom{16, 2};
+  BloomSignature la, lb;
+  la.insert(0x1000, geom);
+  lb.insert(0x1004, geom);
+
+  GlobalShadowEntry entry;
+  AccessInfo a = global_access(5, false, 0, 0);
+  a.in_cs = true;
+  a.sig = la;
+  rd::check_global_access(entry, a, policy(), static_fences(0));
+
+  AccessInfo b = global_access(5, false, 1, 1);
+  b.in_cs = true;
+  b.sig = lb;
+  auto out = rd::check_global_access(entry, b, policy(), static_fences(0));
+  // No write anywhere: not a race even with disjoint locksets.
+  EXPECT_FALSE(out.race.has_value());
+}
+
+TEST(GlobalStateMachine, LocksetIntersectionAccumulates) {
+  BloomGeometry geom{16, 2};
+  BloomSignature l1, l2, both;
+  l1.insert(0x1000, geom);
+  l2.insert(0x1004, geom);
+  both.insert(0x1000, geom);
+  both.insert(0x1004, geom);
+
+  GlobalShadowEntry entry;
+  AccessInfo a = global_access(5, true, 0, 0);
+  a.in_cs = true;
+  a.sig = both;  // holds both locks
+  rd::check_global_access(entry, a, policy(), static_fences(0));
+
+  AccessInfo b = global_access(5, true, 1, 1);
+  b.in_cs = true;
+  b.sig = l1;  // common lock l1
+  auto out = rd::check_global_access(entry, b, policy(), static_fences(0));
+  EXPECT_FALSE(out.race.has_value());
+  // The stored signature shrank to the intersection.
+  EXPECT_EQ(entry.sig, l1.bits() & both.bits());
+}
+
+TEST(GlobalShadowPacking, RoundTripsAllFields) {
+  SplitMix64 rng(0xabc);
+  for (int i = 0; i < 200; ++i) {
+    GlobalShadowEntry e;
+    e.m = (rng.next() & 1) != 0;
+    e.s = (rng.next() & 1) != 0;
+    e.tid = static_cast<u16>(rng.next() & 0x3ff);
+    e.bid = static_cast<u8>(rng.next() & 0x7);
+    e.sid = static_cast<u8>(rng.next() & 0x1f);
+    e.sync_id = static_cast<u8>(rng.next());
+    e.fence_id = static_cast<u8>(rng.next());
+    e.sig = static_cast<u16>(rng.next());
+    e.cs_seen = (rng.next() & 1) != 0;
+    GlobalShadowEntry r = GlobalShadowEntry::unpack(e.pack());
+    EXPECT_EQ(r.m, e.m);
+    EXPECT_EQ(r.s, e.s);
+    EXPECT_EQ(r.tid, e.tid);
+    EXPECT_EQ(r.bid, e.bid);
+    EXPECT_EQ(r.sid, e.sid);
+    EXPECT_EQ(r.sync_id, e.sync_id);
+    EXPECT_EQ(r.fence_id, e.fence_id);
+    EXPECT_EQ(r.sig, e.sig);
+    EXPECT_EQ(r.cs_seen, e.cs_seen);
+  }
+}
+
+TEST(GlobalShadowPacking, ZeroIsInitialState) {
+  GlobalShadowEntry e = GlobalShadowEntry::unpack(0);
+  EXPECT_TRUE(e.m);
+  EXPECT_TRUE(e.s);
+  EXPECT_EQ(e.sig, 0);
+  EXPECT_FALSE(e.cs_seen);
+}
+
+// Property sweep: randomized access sequences never report a race between
+// accesses of the same thread, and reads alone never race.
+class StateMachineProperties : public ::testing::TestWithParam<u64> {};
+
+TEST_P(StateMachineProperties, SingleThreadNeverRacesWithItself) {
+  SplitMix64 rng(GetParam());
+  SharedShadowEntry entry;
+  const u16 tid = static_cast<u16>(rng.next() & 0x3ff);
+  for (int i = 0; i < 200; ++i) {
+    auto out = rd::check_shared_access(entry, access(tid, (rng.next() & 1) != 0), policy());
+    EXPECT_FALSE(out.race.has_value());
+  }
+}
+
+TEST_P(StateMachineProperties, ReadsAloneNeverRace) {
+  SplitMix64 rng(GetParam() ^ 0x5555);
+  SharedShadowEntry entry;
+  for (int i = 0; i < 200; ++i) {
+    const u16 tid = static_cast<u16>(rng.next() & 0x3ff);
+    auto out = rd::check_shared_access(entry, access(tid, false), policy());
+    EXPECT_FALSE(out.race.has_value());
+  }
+}
+
+TEST_P(StateMachineProperties, GlobalReadsAloneNeverRace) {
+  SplitMix64 rng(GetParam() ^ 0xaaaa);
+  GlobalShadowEntry entry;
+  for (int i = 0; i < 200; ++i) {
+    auto a = global_access(static_cast<u16>(rng.next() & 0x3ff), false,
+                           static_cast<u32>(rng.next() & 7), static_cast<u32>(rng.next() & 31));
+    auto out = rd::check_global_access(entry, a, policy(), static_fences(0));
+    EXPECT_FALSE(out.race.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateMachineProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace haccrg
