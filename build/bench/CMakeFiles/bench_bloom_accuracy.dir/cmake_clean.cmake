@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bloom_accuracy.dir/bench_bloom_accuracy.cpp.o"
+  "CMakeFiles/bench_bloom_accuracy.dir/bench_bloom_accuracy.cpp.o.d"
+  "bench_bloom_accuracy"
+  "bench_bloom_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

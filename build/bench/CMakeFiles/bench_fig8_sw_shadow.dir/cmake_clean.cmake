@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sw_shadow.dir/bench_fig8_sw_shadow.cpp.o"
+  "CMakeFiles/bench_fig8_sw_shadow.dir/bench_fig8_sw_shadow.cpp.o.d"
+  "bench_fig8_sw_shadow"
+  "bench_fig8_sw_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sw_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

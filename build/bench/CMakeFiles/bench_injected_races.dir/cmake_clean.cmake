@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_injected_races.dir/bench_injected_races.cpp.o"
+  "CMakeFiles/bench_injected_races.dir/bench_injected_races.cpp.o.d"
+  "bench_injected_races"
+  "bench_injected_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_injected_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

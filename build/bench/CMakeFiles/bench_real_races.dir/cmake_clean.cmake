@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_races.dir/bench_real_races.cpp.o"
+  "CMakeFiles/bench_real_races.dir/bench_real_races.cpp.o.d"
+  "bench_real_races"
+  "bench_real_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

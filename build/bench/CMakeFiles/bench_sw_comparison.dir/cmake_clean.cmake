@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_comparison.dir/bench_sw_comparison.cpp.o"
+  "CMakeFiles/bench_sw_comparison.dir/bench_sw_comparison.cpp.o.d"
+  "bench_sw_comparison"
+  "bench_sw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlb_virtual_memory.dir/bench_tlb_virtual_memory.cpp.o"
+  "CMakeFiles/bench_tlb_virtual_memory.dir/bench_tlb_virtual_memory.cpp.o.d"
+  "bench_tlb_virtual_memory"
+  "bench_tlb_virtual_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlb_virtual_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

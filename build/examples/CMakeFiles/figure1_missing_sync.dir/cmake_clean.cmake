@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_missing_sync.dir/figure1_missing_sync.cpp.o"
+  "CMakeFiles/figure1_missing_sync.dir/figure1_missing_sync.cpp.o.d"
+  "figure1_missing_sync"
+  "figure1_missing_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_missing_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

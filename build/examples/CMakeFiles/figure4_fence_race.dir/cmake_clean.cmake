@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_fence_race.dir/figure4_fence_race.cpp.o"
+  "CMakeFiles/figure4_fence_race.dir/figure4_fence_race.cpp.o.d"
+  "figure4_fence_race"
+  "figure4_fence_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_fence_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_tradeoff.dir/granularity_tradeoff.cpp.o"
+  "CMakeFiles/granularity_tradeoff.dir/granularity_tradeoff.cpp.o.d"
+  "granularity_tradeoff"
+  "granularity_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockset_discipline.dir/lockset_discipline.cpp.o"
+  "CMakeFiles/lockset_discipline.dir/lockset_discipline.cpp.o.d"
+  "lockset_discipline"
+  "lockset_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockset_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lockset_discipline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_arch.dir/config.cpp.o"
+  "CMakeFiles/haccrg_arch.dir/config.cpp.o.d"
+  "libhaccrg_arch.a"
+  "libhaccrg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_common.dir/log.cpp.o"
+  "CMakeFiles/haccrg_common.dir/log.cpp.o.d"
+  "CMakeFiles/haccrg_common.dir/stats.cpp.o"
+  "CMakeFiles/haccrg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/haccrg_common.dir/table.cpp.o"
+  "CMakeFiles/haccrg_common.dir/table.cpp.o.d"
+  "libhaccrg_common.a"
+  "libhaccrg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

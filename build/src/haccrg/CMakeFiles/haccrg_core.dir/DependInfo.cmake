@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/haccrg/bloom.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/bloom.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/bloom.cpp.o.d"
+  "/root/repo/src/haccrg/global_rdu.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/global_rdu.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/global_rdu.cpp.o.d"
+  "/root/repo/src/haccrg/hardware_cost.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/hardware_cost.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/hardware_cost.cpp.o.d"
+  "/root/repo/src/haccrg/options.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/options.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/options.cpp.o.d"
+  "/root/repo/src/haccrg/race.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/race.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/race.cpp.o.d"
+  "/root/repo/src/haccrg/shadow.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/shadow.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/shadow.cpp.o.d"
+  "/root/repo/src/haccrg/shared_rdu.cpp" "src/haccrg/CMakeFiles/haccrg_core.dir/shared_rdu.cpp.o" "gcc" "src/haccrg/CMakeFiles/haccrg_core.dir/shared_rdu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/haccrg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/haccrg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/haccrg_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

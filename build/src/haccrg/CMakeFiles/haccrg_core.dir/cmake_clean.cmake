@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_core.dir/bloom.cpp.o"
+  "CMakeFiles/haccrg_core.dir/bloom.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/global_rdu.cpp.o"
+  "CMakeFiles/haccrg_core.dir/global_rdu.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/hardware_cost.cpp.o"
+  "CMakeFiles/haccrg_core.dir/hardware_cost.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/options.cpp.o"
+  "CMakeFiles/haccrg_core.dir/options.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/race.cpp.o"
+  "CMakeFiles/haccrg_core.dir/race.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/shadow.cpp.o"
+  "CMakeFiles/haccrg_core.dir/shadow.cpp.o.d"
+  "CMakeFiles/haccrg_core.dir/shared_rdu.cpp.o"
+  "CMakeFiles/haccrg_core.dir/shared_rdu.cpp.o.d"
+  "libhaccrg_core.a"
+  "libhaccrg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_isa.dir/builder.cpp.o"
+  "CMakeFiles/haccrg_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/haccrg_isa.dir/opcode.cpp.o"
+  "CMakeFiles/haccrg_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/haccrg_isa.dir/program.cpp.o"
+  "CMakeFiles/haccrg_isa.dir/program.cpp.o.d"
+  "libhaccrg_isa.a"
+  "libhaccrg_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/fwalsh.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/fwalsh.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/fwalsh.cpp.o.d"
+  "/root/repo/src/kernels/hash.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/hash.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/hash.cpp.o.d"
+  "/root/repo/src/kernels/hist.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/hist.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/hist.cpp.o.d"
+  "/root/repo/src/kernels/injection.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/injection.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/injection.cpp.o.d"
+  "/root/repo/src/kernels/kmeans.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/kmeans.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/kmeans.cpp.o.d"
+  "/root/repo/src/kernels/mcarlo.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/mcarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/mcarlo.cpp.o.d"
+  "/root/repo/src/kernels/offt.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/offt.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/offt.cpp.o.d"
+  "/root/repo/src/kernels/psum.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/psum.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/psum.cpp.o.d"
+  "/root/repo/src/kernels/reduce.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/reduce.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/reduce.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/kernels/scan.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/scan.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/scan.cpp.o.d"
+  "/root/repo/src/kernels/sortnw.cpp" "src/kernels/CMakeFiles/haccrg_kernels.dir/sortnw.cpp.o" "gcc" "src/kernels/CMakeFiles/haccrg_kernels.dir/sortnw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/haccrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/haccrg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/haccrg/CMakeFiles/haccrg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/haccrg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccrg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/haccrg_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

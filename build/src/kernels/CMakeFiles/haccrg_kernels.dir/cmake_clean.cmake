@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_kernels.dir/common.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/common.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/fwalsh.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/fwalsh.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/hash.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/hash.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/hist.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/hist.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/injection.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/injection.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/kmeans.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/kmeans.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/mcarlo.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/mcarlo.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/offt.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/offt.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/psum.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/psum.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/reduce.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/reduce.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/registry.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/registry.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/scan.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/scan.cpp.o.d"
+  "CMakeFiles/haccrg_kernels.dir/sortnw.cpp.o"
+  "CMakeFiles/haccrg_kernels.dir/sortnw.cpp.o.d"
+  "libhaccrg_kernels.a"
+  "libhaccrg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

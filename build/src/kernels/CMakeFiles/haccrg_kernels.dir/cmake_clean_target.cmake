@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhaccrg_kernels.a"
+)

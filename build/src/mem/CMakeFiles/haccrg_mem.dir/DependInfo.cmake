@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/coalescer.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/coalescer.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/coalescer.cpp.o.d"
+  "/root/repo/src/mem/device_memory.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/device_memory.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/device_memory.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/interconnect.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/interconnect.cpp.o.d"
+  "/root/repo/src/mem/partition.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/partition.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/partition.cpp.o.d"
+  "/root/repo/src/mem/shared_memory.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/shared_memory.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/shared_memory.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/haccrg_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/haccrg_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/haccrg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/haccrg_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

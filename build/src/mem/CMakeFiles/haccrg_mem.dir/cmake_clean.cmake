@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_mem.dir/cache.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/coalescer.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/coalescer.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/device_memory.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/device_memory.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/dram.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/interconnect.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/interconnect.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/partition.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/partition.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/shared_memory.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/shared_memory.cpp.o.d"
+  "CMakeFiles/haccrg_mem.dir/tlb.cpp.o"
+  "CMakeFiles/haccrg_mem.dir/tlb.cpp.o.d"
+  "libhaccrg_mem.a"
+  "libhaccrg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

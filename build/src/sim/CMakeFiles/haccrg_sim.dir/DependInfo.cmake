@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/haccrg_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/haccrg_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/sim/CMakeFiles/haccrg_sim.dir/sm.cpp.o" "gcc" "src/sim/CMakeFiles/haccrg_sim.dir/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/haccrg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/haccrg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/haccrg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/haccrg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/haccrg/CMakeFiles/haccrg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_sim.dir/gpu.cpp.o"
+  "CMakeFiles/haccrg_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/haccrg_sim.dir/sm.cpp.o"
+  "CMakeFiles/haccrg_sim.dir/sm.cpp.o.d"
+  "libhaccrg_sim.a"
+  "libhaccrg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

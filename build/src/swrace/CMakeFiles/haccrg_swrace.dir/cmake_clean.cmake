@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccrg_swrace.dir/grace.cpp.o"
+  "CMakeFiles/haccrg_swrace.dir/grace.cpp.o.d"
+  "CMakeFiles/haccrg_swrace.dir/rewriter.cpp.o"
+  "CMakeFiles/haccrg_swrace.dir/rewriter.cpp.o.d"
+  "CMakeFiles/haccrg_swrace.dir/sw_haccrg.cpp.o"
+  "CMakeFiles/haccrg_swrace.dir/sw_haccrg.cpp.o.d"
+  "libhaccrg_swrace.a"
+  "libhaccrg_swrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccrg_swrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for haccrg_swrace.
+# This may be replaced when dependencies are built.

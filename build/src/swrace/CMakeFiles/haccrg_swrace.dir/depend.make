@@ -1,0 +1,2 @@
+# Empty dependencies file for haccrg_swrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_invariants.dir/test_config_invariants.cpp.o"
+  "CMakeFiles/test_config_invariants.dir/test_config_invariants.cpp.o.d"
+  "test_config_invariants"
+  "test_config_invariants.pdb"
+  "test_config_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

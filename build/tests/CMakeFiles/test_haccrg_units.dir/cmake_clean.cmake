@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_haccrg_units.dir/test_haccrg_units.cpp.o"
+  "CMakeFiles/test_haccrg_units.dir/test_haccrg_units.cpp.o.d"
+  "test_haccrg_units"
+  "test_haccrg_units.pdb"
+  "test_haccrg_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_haccrg_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

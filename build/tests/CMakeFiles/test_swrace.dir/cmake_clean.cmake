@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swrace.dir/test_swrace.cpp.o"
+  "CMakeFiles/test_swrace.dir/test_swrace.cpp.o.d"
+  "test_swrace"
+  "test_swrace.pdb"
+  "test_swrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_swrace.
+# This may be replaced when dependencies are built.

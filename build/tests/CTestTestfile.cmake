@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_detection_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_swrace[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_state_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_haccrg_units[1]_include.cmake")
+include("/root/repo/build/tests/test_rewriter[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_config_invariants[1]_include.cmake")
