@@ -12,6 +12,13 @@
 //     barrier events that actually advance a sync ID, i.e. how much the
 //     "only if the block touched global memory" optimization saves the
 //     8-bit counters.
+//  D. Static RDU filter: the compile-time race analysis classifies each
+//     memory pc; accesses proved safe at the detector's granularity skip
+//     their shadow check entirely. Reported races must be identical —
+//     the filter only removes provably-redundant check work.
+#include <set>
+#include <utility>
+
 #include "bench/harness.hpp"
 #include "isa/builder.hpp"
 
@@ -130,6 +137,41 @@ int main() {
   }
   sync_table.print();
   std::printf("Barriers guarding only shared memory never advance the 8-bit counters,\n"
-              "which is how the paper keeps overflow 'very rare' (Section VI-A2).\n");
-  return 0;
+              "which is how the paper keeps overflow 'very rare' (Section VI-A2).\n\n");
+
+  // --- D: static RDU filter ----------------------------------------------------
+  std::printf("Static filter ablation (compile-time pruning of RDU shadow checks):\n");
+  TablePrinter static_table({"Benchmark", "Checked accesses", "Filtered", "Racy granules (off)",
+                             "Racy granules (filter)", "Match"});
+  bool all_match = true;
+  for (const auto& info : kernels::all_benchmarks()) {
+    const rd::HaccrgConfig det = bench::detection_combined();
+    sim::SimResult base = bench::run_benchmark(info.name, det);
+    sim::SimResult filt = bench::run_benchmark_static_filtered(info.name, det);
+    const u64 checked = filt.stats.get("shared_rdu.checks") + filt.stats.get("global_rdu.checks");
+    const u64 filtered = filt.stats.get("rd.static_filtered");
+    // Soundness criterion: the set of (space, granule) race locations must
+    // be identical. Raw record counts are timing-sensitive (filtering
+    // changes shadow traffic, which shifts warp interleaving and thus
+    // which pc gets blamed for a granule), so they are not compared.
+    auto locations = [](const sim::SimResult& r) {
+      std::set<std::pair<u8, Addr>> out;
+      for (const auto& race : r.races.races())
+        out.insert({static_cast<u8>(race.space), race.granule_addr});
+      return out;
+    };
+    const auto base_locs = locations(base);
+    const auto filt_locs = locations(filt);
+    const bool match = base_locs == filt_locs;
+    all_match = all_match && match;
+    static_table.add_row({info.name, std::to_string(checked), std::to_string(filtered),
+                          std::to_string(base_locs.size()), std::to_string(filt_locs.size()),
+                          match ? "yes" : "NO"});
+  }
+  static_table.print();
+  std::printf("The filter removes shadow lookups for accesses the static pass proved\n"
+              "race-free at the detector's granularity; every racy location is still\n"
+              "detected: %s.\n",
+              all_match ? "yes" : "NO (soundness bug!)");
+  return all_match ? 0 : 1;
 }

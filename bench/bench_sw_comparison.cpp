@@ -2,26 +2,45 @@
 // GRace-add instrumentation baseline, on SCAN, HIST, and KMEANS. Paper:
 // hardware costs 0.2% / 0.3% / 22.1%; software HAccRG costs 6.6x / 12.4x
 // / 18.1x; GRace is orders of magnitude slower than software HAccRG.
+//
+// Second table: effect of the static race-analysis pruning pass on both
+// software tools. Accesses the analyzer proves safe are left
+// uninstrumented, so instrumented-site counts and slowdowns drop; on
+// race-free kernels (REDUCE, PSUM) the drop must be strict.
 #include "bench/harness.hpp"
 #include "swrace/grace.hpp"
 #include "swrace/sw_haccrg.hpp"
 
 namespace {
 
-haccrg::Cycle run_with(const std::string& name,
-                       void (*attach)(haccrg::sim::Gpu&, haccrg::kernels::PreparedKernel&)) {
+using AttachFn = void (*)(haccrg::sim::Gpu&, haccrg::kernels::PreparedKernel&,
+                          const haccrg::swrace::InstrumentOptions&,
+                          haccrg::swrace::InstrumentStats*);
+
+struct SwRun {
+  haccrg::Cycle cycles = 0;
+  haccrg::swrace::InstrumentStats stats;
+};
+
+SwRun run_with(const std::string& name, AttachFn attach, bool prune) {
   using namespace haccrg;
   sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
   kernels::BenchOptions opts;
   opts.scale = bench::kExperimentScale;  // same workload as run_benchmark
   kernels::PreparedKernel prep = kernels::find_benchmark(name)->prepare(gpu, opts);
-  if (attach != nullptr) attach(gpu, prep);
+  SwRun out;
+  if (attach != nullptr) {
+    swrace::InstrumentOptions iopts;
+    iopts.static_prune = prune;
+    attach(gpu, prep, iopts, &out.stats);
+  }
   sim::SimResult r = gpu.launch(prep.launch());
   if (!r.completed) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(), r.error.c_str());
     std::abort();
   }
-  return r.cycles;
+  out.cycles = r.cycles;
+  return out;
 }
 
 }  // namespace
@@ -33,10 +52,10 @@ int main() {
   TablePrinter table({"Benchmark", "Base", "HW HAccRG", "SW HAccRG", "GRace-add", "HW ovh",
                       "SW slowdown", "GRace slowdown", "GRace/SW"});
   for (const char* name : {"SCAN", "HIST", "KMEANS"}) {
-    const Cycle base = run_with(name, nullptr);
+    const Cycle base = run_with(name, nullptr, false).cycles;
     const Cycle hw = bench::run_benchmark(name, bench::detection_combined()).cycles;
-    const Cycle sw = run_with(name, &swrace::attach_sw_haccrg);
-    const Cycle grace = run_with(name, &swrace::attach_grace);
+    const Cycle sw = run_with(name, &swrace::attach_sw_haccrg, false).cycles;
+    const Cycle grace = run_with(name, &swrace::attach_grace, false).cycles;
     table.add_row({name, std::to_string(base), std::to_string(hw), std::to_string(sw),
                    std::to_string(grace),
                    TablePrinter::pct(static_cast<f64>(hw) / base - 1.0),
@@ -46,5 +65,38 @@ int main() {
   }
   table.print();
   std::printf("\nPaper: HW 0.2%%/0.3%%/22.1%%; SW 6.6x/12.4x/18.1x; GRace ~100x the SW cost.\n");
-  return 0;
+
+  bench::print_header("Static-analysis pruning of software instrumentation",
+                      "analysis::analyze front-end");
+  TablePrinter prune_table({"Benchmark", "Tool", "Sites", "Instr (full)", "Instr (pruned)",
+                            "Slowdown full", "Slowdown pruned"});
+  bool strict_ok = true;
+  for (const char* name : {"SCAN", "HIST", "KMEANS", "REDUCE", "PSUM"}) {
+    const Cycle base = run_with(name, nullptr, false).cycles;
+    const struct {
+      const char* tool;
+      AttachFn attach;
+    } tools[] = {{"SW HAccRG", &swrace::attach_sw_haccrg}, {"GRace-add", &swrace::attach_grace}};
+    for (const auto& tool : tools) {
+      const SwRun full = run_with(name, tool.attach, false);
+      const SwRun pruned = run_with(name, tool.attach, true);
+      prune_table.add_row({name, tool.tool, std::to_string(full.stats.sites_total),
+                           std::to_string(full.stats.sites_instrumented),
+                           std::to_string(pruned.stats.sites_instrumented),
+                           TablePrinter::fmt(static_cast<f64>(full.cycles) / base, 2) + "x",
+                           TablePrinter::fmt(static_cast<f64>(pruned.cycles) / base, 2) + "x"});
+      // Acceptance: strictly fewer instrumented sites and cycles on the
+      // race-free kernels.
+      const bool race_free = std::string(name) == "REDUCE" || std::string(name) == "PSUM";
+      if (race_free && (pruned.stats.sites_instrumented >= full.stats.sites_instrumented ||
+                        pruned.cycles >= full.cycles)) {
+        strict_ok = false;
+      }
+    }
+  }
+  prune_table.print();
+  std::printf("\nRace-free kernels (REDUCE, PSUM): pruning strictly reduced instrumented "
+              "sites and cycles: %s\n",
+              strict_ok ? "yes" : "NO (regression!)");
+  return strict_ok ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <string>
 
+#include <memory>
+
+#include "analysis/static_race.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "kernels/common.hpp"
@@ -65,6 +68,35 @@ inline sim::SimResult run_benchmark(const std::string& name, const rd::HaccrgCon
   }
   sim::Gpu gpu(experiment_gpu(), det);
   kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  sim::SimResult result = gpu.launch(prep.launch());
+  if (!result.completed) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(), result.error.c_str());
+    std::abort();
+  }
+  return result;
+}
+
+/// Like run_benchmark but with the static RDU filter engaged: the kernel
+/// is analyzed at the detector's granularities and provably-safe
+/// accesses skip their shadow checks. Detection results must match the
+/// unfiltered run; `rd.static_filtered` in the stats counts the skips.
+inline sim::SimResult run_benchmark_static_filtered(const std::string& name,
+                                                    rd::HaccrgConfig det,
+                                                    kernels::BenchOptions opts = {}) {
+  if (opts.scale == 1) opts.scale = kExperimentScale;
+  det.static_filter = true;
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", name.c_str());
+    std::abort();
+  }
+  sim::Gpu gpu(experiment_gpu(), det);
+  kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  analysis::AnalyzeOptions aopts;
+  aopts.shared_granularity = det.shared_granularity;
+  aopts.global_granularity = det.global_granularity;
+  prep.static_report =
+      std::make_shared<analysis::StaticRaceReport>(analysis::analyze(prep.program, aopts));
   sim::SimResult result = gpu.launch(prep.launch());
   if (!result.completed) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(), result.error.c_str());

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the tier-1 build plus a second, stricter build that
+# promotes warnings to errors and runs the whole test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   scripts/check.sh            # both builds + both ctest runs
+#   scripts/check.sh --strict   # only the -Werror + sanitizer build
+#
+# Build trees: build/ (tier-1) and build-strict/ (gate). Both are
+# incremental — safe to re-run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+if [[ "${1:-}" == "--strict" ]]; then
+  run_tier1=0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+if [[ $run_tier1 == 1 ]]; then
+  echo "=== tier-1 build (build/) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+echo "=== strict build (-Werror + ASan/UBSan, build-strict/) ==="
+cmake -B build-strict -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-Werror -fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build build-strict -j "$jobs"
+ctest --test-dir build-strict --output-on-failure -j "$jobs"
+
+echo "=== all checks passed ==="

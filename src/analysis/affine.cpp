@@ -1,0 +1,316 @@
+#include "analysis/affine.hpp"
+
+#include <deque>
+
+namespace haccrg::analysis {
+
+using isa::CmpOp;
+using isa::Instr;
+using isa::Opcode;
+using isa::SpecialReg;
+
+AffineVal AffineVal::operator+(const AffineVal& o) const {
+  if (top || o.top) return make_top();
+  AffineVal r;
+  if (param_slot >= 0 && o.param_slot >= 0) return make_top();  // p+q not representable
+  r.param_slot = param_slot >= 0 ? param_slot : o.param_slot;
+  r.base = base + o.base;
+  r.c_tid = c_tid + o.c_tid;
+  r.c_cta = c_cta + o.c_cta;
+  r.c_gtid = c_gtid + o.c_gtid;
+  r.uniform_unknown = uniform_unknown || o.uniform_unknown;
+  return r;
+}
+
+AffineVal AffineVal::operator-(const AffineVal& o) const {
+  if (top || o.top) return make_top();
+  AffineVal r;
+  if (o.param_slot >= 0) {
+    if (param_slot != o.param_slot) return make_top();  // -p not representable
+    r.param_slot = -1;                                  // same symbolic base cancels
+  } else {
+    r.param_slot = param_slot;
+  }
+  r.base = base - o.base;
+  r.c_tid = c_tid - o.c_tid;
+  r.c_cta = c_cta - o.c_cta;
+  r.c_gtid = c_gtid - o.c_gtid;
+  r.uniform_unknown = uniform_unknown || o.uniform_unknown;
+  return r;
+}
+
+AffineVal AffineVal::scaled(i64 k) const {
+  if (top) return make_top();
+  if (k == 0) return constant(0);
+  AffineVal r = *this;
+  if (param_slot >= 0 && k != 1) return make_top();  // k*p not representable
+  r.base *= k;
+  r.c_tid *= k;
+  r.c_cta *= k;
+  r.c_gtid *= k;
+  return r;
+}
+
+AffineVal AffineVal::join(const AffineVal& a, const AffineVal& b) {
+  if (a == b) return a;
+  if (a.top || b.top) return make_top();
+  if (a.c_tid == b.c_tid && a.c_cta == b.c_cta && a.c_gtid == b.c_gtid &&
+      a.param_slot == b.param_slot) {
+    AffineVal r = a;
+    if (a.base != b.base) {
+      r.base = 0;
+      r.uniform_unknown = true;  // the delta is grid-invariant but unknown
+    }
+    r.uniform_unknown = r.uniform_unknown || b.uniform_unknown;
+    return r;
+  }
+  if (a.grid_invariant() && b.grid_invariant()) return uniform();
+  return make_top();
+}
+
+AffineState AffineState::join(const AffineState& a, const AffineState& b) {
+  AffineState r;
+  for (u32 i = 0; i < isa::kMaxRegs; ++i) r.regs[i] = AffineVal::join(a.regs[i], b.regs[i]);
+  for (u32 i = 0; i < isa::kMaxPreds; ++i) r.preds[i] = PredFact::join(a.preds[i], b.preds[i]);
+  return r;
+}
+
+namespace {
+
+AffineVal operand_val(const Instr& ins, const AffineState& s) {
+  return ins.src1_is_imm ? AffineVal::constant(static_cast<i64>(ins.imm)) : s.regs[ins.src1];
+}
+
+/// Exact u32 fold of the interpreter's integer ALU semantics.
+u32 fold_int(Opcode op, u32 a, u32 b) {
+  switch (op) {
+    case Opcode::kAdd: return a + b;
+    case Opcode::kSub: return a - b;
+    case Opcode::kMul: return a * b;
+    case Opcode::kMulHi: return static_cast<u32>((u64(a) * u64(b)) >> 32);
+    case Opcode::kDiv: return b == 0 ? 0 : a / b;
+    case Opcode::kRem: return b == 0 ? 0 : a % b;
+    case Opcode::kMin: return a < b ? a : b;
+    case Opcode::kMax: return a > b ? a : b;
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kNot: return ~a;
+    case Opcode::kShl: return a << (b & 31);
+    case Opcode::kShr: return a >> (b & 31);
+    case Opcode::kSra: return static_cast<u32>(static_cast<i32>(a) >> (b & 31));
+    default: return 0;
+  }
+}
+
+bool foldable_int(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kMulHi:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kNot:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void AffineAnalysis::transfer(const Instr& ins, AffineState& s) {
+  switch (ins.op) {
+    case Opcode::kMov:
+      s.regs[ins.dst] = ins.src1_is_imm ? AffineVal::constant(static_cast<i64>(ins.imm))
+                                        : s.regs[ins.src0];
+      return;
+    case Opcode::kSpecial:
+      switch (static_cast<SpecialReg>(ins.imm)) {
+        case SpecialReg::kTid: {
+          AffineVal v;
+          v.c_tid = 1;
+          s.regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kCtaId: {
+          AffineVal v;
+          v.c_cta = 1;
+          s.regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kGTid: {
+          AffineVal v;
+          v.c_gtid = 1;
+          s.regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kNTid:
+        case SpecialReg::kNCtaId:
+          s.regs[ins.dst] = AffineVal::uniform();
+          return;
+        default:  // lane, warp id, SM id: thread-varying, untracked
+          s.regs[ins.dst] = AffineVal::make_top();
+          return;
+      }
+    case Opcode::kParam: {
+      AffineVal v;
+      v.param_slot = static_cast<int>(ins.imm);
+      s.regs[ins.dst] = v;
+      return;
+    }
+    case Opcode::kSetp: {
+      const AffineVal a = s.regs[ins.src0];
+      const AffineVal b = operand_val(ins, s);
+      const AffineVal diff = a - b;
+      PredFact fact;
+      fact.uniform = !diff.top && diff.block_coeff() == 0;
+      // `x == c` with a tid-linear difference and no loop-varying term
+      // pins the predicate to (at most) one fixed thread per block.
+      fact.unique_thread = ins.cmp() == CmpOp::kEq && !diff.top && !diff.uniform_unknown &&
+                           diff.block_coeff() != 0;
+      s.preds[ins.dst] = fact;
+      return;
+    }
+    case Opcode::kSel: {
+      const AffineVal a = s.regs[ins.src0];
+      const AffineVal b = s.regs[ins.src1];
+      if (s.preds[ins.aux].uniform) {
+        s.regs[ins.dst] = AffineVal::join(a, b);
+      } else {
+        // Divergent select: lanes pick different sources.
+        s.regs[ins.dst] = a == b ? a : AffineVal::make_top();
+      }
+      return;
+    }
+    case Opcode::kLdGlobal:
+    case Opcode::kLdShared:
+    case Opcode::kAtomGlobal:
+    case Opcode::kAtomShared:
+      s.regs[ins.dst] = AffineVal::make_top();
+      return;
+    case Opcode::kStGlobal:
+    case Opcode::kStShared:
+    case Opcode::kBar:
+    case Opcode::kMemBar:
+    case Opcode::kMemBarBlock:
+    case Opcode::kLockAcqMark:
+    case Opcode::kLockRelMark:
+    case Opcode::kIf:
+    case Opcode::kElse:
+    case Opcode::kEndIf:
+    case Opcode::kLoopBegin:
+    case Opcode::kLoopEnd:
+    case Opcode::kBreakIf:
+    case Opcode::kBreakIfNot:
+    case Opcode::kJump:
+    case Opcode::kExit:
+    case Opcode::kNop:
+      return;  // no register effects
+    default:
+      break;
+  }
+
+  // Remaining ALU forms.
+  const AffineVal a = s.regs[ins.src0];
+  const AffineVal b = operand_val(ins, s);
+  if (foldable_int(ins.op) && a.is_const() && b.is_const()) {
+    s.regs[ins.dst] = AffineVal::constant(static_cast<i64>(
+        fold_int(ins.op, static_cast<u32>(a.base), static_cast<u32>(b.base))));
+    return;
+  }
+  switch (ins.op) {
+    case Opcode::kAdd:
+      s.regs[ins.dst] = a + b;
+      return;
+    case Opcode::kSub:
+      s.regs[ins.dst] = a - b;
+      return;
+    case Opcode::kMul:
+      if (b.is_const()) {
+        s.regs[ins.dst] = a.scaled(b.base);
+        return;
+      }
+      if (a.is_const()) {
+        s.regs[ins.dst] = b.scaled(a.base);
+        return;
+      }
+      break;
+    case Opcode::kShl:
+      if (b.is_const() && b.base >= 0 && b.base < 32) {
+        s.regs[ins.dst] = a.scaled(i64{1} << b.base);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  s.regs[ins.dst] =
+      a.grid_invariant() && b.grid_invariant() ? AffineVal::uniform() : AffineVal::make_top();
+}
+
+AffineAnalysis::AffineAnalysis(const isa::Program& program, const Cfg& cfg)
+    : program_(&program), cfg_(&cfg) {
+  const u32 nb = cfg.num_blocks();
+  entry_.assign(nb, AffineState{});
+  std::vector<bool> seen(nb, false);
+  seen[0] = true;
+
+  // Worklist fixpoint; the lattice has finite height (each register can
+  // only climb const -> affine/uniform -> top), so this terminates.
+  std::deque<u32> work;
+  work.push_back(0);
+  std::vector<bool> queued(nb, false);
+  queued[0] = true;
+  while (!work.empty()) {
+    const u32 b = work.front();
+    work.pop_front();
+    queued[b] = false;
+    AffineState s = entry_[b];
+    for (u32 pc = cfg.blocks()[b].first; pc <= cfg.blocks()[b].last; ++pc) {
+      transfer(program.at(pc), s);
+    }
+    for (u32 succ : cfg.blocks()[b].succs) {
+      AffineState merged = seen[succ] ? AffineState::join(entry_[succ], s) : s;
+      if (!seen[succ] || !(merged == entry_[succ])) {
+        entry_[succ] = merged;
+        seen[succ] = true;
+        if (!queued[succ]) {
+          queued[succ] = true;
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  // Replay each block once to record the state before every pc and the
+  // address form of each memory access.
+  at_.assign(program.size(), AffineState{});
+  addresses_.assign(program.size(), AffineVal::make_top());
+  for (u32 b = 0; b < nb; ++b) {
+    AffineState s = entry_[b];
+    for (u32 pc = cfg.blocks()[b].first; pc <= cfg.blocks()[b].last; ++pc) {
+      at_[pc] = s;
+      const Instr& ins = program.at(pc);
+      if (isa::is_memory_op(ins.op)) {
+        addresses_[pc] = s.regs[ins.src0] + AffineVal::constant(static_cast<i64>(ins.imm));
+      }
+      transfer(ins, s);
+    }
+  }
+}
+
+PredFact AffineAnalysis::pred_at(u32 pc, u32 pred_idx) const {
+  return at_[pc].preds[pred_idx];
+}
+
+}  // namespace haccrg::analysis

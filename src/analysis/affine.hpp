@@ -1,0 +1,128 @@
+// Symbolic affine value analysis over the mini-PTX registers. Each
+// register is tracked as
+//
+//     value = base + c_tid*tid + c_cta*ctaid + c_gtid*gtid [+ param[slot]] [+ U]
+//
+// where U is an unknown but grid-invariant term (parameters, block/grid
+// dimensions, loop-carried uniform state). The analysis is a forward
+// fixpoint over the Cfg; the racing-pair test in static_race.cpp compares
+// two accesses' affine forms to prove address disjointness across
+// threads (e.g. out[tid] / out[gtid] patterns).
+//
+// Predicate registers carry two facts used for divergence and
+// single-thread reasoning: `uniform` (every thread of a block computes
+// the same value) and `unique_thread` (at most one thread per block can
+// hold the predicate true, e.g. `tid == 0`).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "isa/program.hpp"
+
+namespace haccrg::analysis {
+
+struct AffineVal {
+  bool top = false;             ///< unknown, possibly thread-varying
+  bool uniform_unknown = false; ///< adds an unknown grid-invariant term
+  i64 base = 0;
+  i64 c_tid = 0;
+  i64 c_cta = 0;
+  i64 c_gtid = 0;
+  int param_slot = -1;          ///< symbolic kernel-parameter base, or -1
+
+  static AffineVal constant(i64 v) {
+    AffineVal a;
+    a.base = v;
+    return a;
+  }
+  static AffineVal make_top() {
+    AffineVal a;
+    a.top = true;
+    return a;
+  }
+  static AffineVal uniform() {
+    AffineVal a;
+    a.uniform_unknown = true;
+    return a;
+  }
+
+  bool is_const() const {
+    return !top && !uniform_unknown && c_tid == 0 && c_cta == 0 && c_gtid == 0 &&
+           param_slot < 0;
+  }
+  /// Same value for every thread of the grid (parameters and launch
+  /// dimensions included).
+  bool grid_invariant() const { return !top && c_tid == 0 && c_cta == 0 && c_gtid == 0; }
+  /// Thread-varying coefficient within one thread-block (ctaid and the
+  /// block-uniform part of gtid drop out).
+  i64 block_coeff() const { return c_tid + c_gtid; }
+
+  bool operator==(const AffineVal& o) const {
+    if (top != o.top) return false;
+    if (top) return true;
+    return uniform_unknown == o.uniform_unknown && base == o.base && c_tid == o.c_tid &&
+           c_cta == o.c_cta && c_gtid == o.c_gtid && param_slot == o.param_slot;
+  }
+  bool operator!=(const AffineVal& o) const { return !(*this == o); }
+
+  AffineVal operator+(const AffineVal& o) const;
+  AffineVal operator-(const AffineVal& o) const;
+  AffineVal scaled(i64 k) const;
+
+  /// Lattice join at control-flow merges.
+  static AffineVal join(const AffineVal& a, const AffineVal& b);
+};
+
+struct PredFact {
+  bool uniform = true;        ///< same truth value across the block's threads
+  bool unique_thread = false; ///< at most one thread per block holds it true
+
+  bool operator==(const PredFact& o) const {
+    return uniform == o.uniform && unique_thread == o.unique_thread;
+  }
+  static PredFact join(const PredFact& a, const PredFact& b) {
+    return {a.uniform && b.uniform, a.unique_thread && b.unique_thread};
+  }
+};
+
+struct AffineState {
+  std::array<AffineVal, isa::kMaxRegs> regs{};   // registers start at 0
+  std::array<PredFact, isa::kMaxPreds> preds{};  // predicates start false
+
+  AffineState() {
+    for (auto& p : preds) p = {true, true};  // all-false: uniform, vacuously unique
+  }
+  bool operator==(const AffineState& o) const { return regs == o.regs && preds == o.preds; }
+
+  static AffineState join(const AffineState& a, const AffineState& b);
+};
+
+class AffineAnalysis {
+ public:
+  AffineAnalysis(const isa::Program& program, const Cfg& cfg);
+
+  /// Abstract value of the address computed by the memory instruction at
+  /// `pc` (reg[src0] + imm). Only valid for memory/atomic opcodes.
+  const AffineVal& address_of(u32 pc) const { return addresses_[pc]; }
+
+  /// Predicate fact in effect when pc executes (the state just before
+  /// the instruction).
+  PredFact pred_at(u32 pc, u32 pred_idx) const;
+
+  /// The fixpoint state at block entry (exposed for tests).
+  const AffineState& entry_state(u32 block) const { return entry_[block]; }
+
+  /// One instruction's transfer function (exposed for tests).
+  static void transfer(const isa::Instr& ins, AffineState& state);
+
+ private:
+  const isa::Program* program_;
+  const Cfg* cfg_;
+  std::vector<AffineState> entry_;
+  std::vector<AffineVal> addresses_;    // per pc; meaningful for memory ops
+  std::vector<AffineState> at_;         // state before each pc
+};
+
+}  // namespace haccrg::analysis

@@ -1,0 +1,180 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace haccrg::analysis {
+
+using isa::Opcode;
+
+void Cfg::instr_succs(const isa::Program& program, u32 pc, std::vector<u32>& out) {
+  out.clear();
+  const isa::Instr& ins = program.at(pc);
+  switch (ins.op) {
+    case Opcode::kExit:
+      return;
+    case Opcode::kJump:
+      out.push_back(ins.imm);
+      return;
+    case Opcode::kBreakIf:
+    case Opcode::kBreakIfNot:
+      if (pc + 1 < program.size()) out.push_back(pc + 1);
+      out.push_back(ins.imm);
+      return;
+    default:
+      if (pc + 1 < program.size()) out.push_back(pc + 1);
+      return;
+  }
+}
+
+namespace {
+
+/// Iterative bitset dominator solve over `succs`/`preds`. Returns, for
+/// each node, the set of dominators as a flat bit matrix. `entry` seeds
+/// the iteration; unreachable nodes keep the full set (standard
+/// convention, harmless for our always-reachable structured programs).
+std::vector<std::vector<u64>> solve_dominators(const std::vector<std::vector<u32>>& preds,
+                                               u32 n, u32 entry) {
+  const u32 words = (n + 63) / 64;
+  std::vector<std::vector<u64>> dom(n, std::vector<u64>(words, ~u64{0}));
+  std::vector<u64> entry_only(words, 0);
+  entry_only[entry / 64] = u64{1} << (entry % 64);
+  dom[entry] = entry_only;
+
+  bool changed = true;
+  std::vector<u64> tmp(words);
+  while (changed) {
+    changed = false;
+    for (u32 b = 0; b < n; ++b) {
+      if (b == entry) continue;
+      std::fill(tmp.begin(), tmp.end(), ~u64{0});
+      bool any_pred = false;
+      for (u32 p : preds[b]) {
+        any_pred = true;
+        for (u32 w = 0; w < words; ++w) tmp[w] &= dom[p][w];
+      }
+      if (!any_pred) std::fill(tmp.begin(), tmp.end(), 0);
+      tmp[b / 64] |= u64{1} << (b % 64);
+      if (tmp != dom[b]) {
+        dom[b] = tmp;
+        changed = true;
+      }
+    }
+  }
+  return dom;
+}
+
+bool bit_test(const std::vector<u64>& set, u32 i) {
+  return (set[i / 64] >> (i % 64)) & 1;
+}
+
+/// Immediate dominator: the unique strict dominator whose own dominator
+/// set covers all other strict dominators.
+std::vector<u32> immediate_from_sets(const std::vector<std::vector<u64>>& dom, u32 n, u32 entry) {
+  std::vector<u32> idom(n, entry);
+  for (u32 b = 0; b < n; ++b) {
+    if (b == entry) {
+      idom[b] = b;
+      continue;
+    }
+    u32 best = entry;
+    u32 best_count = 0;
+    for (u32 d = 0; d < n; ++d) {
+      if (d == b || !bit_test(dom[b], d)) continue;
+      u32 count = 0;
+      for (u32 e = 0; e < n; ++e)
+        if (bit_test(dom[d], e)) ++count;
+      if (count >= best_count) {
+        best_count = count;
+        best = d;
+      }
+    }
+    idom[b] = best;
+  }
+  return idom;
+}
+
+}  // namespace
+
+Cfg::Cfg(const isa::Program& program) : program_(&program) {
+  const u32 n = program.size();
+  std::vector<bool> leader(n, false);
+  if (n > 0) leader[0] = true;
+  std::vector<u32> succs;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const isa::Instr& ins = program.at(pc);
+    switch (ins.op) {
+      case Opcode::kJump:
+      case Opcode::kBreakIf:
+      case Opcode::kBreakIfNot:
+        if (ins.imm < n) leader[ins.imm] = true;
+        if (pc + 1 < n) leader[pc + 1] = true;
+        break;
+      case Opcode::kExit:
+        if (pc + 1 < n) leader[pc + 1] = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  block_of_.assign(n, 0);
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      BasicBlock bb;
+      bb.first = pc;
+      blocks_.push_back(bb);
+    }
+    block_of_[pc] = static_cast<u32>(blocks_.size()) - 1;
+    blocks_.back().last = pc;
+  }
+
+  for (u32 b = 0; b < blocks_.size(); ++b) {
+    instr_succs(program, blocks_[b].last, succs);
+    for (u32 s : succs) {
+      const u32 t = block_of_[s];
+      if (std::find(blocks_[b].succs.begin(), blocks_[b].succs.end(), t) ==
+          blocks_[b].succs.end()) {
+        blocks_[b].succs.push_back(t);
+        blocks_[t].preds.push_back(b);
+      }
+    }
+  }
+
+  const u32 nb = num_blocks();
+  {
+    std::vector<std::vector<u32>> preds(nb);
+    for (u32 b = 0; b < nb; ++b) preds[b] = blocks_[b].preds;
+    idom_ = immediate_from_sets(solve_dominators(preds, nb, 0), nb, 0);
+  }
+  {
+    // Post-dominators: reverse edges, with a virtual exit (index nb)
+    // succeeding every kExit-terminated block.
+    const u32 rn = nb + 1;
+    std::vector<std::vector<u32>> rpreds(rn);  // preds in the reversed graph = succs forward
+    for (u32 b = 0; b < nb; ++b) {
+      for (u32 s : blocks_[b].succs) rpreds[b].push_back(s);
+      if (program.at(blocks_[b].last).op == Opcode::kExit) rpreds[b].push_back(nb);
+    }
+    auto sets = solve_dominators(rpreds, rn, nb);
+    ipdom_ = immediate_from_sets(sets, rn, nb);
+    ipdom_.resize(nb);
+    pdom_sets_ = std::move(sets);
+  }
+}
+
+bool Cfg::dominates(u32 a, u32 b) const {
+  // Walk the idom chain from b up to the entry.
+  u32 cur = b;
+  while (true) {
+    if (cur == a) return true;
+    const u32 up = idom_[cur];
+    if (up == cur) return cur == a;
+    cur = up;
+  }
+}
+
+bool Cfg::postdominates(u32 a, u32 b) const {
+  return bit_test(pdom_sets_[b], a);
+}
+
+}  // namespace haccrg::analysis

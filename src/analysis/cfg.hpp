@@ -1,0 +1,55 @@
+// Control-flow graph over a sealed Program's flat instruction vector.
+// The mini-PTX machine executes linearly through structured scopes (kIf/
+// kElse/kEndIf only edit the active mask), so the only real edges are the
+// fallthrough, the loop back-edge (kJump), the loop exits (kBreakIf /
+// kBreakIfNot), and kExit termination. Basic blocks, dominators, and
+// post-dominators computed here feed the static race analysis and its
+// diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace haccrg::analysis {
+
+struct BasicBlock {
+  u32 first = 0;  ///< pc of the first instruction
+  u32 last = 0;   ///< pc of the last instruction (inclusive)
+  std::vector<u32> succs;  ///< successor block indices
+  std::vector<u32> preds;  ///< predecessor block indices
+};
+
+class Cfg {
+ public:
+  explicit Cfg(const isa::Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  u32 num_blocks() const { return static_cast<u32>(blocks_.size()); }
+  u32 block_of(u32 pc) const { return block_of_[pc]; }
+
+  /// Immediate dominator of `block` (entry block dominates itself).
+  u32 idom(u32 block) const { return idom_[block]; }
+  /// Immediate post-dominator; num_blocks() stands for the virtual exit.
+  u32 ipdom(u32 block) const { return ipdom_[block]; }
+
+  /// Does block `a` dominate block `b` (every path from entry to b
+  /// passes a)?
+  bool dominates(u32 a, u32 b) const;
+  /// Does block `a` post-dominate block `b` (every path from b to any
+  /// exit passes a)?
+  bool postdominates(u32 a, u32 b) const;
+
+  /// Instruction-level successors of `pc` (0, 1, or 2 entries).
+  static void instr_succs(const isa::Program& program, u32 pc, std::vector<u32>& out);
+
+ private:
+  const isa::Program* program_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_;  // pc -> block index
+  std::vector<u32> idom_;
+  std::vector<u32> ipdom_;
+  std::vector<std::vector<u64>> pdom_sets_;  // post-dominator bitsets (virtual exit = num_blocks)
+};
+
+}  // namespace haccrg::analysis

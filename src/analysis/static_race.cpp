@@ -1,0 +1,469 @@
+#include "analysis/static_race.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace haccrg::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+std::string to_string(const AffineVal& v) {
+  if (v.top) return "top";
+  std::ostringstream out;
+  bool first = true;
+  auto term = [&](i64 c, const char* name) {
+    if (c == 0) return;
+    if (!first) out << (c > 0 ? "+" : "");
+    if (c == 1)
+      out << name;
+    else if (c == -1)
+      out << "-" << name;
+    else
+      out << c << "*" << name;
+    first = false;
+  };
+  if (v.param_slot >= 0) {
+    out << "param" << v.param_slot;
+    first = false;
+  }
+  term(v.c_tid, "tid");
+  term(v.c_cta, "ctaid");
+  term(v.c_gtid, "gtid");
+  if (v.uniform_unknown) {
+    out << (first ? "U" : "+U");
+    first = false;
+  }
+  if (v.base != 0 || first) {
+    if (!first && v.base > 0) out << "+";
+    out << v.base;
+  }
+  return out.str();
+}
+
+namespace {
+
+i64 floor_div(i64 a, i64 b) {
+  i64 q = a / b;
+  i64 r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+i64 ceil_div_i(i64 a, i64 b) { return -floor_div(-a, b); }
+
+i64 mod_floor(i64 a, i64 g) {
+  i64 r = a % g;
+  return r < 0 ? r + g : r;
+}
+
+/// Is there an integer k (k != 0 when `exclude_zero`) with
+/// lo <= d0 + step*k <= hi?
+bool window_has_step(i64 d0, i64 step, i64 lo, i64 hi, bool exclude_zero) {
+  if (lo > hi) return false;
+  if (step == 0) return d0 >= lo && d0 <= hi;  // every k gives d0
+  i64 s = step, l = lo - d0, h = hi - d0;
+  if (s < 0) {
+    s = -s;
+    const i64 nl = -h;
+    h = -l;
+    l = nl;
+  }
+  const i64 klo = ceil_div_i(l, s);
+  const i64 khi = floor_div(h, s);
+  if (klo > khi) return false;
+  if (exclude_zero && klo == 0 && khi == 0) return false;
+  return true;
+}
+
+/// Per-access context beyond the affine address form.
+struct Ctx {
+  bool exec_uniform = false;        ///< all threads of a block reach this together
+  bool repeatable = false;          ///< on a barrier-free CFG cycle
+  std::vector<u32> unique_scopes;   ///< kIf pcs of enclosing unique then-branches
+};
+
+bool shares_unique_scope(const Ctx& a, const Ctx& b) {
+  for (u32 s : a.unique_scopes)
+    if (std::find(b.unique_scopes.begin(), b.unique_scopes.end(), s) != b.unique_scopes.end())
+      return true;
+  return false;
+}
+
+/// Can the base residue of `v` modulo the granule be computed exactly?
+/// `extra` carries pattern-specific coefficient constraints (terms that
+/// must vanish modulo g for the residue to be launch-independent).
+bool residue_known(const AffineVal& v, bool extra, const AnalyzeOptions& opts) {
+  if (v.uniform_unknown) return false;
+  if (v.param_slot >= 0 && !opts.assume_aligned_params) return false;
+  return extra;
+}
+
+/// Granule-overlap test for the pair (A at d = d0 + step*k bytes from B).
+/// Exact residues tighten the window to the true granule boundaries;
+/// otherwise the window is widened by g-1 bytes on each side (sound for
+/// any alignment).
+bool step_conflict(const StaticAccess& A, const StaticAccess& B, i64 d0, i64 step,
+                   bool exclude_zero, i64 g, bool exact_ok, bool extra_mult_ok,
+                   const AnalyzeOptions& opts) {
+  const i64 wa = A.width;
+  const i64 wb = B.width;
+  const bool exact = exact_ok && step % g == 0 && residue_known(B.addr, extra_mult_ok, opts) &&
+                     residue_known(A.addr, extra_mult_ok, opts);
+  if (exact) {
+    const i64 r = mod_floor(B.addr.base, g);
+    const i64 f = (r + wb - 1) / g;  // granules B spans beyond its first
+    return window_has_step(d0, step, 1 - wa - r, g * (f + 1) - 1 - r, exclude_zero);
+  }
+  return window_has_step(d0, step, -(wa + g - 2), wb + g - 2, exclude_zero);
+}
+
+/// Could accesses A and B (same address space, already known to share a
+/// barrier interval) touch the same shadow granule from two *different*
+/// threads? Sound under AnalyzeOptions' documented assumptions.
+bool may_conflict(const StaticAccess& A, const StaticAccess& B, const Ctx& ca, const Ctx& cb,
+                  const AnalyzeOptions& opts) {
+  const AffineVal& a = A.addr;
+  const AffineVal& b = B.addr;
+  const i64 g = A.shared_space ? opts.shared_granularity : opts.global_granularity;
+  if (a.top || b.top) return true;
+
+  if (a.param_slot != b.param_slot) {
+    // Distinct slots: disjoint allocations under the noalias assumption.
+    // A parameter base vs. an absolute address is incomparable.
+    if (a.param_slot >= 0 && b.param_slot >= 0) return !opts.assume_noalias_params;
+    return true;
+  }
+
+  const bool self = A.pc == B.pc;
+  bool exact_ok = true;
+  if (a.uniform_unknown || b.uniform_unknown) {
+    // Unknown grid-invariant terms can differ between two dynamic
+    // executions (loop-carried state) — except for a non-repeatable
+    // access that every thread executes once along the same path: both
+    // sides then carry the *same* unknown and it cancels in the delta.
+    if (!(self && !ca.repeatable && ca.exec_uniform)) return true;
+    exact_ok = false;  // absolute alignment still unknown
+  }
+  const i64 d0 = self ? 0 : a.base - b.base;
+
+  if (A.shared_space) {
+    // Shared memory is per-block, so both threads live in one block and
+    // the block-level terms must match for the delta to be computable.
+    if (a.c_cta != b.c_cta || a.c_gtid != b.c_gtid) return true;
+    const i64 e = a.block_coeff();
+    if (e != b.block_coeff()) return true;
+    if (shares_unique_scope(ca, cb)) return false;  // one thread per block runs both
+    const bool extra = mod_floor(a.c_cta, g) == 0 && mod_floor(a.c_gtid, g) == 0;
+    return step_conflict(A, B, d0, e, /*exclude_zero=*/true, g, exact_ok, extra, opts);
+  }
+
+  // Global: pure gtid-linear forms — gtid is globally unique, so the
+  // distinct-thread quantifier is k = gtid_1 - gtid_2 != 0.
+  if (a.c_tid == 0 && a.c_cta == 0 && b.c_tid == 0 && b.c_cta == 0) {
+    if (a.c_gtid != b.c_gtid) return true;
+    return step_conflict(A, B, d0, a.c_gtid, /*exclude_zero=*/true, g, exact_ok, true, opts);
+  }
+
+  // Global: block-indexed forms (no per-thread term). Within a block
+  // every thread computes the same address; across blocks the address
+  // steps by c_cta.
+  if (a.c_tid == 0 && a.c_gtid == 0 && b.c_tid == 0 && b.c_gtid == 0) {
+    if (a.c_cta != b.c_cta) return true;
+    if (!shares_unique_scope(ca, cb)) {
+      // Two different threads of the same block (delta = d0 exactly).
+      if (step_conflict(A, B, d0, 0, /*exclude_zero=*/false, g, exact_ok, true, opts))
+        return true;
+    }
+    return step_conflict(A, B, d0, a.c_cta, /*exclude_zero=*/true, g, exact_ok, true, opts);
+  }
+
+  // Mixed tid/block forms: cross-block thread pairs make the delta
+  // depend on the (unknown) block size — give up.
+  return true;
+}
+
+/// Structured-scope walk: per-pc execution-context facts derived from
+/// the enclosing kIf/kLoopBegin scopes and their predicate facts.
+struct ScopeFacts {
+  std::vector<u8> exec_uniform;             // per pc
+  std::vector<std::vector<u32>> unique;     // per pc: enclosing unique then-scope ids (kIf pcs)
+  std::vector<u8> atomic_in_cs;             // per pc (atomics only)
+};
+
+ScopeFacts scan_scopes(const isa::Program& program, const AffineAnalysis& affine) {
+  struct Scope {
+    bool is_loop = false;
+    u32 open_pc = 0;
+    bool pred_uniform = true;
+    bool pred_unique = false;
+    bool in_then = true;
+    bool divergent_break = false;
+  };
+  const u32 n = program.size();
+  ScopeFacts facts;
+  facts.exec_uniform.assign(n, 1);
+  facts.unique.assign(n, {});
+  facts.atomic_in_cs.assign(n, 0);
+
+  // Pass 1: find loops that contain a divergent break (divergence then
+  // taints the whole loop body, including pcs before the break).
+  std::vector<u32> divergent_loops;  // open pcs
+  {
+    std::vector<u32> loop_stack;
+    for (u32 pc = 0; pc < n; ++pc) {
+      const Instr& ins = program.at(pc);
+      if (ins.op == Opcode::kLoopBegin) loop_stack.push_back(pc);
+      if (ins.op == Opcode::kLoopEnd && !loop_stack.empty()) loop_stack.pop_back();
+      if ((ins.op == Opcode::kBreakIf || ins.op == Opcode::kBreakIfNot) &&
+          !loop_stack.empty() && !affine.pred_at(pc, ins.aux).uniform) {
+        divergent_loops.push_back(loop_stack.back());
+      }
+    }
+  }
+
+  std::vector<Scope> stack;
+  int cs_depth = 0;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = program.at(pc);
+    switch (ins.op) {
+      case Opcode::kIf: {
+        Scope s;
+        s.open_pc = pc;
+        const PredFact f = affine.pred_at(pc, ins.aux);
+        s.pred_uniform = f.uniform;
+        s.pred_unique = f.unique_thread;
+        stack.push_back(s);
+        break;
+      }
+      case Opcode::kElse:
+        if (!stack.empty()) stack.back().in_then = false;
+        break;
+      case Opcode::kEndIf:
+        if (!stack.empty()) stack.pop_back();
+        break;
+      case Opcode::kLoopBegin: {
+        Scope s;
+        s.is_loop = true;
+        s.open_pc = pc;
+        s.divergent_break = std::find(divergent_loops.begin(), divergent_loops.end(), pc) !=
+                            divergent_loops.end();
+        stack.push_back(s);
+        break;
+      }
+      case Opcode::kLoopEnd:
+        if (!stack.empty()) stack.pop_back();
+        break;
+      case Opcode::kLockAcqMark:
+        ++cs_depth;
+        break;
+      case Opcode::kLockRelMark:
+        if (cs_depth > 0) --cs_depth;
+        break;
+      default:
+        break;
+    }
+    bool uniform = true;
+    for (const Scope& s : stack) {
+      if (s.is_loop ? s.divergent_break : !s.pred_uniform) uniform = false;
+      if (!s.is_loop && s.pred_unique && s.in_then) facts.unique[pc].push_back(s.open_pc);
+    }
+    facts.exec_uniform[pc] = uniform ? 1 : 0;
+    facts.atomic_in_cs[pc] = cs_depth > 0 ? 1 : 0;
+  }
+  return facts;
+}
+
+}  // namespace
+
+const StaticAccess* StaticRaceReport::access_at(u32 pc) const {
+  for (const StaticAccess& a : accesses)
+    if (a.pc == pc) return &a;
+  return nullptr;
+}
+
+u32 StaticRaceReport::count(AccessClass cls) const {
+  u32 n = 0;
+  for (const StaticAccess& a : accesses)
+    if (a.cls == cls) ++n;
+  return n;
+}
+
+std::string StaticRaceReport::summary() const {
+  std::ostringstream out;
+  out << accesses.size() << " accesses: " << count(AccessClass::kProvablySafe) << " safe, "
+      << count(AccessClass::kMayRace) << " may-race, " << count(AccessClass::kDefiniteRace)
+      << " definite; " << num_barriers << " barriers (" << num_divergent_barriers
+      << " divergent), " << lints.size() << " lints";
+  return out.str();
+}
+
+std::string StaticRaceReport::annotate(const isa::Program& program) const {
+  std::ostringstream out;
+  out << "; static race analysis of '" << program.name() << "': " << summary() << "\n";
+  std::istringstream in(program.disassemble());
+  std::string line;
+  for (u32 pc = 0; std::getline(in, line); ++pc) {
+    out << line;
+    if (const StaticAccess* a = access_at(pc)) {
+      out << "\t; ";
+      if (a->is_atomic) {
+        out << "atomic (excluded from race checks)";
+      } else {
+        switch (a->cls) {
+          case AccessClass::kProvablySafe: out << "SAFE"; break;
+          case AccessClass::kMayRace: out << "MAY-RACE"; break;
+          case AccessClass::kDefiniteRace: out << "DEFINITE-RACE"; break;
+        }
+        out << " addr=" << to_string(a->addr);
+        if (!a->reason.empty()) out << " (" << a->reason << ")";
+      }
+    }
+    out << "\n";
+  }
+  for (const Lint& l : lints) out << "; lint pc " << l.pc << ": " << l.message << "\n";
+  return out.str();
+}
+
+StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts) {
+  StaticRaceReport report;
+  const u32 n = program.size();
+  report.classes.assign(n, AccessClass::kProvablySafe);
+  if (n == 0) return report;
+
+  const Cfg cfg(program);
+  const AffineAnalysis affine(program, cfg);
+  const ScopeFacts facts = scan_scopes(program, affine);
+
+  // Barriers: only block-uniform ones separate intervals.
+  std::vector<u8> separating(n, 0);
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (program.at(pc).op != Opcode::kBar) continue;
+    ++report.num_barriers;
+    if (facts.exec_uniform[pc]) {
+      separating[pc] = 1;
+    } else {
+      ++report.num_divergent_barriers;
+      report.lints.push_back(
+          {pc, LintKind::kDivergentBarrier,
+           "barrier under a divergent predicate (deadlock risk; treated as non-separating)"});
+    }
+  }
+
+  // Collect the accesses.
+  std::vector<Ctx> ctxs;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = program.at(pc);
+    if (!isa::is_memory_op(ins.op)) continue;
+    StaticAccess a;
+    a.pc = pc;
+    a.shared_space = isa::is_shared_op(ins.op);
+    a.is_atomic = isa::is_atomic_op(ins.op);
+    a.is_store = ins.op == Opcode::kStGlobal || ins.op == Opcode::kStShared;
+    a.width = a.is_atomic ? 4 : ins.width();
+    a.addr = affine.address_of(pc);
+    Ctx c;
+    c.exec_uniform = facts.exec_uniform[pc] != 0;
+    c.unique_scopes = facts.unique[pc];
+    report.accesses.push_back(a);
+    ctxs.push_back(c);
+    if (a.is_atomic && !facts.atomic_in_cs[pc]) {
+      report.lints.push_back({pc, LintKind::kAtomicOutsideCritical,
+                              "atomic outside any critical section (no lock signature; pairs "
+                              "with non-atomic accesses are not race-checked)"});
+    }
+  }
+
+  // Forward reachability from each access: `reach[i][pc]` means pc can
+  // execute after access i. For shared accesses the walk stops at uniform
+  // barriers (the shared RDU resets there, so a barrier bounds the racing
+  // window); global shadow state persists across barriers — and blocks
+  // reach their barriers independently — so global walks run to the end.
+  const u32 na = static_cast<u32>(report.accesses.size());
+  std::vector<std::vector<u8>> reach(na, std::vector<u8>(n, 0));
+  {
+    std::vector<u32> succs;
+    for (u32 i = 0; i < na; ++i) {
+      const bool stop_at_barriers = report.accesses[i].shared_space;
+      std::deque<u32> work;
+      Cfg::instr_succs(program, report.accesses[i].pc, succs);
+      for (u32 s : succs) work.push_back(s);
+      while (!work.empty()) {
+        const u32 pc = work.front();
+        work.pop_front();
+        if (reach[i][pc]) continue;
+        reach[i][pc] = 1;
+        if (stop_at_barriers && separating[pc]) continue;  // interval boundary
+        Cfg::instr_succs(program, pc, succs);
+        for (u32 s : succs)
+          if (!reach[i][s]) work.push_back(s);
+      }
+      ctxs[i].repeatable = reach[i][report.accesses[i].pc] != 0;
+    }
+  }
+
+  // Pairwise classification. Two executions of the same pc by different
+  // threads always share an interval (a uniform barrier is crossed by
+  // all threads together), so self-pairs are always compared.
+  for (u32 i = 0; i < na; ++i) {
+    StaticAccess& A = report.accesses[i];
+    if (A.is_atomic) {
+      A.cls = AccessClass::kProvablySafe;
+      A.reason = "atomic";
+      report.classes[A.pc] = A.cls;
+      continue;
+    }
+
+    // Definite race: a store every thread of a block performs together
+    // at a block-invariant address.
+    const bool definite = A.is_store && ctxs[i].exec_uniform && !A.addr.top &&
+                          A.addr.block_coeff() == 0 && ctxs[i].unique_scopes.empty();
+
+    bool conflict = false;
+    int witness = -1;
+    for (u32 j = 0; j < na && !conflict; ++j) {
+      const StaticAccess& B = report.accesses[j];
+      if (B.shared_space != A.shared_space) continue;
+      if (B.is_atomic) continue;  // detectors treat atomics as synchronization
+      if (!A.is_store && !B.is_store) continue;  // read-read never races
+      // A uniform barrier resets the shared RDU, so barrier-separated
+      // shared accesses cannot race. Global pairs are always live: the
+      // global shadow persists, and different blocks cross their
+      // barriers at unrelated times.
+      if (A.shared_space) {
+        const bool same_interval =
+            i == j || reach[i][B.pc] != 0 || reach[j][A.pc] != 0;
+        if (!same_interval) continue;
+      }
+      if (may_conflict(A, B, ctxs[i], ctxs[j], opts)) {
+        conflict = true;
+        witness = static_cast<int>(B.pc);
+      }
+    }
+
+    if (definite) {
+      A.cls = AccessClass::kDefiniteRace;
+      A.reason = "all threads of a block store " + to_string(A.addr);
+      report.lints.push_back({A.pc, LintKind::kDefiniteRace, A.reason});
+    } else if (conflict) {
+      A.cls = AccessClass::kMayRace;
+      A.conflict_pc = witness;
+      A.reason = A.addr.top ? "address not statically known"
+                            : "conflicts with pc " + std::to_string(witness);
+    } else {
+      A.cls = AccessClass::kProvablySafe;
+      if (A.addr.top) {
+        A.reason = "no conflicting access in its barrier interval";
+      } else {
+        A.reason = report.num_barriers > 0
+                       ? "granule-disjoint across threads in its barrier interval"
+                       : "granule-disjoint across threads";
+      }
+    }
+    report.classes[A.pc] = A.cls;
+  }
+
+  return report;
+}
+
+}  // namespace haccrg::analysis

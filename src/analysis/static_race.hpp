@@ -1,0 +1,107 @@
+// Static race analysis over a sealed Program: classify every shared/
+// global memory access as provably race-free, possibly racing, or
+// definitely racing, before any dynamic detector runs.
+//
+// The pass composes three sub-analyses:
+//   1. Cfg + dominators: barrier-interval partitioning. Two accesses
+//      separated by a block-uniform kBar on every path cannot race, so
+//      only pairs connected by a barrier-free path are compared.
+//   2. AffineAnalysis: symbolic `base + c*tid` address forms. Two
+//      tid-linear accesses whose granule ranges are disjoint for every
+//      distinct thread pair are proven safe (e.g. out[tid]).
+//   3. A divergence/lint layer: barriers under divergent predicates,
+//      atomics outside critical sections, and uniform-address stores
+//      that every thread of a block performs (definite races).
+//
+// Soundness contract: a kProvablySafe access never participates in a
+// pair the dynamic detectors could flag at their shadow granularity, so
+// skipping its instrumentation (or its RDU shadow check) cannot hide a
+// race the un-pruned configuration would have reported. Conservative
+// assumptions (documented in DESIGN.md): distinct kernel-parameter
+// slots point to distinct allocations, and parameter pointers are
+// granule-aligned; both are switchable in AnalyzeOptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "analysis/cfg.hpp"
+#include "isa/program.hpp"
+
+namespace haccrg::analysis {
+
+enum class AccessClass : u8 {
+  kProvablySafe,  ///< cannot pair with any conflicting access
+  kMayRace,       ///< a conflicting pair exists or the address is unknown
+  kDefiniteRace,  ///< all threads of a block store the same granule together
+};
+
+enum class LintKind : u8 {
+  kDivergentBarrier,       ///< kBar under a non-uniform predicate
+  kAtomicOutsideCritical,  ///< atomic with no enclosing lock markers
+  kDefiniteRace,           ///< uniform-address multi-thread store
+};
+
+struct AnalyzeOptions {
+  /// Shadow granularity (bytes) the consumer detects at. The software
+  /// detectors use 4-byte words; the hardware shared RDU defaults to
+  /// 16 B (HaccrgConfig::shared_granularity) — pruning is only sound
+  /// when these match the detector being filtered.
+  u32 shared_granularity = 4;
+  u32 global_granularity = 4;
+  /// Distinct kernel-parameter slots reference distinct allocations.
+  bool assume_noalias_params = true;
+  /// Parameter base pointers are aligned to the shadow granularity
+  /// (device allocators align far coarser in practice).
+  bool assume_aligned_params = true;
+};
+
+/// Classification record for one memory instruction.
+struct StaticAccess {
+  u32 pc = 0;
+  AccessClass cls = AccessClass::kMayRace;
+  bool shared_space = false;
+  bool is_store = false;
+  bool is_atomic = false;
+  u32 width = 4;
+  AffineVal addr;        ///< affine address form at the access
+  int conflict_pc = -1;  ///< witness partner for kMayRace (or -1)
+  std::string reason;    ///< human-readable justification
+};
+
+struct Lint {
+  u32 pc = 0;
+  LintKind kind = LintKind::kDivergentBarrier;
+  std::string message;
+};
+
+struct StaticRaceReport {
+  std::vector<AccessClass> classes;  ///< per pc; meaningful at memory pcs
+  std::vector<StaticAccess> accesses;
+  std::vector<Lint> lints;
+  u32 num_barriers = 0;
+  u32 num_divergent_barriers = 0;
+
+  /// True when the memory instruction at `pc` was proven race-free
+  /// (instrumentation/shadow checks for it can be skipped).
+  bool is_safe(u32 pc) const {
+    return pc < classes.size() && classes[pc] == AccessClass::kProvablySafe;
+  }
+  const StaticAccess* access_at(u32 pc) const;
+  u32 count(AccessClass cls) const;
+
+  /// One-line totals, e.g. "7 accesses: 4 safe, 3 may-race, 0 definite".
+  std::string summary() const;
+  /// Annotated disassembly: every memory access and barrier carries its
+  /// classification, followed by the lint list.
+  std::string annotate(const isa::Program& program) const;
+};
+
+/// Run the full pass. The program must be sealed and valid.
+StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts = {});
+
+/// Render an AffineVal for reports/tests, e.g. "4*tid+16" or "param2+4*gtid".
+std::string to_string(const AffineVal& v);
+
+}  // namespace haccrg::analysis

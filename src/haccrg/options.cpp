@@ -11,7 +11,8 @@ std::string HaccrgConfig::describe() const {
       << global_granularity << "B, bloom=" << bloom_bits << "b/" << bloom_bins << "bins"
       << ", shared_shadow="
       << (shared_shadow == SharedShadowPlacement::kHardware ? "hw" : "global-mem")
-      << (warp_regrouping ? ", warp-regroup" : "") << "}";
+      << (warp_regrouping ? ", warp-regroup" : "")
+      << (static_filter ? ", static-filter" : "") << "}";
   return out.str();
 }
 

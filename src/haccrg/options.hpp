@@ -36,6 +36,12 @@ struct HaccrgConfig {
   /// cross-thread read-after-write between barriers is reported.
   bool disable_fence_gate = false;
 
+  /// Opt-in: suppress RDU shadow checks for accesses the static race
+  /// analysis proved safe (LaunchConfig::static_report must be set with
+  /// a report computed at this config's granularities). Detection
+  /// results are unchanged; shadow traffic and check work drop.
+  bool static_filter = false;
+
   /// Stop recording after this many unique races (reporting only; checks
   /// continue so timing is unaffected).
   u32 max_recorded_races = 4096;

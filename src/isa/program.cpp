@@ -10,6 +10,14 @@ std::string Program::validate() const {
   if (regs_used_ > kMaxRegs) return "too many registers";
   if (preds_used_ > kMaxPreds) return "too many predicates";
 
+  // A jump past the final kExit could land on (or skip over) the only
+  // instruction that retires the warp, so targets are bounded by it
+  // rather than by size().
+  u32 last_exit = size();  // sentinel: no exit found
+  for (u32 pc = 0; pc < size(); ++pc) {
+    if (code_[pc].op == Opcode::kExit) last_exit = pc;
+  }
+
   int depth = 0;
   bool has_exit = false;
   for (u32 pc = 0; pc < size(); ++pc) {
@@ -20,6 +28,9 @@ std::string Program::validate() const {
     }
     switch (ins.op) {
       case Opcode::kIf:
+        if (ins.aux >= kMaxPreds) return "predicate index out of range at pc " + std::to_string(pc);
+        ++depth;
+        break;
       case Opcode::kLoopBegin:
         ++depth;
         break;
@@ -29,11 +40,18 @@ std::string Program::validate() const {
         break;
       case Opcode::kBreakIfNot:
       case Opcode::kBreakIf:
+        if (ins.aux >= kMaxPreds) return "predicate index out of range at pc " + std::to_string(pc);
+        [[fallthrough]];
       case Opcode::kJump:
         if (ins.imm >= size()) return "jump target out of range at pc " + std::to_string(pc);
+        if (last_exit < size() && ins.imm > last_exit)
+          return "jump target past the final exit at pc " + std::to_string(pc);
         break;
       case Opcode::kSetp:
         if (ins.dst >= kMaxPreds) return "predicate index out of range at pc " + std::to_string(pc);
+        break;
+      case Opcode::kSel:
+        if (ins.aux >= kMaxPreds) return "predicate index out of range at pc " + std::to_string(pc);
         break;
       case Opcode::kParam:
         if (ins.imm >= kMaxParams) return "parameter slot out of range at pc " + std::to_string(pc);

@@ -7,9 +7,11 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/static_race.hpp"
 #include "isa/builder.hpp"
 #include "sim/gpu.hpp"
 
@@ -55,6 +57,11 @@ struct PreparedKernel {
   /// on mismatch. Null for injected runs (rogue stores corrupt outputs).
   std::function<bool(const mem::DeviceMemory&, std::string* msg)> verify;
 
+  /// Optional static race report for `program`, plumbed into the launch
+  /// for the HaccrgConfig::static_filter ablation. Shared ownership so a
+  /// PreparedKernel stays copyable.
+  std::shared_ptr<const analysis::StaticRaceReport> static_report;
+
   sim::LaunchConfig launch() const {
     sim::LaunchConfig cfg;
     cfg.program = &program;
@@ -62,6 +69,7 @@ struct PreparedKernel {
     cfg.block_dim = block_dim;
     cfg.shared_mem_bytes = shared_mem_bytes;
     cfg.params = params;
+    cfg.static_report = static_report.get();
     return cfg;
   }
 };

@@ -4,6 +4,7 @@
 #include <array>
 #include <string>
 
+#include "analysis/static_race.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "haccrg/race.hpp"
@@ -18,6 +19,10 @@ struct LaunchConfig {
   u32 block_dim = 32;          ///< threads per block
   u32 shared_mem_bytes = 0;    ///< scratchpad per block
   std::array<u32, isa::kMaxParams> params{};
+  /// Static race report for `program` (per-pc classification). Consulted
+  /// only when HaccrgConfig::static_filter is on; must have been computed
+  /// with AnalyzeOptions granularities matching the detector config.
+  const analysis::StaticRaceReport* static_report = nullptr;
 };
 
 /// Everything a harness needs from one simulated kernel run.

@@ -233,6 +233,11 @@ void Sm::exec_alu(WarpContext& warp, const Instr& ins) {
   }
 }
 
+bool Sm::static_filtered(u32 pc) const {
+  return env_.haccrg->static_filter && env_.launch != nullptr &&
+         env_.launch->static_report != nullptr && env_.launch->static_report->is_safe(pc);
+}
+
 rd::AccessInfo Sm::make_access(const WarpContext& warp, u32 lane, Addr addr, u8 size,
                                bool is_write, u32 pc, Cycle now, bool l1_hit) const {
   rd::AccessInfo a;
@@ -334,8 +339,12 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
                                : 0;
 
   // HAccRG shared-memory detection. Atomic operations are synchronization
-  // accesses and are not themselves checked (they cannot race).
-  if (shared_rdu_ && !is_atomic) {
+  // accesses and are not themselves checked (they cannot race). The
+  // static filter (opt-in) additionally skips accesses the compile-time
+  // analysis proved race-free at the detector's granularity.
+  const bool shared_static_skip = shared_rdu_ && !is_atomic && static_filtered(warp.pc);
+  if (shared_static_skip) static_filtered_ += scratch_accesses_.size();
+  if (shared_rdu_ && !is_atomic && !shared_static_skip) {
     if (is_store) {
       // The pre-issue intra-warp WAW check compares exact addresses at
       // the access width (not the tracking granularity): warp lanes
@@ -381,7 +390,9 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   const bool is_store = ins.op == Opcode::kStGlobal;
   const bool is_atomic = ins.op == Opcode::kAtomGlobal;
   const u32 width = is_atomic ? 4 : ins.width();
-  const bool detect = env_.haccrg->enable_global && env_.global_rdu != nullptr;
+  const bool detect_cfg = env_.haccrg->enable_global && env_.global_rdu != nullptr;
+  const bool global_static_skip = detect_cfg && static_filtered(warp.pc);
+  const bool detect = detect_cfg && !global_static_skip;
 
   scratch_accesses_.clear();
   for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
@@ -416,7 +427,11 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   else
     ++global_reads_;
 
-  if (detect && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
+  // The ID registers must see every global access even when the shadow
+  // check is statically filtered: they drive sync-ID ordering for the
+  // *other* accesses' checks.
+  if (detect_cfg && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
+  if (global_static_skip) static_filtered_ += scratch_accesses_.size();
 
   scratch_shadow_.clear();
   u32 transactions = 0;
@@ -759,6 +774,7 @@ void Sm::export_stats(StatSet& stats) const {
   l1_.export_stats(stats);
   if (shared_rdu_) shared_rdu_->export_stats(stats);
   stats.add("sm.bank_conflict_cycles", bank_conflict_cycles_);
+  stats.add("rd.static_filtered", static_filtered_);
   stats.add("sm.barrier_reset_cycles", barrier_reset_cycles_);
   stats.add("ids.barrier_events", ids_.barrier_events());
   stats.add("ids.sync_increments", ids_.sync_increments());

@@ -102,6 +102,9 @@ class Sm {
   rd::AccessInfo make_access(const WarpContext& warp, u32 lane, Addr addr, u8 size, bool is_write,
                              u32 pc, Cycle now, bool l1_hit) const;
 
+  /// True when the opt-in static filter suppresses the RDU check at `pc`.
+  bool static_filtered(u32 pc) const;
+
   void send_packet(mem::Packet pkt, Cycle now);
   void flush_outbox(Cycle now);
 
@@ -144,6 +147,7 @@ class Sm {
   u64 fences_ = 0;
   u64 bank_conflict_cycles_ = 0;
   u64 barrier_reset_cycles_ = 0;
+  u64 static_filtered_ = 0;  ///< lane accesses whose RDU check was filtered
 };
 
 }  // namespace haccrg::sim

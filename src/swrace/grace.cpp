@@ -98,15 +98,31 @@ void emit_barrier_clear(Rewriter& rw, Ctx& ctx) {
 
 }  // namespace
 
-Program instrument_grace(const Program& program) {
+Program instrument_grace(const Program& program, const InstrumentOptions& opts,
+                         InstrumentStats* stats) {
   Rewriter rw(program);
   auto ctx = std::make_shared<Ctx>();
 
+  // Static pruning: accesses the analyzer proves word-disjoint across
+  // threads within their barrier interval carry no bitmap traffic.
+  analysis::StaticRaceReport local_report;
+  const analysis::StaticRaceReport* report = opts.report;
+  if (opts.static_prune && report == nullptr) {
+    local_report = analysis::analyze(program);
+    report = &local_report;
+  }
+
   Rewriter::Hooks hooks;
   hooks.preamble = [ctx](Rewriter& r, const Instr&) { emit_preamble(r, *ctx); };
-  hooks.before = [ctx](Rewriter& r, const Instr& ins) {
+  hooks.before = [ctx, report, prune = opts.static_prune, stats](Rewriter& r, const Instr& ins) {
     if (ins.op == Opcode::kLdShared || ins.op == Opcode::kStShared) {
-      emit_grace_check(r, *ctx, ins);
+      if (stats) ++stats->sites_total;
+      if (prune && report && report->is_safe(r.current_pc())) {
+        if (stats) ++stats->sites_pruned;
+      } else {
+        if (stats) ++stats->sites_instrumented;
+        emit_grace_check(r, *ctx, ins);
+      }
     }
     return true;
   };
@@ -116,7 +132,8 @@ Program instrument_grace(const Program& program) {
   return rw.rewrite(hooks, "+grace");
 }
 
-void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
+void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep, const InstrumentOptions& opts,
+                  InstrumentStats* stats) {
   const u32 bitmap_bytes = prep.grid_dim * GraceLayout::kBitmapWords * 2 * 4;
   const Addr bitmap = gpu.allocator().alloc(bitmap_bytes, "grace.bitmap");
   const Addr counter = gpu.allocator().alloc(4, "grace.counter");
@@ -125,7 +142,7 @@ void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
 
   prep.params[GraceLayout::kBitmapParam] = bitmap;
   prep.params[GraceLayout::kCounterParam] = counter;
-  prep.program = instrument_grace(prep.program);
+  prep.program = instrument_grace(prep.program, opts, stats);
 }
 
 u64 grace_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep) {

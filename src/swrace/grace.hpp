@@ -12,6 +12,7 @@
 
 #include "kernels/common.hpp"
 #include "sim/gpu.hpp"
+#include "swrace/prune.hpp"
 
 namespace haccrg::swrace {
 
@@ -25,11 +26,28 @@ struct GraceLayout {
   static constexpr u32 kBitmapWords = 128;
 };
 
-isa::Program instrument_grace(const isa::Program& program);
+/// Scratch state the instrumentation claims from the program's register
+/// file (allocated once, reused across check sites).
+constexpr u32 kGraceScratchRegs = 8;
+constexpr u32 kGraceScratchPreds = 2;
+
+/// Does `program` leave enough register headroom to be instrumented?
+/// (instrument_grace aborts when it does not.)
+inline bool grace_fits(const isa::Program& program) {
+  return program.regs_used() + kGraceScratchRegs <= isa::kMaxRegs &&
+         program.preds_used() + kGraceScratchPreds <= isa::kMaxPreds;
+}
+
+/// Instrument `program`. Accesses the static race analysis proves safe
+/// are skipped by default (InstrumentOptions::static_prune); `stats`
+/// reports the site counts when non-null.
+isa::Program instrument_grace(const isa::Program& program, const InstrumentOptions& opts = {},
+                              InstrumentStats* stats = nullptr);
 
 /// Allocate the bitmap/counter buffers and swap in the instrumented
 /// program (call after prepare()).
-void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep);
+void attach_grace(sim::Gpu& gpu, kernels::PreparedKernel& prep,
+                  const InstrumentOptions& opts = {}, InstrumentStats* stats = nullptr);
 
 u64 grace_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep);
 

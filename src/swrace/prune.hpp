@@ -1,0 +1,29 @@
+// Shared knobs for the software instrumentation passes: both GRace and
+// software HAccRG consult the static race analysis and skip accesses it
+// proved race-free. Pruning is on by default — it only removes checks
+// for accesses that cannot participate in any detectable pair at the
+// detectors' 4-byte word granularity, so detection results are
+// unchanged while the instrumentation overhead drops.
+#pragma once
+
+#include "analysis/static_race.hpp"
+
+namespace haccrg::swrace {
+
+struct InstrumentOptions {
+  /// Skip instrumentation for accesses the static analysis classifies
+  /// as kProvablySafe. Turn off to reproduce the un-pruned baseline.
+  bool static_prune = true;
+  /// Precomputed report for the *original* program; when null and
+  /// pruning is enabled, the pass runs the analysis itself.
+  const analysis::StaticRaceReport* report = nullptr;
+};
+
+/// Site counts produced during one instrumentation pass.
+struct InstrumentStats {
+  u32 sites_total = 0;         ///< accesses the pass would normally wrap
+  u32 sites_instrumented = 0;  ///< accesses actually wrapped
+  u32 sites_pruned = 0;        ///< accesses skipped as provably safe
+};
+
+}  // namespace haccrg::swrace

@@ -140,6 +140,7 @@ isa::Program Rewriter::rewrite(const Hooks& hooks, const std::string& name_suffi
 
   for (u32 pc = 0; pc < code.size(); ++pc) {
     const Instr& ins = code[pc];
+    current_pc_ = pc;
     new_pc_[pc] = static_cast<u32>(out_.size());
     bool keep = true;
     if (hooks.before) keep = hooks.before(*this, ins);

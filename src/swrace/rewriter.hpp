@@ -49,12 +49,18 @@ class Rewriter {
   /// Run the rewrite and produce the instrumented program.
   isa::Program rewrite(const Hooks& hooks, const std::string& name_suffix);
 
+  /// Original-program pc of the instruction the hooks are currently
+  /// visiting (valid inside `before`/`after`; lets passes consult
+  /// per-pc analysis results such as the static race report).
+  u32 current_pc() const { return current_pc_; }
+
  private:
   const isa::Program* original_;
   std::vector<isa::Instr> out_;
   std::vector<u32> new_pc_;  // old pc -> new pc of the original instruction
   u32 next_reg_;
   u32 next_pred_;
+  u32 current_pc_ = 0;
 };
 
 }  // namespace haccrg::swrace

@@ -115,22 +115,40 @@ void emit_check(Rewriter& rw, Ctx& ctx, const isa::Instr& ins, bool shared_space
 
 }  // namespace
 
-Program instrument_sw_haccrg(const Program& program) {
+Program instrument_sw_haccrg(const Program& program, const InstrumentOptions& opts,
+                             InstrumentStats* stats) {
   Rewriter rw(program);
   auto ctx = std::make_shared<Ctx>();
 
+  // Static pruning: skip the shadow exchange for accesses the analyzer
+  // proves cannot pair with any conflicting access at word granularity.
+  analysis::StaticRaceReport local_report;
+  const analysis::StaticRaceReport* report = opts.report;
+  if (opts.static_prune && report == nullptr) {
+    local_report = analysis::analyze(program);
+    report = &local_report;
+  }
+
   Rewriter::Hooks hooks;
   hooks.preamble = [ctx](Rewriter& r, const isa::Instr&) { emit_preamble(r, *ctx); };
-  hooks.before = [ctx](Rewriter& r, const isa::Instr& ins) {
+  hooks.before = [ctx, report, prune = opts.static_prune, stats](Rewriter& r,
+                                                                 const isa::Instr& ins) {
     switch (ins.op) {
       case Opcode::kLdGlobal:
       case Opcode::kStGlobal:
-        emit_check(r, *ctx, ins, /*shared_space=*/false);
-        break;
       case Opcode::kLdShared:
-      case Opcode::kStShared:
-        emit_check(r, *ctx, ins, /*shared_space=*/true);
+      case Opcode::kStShared: {
+        if (stats) ++stats->sites_total;
+        if (prune && report && report->is_safe(r.current_pc())) {
+          if (stats) ++stats->sites_pruned;
+          break;
+        }
+        if (stats) ++stats->sites_instrumented;
+        const bool shared_space =
+            ins.op == Opcode::kLdShared || ins.op == Opcode::kStShared;
+        emit_check(r, *ctx, ins, shared_space);
         break;
+      }
       default:
         break;
     }
@@ -144,7 +162,8 @@ Program instrument_sw_haccrg(const Program& program) {
   return rw.rewrite(hooks, "+swrd");
 }
 
-void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
+void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep,
+                      const InstrumentOptions& opts, InstrumentStats* stats) {
   const u32 heap = gpu.allocator().heap_top();
   const Addr global_shadow = gpu.allocator().alloc(heap, "swrd.global_shadow");
   const Addr shared_shadow =
@@ -157,7 +176,7 @@ void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep) {
   prep.params[SwHaccrgLayout::kGlobalShadowParam] = global_shadow;
   prep.params[SwHaccrgLayout::kSharedShadowParam] = shared_shadow;
   prep.params[SwHaccrgLayout::kCounterParam] = counter;
-  prep.program = instrument_sw_haccrg(prep.program);
+  prep.program = instrument_sw_haccrg(prep.program, opts, stats);
 }
 
 u64 sw_haccrg_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep) {

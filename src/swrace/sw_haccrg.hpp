@@ -14,6 +14,7 @@
 
 #include "kernels/common.hpp"
 #include "sim/gpu.hpp"
+#include "swrace/prune.hpp"
 
 namespace haccrg::swrace {
 
@@ -25,14 +26,29 @@ struct SwHaccrgLayout {
   static constexpr u32 kCounterParam = 14;       ///< race counter address
 };
 
-/// Instrument `program`. `shared_shadow_words_per_block` is the size of
-/// one block's shared shadow region (scratchpad words).
-isa::Program instrument_sw_haccrg(const isa::Program& program);
+/// Scratch state the instrumentation claims from the program's register
+/// file (allocated once, reused across check sites).
+constexpr u32 kSwHaccrgScratchRegs = 9;
+constexpr u32 kSwHaccrgScratchPreds = 3;
+
+/// Does `program` leave enough register headroom to be instrumented?
+/// (instrument_sw_haccrg aborts when it does not.)
+inline bool sw_haccrg_fits(const isa::Program& program) {
+  return program.regs_used() + kSwHaccrgScratchRegs <= isa::kMaxRegs &&
+         program.preds_used() + kSwHaccrgScratchPreds <= isa::kMaxPreds;
+}
+
+/// Instrument `program`. Accesses the static race analysis proves safe
+/// are skipped by default (InstrumentOptions::static_prune); `stats`
+/// reports the site counts when non-null.
+isa::Program instrument_sw_haccrg(const isa::Program& program, const InstrumentOptions& opts = {},
+                                  InstrumentStats* stats = nullptr);
 
 /// Allocate the shadow/counter buffers for an already-prepared benchmark
 /// and swap in the instrumented program. Must be called after prepare()
 /// (the global shadow covers the heap at that point).
-void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep);
+void attach_sw_haccrg(sim::Gpu& gpu, kernels::PreparedKernel& prep,
+                      const InstrumentOptions& opts = {}, InstrumentStats* stats = nullptr);
 
 /// Races the software detector recorded (the counter value).
 u64 sw_haccrg_race_count(const sim::Gpu& gpu, const kernels::PreparedKernel& prep);

@@ -1,0 +1,452 @@
+// Static race-analysis front-end: CFG construction, affine address
+// classification, lint diagnostics, and the soundness contract of the
+// three consumers (sw instrumentation pruning and the hardware static
+// filter must never lose a race the unpruned configuration detects).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "analysis/cfg.hpp"
+#include "analysis/static_race.hpp"
+#include "isa/builder.hpp"
+#include "kernels/injection.hpp"
+#include "swrace/grace.hpp"
+#include "swrace/sw_haccrg.hpp"
+
+namespace haccrg {
+namespace {
+
+using analysis::AccessClass;
+using analysis::AnalyzeOptions;
+using analysis::LintKind;
+using analysis::StaticRaceReport;
+using kernels::BenchOptions;
+using kernels::InjectionCase;
+using kernels::InjectionKind;
+using kernels::PreparedKernel;
+using kernels::all_injection_cases;
+using kernels::find_benchmark;
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+
+arch::GpuConfig test_gpu() {
+  arch::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.device_mem_bytes = 32 * 1024 * 1024;
+  return cfg;
+}
+
+// --- CFG ---------------------------------------------------------------------
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  KernelBuilder kb("line");
+  Reg a = kb.imm(1);
+  Reg b = kb.reg();
+  kb.add(b, a, a);
+  Program prog = kb.build();
+  analysis::Cfg cfg(prog);
+  EXPECT_EQ(cfg.num_blocks(), 1u);
+  EXPECT_TRUE(cfg.dominates(0, 0));
+  EXPECT_TRUE(cfg.postdominates(0, 0));
+}
+
+TEST(Cfg, LoopHasBackEdgeAndHeaderDominatesBody) {
+  KernelBuilder kb("loop");
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, 4u, 1u, [&] {
+    Reg t = kb.reg();
+    kb.add(t, i, 1u);
+  });
+  Program prog = kb.build();
+  analysis::Cfg cfg(prog);
+  ASSERT_GT(cfg.num_blocks(), 1u);
+  // Find the block containing the back-edge kJump and its target (the
+  // loop header holding the kSetp/kBreakIfNot pair).
+  u32 jump_pc = prog.size();
+  for (u32 pc = 0; pc < prog.size(); ++pc) {
+    if (prog.at(pc).op == isa::Opcode::kJump) jump_pc = pc;
+  }
+  ASSERT_LT(jump_pc, prog.size());
+  const u32 body = cfg.block_of(jump_pc);
+  const u32 header = cfg.block_of(prog.at(jump_pc).imm);
+  EXPECT_TRUE(cfg.dominates(header, body));
+  EXPECT_FALSE(cfg.dominates(body, header));
+  // The header is re-entered from the body: it must list two preds.
+  EXPECT_EQ(cfg.blocks()[header].preds.size(), 2u);
+}
+
+TEST(Cfg, EntryDominatesEverything) {
+  KernelBuilder kb("nest");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Pred p = kb.pred();
+  kb.setp(p, CmpOp::kLtU, tid, 8u);
+  kb.if_(p, [&] {
+    Reg i = kb.reg();
+    kb.for_range(i, 0u, 4u, 1u, [&] { kb.add(i, i, 0u); });
+  });
+  Program prog = kb.build();
+  analysis::Cfg cfg(prog);
+  const u32 entry = cfg.block_of(0);
+  for (u32 b = 0; b < cfg.num_blocks(); ++b) EXPECT_TRUE(cfg.dominates(entry, b));
+}
+
+// --- Affine classification on hand-built kernels -----------------------------
+
+TEST(StaticRace, TidLinearStoreLoadWithBarrierIsSafe) {
+  KernelBuilder kb("safe");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  kb.barrier();
+  Reg v = kb.reg();
+  kb.ld_shared(v, slot);
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.count(AccessClass::kProvablySafe), 2u);
+  EXPECT_EQ(rep.count(AccessClass::kMayRace), 0u);
+}
+
+TEST(StaticRace, MissingBarrierNeighborReadMayRace) {
+  // The quickstart demo kernel: store 4*tid, read 4*((tid+32)%n) with no
+  // barrier in between.
+  KernelBuilder kb("racy");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  Reg neighbor = kb.reg();
+  kb.add(neighbor, tid, 32u);
+  kb.rem(neighbor, neighbor, 128u);
+  kb.mul(neighbor, neighbor, 4u);
+  Reg v = kb.reg();
+  kb.ld_shared(v, neighbor);
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_GE(rep.count(AccessClass::kMayRace), 2u);
+  EXPECT_EQ(rep.count(AccessClass::kProvablySafe), 0u);
+}
+
+TEST(StaticRace, AllThreadsStoreSameWordIsDefinite) {
+  KernelBuilder kb("definite");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg zero = kb.imm(0);
+  kb.st_shared(zero, tid);
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.count(AccessClass::kDefiniteRace), 1u);
+  bool linted = false;
+  for (const auto& lint : rep.lints) linted |= lint.kind == LintKind::kDefiniteRace;
+  EXPECT_TRUE(linted);
+}
+
+TEST(StaticRace, UniqueThreadStoreIsExempt) {
+  // Only thread 0 stores to word 0: launch-fixed single thread, no race.
+  KernelBuilder kb("unique");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Pred is0 = kb.pred();
+  kb.setp(is0, CmpOp::kEq, tid, 0u);
+  kb.if_(is0, [&] {
+    Reg zero = kb.imm(0);
+    kb.st_shared(zero, tid);
+  });
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.count(AccessClass::kDefiniteRace), 0u);
+  EXPECT_EQ(rep.count(AccessClass::kMayRace), 0u);
+}
+
+TEST(StaticRace, DivergentBarrierIsLinted) {
+  KernelBuilder kb("divbar");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Pred low = kb.pred();
+  kb.setp(low, CmpOp::kLtU, tid, 16u);
+  kb.if_(low, [&] { kb.barrier(); });
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.num_divergent_barriers, 1u);
+  bool linted = false;
+  for (const auto& lint : rep.lints) linted |= lint.kind == LintKind::kDivergentBarrier;
+  EXPECT_TRUE(linted);
+}
+
+TEST(StaticRace, UniformBarrierIsNotLinted) {
+  KernelBuilder kb("unibar");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  kb.barrier();
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.num_barriers, 1u);
+  EXPECT_EQ(rep.num_divergent_barriers, 0u);
+}
+
+TEST(StaticRace, AtomicOutsideCriticalSectionIsLinted) {
+  KernelBuilder kb("atom");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg zero = kb.imm(0);
+  Reg old = kb.reg();
+  kb.atom_shared(old, isa::AtomicOp::kAdd, zero, tid);
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  bool linted = false;
+  for (const auto& lint : rep.lints) linted |= lint.kind == LintKind::kAtomicOutsideCritical;
+  EXPECT_TRUE(linted);
+  // The atomic itself is never a checkable race.
+  EXPECT_EQ(rep.count(AccessClass::kMayRace), 0u);
+}
+
+TEST(StaticRace, CoarseGranularityDemotesStride4Shared) {
+  // 4*tid stores are disjoint at 4-byte granules but collide within a
+  // 16-byte granule, so the hardware-granularity report must keep them
+  // may-race while the word-granularity report proves them safe.
+  KernelBuilder kb("stride");
+  Reg tid = kb.special(isa::SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  Program prog = kb.build();
+  AnalyzeOptions word;
+  StaticRaceReport fine = analysis::analyze(prog, word);
+  AnalyzeOptions hw;
+  hw.shared_granularity = 16;
+  StaticRaceReport coarse = analysis::analyze(prog, hw);
+  EXPECT_EQ(fine.count(AccessClass::kProvablySafe), 1u);
+  EXPECT_EQ(coarse.count(AccessClass::kProvablySafe), 0u);
+  EXPECT_EQ(coarse.count(AccessClass::kMayRace), 1u);
+}
+
+// --- Registry kernels --------------------------------------------------------
+
+TEST(StaticRace, AnalyzesEveryRegistryKernel) {
+  sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+  for (const auto& info : kernels::all_benchmarks()) {
+    PreparedKernel prep = info.prepare(gpu, BenchOptions{});
+    StaticRaceReport rep = analysis::analyze(prep.program);
+    EXPECT_EQ(rep.classes.size(), prep.program.size()) << info.name;
+    EXPECT_FALSE(rep.accesses.empty()) << info.name;
+    EXPECT_FALSE(rep.summary().empty()) << info.name;
+    // The annotated listing has one line per instruction plus header/lints.
+    EXPECT_GE(rep.annotate(prep.program).size(), prep.program.disassemble().size()) << info.name;
+  }
+}
+
+TEST(StaticRace, RaceFreeKernelsHaveTidLinearSafeAccesses) {
+  sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+  for (const char* name : {"REDUCE", "SCAN", "PSUM"}) {
+    BenchOptions opts;
+    opts.single_block = true;  // the race-free configuration
+    PreparedKernel prep = find_benchmark(name)->prepare(gpu, opts);
+    StaticRaceReport rep = analysis::analyze(prep.program);
+    bool tid_linear_safe = false;
+    for (const auto& acc : rep.accesses) {
+      if (acc.shared_space && !acc.addr.top && acc.addr.c_tid != 0 &&
+          acc.cls == AccessClass::kProvablySafe) {
+        tid_linear_safe = true;
+      }
+    }
+    EXPECT_TRUE(tid_linear_safe) << name;
+  }
+}
+
+TEST(StaticRace, BarrierRemovalLeavesMayRaceSharedAccess) {
+  sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+  for (const auto& test : all_injection_cases()) {
+    if (test.injection.kind != InjectionKind::kRemoveBarrier) continue;
+    BenchOptions opts;
+    opts.injection = test.injection;
+    PreparedKernel prep = find_benchmark(test.benchmark)->prepare(gpu, opts);
+    StaticRaceReport rep = analysis::analyze(prep.program);
+    u32 shared_may_race = 0;
+    for (const auto& acc : rep.accesses) {
+      if (acc.shared_space && acc.cls != AccessClass::kProvablySafe) ++shared_may_race;
+    }
+    EXPECT_GE(shared_may_race, 1u) << test.label();
+  }
+}
+
+// --- Consumer soundness ------------------------------------------------------
+
+// Software pruning: on every injection case, the pruned instrumentation
+// must still detect whenever the unpruned instrumentation does. Counts
+// are timing-sensitive, so the contract is detection, not equality.
+class SwPruneSoundness : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SwPruneSoundness, PrunedSwHaccrgStillDetects) {
+  const auto cases = all_injection_cases();
+  ASSERT_LT(GetParam(), cases.size());
+  const InjectionCase& test = cases[GetParam()];
+  const kernels::BenchmarkInfo* info = find_benchmark(test.benchmark);
+  ASSERT_NE(info, nullptr);
+  BenchOptions opts;
+  opts.injection = test.injection;
+  if (info->real_race_multiblock && test.injection.kind == InjectionKind::kRemoveBarrier) {
+    opts.single_block = true;
+  }
+
+  {
+    sim::Gpu probe_gpu(test_gpu(), rd::HaccrgConfig{});
+    PreparedKernel probe = info->prepare(probe_gpu, opts);
+    if (!swrace::sw_haccrg_fits(probe.program)) {
+      GTEST_SKIP() << test.label() << " leaves no register headroom for instrumentation";
+    }
+  }
+
+  auto run = [&](bool prune) {
+    sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+    PreparedKernel prep = info->prepare(gpu, opts);
+    swrace::InstrumentOptions iopts;
+    iopts.static_prune = prune;
+    swrace::InstrumentStats stats;
+    swrace::attach_sw_haccrg(gpu, prep, iopts, &stats);
+    sim::SimResult r = gpu.launch(prep.launch());
+    EXPECT_TRUE(r.completed) << test.label() << ": " << r.error;
+    return std::make_pair(swrace::sw_haccrg_race_count(gpu, prep), stats);
+  };
+  const auto [unpruned, full_stats] = run(false);
+  const auto [pruned, pruned_stats] = run(true);
+  if (unpruned > 0) {
+    EXPECT_GT(pruned, 0u) << test.label() << " — pruning lost the injected race";
+  }
+  EXPECT_LE(pruned_stats.sites_instrumented, full_stats.sites_instrumented) << test.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFortyOne, SwPruneSoundness, ::testing::Range<size_t>(0, 41),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           auto cases = all_injection_cases();
+                           std::string label = cases[info.param].label();
+                           for (char& c : label) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return label;
+                         });
+
+TEST(SwPruneSoundness, PrunedGraceStillDetectsBarrierRemovals) {
+  // GRace instruments shared accesses only; run the shared-space
+  // (barrier-removal) cases on the benchmarks it applies to.
+  for (const auto& test : all_injection_cases()) {
+    if (test.injection.kind != InjectionKind::kRemoveBarrier) continue;
+    const kernels::BenchmarkInfo* info = find_benchmark(test.benchmark);
+    BenchOptions opts;
+    opts.injection = test.injection;
+    if (info->real_race_multiblock) opts.single_block = true;
+    {
+      sim::Gpu probe_gpu(test_gpu(), rd::HaccrgConfig{});
+      PreparedKernel probe = info->prepare(probe_gpu, opts);
+      if (!swrace::grace_fits(probe.program)) continue;
+    }
+    auto run = [&](bool prune) {
+      sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+      PreparedKernel prep = info->prepare(gpu, opts);
+      swrace::InstrumentOptions iopts;
+      iopts.static_prune = prune;
+      swrace::attach_grace(gpu, prep, iopts, nullptr);
+      sim::SimResult r = gpu.launch(prep.launch());
+      EXPECT_TRUE(r.completed) << test.label() << ": " << r.error;
+      return swrace::grace_race_count(gpu, prep);
+    };
+    const u64 unpruned = run(false);
+    if (unpruned > 0) {
+      EXPECT_GT(run(true), 0u) << test.label() << " — pruning lost the injected race";
+    }
+  }
+}
+
+// Hardware static filter: on every injection case, the filtered run must
+// still detect the injected race whenever the unfiltered run does.
+// (Exact location sets are not compared: filtering shifts memory timing,
+// and cross-block race observation is arrival-order dependent, so the
+// boundary granules of a racy window can differ between the two runs.)
+class HwFilterSoundness : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HwFilterSoundness, FilteredRunStillDetects) {
+  const auto cases = all_injection_cases();
+  ASSERT_LT(GetParam(), cases.size());
+  const InjectionCase& test = cases[GetParam()];
+  const kernels::BenchmarkInfo* info = find_benchmark(test.benchmark);
+  ASSERT_NE(info, nullptr);
+
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 4;
+  det.global_granularity = 4;
+
+  BenchOptions opts;
+  opts.injection = test.injection;
+  if (info->real_race_multiblock && test.injection.kind == InjectionKind::kRemoveBarrier) {
+    opts.single_block = true;
+  }
+
+  auto detected = [&](const sim::SimResult& r) {
+    if (test.injection.kind == InjectionKind::kRogueCritical)
+      return r.races.count(rd::RaceMechanism::kLockset) > 0;
+    if (test.injection.kind == InjectionKind::kRemoveFence)
+      return r.races.count(rd::RaceMechanism::kFence) + r.races.count(rd::RaceMechanism::kL1Stale) >
+             0;
+    return r.races.count(test.expected_space) > 0;
+  };
+
+  auto run = [&](bool filter) {
+    rd::HaccrgConfig cfg = det;
+    cfg.static_filter = filter;
+    sim::Gpu gpu(test_gpu(), cfg);
+    PreparedKernel prep = info->prepare(gpu, opts);
+    if (filter) {
+      AnalyzeOptions aopts;
+      aopts.shared_granularity = cfg.shared_granularity;
+      aopts.global_granularity = cfg.global_granularity;
+      prep.static_report = std::make_shared<const StaticRaceReport>(
+          analysis::analyze(prep.program, aopts));
+    }
+    sim::SimResult r = gpu.launch(prep.launch());
+    EXPECT_TRUE(r.completed) << test.label() << ": " << r.error;
+    return std::make_pair(detected(r), r.stats.get("rd.static_filtered"));
+  };
+  const auto [base_detected, base_filtered] = run(false);
+  const auto [filt_detected, filt_filtered] = run(true);
+  EXPECT_EQ(base_filtered, 0u);
+  if (base_detected) {
+    EXPECT_TRUE(filt_detected) << test.label() << " — static filter lost the injected race";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFortyOne, HwFilterSoundness, ::testing::Range<size_t>(0, 41),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           auto cases = all_injection_cases();
+                           std::string label = cases[info.param].label();
+                           for (char& c : label) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return label;
+                         });
+
+// The filter actually removes check work on a race-free kernel.
+TEST(HwFilter, FiltersChecksOnRaceFreeReduce) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 4;  // word granularity so tid-linear shared filters too
+  det.global_granularity = 4;
+  det.static_filter = true;
+  sim::Gpu gpu(test_gpu(), det);
+  PreparedKernel prep = find_benchmark("REDUCE")->prepare(gpu, BenchOptions{});
+  AnalyzeOptions aopts;
+  aopts.shared_granularity = det.shared_granularity;
+  aopts.global_granularity = det.global_granularity;
+  prep.static_report =
+      std::make_shared<const StaticRaceReport>(analysis::analyze(prep.program, aopts));
+  sim::SimResult r = gpu.launch(prep.launch());
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_GT(r.stats.get("rd.static_filtered"), 0u);
+  EXPECT_EQ(r.races.total(), 0u);
+}
+
+}  // namespace
+}  // namespace haccrg

@@ -148,6 +148,65 @@ TEST(Program, ValidateRejectsBadJump) {
   EXPECT_NE(prog.validate(), "");
 }
 
+TEST(Program, ValidateRejectsJumpPastFinalExit) {
+  // pc 2 is past the final kExit: a warp taking the branch would run off
+  // the instruction that retires it.
+  std::vector<isa::Instr> code;
+  code.push_back({.op = Opcode::kJump, .imm = 2});
+  code.push_back({.op = Opcode::kExit});
+  code.push_back({.op = Opcode::kNop});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsSetpPredOutOfRange) {
+  std::vector<isa::Instr> code;
+  isa::Instr setp;
+  setp.op = Opcode::kSetp;
+  setp.dst = isa::kMaxPreds;  // predicate index, not a register
+  code.push_back(setp);
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsSelPredOutOfRange) {
+  std::vector<isa::Instr> code;
+  isa::Instr sel;
+  sel.op = Opcode::kSel;
+  sel.aux = isa::kMaxPreds;
+  code.push_back(sel);
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsIfPredOutOfRange) {
+  std::vector<isa::Instr> code;
+  isa::Instr iff;
+  iff.op = Opcode::kIf;
+  iff.aux = isa::kMaxPreds;
+  code.push_back(iff);
+  code.push_back({.op = Opcode::kEndIf});
+  code.push_back({.op = Opcode::kExit});
+  Program prog("bad", std::move(code), 1, 0);
+  EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsBreakPredOutOfRange) {
+  for (const Opcode op : {Opcode::kBreakIf, Opcode::kBreakIfNot}) {
+    std::vector<isa::Instr> code;
+    isa::Instr brk;
+    brk.op = op;
+    brk.aux = isa::kMaxPreds;
+    brk.imm = 1;
+    code.push_back(brk);
+    code.push_back({.op = Opcode::kExit});
+    Program prog("bad", std::move(code), 1, 0);
+    EXPECT_NE(prog.validate(), "") << isa::opcode_name(op);
+  }
+}
+
 TEST(Program, ValidateRejectsUnbalancedScopes) {
   std::vector<isa::Instr> code;
   code.push_back({.op = Opcode::kIf});
