@@ -3,6 +3,7 @@
 // records paper-vs-measured values.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -57,23 +58,49 @@ inline rd::HaccrgConfig detection_word() {
 /// scaling notes in DESIGN.md).
 constexpr u32 kExperimentScale = 4;
 
+/// One bench execution plus host-side throughput: how long the simulation
+/// took on the wall clock and how many simulated kilocycles it retired per
+/// second of host time. KIPS is the figure of merit the parallel engine is
+/// judged by — it is comparable across machines in a way raw wall time is
+/// not, and its ratio between thread counts is the engine speedup.
+struct TimedRun {
+  sim::SimResult result;
+  f64 wall_ms = 0.0;
+  f64 kilocycles_per_sec = 0.0;
+};
+
 /// Run one benchmark under one detection config; aborts on sim errors.
-inline sim::SimResult run_benchmark(const std::string& name, const rd::HaccrgConfig& det,
-                                    kernels::BenchOptions opts = {}) {
+/// `sim_config` defaults to the environment (HACCRG_THREADS) so every
+/// existing bench binary picks up the parallel engine without changes.
+inline TimedRun run_benchmark_timed(const std::string& name, const rd::HaccrgConfig& det,
+                                    kernels::BenchOptions opts = {},
+                                    const sim::SimConfig& sim_config = sim::SimConfig::from_env()) {
   if (opts.scale == 1) opts.scale = kExperimentScale;
   const kernels::BenchmarkInfo* info = kernels::find_benchmark(name);
   if (info == nullptr) {
     std::fprintf(stderr, "unknown benchmark %s\n", name.c_str());
     std::abort();
   }
-  sim::Gpu gpu(experiment_gpu(), det);
+  sim::Gpu gpu(experiment_gpu(), det, sim_config);
   kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  const auto t0 = std::chrono::steady_clock::now();
   sim::SimResult result = gpu.launch(prep.launch());
+  const auto t1 = std::chrono::steady_clock::now();
   if (!result.completed) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(), result.error.c_str());
     std::abort();
   }
-  return result;
+  TimedRun run;
+  run.wall_ms = std::chrono::duration<f64, std::milli>(t1 - t0).count();
+  run.kilocycles_per_sec =
+      run.wall_ms > 0.0 ? static_cast<f64>(result.cycles) / run.wall_ms : 0.0;
+  run.result = std::move(result);
+  return run;
+}
+
+inline sim::SimResult run_benchmark(const std::string& name, const rd::HaccrgConfig& det,
+                                    kernels::BenchOptions opts = {}) {
+  return run_benchmark_timed(name, det, opts).result;
 }
 
 /// Like run_benchmark but with the static RDU filter engaged: the kernel

@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Pre-merge gate: the tier-1 build plus a second, stricter build that
+# Pre-merge gate: the tier-1 build plus two stricter builds — one that
 # promotes warnings to errors and runs the whole test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer.
+# AddressSanitizer + UndefinedBehaviorSanitizer, and one that runs it
+# under ThreadSanitizer with the parallel engine forced on
+# (HACCRG_THREADS > 1) so data races in the simulator itself are caught
+# pre-merge, not just determinism violations.
 #
-#   scripts/check.sh            # both builds + both ctest runs
-#   scripts/check.sh --strict   # only the -Werror + sanitizer build
+#   scripts/check.sh            # all three builds + ctest runs
+#   scripts/check.sh --strict   # only the -Werror + ASan/UBSan build
+#   scripts/check.sh --tsan     # only the ThreadSanitizer build
 #
-# Build trees: build/ (tier-1) and build-strict/ (gate). Both are
-# incremental — safe to re-run.
+# Build trees: build/ (tier-1), build-strict/ and build-tsan/ (gates).
+# All are incremental — safe to re-run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
+run_strict=1
+run_tsan=1
 if [[ "${1:-}" == "--strict" ]]; then
   run_tier1=0
+  run_tsan=0
+elif [[ "${1:-}" == "--tsan" ]]; then
+  run_tier1=0
+  run_strict=0
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -26,12 +36,28 @@ if [[ $run_tier1 == 1 ]]; then
   ctest --test-dir build --output-on-failure -j "$jobs"
 fi
 
-echo "=== strict build (-Werror + ASan/UBSan, build-strict/) ==="
-cmake -B build-strict -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-Werror -fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
-cmake --build build-strict -j "$jobs"
-ctest --test-dir build-strict --output-on-failure -j "$jobs"
+if [[ $run_strict == 1 ]]; then
+  echo "=== strict build (-Werror + ASan/UBSan, build-strict/) ==="
+  cmake -B build-strict -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Werror -fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build build-strict -j "$jobs"
+  ctest --test-dir build-strict --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_tsan == 1 ]]; then
+  echo "=== ThreadSanitizer build (HACCRG_THREADS=2, build-tsan/) ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  # Force every Gpu constructed without an explicit SimConfig onto the
+  # parallel engine so TSan sees the worker pool on the whole suite.
+  # halt_on_error: a simulator data race is a gate failure, not a warning.
+  HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+fi
 
 echo "=== all checks passed ==="

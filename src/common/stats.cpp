@@ -4,6 +4,26 @@
 
 namespace haccrg {
 
+std::string StatSet::serialize() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+u64 StatSet::fingerprint() const {
+  u64 hash = 14695981039346656037ULL;
+  for (char c : serialize()) {
+    hash ^= static_cast<u8>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 f64 mean(const std::vector<f64>& values) {
   if (values.empty()) return 0.0;
   f64 sum = 0.0;

@@ -27,6 +27,15 @@ class StatSet {
   void clear() { counters_.clear(); }
   const std::map<std::string, u64>& counters() const { return counters_; }
 
+  /// Canonical text form: one "name value\n" line per counter, sorted by
+  /// name (the map order). Stable across platforms, so it is what the
+  /// determinism tests compare byte-for-byte and what the golden-stats
+  /// snapshot files store.
+  std::string serialize() const;
+
+  /// FNV-1a hash of serialize(); cheap equality token for comparing runs.
+  u64 fingerprint() const;
+
  private:
   std::map<std::string, u64> counters_;
 };

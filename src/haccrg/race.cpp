@@ -36,6 +36,11 @@ std::string RaceRecord::describe() const {
   return buf;
 }
 
+void RaceStaging::drain_into(RaceLog& log) {
+  for (const RaceRecord& race : records_) log.record(race);
+  records_.clear();
+}
+
 bool RaceLog::record(const RaceRecord& race) {
   ++total_;
   Key key{static_cast<u8>(race.space), static_cast<u8>(race.type),

@@ -5,9 +5,9 @@
 namespace haccrg::rd {
 
 SharedRdu::SharedRdu(u32 sm_id, u32 smem_bytes, const HaccrgConfig& config,
-                     const DetectPolicy& policy, RaceLog& log)
-    : sm_id_(sm_id), granularity_(config.shared_granularity), policy_(policy), log_(&log),
-      shadow_(ceil_div(smem_bytes, config.shared_granularity), 0) {}
+                     const DetectPolicy& policy, RaceStaging& staging)
+    : sm_id_(sm_id), granularity_(config.shared_granularity), policy_(policy),
+      staging_(&staging), shadow_(ceil_div(smem_bytes, config.shared_granularity), 0) {}
 
 void SharedRdu::check(const AccessInfo& access) {
   const u32 first = access.addr / granularity_;
@@ -22,7 +22,7 @@ void SharedRdu::check(const AccessInfo& access) {
     if (out.race) {
       out.race->sm_id = sm_id_;
       ++races_;
-      log_->record(*out.race);
+      staging_->record(*out.race);
     }
   }
 }

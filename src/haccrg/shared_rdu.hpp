@@ -19,8 +19,11 @@ namespace haccrg::rd {
 
 class SharedRdu {
  public:
+  /// Races are appended to `staging`, which the owning SM drains into the
+  /// run's RaceLog at the epoch barrier (keeps the RDU thread-confined
+  /// when SMs step in parallel).
   SharedRdu(u32 sm_id, u32 smem_bytes, const HaccrgConfig& config, const DetectPolicy& policy,
-            RaceLog& log);
+            RaceStaging& staging);
 
   /// Check one lane's shared-memory access and update the shadow state.
   void check(const AccessInfo& access);
@@ -48,7 +51,7 @@ class SharedRdu {
   u32 sm_id_;
   u32 granularity_;
   DetectPolicy policy_;
-  RaceLog* log_;
+  RaceStaging* staging_;
   std::vector<u16> shadow_;  // one packed entry per granule; 0 == initial
   u64 checks_ = 0;
   u64 races_ = 0;

@@ -41,8 +41,15 @@ struct Injection {
 struct BenchOptions {
   bool single_block = false;  ///< run SCAN/KMEANS as designed (one block)
   u32 scale = 1;              ///< input-size multiplier
+  u32 seed = 0;               ///< workload-data seed (0 == the paper runs)
   Injection injection;
 };
+
+/// Stream-splitting mix of BenchOptions::seed into a kernel's fixed base
+/// seed; seed 0 reproduces the historical workloads exactly.
+inline u64 mix_seed(u64 base, u32 seed) {
+  return base ^ (u64{seed} * 0x9e3779b97f4a7c15ULL);
+}
 
 /// A benchmark instance ready to launch: the owned program plus launch
 /// geometry and a host-side verifier.

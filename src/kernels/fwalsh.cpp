@@ -28,7 +28,7 @@ PreparedKernel prepare_fwalsh(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr in = gpu.allocator().alloc(n * 4, "fwalsh.in");
   const Addr out = gpu.allocator().alloc(n * 4, "fwalsh.out");
   std::vector<u32> host_in(n);
-  SplitMix64 rng(0xfa15e);
+  SplitMix64 rng(mix_seed(0xfa15e, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     host_in[i] = static_cast<u32>(rng.next() & 0xff);
     gpu.memory().write_u32(in + i * 4, host_in[i]);

@@ -53,8 +53,10 @@ PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts) {
 
   // Stage this block's base keys in shared memory; each thread then reads
   // its neighbor's staged key as the mixing salt (needs the barrier).
+  const u32 key_mix = opts.seed * 0x85ebca6bu;
   Reg my_key = kb.reg();
   kb.mul(my_key, gid, 2246822519u);
+  kb.add(my_key, my_key, key_mix);
   Reg saddr = kb.reg();
   kb.mul(saddr, tid, 4u);
   kb.st_shared(saddr, my_key);
@@ -145,10 +147,10 @@ PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts) {
     prep.verify = [=](const mem::DeviceMemory& memory, std::string* msg) {
       std::vector<u32> ref_count(kBuckets, 0), ref_sum(kBuckets, 0);
       for (u32 t = 0; t < threads; ++t) {
-        const u32 base = t * 2246822519u;
+        const u32 base = t * 2246822519u + key_mix;
         const u32 block = t / kBlockDim;
         const u32 neighbor_tid = (t % kBlockDim + 1) % kBlockDim;
-        const u32 salt_v = (block * kBlockDim + neighbor_tid) * 2246822519u;
+        const u32 salt_v = (block * kBlockDim + neighbor_tid) * 2246822519u + key_mix;
         for (u32 kk = 0; kk < kKeysPerThread; ++kk) {
           const u32 key = (kk * 374761393u + base) ^ salt_v;
           const u32 bucket = hash_key(key) % kBuckets;
@@ -171,9 +173,9 @@ PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts) {
         const u32 block = t / kBlockDim;
         const u32 prev_tid = (t % kBlockDim + kBlockDim - 1) % kBlockDim;
         const u32 prev_gid = block * kBlockDim + prev_tid;
-        const u32 base = prev_gid * 2246822519u;
+        const u32 base = prev_gid * 2246822519u + key_mix;
         const u32 neigh = block * kBlockDim + (prev_tid + 1) % kBlockDim;
-        const u32 salt_v = neigh * 2246822519u;
+        const u32 salt_v = neigh * 2246822519u + key_mix;
         const u32 key = ((kKeysPerThread - 1) * 374761393u + base) ^ salt_v;
         const u32 want = hash_key(key) % kBuckets;
         const u32 got = memory.read_u32(summary + t * 4);

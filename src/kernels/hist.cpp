@@ -52,7 +52,7 @@ PreparedKernel prepare_hist(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr hist = gpu.allocator().alloc(kBins * 4, "hist.out");
   const Addr check = gpu.allocator().alloc(blocks * kBlockDim * 4, "hist.check");
   std::vector<u8> host_in(n);
-  SplitMix64 rng(0x4157u);
+  SplitMix64 rng(mix_seed(0x4157u, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     host_in[i] = static_cast<u8>(rng.next());
     gpu.memory().write_u8(in + i, host_in[i]);

@@ -42,7 +42,8 @@ std::vector<InjectionCase> all_injection_cases() {
   return cases;
 }
 
-InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config) {
+InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config,
+                                   const sim::SimConfig& sim_config) {
   const BenchmarkInfo* info = find_benchmark(test.benchmark);
   InjectionResult result;
   result.test = test;
@@ -63,7 +64,7 @@ InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuCon
     opts.single_block = true;
   }
 
-  sim::Gpu gpu(gpu_config, det);
+  sim::Gpu gpu(gpu_config, det, sim_config);
   PreparedKernel prep = info->prepare(gpu, opts);
   sim::SimResult run = gpu.launch(prep.launch());
   if (!run.completed) return result;

@@ -34,6 +34,7 @@ struct InjectionResult {
   u64 races_total = 0;
 };
 
-InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config);
+InjectionResult run_injection_case(const InjectionCase& test, const arch::GpuConfig& gpu_config,
+                                   const sim::SimConfig& sim_config = sim::SimConfig::from_env());
 
 }  // namespace haccrg::kernels

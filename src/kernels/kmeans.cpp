@@ -42,7 +42,7 @@ PreparedKernel prepare_kmeans(sim::Gpu& gpu, const BenchOptions& opts) {
 
   std::vector<u32> host_px(kPoints), host_py(kPoints);
   std::vector<u32> host_cx(kK), host_cy(kK);
-  SplitMix64 rng(0x42eau);
+  SplitMix64 rng(mix_seed(0x42eau, opts.seed));
   for (u32 i = 0; i < kPoints; ++i) {
     host_px[i] = rng.next_below(1024);
     host_py[i] = rng.next_below(1024);

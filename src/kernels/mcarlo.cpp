@@ -29,8 +29,8 @@ constexpr f32 kStrike = 38.0f;
 constexpr f32 kVol = 0.4f;
 
 /// Exactly the payoff loop the kernel runs, for one thread.
-f32 host_thread_sum(u32 gid) {
-  u32 state = 1234567u + gid;
+f32 host_thread_sum(u32 gid, u32 lcg_base) {
+  u32 state = lcg_base + gid;
   f32 acc = 0.0f;
   for (u32 p = 0; p < kPathsPerThread; ++p) {
     state = state * Lcg32::kMul + Lcg32::kAdd;
@@ -56,8 +56,9 @@ PreparedKernel prepare_mcarlo(sim::Gpu& gpu, const BenchOptions& opts) {
   Reg pout = kb.param(0);
 
   // Per-thread LCG Monte Carlo loop, all in registers.
+  const u32 lcg_base = 1234567u + opts.seed * 2654435761u;
   Reg state = kb.reg();
-  kb.add(state, gid, 1234567u);
+  kb.add(state, gid, lcg_base);
   Reg acc = kb.fimm(0.0f);
   Reg spot = kb.fimm(kSpot);
   Reg strike = kb.fimm(kStrike);
@@ -148,11 +149,11 @@ PreparedKernel prepare_mcarlo(sim::Gpu& gpu, const BenchOptions& opts) {
   prep.shared_mem_bytes = kBlockDim * 4 + (kBlockDim / 2) * 4;
   prep.params = {out};
   if (opts.injection.kind == InjectionKind::kNone) {
-    prep.verify = [out, blocks](const mem::DeviceMemory& memory, std::string* msg) {
+    prep.verify = [out, blocks, lcg_base](const mem::DeviceMemory& memory, std::string* msg) {
       for (u32 b = 0; b < blocks; ++b) {
         // Replay the pairwise step + tree reduction in kernel order.
         f32 vals[kBlockDim];
-        for (u32 t = 0; t < kBlockDim; ++t) vals[t] = host_thread_sum(b * kBlockDim + t);
+        for (u32 t = 0; t < kBlockDim; ++t) vals[t] = host_thread_sum(b * kBlockDim + t, lcg_base);
         for (u32 t = 0; t < kBlockDim / 2; ++t) vals[t] = vals[t] + vals[t + kBlockDim / 2];
         for (u32 stride = kBlockDim / 4; stride > 0; stride /= 2) {
           for (u32 t = 0; t < stride; ++t) vals[t] = vals[t] + vals[t + stride];

@@ -39,7 +39,7 @@ PreparedKernel prepare_offt(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr in = gpu.allocator().alloc(n * 4, "offt.in");
   const Addr out = gpu.allocator().alloc((n + kW) * 4, "offt.out");  // +kW: buggy overflow row
   std::vector<u32> host_in(n);
-  SplitMix64 rng(0x0feau);
+  SplitMix64 rng(mix_seed(0x0feau, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     host_in[i] = static_cast<u32>(rng.next() & 0x3ff);
     gpu.memory().write_u32(in + i * 4, host_in[i]);

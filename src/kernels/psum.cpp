@@ -29,7 +29,7 @@ PreparedKernel prepare_psum(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr counter = gpu.allocator().alloc(4, "psum.counter");
   const Addr result = gpu.allocator().alloc(4, "psum.result");
   u64 host_sum = 0;
-  SplitMix64 rng(0x9505u);
+  SplitMix64 rng(mix_seed(0x9505u, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     const u32 v = static_cast<u32>(rng.next() & 0xffff);
     gpu.memory().write_u32(in + i * 4, v);

@@ -34,7 +34,7 @@ PreparedKernel prepare_reduce(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr counter = gpu.allocator().alloc(4, "reduce.counter");
   const Addr result = gpu.allocator().alloc(4, "reduce.result");
   u64 host_sum = 0;
-  SplitMix64 rng(0x2ed0ceu);
+  SplitMix64 rng(mix_seed(0x2ed0ceu, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     const u32 v = static_cast<u32>(rng.next() & 0xfff);
     gpu.memory().write_u32(in + i * 4, v);

@@ -32,7 +32,7 @@ PreparedKernel prepare_scan(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr in = gpu.allocator().alloc(kN * 4, "scan.in");
   const Addr out = gpu.allocator().alloc(kN * 4, "scan.out");
   std::vector<u32> host_in(kN);
-  SplitMix64 rng(0x5ca11u);
+  SplitMix64 rng(mix_seed(0x5ca11u, opts.seed));
   for (u32 i = 0; i < kN; ++i) {
     host_in[i] = static_cast<u32>(rng.next() & 0xffff);
     gpu.memory().write_u32(in + i * 4, host_in[i]);

@@ -29,7 +29,7 @@ PreparedKernel prepare_sortnw(sim::Gpu& gpu, const BenchOptions& opts) {
   const Addr in = gpu.allocator().alloc(n * 4, "sortnw.in");
   const Addr out = gpu.allocator().alloc(n * 4, "sortnw.out");
   std::vector<u32> host_in(n);
-  SplitMix64 rng(0x50127u);
+  SplitMix64 rng(mix_seed(0x50127u, opts.seed));
   for (u32 i = 0; i < n; ++i) {
     host_in[i] = static_cast<u32>(rng.next() & 0xffffff);
     gpu.memory().write_u32(in + i * 4, host_in[i]);

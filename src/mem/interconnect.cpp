@@ -7,6 +7,34 @@ Interconnect::Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per
   for (u32 p = 0; p < num_partitions; ++p) to_partition_.emplace_back(latency, per_cycle);
   to_sm_.reserve(num_sms);
   for (u32 s = 0; s < num_sms; ++s) to_sm_.emplace_back(latency, per_cycle);
+  request_staging_.resize(num_sms);
+  response_staging_.resize(num_partitions);
+}
+
+void Interconnect::stage_request(u32 sm, Packet pkt) {
+  request_staging_[sm].push_back(std::move(pkt));
+}
+
+void Interconnect::commit_requests(u32 sm, Cycle now) {
+  auto& queue = request_staging_[sm];
+  while (!queue.empty()) {
+    const u32 partition = queue.front().dest_partition;
+    if (!to_partition_[partition].can_push(now)) break;
+    ++request_packets_;
+    to_partition_[partition].push(now, std::move(queue.front()));
+    queue.pop_front();
+  }
+}
+
+void Interconnect::stage_response(u32 partition, Response rsp) {
+  response_staging_[partition].push_back(rsp);
+}
+
+void Interconnect::commit_responses(Cycle now) {
+  for (auto& staged : response_staging_) {
+    for (const Response& rsp : staged) send_response(rsp.sm_id, now, rsp);
+    staged.clear();
+  }
 }
 
 bool Interconnect::can_send_request(u32 partition, Cycle now) const {
@@ -44,6 +72,10 @@ bool Interconnect::idle() const {
     if (!pipe.empty()) return false;
   for (const auto& pipe : to_sm_)
     if (!pipe.empty()) return false;
+  for (const auto& queue : request_staging_)
+    if (!queue.empty()) return false;
+  for (const auto& staged : response_staging_)
+    if (!staged.empty()) return false;
   return true;
 }
 

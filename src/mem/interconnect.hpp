@@ -60,7 +60,12 @@ class LatencyPipe {
 };
 
 /// The on-chip network: one request pipe per memory partition and one
-/// response pipe per SM.
+/// response pipe per SM, plus the per-worker staging queues the parallel
+/// engine uses. During a parallel epoch phase each SM appends requests to
+/// its own staging queue (and each partition to its own response slot);
+/// at the epoch barrier the engine commits them into the shared pipes in
+/// SM-id / partition-id order, so packet arrival order — and therefore
+/// every downstream timing decision — is identical for any thread count.
 class Interconnect {
  public:
   Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle);
@@ -74,6 +79,26 @@ class Interconnect {
   void send_response(u32 sm, Cycle now, Response rsp);
   std::optional<Response> recv_response(u32 sm, Cycle now);
 
+  // --- Epoch staging (thread-confined per SM / per partition) ---------------
+  /// Append a request to SM `sm`'s staging queue (pkt.dest_partition must
+  /// be set). Safe to call concurrently for distinct `sm`.
+  void stage_request(u32 sm, Packet pkt);
+  /// Requests still staged (or back-pressured) for SM `sm`.
+  size_t staged_requests(u32 sm) const { return request_staging_[sm].size(); }
+  /// Push SM `sm`'s staged requests into the partition pipes, oldest
+  /// first, stopping at the first rate-limited packet (head-of-line
+  /// blocking, like a real injection port). Serial phase only.
+  void commit_requests(u32 sm, Cycle now);
+
+  /// Stage a response produced by partition `partition` this cycle.
+  /// Safe to call concurrently for distinct `partition`.
+  void stage_response(u32 partition, Response rsp);
+  /// Push all staged responses into the SM pipes in partition-id order.
+  /// Serial phase only.
+  void commit_responses(Cycle now);
+
+  u32 num_sms() const { return static_cast<u32>(to_sm_.size()); }
+
   bool idle() const;
   u64 request_packets() const { return request_packets_; }
 
@@ -82,6 +107,8 @@ class Interconnect {
  private:
   std::vector<LatencyPipe<Packet>> to_partition_;
   std::vector<LatencyPipe<Response>> to_sm_;
+  std::vector<std::deque<Packet>> request_staging_;    ///< one queue per SM
+  std::vector<std::vector<Response>> response_staging_;  ///< one slot per partition
   u64 request_packets_ = 0;
   u64 response_packets_ = 0;
 };

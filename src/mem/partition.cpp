@@ -1,5 +1,7 @@
 #include "mem/partition.hpp"
 
+#include "mem/interconnect.hpp"
+
 namespace haccrg::mem {
 
 MemoryPartition::MemoryPartition(u32 id, const arch::GpuConfig& config)
@@ -63,6 +65,21 @@ std::optional<PartitionCompletion> MemoryPartition::cycle(Cycle now) {
     return PartitionCompletion{std::move(pkt)};
   }
   return std::nullopt;
+}
+
+void MemoryPartition::step(Interconnect& icnt, Cycle now) {
+  // Only pop a request the partition can actually take (back-pressure
+  // stays in the interconnect queue).
+  if (can_accept() && icnt.has_request(id_, now)) {
+    auto pkt = icnt.recv_request(id_, now);
+    accept(std::move(*pkt));
+  }
+  if (auto completion = cycle(now)) {
+    const Packet& pkt = completion->pkt;
+    if (pkt.kind != PacketKind::kShadow && pkt.sm_id < icnt.num_sms()) {
+      icnt.stage_response(id_, Response{pkt.kind, pkt.sm_id, pkt.warp_slot});
+    }
+  }
 }
 
 bool MemoryPartition::idle() const {

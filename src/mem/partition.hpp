@@ -16,6 +16,8 @@
 
 namespace haccrg::mem {
 
+class Interconnect;
+
 /// A completed packet leaving the partition (needs a response to its SM
 /// unless it is shadow traffic).
 struct PartitionCompletion {
@@ -35,6 +37,14 @@ class MemoryPartition {
 
   /// Advance one cycle; may emit at most one completion.
   std::optional<PartitionCompletion> cycle(Cycle now);
+
+  /// One epoch-phase step: pop at most one ready request from this
+  /// partition's interconnect pipe, advance a cycle, and stage any
+  /// completion's response back into the interconnect. Touches only
+  /// this partition's pipe and staging slot, so distinct partitions may
+  /// step concurrently; responses reach the SM pipes when the engine
+  /// commits them at the epoch barrier.
+  void step(Interconnect& icnt, Cycle now);
 
   bool idle() const;
 

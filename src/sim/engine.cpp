@@ -1,0 +1,37 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace haccrg::sim {
+
+Engine::Engine(std::vector<std::unique_ptr<Sm>>& sms,
+               std::vector<mem::MemoryPartition>& partitions, mem::Interconnect& icnt,
+               const SimConfig& sim)
+    : sms_(&sms), partitions_(&partitions), icnt_(&icnt),
+      // More workers than work units would only add barrier traffic.
+      pool_(std::min(sim.num_threads,
+                     std::max(static_cast<u32>(sms.size()), static_cast<u32>(partitions.size())))) {}
+
+void Engine::sm_phase(void* ctx, u32 begin, u32 end) {
+  Engine& self = *static_cast<Engine*>(ctx);
+  for (u32 s = begin; s < end; ++s) {
+    Sm& sm = *(*self.sms_)[s];
+    while (auto rsp = self.icnt_->recv_response(s, self.now_)) sm.deliver(*rsp, self.now_);
+    sm.cycle(self.now_);
+  }
+}
+
+void Engine::partition_phase(void* ctx, u32 begin, u32 end) {
+  Engine& self = *static_cast<Engine*>(ctx);
+  for (u32 p = begin; p < end; ++p) (*self.partitions_)[p].step(*self.icnt_, self.now_);
+}
+
+void Engine::step(Cycle now) {
+  now_ = now;
+  pool_.run(&Engine::sm_phase, this, static_cast<u32>(sms_->size()));
+  for (auto& sm : *sms_) sm->commit_epoch(now);
+  pool_.run(&Engine::partition_phase, this, static_cast<u32>(partitions_->size()));
+  icnt_->commit_responses(now);
+}
+
+}  // namespace haccrg::sim

@@ -1,9 +1,12 @@
 #include "sim/gpu.hpp"
 
+#include "sim/engine.hpp"
+
 namespace haccrg::sim {
 
-Gpu::Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config)
-    : gpu_config_(gpu_config), haccrg_config_(haccrg_config),
+Gpu::Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config,
+         const SimConfig& sim_config)
+    : gpu_config_(gpu_config), haccrg_config_(haccrg_config), sim_config_(sim_config),
       memory_(gpu_config.device_mem_bytes), allocator_(memory_) {}
 
 Gpu::~Gpu() = default;
@@ -127,6 +130,10 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   }
 
   // --- Cycle loop -------------------------------------------------------------
+  // The engine steps SMs and partitions (in parallel when
+  // sim_config_.num_threads > 1) through the four epoch phases; see
+  // engine.hpp for why the result is identical for any thread count.
+  Engine engine(sms, partitions, icnt, sim_config_);
   Cycle now = 0;
   u32 completed_last = 0;
   for (;; ++now) {
@@ -135,29 +142,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
       break;
     }
 
-    // SM responses.
-    for (u32 s = 0; s < gpu_config_.num_sms; ++s) {
-      while (auto rsp = icnt.recv_response(s, now)) sms[s]->deliver(*rsp, now);
-    }
-
-    // Core cycles.
-    for (auto& sm : sms) sm->cycle(now);
-
-    // Partitions: accept requests, advance L2/DRAM, return completions.
-    for (auto& part : partitions) {
-      // Only pop a request the partition can actually take (back-pressure
-      // stays in the interconnect queue).
-      if (part.can_accept() && icnt.has_request(part.id(), now)) {
-        auto pkt = icnt.recv_request(part.id(), now);
-        part.accept(std::move(*pkt));
-      }
-      if (auto completion = part.cycle(now)) {
-        const mem::Packet& pkt = completion->pkt;
-        if (pkt.kind != mem::PacketKind::kShadow && pkt.sm_id < gpu_config_.num_sms) {
-          icnt.send_response(pkt.sm_id, now, mem::Response{pkt.kind, pkt.sm_id, pkt.warp_slot});
-        }
-      }
-    }
+    engine.step(now);
 
     // Launch more blocks as slots free up.
     u32 completed = 0;

@@ -14,13 +14,15 @@
 #include "mem/interconnect.hpp"
 #include "mem/partition.hpp"
 #include "sim/launch.hpp"
+#include "sim/sim_config.hpp"
 #include "sim/sm.hpp"
 
 namespace haccrg::sim {
 
 class Gpu {
  public:
-  Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config);
+  Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config,
+      const SimConfig& sim_config = SimConfig::from_env());
   ~Gpu();
 
   Gpu(const Gpu&) = delete;
@@ -31,6 +33,7 @@ class Gpu {
   mem::DeviceAllocator& allocator() { return allocator_; }
   const arch::GpuConfig& config() const { return gpu_config_; }
   const rd::HaccrgConfig& haccrg() const { return haccrg_config_; }
+  const SimConfig& sim_config() const { return sim_config_; }
 
   /// Run one kernel to completion; returns timing, stats, and races.
   SimResult launch(const LaunchConfig& launch);
@@ -43,10 +46,9 @@ class Gpu {
   void set_global_trace(std::vector<Addr>* sink) { global_trace_ = sink; }
 
  private:
-  bool everything_idle() const;
-
   arch::GpuConfig gpu_config_;
   rd::HaccrgConfig haccrg_config_;
+  SimConfig sim_config_;
   mem::DeviceMemory memory_;
   mem::DeviceAllocator allocator_;
   Cycle max_cycles_ = 2'000'000'000ULL;

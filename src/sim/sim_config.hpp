@@ -1,0 +1,33 @@
+// Host-side simulation settings (as opposed to the modelled GPU's
+// arch::GpuConfig): how the simulator itself runs. `num_threads` selects
+// the parallel epoch engine; results are bit-identical for any value
+// because all cross-SM effects are committed at deterministic barriers.
+#pragma once
+
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace haccrg::sim {
+
+struct SimConfig {
+  /// Worker threads stepping SMs / memory partitions in parallel within
+  /// each cycle epoch. 1 == fully sequential engine.
+  u32 num_threads = 1;
+
+  static constexpr u32 kMaxThreads = 64;
+
+  /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]); defaults to 1.
+  /// An environment knob rather than per-call plumbing so existing tests
+  /// and benchmarks can be forced parallel wholesale (the TSan gate).
+  static SimConfig from_env() {
+    SimConfig cfg;
+    if (const char* env = std::getenv("HACCRG_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) cfg.num_threads = v > long{kMaxThreads} ? kMaxThreads : static_cast<u32>(v);
+    }
+    return cfg;
+  }
+};
+
+}  // namespace haccrg::sim

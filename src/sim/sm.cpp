@@ -26,7 +26,7 @@ Sm::Sm(u32 sm_id, const SmEnv& env)
     policy.fence_gating = !env_.haccrg->disable_fence_gate;
     policy.bloom = {env_.haccrg->bloom_bits, env_.haccrg->bloom_bins};
     shared_rdu_ = std::make_unique<rd::SharedRdu>(sm_id_, env_.gpu->shared_mem_per_sm,
-                                                  *env_.haccrg, policy, *env_.race_log);
+                                                  *env_.haccrg, policy, race_staging_);
   }
 }
 
@@ -123,31 +123,77 @@ WarpContext* Sm::pick_ready_warp(Cycle now) {
 }
 
 void Sm::cycle(Cycle now) {
-  flush_outbox(now);
   if (now < issue_free_at_) return;
-  if (outbox_.size() > 64) return;  // severe backpressure: stall issue
+  // Severe backpressure (packets the interconnect refused to take at
+  // the last commit): stall issue until the backlog drains.
+  if (env_.icnt->staged_requests(sm_id_) > 64) return;
   WarpContext* warp = pick_ready_warp(now);
   if (warp == nullptr) return;
   execute(*warp, now);
 }
 
-void Sm::flush_outbox(Cycle now) {
-  while (!outbox_.empty()) {
-    const u32 partition = env_.gpu->partition_of(outbox_.front().addr);
-    if (!env_.icnt->can_send_request(partition, now)) break;
-    env_.icnt->send_request(partition, now, std::move(outbox_.front()));
-    outbox_.pop_front();
-  }
-}
-
-void Sm::send_packet(mem::Packet pkt, Cycle now) {
+void Sm::send_packet(mem::Packet pkt) {
   pkt.sm_id = sm_id_;
   pkt.token = token_counter_++;
-  const u32 partition = env_.gpu->partition_of(pkt.addr);
-  if (outbox_.empty() && env_.icnt->can_send_request(partition, now)) {
-    env_.icnt->send_request(partition, now, std::move(pkt));
-  } else {
-    outbox_.push_back(std::move(pkt));
+  pkt.dest_partition = env_.gpu->partition_of(pkt.addr);
+  env_.icnt->stage_request(sm_id_, std::move(pkt));
+}
+
+void Sm::commit_epoch(Cycle now) {
+  // Race records first: within one SM-cycle the sequential engine logs
+  // the issue-time records (intra-warp WAW, shared RDU) before any
+  // global RDU check fires, and only one instruction issues per cycle,
+  // so draining the staging buffer before the replay preserves its
+  // exact record order.
+  if (!race_staging_.empty()) race_staging_.drain_into(*env_.race_log);
+  for (auto& op : deferred_) replay(op);
+  deferred_.clear();
+  env_.icnt->commit_requests(sm_id_, now);
+}
+
+void Sm::replay(DeferredGlobalOp& op) {
+  WarpContext& warp = warps_[op.warp_slot];
+
+  // Functional effects, in the lane order the sequential engine used.
+  for (const DeferredGlobalOp::Lane& lane : op.lanes) {
+    if (op.is_atomic) {
+      const u32 old = env_.memory->read_u32(lane.addr);
+      env_.memory->write_u32(lane.addr, apply_atomic(op.atomic_op, old, lane.operand, lane.compare));
+      warp.reg(op.dst, lane.lane) = old;
+    } else if (op.is_store) {
+      if (op.width == 1)
+        env_.memory->write_u8(lane.addr, static_cast<u8>(lane.operand));
+      else
+        env_.memory->write_u32(lane.addr, lane.operand);
+    } else {
+      warp.reg(op.dst, lane.lane) =
+          op.width == 1 ? env_.memory->read_u8(lane.addr) : env_.memory->read_u32(lane.addr);
+    }
+  }
+
+  if (env_.global_trace != nullptr)
+    for (Addr addr : op.trace_addrs) env_.global_trace->push_back(addr);
+
+  if (op.checks.empty() || env_.global_rdu == nullptr) return;
+  scratch_shadow_.clear();
+  for (const rd::AccessInfo& info : op.checks) env_.global_rdu->check(info, scratch_shadow_);
+
+  // Shadow traffic: one kShadow packet per distinct shadow line touched.
+  if (!scratch_shadow_.empty()) {
+    std::sort(scratch_shadow_.begin(), scratch_shadow_.end());
+    Addr last_line = ~Addr{0};
+    for (Addr shadow_addr : scratch_shadow_) {
+      const Addr line = shadow_addr & ~(env_.gpu->l2_line - 1);
+      if (line == last_line) continue;
+      last_line = line;
+      mem::Packet pkt;
+      pkt.kind = mem::PacketKind::kShadow;
+      pkt.addr = line;
+      pkt.bytes = env_.gpu->l2_line;
+      pkt.warp_slot = op.warp_slot;
+      pkt.shadow_write = true;
+      send_packet(std::move(pkt));
+    }
   }
 }
 
@@ -260,7 +306,7 @@ rd::AccessInfo Sm::make_access(const WarpContext& warp, u32 lane, Addr addr, u8 
   return a;
 }
 
-u32 Sm::sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs, Cycle now) {
+u32 Sm::sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs) {
   // Shadow lines are fetched through the L1 like local data (write-back:
   // updates stay cached; only misses and dirty evictions reach memory).
   u32 extra_cycles = 0;
@@ -279,7 +325,7 @@ u32 Sm::sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs,
       pkt.addr = shadow_addr;
       pkt.bytes = env_.gpu->l1_line;
       pkt.warp_slot = warp.warp_slot();
-      send_packet(pkt, now);
+      send_packet(std::move(pkt));
       ++warp.pending_responses;
     }
   }
@@ -365,7 +411,7 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
                                               c.lane_b);
         race.pc = warp.pc;
         race.cycle = now;
-        env_.race_log->record(race);
+        race_staging_.record(race);
       }
     }
     for (const auto& acc : scratch_accesses_) {
@@ -373,7 +419,7 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
           make_access(warp, acc.lane, acc.addr, acc.size, is_store, warp.pc, now, false));
     }
     if (env_.haccrg->shared_shadow == rd::SharedShadowPlacement::kGlobalMemory) {
-      cycles += sw_shadow_traffic(warp, sm_local_addrs, now);
+      cycles += sw_shadow_traffic(warp, sm_local_addrs);
     }
   }
 
@@ -394,6 +440,20 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   const bool global_static_skip = detect_cfg && static_filtered(warp.pc);
   const bool detect = detect_cfg && !global_static_skip;
 
+  // Device memory and the global RDU are shared across SMs, so their
+  // effects are captured here and replayed at the epoch barrier. Source
+  // operands are read now (issue-time register values); destination
+  // registers are written at replay, which nothing can observe earlier
+  // because this warp issues again next cycle at the soonest.
+  deferred_.emplace_back();
+  DeferredGlobalOp& op = deferred_.back();
+  op.warp_slot = warp.warp_slot();
+  op.is_store = is_store;
+  op.is_atomic = is_atomic;
+  op.width = static_cast<u8>(width);
+  op.dst = ins.dst;
+  if (is_atomic) op.atomic_op = ins.atomic();
+
   scratch_accesses_.clear();
   for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
     if (!warp.lane_active(lane)) continue;
@@ -401,23 +461,12 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
     const Addr addr = warp.reg(ins.src0, lane) + ins.imm;
     scratch_accesses_.push_back({lane, addr, static_cast<u8>(width)});
 
-    // Functional effect.
-    if (is_atomic) {
-      const u32 old = env_.memory->read_u32(addr);
-      const u32 operand = warp.reg(ins.src1, lane);
-      const u32 compare = warp.reg(ins.src2, lane);
-      env_.memory->write_u32(addr, apply_atomic(ins.atomic(), old, operand, compare));
-      warp.reg(ins.dst, lane) = old;
-    } else if (is_store) {
-      const u32 value = warp.reg(ins.src1, lane);
-      if (width == 1)
-        env_.memory->write_u8(addr, static_cast<u8>(value));
-      else
-        env_.memory->write_u32(addr, value);
-    } else {
-      warp.reg(ins.dst, lane) =
-          width == 1 ? env_.memory->read_u8(addr) : env_.memory->read_u32(addr);
-    }
+    DeferredGlobalOp::Lane dl;
+    dl.lane = lane;
+    dl.addr = addr;
+    dl.operand = (is_store || is_atomic) ? warp.reg(ins.src1, lane) : 0;
+    dl.compare = is_atomic ? warp.reg(ins.src2, lane) : 0;
+    op.lanes.push_back(dl);
   }
 
   if (is_atomic)
@@ -433,7 +482,6 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   if (detect_cfg && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
   if (global_static_skip) static_filtered_ += scratch_accesses_.size();
 
-  scratch_shadow_.clear();
   u32 transactions = 0;
 
   if (is_atomic) {
@@ -445,7 +493,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
       pkt.addr = acc.addr & ~(env_.gpu->l1_line - 1);
       pkt.bytes = 4;
       pkt.warp_slot = warp.warp_slot();
-      send_packet(pkt, now);
+      send_packet(std::move(pkt));
       ++warp.pending_responses;
     }
   } else {
@@ -468,15 +516,17 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
                                               c.lane_b);
         race.pc = warp.pc;
         race.cycle = now;
-        env_.race_log->record(race);
+        race_staging_.record(race);
       }
     }
 
-    // Coalesce into line transactions and run them through the L1.
+    // Coalesce into line transactions and run them through the L1. The
+    // L1 is SM-local, so lookups happen at issue and the hit/fill facts
+    // ride along with the deferred RDU checks.
     const auto segments = mem::coalesce(scratch_accesses_, env_.gpu->l1_line);
     transactions = static_cast<u32>(segments.size());
     for (const auto& seg : segments) {
-      if (env_.global_trace != nullptr) env_.global_trace->push_back(seg.addr);
+      op.trace_addrs.push_back(seg.addr);
       const Cycle line_fill = l1_.fill_time(seg.addr);
       const bool l1_hit = l1_.access(seg.addr, is_store, now).hit;
       if (is_store) {
@@ -485,7 +535,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
         pkt.addr = seg.addr;
         pkt.bytes = env_.gpu->l1_line;
         pkt.warp_slot = warp.warp_slot();
-        send_packet(pkt, now);
+        send_packet(std::move(pkt));
         ++warp.outstanding_stores;
       } else if (!l1_hit) {
         mem::Packet pkt;
@@ -493,7 +543,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
         pkt.addr = seg.addr;
         pkt.bytes = env_.gpu->l1_line;
         pkt.warp_slot = warp.warp_slot();
-        send_packet(pkt, now);
+        send_packet(std::move(pkt));
         ++warp.pending_responses;
       }
       // Race checks for the lanes of this segment, carrying the L1-hit
@@ -509,27 +559,9 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
           rd::AccessInfo info = make_access(warp, acc.lane, acc.addr, acc.size, is_store,
                                             warp.pc, now, !is_store && l1_hit);
           info.l1_fill_cycle = line_fill;
-          env_.global_rdu->check(info, scratch_shadow_);
+          op.checks.push_back(info);
         }
       }
-    }
-  }
-
-  // Shadow traffic: one kShadow packet per distinct shadow line touched.
-  if (!scratch_shadow_.empty()) {
-    std::sort(scratch_shadow_.begin(), scratch_shadow_.end());
-    Addr last_line = ~Addr{0};
-    for (Addr shadow_addr : scratch_shadow_) {
-      const Addr line = shadow_addr & ~(env_.gpu->l2_line - 1);
-      if (line == last_line) continue;
-      last_line = line;
-      mem::Packet pkt;
-      pkt.kind = mem::PacketKind::kShadow;
-      pkt.addr = line;
-      pkt.bytes = env_.gpu->l2_line;
-      pkt.warp_slot = warp.warp_slot();
-      pkt.shadow_write = true;
-      send_packet(pkt, now);
     }
   }
 

@@ -5,9 +5,19 @@
 //
 // Functional/timing split: an instruction's architectural effects are
 // applied when it issues; the memory system then moves data-less packets
-// whose completions wake the warp. This is deterministic (single host
-// thread, fixed scheduling) and keeps the race-detection results exactly
-// reproducible across runs.
+// whose completions wake the warp.
+//
+// Parallel epochs: cycle() may run concurrently with other SMs' cycles,
+// so it only touches SM-local state plus thread-confined staging (the
+// per-SM interconnect queue, race_staging_, deferred_). Every effect
+// that crosses the SM boundary — device-memory functional ops, global
+// RDU checks, race-log records, packet injection — is replayed by
+// commit_epoch(), which the engine calls serially in SM-id order at the
+// end of the cycle. That order matches the sequential engine's SM loop,
+// so results are bit-identical for any thread count. Deferring the
+// functional effects to the same cycle's barrier is invisible to the
+// program: an SM issues at most one instruction per cycle, so nothing
+// can read a deferred register or memory value before it lands.
 #pragma once
 
 #include <deque>
@@ -54,10 +64,16 @@ class Sm {
   /// Try to start `block_id`; returns false if no capacity.
   bool try_launch_block(u32 block_id);
 
-  /// Advance one core cycle.
+  /// Advance one core cycle. Safe to call concurrently with other SMs'
+  /// cycle()/deliver(); cross-SM effects are staged until commit_epoch.
   void cycle(Cycle now);
 
-  bool busy() const { return resident_blocks_ > 0 || !outbox_.empty(); }
+  /// End-of-cycle barrier (serial, engine calls SMs in id order): drain
+  /// staged race records, replay deferred global-memory work, and push
+  /// this SM's staged packets into the interconnect.
+  void commit_epoch(Cycle now);
+
+  bool busy() const { return resident_blocks_ > 0; }
   u32 resident_blocks() const { return resident_blocks_; }
   u32 blocks_completed() const { return blocks_completed_; }
 
@@ -105,14 +121,38 @@ class Sm {
   /// True when the opt-in static filter suppresses the RDU check at `pc`.
   bool static_filtered(u32 pc) const;
 
-  void send_packet(mem::Packet pkt, Cycle now);
-  void flush_outbox(Cycle now);
+  /// Stage a packet on this SM's interconnect queue (sent at commit).
+  void send_packet(mem::Packet pkt);
 
   /// Software-placed shared shadow: model the L1 fetch of each shadow
   /// line; returns extra issue-port cycles and may add pending responses.
-  u32 sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs, Cycle now);
+  u32 sw_shadow_traffic(WarpContext& warp, const std::vector<u32>& lane_addrs);
 
   void block_finished(u32 block_slot, Cycle now);
+
+  /// A global-memory instruction whose shared-state effects (device
+  /// memory, global trace, global RDU) wait for the epoch barrier. The
+  /// SM-local side — coalescing, L1 state, wait/wakeup bookkeeping, and
+  /// the application packets — already happened at issue; only what the
+  /// replay needs is captured here.
+  struct DeferredGlobalOp {
+    u32 warp_slot = 0;
+    bool is_store = false;
+    bool is_atomic = false;
+    u8 width = 4;
+    u8 dst = 0;
+    isa::AtomicOp atomic_op = isa::AtomicOp::kAdd;
+    struct Lane {
+      u32 lane;
+      Addr addr;
+      u32 operand;  ///< store value or atomic operand (captured at issue)
+      u32 compare;  ///< atomic CAS comparand
+    };
+    std::vector<Lane> lanes;
+    std::vector<Addr> trace_addrs;       ///< coalesced segments, issue order
+    std::vector<rd::AccessInfo> checks;  ///< global RDU inputs, issue order
+  };
+  void replay(DeferredGlobalOp& op);
 
   u32 sm_id_;
   SmEnv env_;
@@ -127,8 +167,11 @@ class Sm {
   u32 blocks_completed_ = 0;
   u32 rr_cursor_ = 0;
   Cycle issue_free_at_ = 0;
-  std::deque<mem::Packet> outbox_;
   u64 token_counter_ = 0;
+
+  // Thread-confined epoch staging, replayed by commit_epoch().
+  rd::RaceStaging race_staging_;
+  std::vector<DeferredGlobalOp> deferred_;
 
   // Scratch vectors reused across instructions to avoid per-issue churn.
   std::vector<mem::LaneAccess> scratch_accesses_;

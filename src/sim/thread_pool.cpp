@@ -1,0 +1,76 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace haccrg::sim {
+
+namespace {
+// Spin this many times before yielding the core. Yielding matters: when
+// the host has fewer cores than workers a pure spin barrier can wait a
+// whole scheduling quantum for the worker holding the last chunk.
+constexpr u32 kSpinsBeforeYield = 256;
+}  // namespace
+
+WorkerPool::WorkerPool(u32 num_threads) : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  helpers_.reserve(num_threads_ - 1);
+  for (u32 w = 1; w < num_threads_; ++w) {
+    helpers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& helper : helpers_) helper.join();
+}
+
+void WorkerPool::run_chunk(u32 worker_id) const {
+  const u32 chunk = (job_count_ + num_threads_ - 1) / num_threads_;
+  const u32 begin = std::min(worker_id * chunk, job_count_);
+  const u32 end = std::min(begin + chunk, job_count_);
+  if (begin < end) job_fn_(job_ctx_, begin, end);
+}
+
+void WorkerPool::run(void (*fn)(void*, u32, u32), void* ctx, u32 count) {
+  if (count == 0) return;
+  if (helpers_.empty() || count == 1) {
+    fn(ctx, 0, count);
+    return;
+  }
+
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_count_ = count;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);  // publish
+
+  run_chunk(0);
+
+  const u32 expected = static_cast<u32>(helpers_.size());
+  u32 spins = 0;
+  while (done_.load(std::memory_order_acquire) != expected) {
+    if (++spins >= kSpinsBeforeYield) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void WorkerPool::worker_loop(u32 worker_id) {
+  u64 seen = 0;
+  for (;;) {
+    u32 spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    ++seen;
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_chunk(worker_id);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace haccrg::sim

@@ -1,0 +1,53 @@
+// Fixed worker pool for the parallel epoch engine. The cycle loop runs
+// millions of tiny fork/join regions, so the pool is built for latency,
+// not throughput: jobs are published through one atomic epoch counter,
+// workers spin briefly before yielding (the simulator is often run on
+// machines with fewer cores than workers), and the caller participates
+// as worker 0 instead of sleeping. Work is split into static contiguous
+// index ranges so the assignment of SMs/partitions to workers — and
+// therefore memory placement — is the same every cycle.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace haccrg::sim {
+
+class WorkerPool {
+ public:
+  /// `num_threads` counts the caller: the pool spawns num_threads - 1
+  /// helpers. num_threads <= 1 spawns nothing and run() executes inline.
+  explicit WorkerPool(u32 num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  u32 num_threads() const { return num_threads_; }
+
+  /// Execute fn(ctx, begin, end) over [0, count), split into one
+  /// contiguous chunk per worker. Returns after every chunk completes
+  /// (full barrier). fn must only touch state disjoint across chunks.
+  void run(void (*fn)(void*, u32 begin, u32 end), void* ctx, u32 count);
+
+ private:
+  void worker_loop(u32 worker_id);
+  void run_chunk(u32 worker_id) const;
+
+  u32 num_threads_;
+  std::vector<std::thread> helpers_;
+
+  // Job slot, published by a release increment of epoch_.
+  void (*job_fn_)(void*, u32, u32) = nullptr;
+  void* job_ctx_ = nullptr;
+  u32 job_count_ = 0;
+
+  std::atomic<u64> epoch_{0};
+  std::atomic<u32> done_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace haccrg::sim

@@ -227,24 +227,24 @@ rd::AccessInfo lane(u16 slot, Addr addr, bool write) {
 }
 
 TEST(SharedRdu, DetectsCrossWarpConflictAndLogs) {
-  rd::RaceLog log;
+  rd::RaceStaging log;
   rd::SharedRdu rdu(0, 16 * 1024, shared_config(4), default_policy(), log);
   rdu.check(lane(0, 0x100, true));
   rdu.check(lane(40, 0x100, false));
-  EXPECT_EQ(log.unique(), 1u);
+  EXPECT_EQ(log.records().size(), 1u);
   EXPECT_EQ(rdu.races_found(), 1u);
 }
 
 TEST(SharedRdu, GranularityAliasing) {
-  rd::RaceLog log;
+  rd::RaceStaging log;
   rd::SharedRdu rdu(0, 16 * 1024, shared_config(16), default_policy(), log);
   rdu.check(lane(0, 0x100, true));
   rdu.check(lane(40, 0x10c, true));  // different word, same 16B granule
-  EXPECT_EQ(log.unique(), 1u);
+  EXPECT_EQ(log.records().size(), 1u);
 }
 
 TEST(SharedRdu, ResetRegionCostScalesWithEntries) {
-  rd::RaceLog log;
+  rd::RaceStaging log;
   rd::SharedRdu rdu(0, 16 * 1024, shared_config(16), default_policy(), log);
   // 4 KB region at 16 B granularity = 256 entries over 16 banks.
   EXPECT_EQ(rdu.reset_region(0, 4096, 16), 16u);
@@ -252,7 +252,7 @@ TEST(SharedRdu, ResetRegionCostScalesWithEntries) {
 }
 
 TEST(SharedRdu, ResetClearsOnlyTheRegion) {
-  rd::RaceLog log;
+  rd::RaceStaging log;
   rd::SharedRdu rdu(0, 16 * 1024, shared_config(4), default_policy(), log);
   rdu.check(lane(0, 0x100, true));   // region A
   rdu.check(lane(0, 0x2000, true));  // region B
@@ -262,7 +262,7 @@ TEST(SharedRdu, ResetClearsOnlyTheRegion) {
 }
 
 TEST(SharedRdu, ShadowLineMapping) {
-  rd::RaceLog log;
+  rd::RaceStaging log;
   rd::SharedRdu rdu(0, 16 * 1024, shared_config(16), default_policy(), log);
   // Granule i has a 2-byte sw entry; a 128 B line holds 64 entries, i.e.
   // covers 1 KB of scratchpad.
