@@ -1,0 +1,68 @@
+// Record a kernel's access trace, then replay it through the race
+// detectors without the timing simulator and show both runs report the
+// same races. This is the library-level version of what the
+// `haccrg-trace` CLI does (`haccrg-trace record` / `replay` / `diff`).
+//
+//   $ ./examples/trace_record_replay
+#include <cstdio>
+
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+#include "trace/replay.hpp"
+
+using namespace haccrg;
+
+int main() {
+  // A machine small enough to run instantly, with combined detection on.
+  arch::GpuConfig gpu_config;
+  gpu_config.num_sms = 4;
+  gpu_config.device_mem_bytes = 16 * 1024 * 1024;
+  rd::HaccrgConfig detector;
+  detector.enable_shared = true;
+  detector.enable_global = true;
+  detector.shared_granularity = 16;
+  detector.global_granularity = 4;
+
+  // 1. Record: set SimConfig::trace_path (or the HACCRG_TRACE env var)
+  // and every memory/sync event the SMs retire lands in the file.
+  const char* path = "example_reduce.trc";
+  sim::SimConfig sim_config;
+  sim_config.trace_path = path;
+  sim::Gpu gpu(gpu_config, detector, sim_config);
+  gpu.set_trace_label("REDUCE");
+  kernels::PreparedKernel prep =
+      kernels::find_benchmark("REDUCE")->prepare(gpu, kernels::BenchOptions{});
+  const sim::SimResult live = gpu.launch(prep.launch());
+  if (!live.completed) {
+    std::fprintf(stderr, "live run failed: %s\n", live.error.c_str());
+    return 1;
+  }
+  std::printf("live run:   %llu cycles, %llu unique races, trace -> %s\n",
+              static_cast<unsigned long long>(live.cycles),
+              static_cast<unsigned long long>(live.races.unique()), path);
+
+  // 2. Replay: stream the trace straight into SharedRdu/GlobalRdu. No
+  // pipeline, caches, or DRAM model — just the detection work.
+  const trace::ReplayResult replayed = trace::replay_trace(path);
+  if (!replayed.ok) {
+    std::fprintf(stderr, "replay failed: %s\n", replayed.error.c_str());
+    return 1;
+  }
+  const trace::KernelReplay& k = replayed.kernels.front();
+  std::printf("replay:     %llu events, %llu unique races (%llu shared + %llu global checks)\n",
+              static_cast<unsigned long long>(k.events),
+              static_cast<unsigned long long>(k.races.unique()),
+              static_cast<unsigned long long>(k.shared_checks),
+              static_cast<unsigned long long>(k.global_checks));
+
+  // 3. The guarantee the subsystem is built around: identical race sets.
+  if (replayed.race_set() != trace::race_identity_set(live.races)) {
+    std::printf("RACE SETS DIFFER — this is a bug, please report it\n");
+    return 1;
+  }
+  std::printf("race sets identical — replay reproduced the live detection exactly\n");
+  for (const trace::RaceKey& key : replayed.race_set())
+    std::printf("  %s\n", trace::race_key_line(key).c_str());
+  std::remove(path);
+  return 0;
+}

@@ -29,6 +29,26 @@ fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
+# Trace-equivalence gate: record a racy kernel (REDUCE with its barrier
+# removed) and a race-free one (PSUM), replay each trace through the
+# detectors, and require the replayed race set to equal the live run's.
+# `haccrg-trace diff` exits 1 on a mismatch, which fails the gate.
+trace_equivalence() {
+  local cli="$1/src/trace/haccrg-trace"
+  local tmp
+  tmp=$(mktemp -d)
+  "$cli" record --kernel REDUCE --inject barrier:0 \
+    --out "$tmp/reduce.trc" --races "$tmp/reduce.live.txt" >/dev/null
+  "$cli" record --kernel PSUM \
+    --out "$tmp/psum.trc" --races "$tmp/psum.live.txt" >/dev/null
+  for k in reduce psum; do
+    "$cli" replay "$tmp/$k.trc" --races "$tmp/$k.replay.txt" >/dev/null
+    "$cli" diff "$tmp/$k.trc" "$tmp/$k.live.txt"
+    "$cli" diff "$tmp/$k.replay.txt" "$tmp/$k.live.txt"
+  done
+  rm -rf "$tmp"
+}
+
 if [[ $run_tier1 == 1 ]]; then
   echo "=== tier-1 build (build/) ==="
   cmake -B build -S . >/dev/null
@@ -44,6 +64,8 @@ if [[ $run_strict == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
   cmake --build build-strict -j "$jobs"
   ctest --test-dir build-strict --output-on-failure -j "$jobs"
+  echo "--- trace equivalence (strict build) ---"
+  trace_equivalence build-strict
 fi
 
 if [[ $run_tsan == 1 ]]; then
@@ -58,6 +80,8 @@ if [[ $run_tsan == 1 ]]; then
   # halt_on_error: a simulator data race is a gate failure, not a warning.
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+  echo "--- trace equivalence (TSan build, HACCRG_THREADS=2) ---"
+  HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" trace_equivalence build-tsan
 fi
 
 echo "=== all checks passed ==="

@@ -123,4 +123,39 @@ bool is_load_op(Opcode op) { return op == Opcode::kLdGlobal || op == Opcode::kLd
 
 bool is_atomic_op(Opcode op) { return op == Opcode::kAtomGlobal || op == Opcode::kAtomShared; }
 
+TraceEventClass trace_event_class(Opcode op) {
+  switch (op) {
+    case Opcode::kLdShared: return TraceEventClass::kSharedLoad;
+    case Opcode::kStShared: return TraceEventClass::kSharedStore;
+    case Opcode::kAtomShared: return TraceEventClass::kSharedAtomic;
+    case Opcode::kLdGlobal: return TraceEventClass::kGlobalLoad;
+    case Opcode::kStGlobal: return TraceEventClass::kGlobalStore;
+    case Opcode::kAtomGlobal: return TraceEventClass::kGlobalAtomic;
+    case Opcode::kBar: return TraceEventClass::kBarrier;
+    case Opcode::kMemBar:
+    case Opcode::kMemBarBlock:
+      return TraceEventClass::kFence;
+    case Opcode::kLockAcqMark: return TraceEventClass::kLockAcquire;
+    case Opcode::kLockRelMark: return TraceEventClass::kLockRelease;
+    default: return TraceEventClass::kNone;
+  }
+}
+
+std::string_view trace_event_class_name(TraceEventClass c) {
+  switch (c) {
+    case TraceEventClass::kNone: return "none";
+    case TraceEventClass::kSharedLoad: return "shared.load";
+    case TraceEventClass::kSharedStore: return "shared.store";
+    case TraceEventClass::kSharedAtomic: return "shared.atom";
+    case TraceEventClass::kGlobalLoad: return "global.load";
+    case TraceEventClass::kGlobalStore: return "global.store";
+    case TraceEventClass::kGlobalAtomic: return "global.atom";
+    case TraceEventClass::kBarrier: return "barrier";
+    case TraceEventClass::kFence: return "fence";
+    case TraceEventClass::kLockAcquire: return "lock.acq";
+    case TraceEventClass::kLockRelease: return "lock.rel";
+  }
+  return "?";
+}
+
 }  // namespace haccrg::isa

@@ -150,4 +150,24 @@ bool is_load_op(Opcode op);
 /// True for atomics (global or shared).
 bool is_atomic_op(Opcode op);
 
+/// How an opcode shows up in an access trace (src/trace): every memory or
+/// synchronization instruction maps to exactly one event class; pure
+/// compute and control flow map to kNone and are never recorded.
+enum class TraceEventClass : u8 {
+  kNone,
+  kSharedLoad,
+  kSharedStore,
+  kSharedAtomic,
+  kGlobalLoad,
+  kGlobalStore,
+  kGlobalAtomic,
+  kBarrier,
+  kFence,
+  kLockAcquire,
+  kLockRelease,
+};
+
+TraceEventClass trace_event_class(Opcode op);
+std::string_view trace_event_class_name(TraceEventClass c);
+
 }  // namespace haccrg::isa

@@ -29,6 +29,10 @@ void Engine::partition_phase(void* ctx, u32 begin, u32 end) {
 void Engine::step(Cycle now) {
   now_ = now;
   pool_.run(&Engine::sm_phase, this, static_cast<u32>(sms_->size()));
+  // Trace recording: write every SM's staged issue-phase events in SM-id
+  // order before the commit loop appends the cycle's global-memory
+  // events, so the file order equals the serial phases' execution order.
+  for (auto& sm : *sms_) sm->flush_trace();
   for (auto& sm : *sms_) sm->commit_epoch(now);
   pool_.run(&Engine::partition_phase, this, static_cast<u32>(partitions_->size()));
   icnt_->commit_responses(now);

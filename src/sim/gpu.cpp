@@ -7,7 +7,32 @@ namespace haccrg::sim {
 Gpu::Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_config,
          const SimConfig& sim_config)
     : gpu_config_(gpu_config), haccrg_config_(haccrg_config), sim_config_(sim_config),
-      memory_(gpu_config.device_mem_bytes), allocator_(memory_) {}
+      memory_(gpu_config.device_mem_bytes), allocator_(memory_) {
+  if (!sim_config_.trace_path.empty()) {
+    trace_writer_ = std::make_unique<trace::TraceWriter>(sim_config_.trace_path);
+    trace::TraceHeader header;
+    header.num_sms = gpu_config_.num_sms;
+    header.warp_size = gpu_config_.warp_size;
+    header.max_blocks_per_sm = gpu_config_.max_blocks_per_sm;
+    header.max_threads_per_sm = gpu_config_.max_threads_per_sm;
+    header.shared_mem_per_sm = gpu_config_.shared_mem_per_sm;
+    header.shared_mem_banks = gpu_config_.shared_mem_banks;
+    header.l1_line = gpu_config_.l1_line;
+    header.device_mem_bytes = gpu_config_.device_mem_bytes;
+    header.enable_shared = haccrg_config_.enable_shared;
+    header.enable_global = haccrg_config_.enable_global;
+    header.warp_regrouping = haccrg_config_.warp_regrouping;
+    header.disable_fence_gate = haccrg_config_.disable_fence_gate;
+    header.static_filter = haccrg_config_.static_filter;
+    header.shared_shadow = static_cast<u8>(haccrg_config_.shared_shadow);
+    header.shared_granularity = haccrg_config_.shared_granularity;
+    header.global_granularity = haccrg_config_.global_granularity;
+    header.bloom_bits = haccrg_config_.bloom_bits;
+    header.bloom_bins = haccrg_config_.bloom_bins;
+    header.max_recorded_races = haccrg_config_.max_recorded_races;
+    trace_writer_->write_header(header);
+  }
+}
 
 Gpu::~Gpu() = default;
 
@@ -101,6 +126,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   env.program = launch.program;
   env.launch = &launch;
   env.global_trace = global_trace_;
+  env.trace = trace_writer_.get();
   sms.reserve(gpu_config_.num_sms);
   for (u32 s = 0; s < gpu_config_.num_sms; ++s) {
     SmEnv sm_env = env;
@@ -108,22 +134,36 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     sms.push_back(std::make_unique<Sm>(s, sm_env));
   }
 
+  // Access-trace recording: a kernel-begin record pins the launch
+  // geometry and heap layout before any block-launch events are written.
+  if (trace_writer_ != nullptr) {
+    trace::Event begin;
+    begin.kind = trace::EventKind::kKernelBegin;
+    begin.grid_dim = launch.grid_dim;
+    begin.block_dim = launch.block_dim;
+    begin.shared_mem_bytes = launch.shared_mem_bytes;
+    begin.app_heap_bytes = app_bytes;
+    begin.shadow_base = global_rdu != nullptr ? global_rdu->shadow_base() : 0;
+    begin.label = trace_label_;
+    trace_writer_->write_event(begin);
+  }
+
   // CTA scheduler: hand out blocks round-robin, refilling as SMs drain.
   std::deque<u32> pending_blocks;
   for (u32 b = 0; b < launch.grid_dim; ++b) pending_blocks.push_back(b);
-  auto refill = [&]() {
+  auto refill = [&](Cycle at) {
     bool progress = true;
     while (progress && !pending_blocks.empty()) {
       progress = false;
       for (u32 s = 0; s < gpu_config_.num_sms && !pending_blocks.empty(); ++s) {
-        if (sms[s]->try_launch_block(pending_blocks.front())) {
+        if (sms[s]->try_launch_block(pending_blocks.front(), at)) {
           pending_blocks.pop_front();
           progress = true;
         }
       }
     }
   };
-  refill();
+  refill(0);
   if (pending_blocks.size() == launch.grid_dim) {
     result.error = "no SM can fit a block (check block_dim / shared memory)";
     return result;
@@ -149,7 +189,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     for (const auto& sm : sms) completed += sm->blocks_completed();
     if (completed != completed_last) {
       completed_last = completed;
-      refill();
+      refill(now);
     }
 
     // Done?
@@ -160,6 +200,15 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     if (!busy)
       for (const auto& part : partitions) busy = busy || !part.idle();
     if (!busy) break;
+  }
+
+  if (trace_writer_ != nullptr) {
+    trace::Event end;
+    end.kind = trace::EventKind::kKernelEnd;
+    end.cycle = now;
+    trace_writer_->write_event(end);
+    if (!trace_writer_->ok() && result.error.empty())
+      result.error = trace_writer_->error();
   }
 
   // --- Collect results ---------------------------------------------------------

@@ -16,6 +16,7 @@
 #include "sim/launch.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/sm.hpp"
+#include "trace/writer.hpp"
 
 namespace haccrg::sim {
 
@@ -45,6 +46,14 @@ class Gpu {
   /// during subsequent launches (pass nullptr to stop).
   void set_global_trace(std::vector<Addr>* sink) { global_trace_ = sink; }
 
+  /// Label stamped into the next launch's kernel-begin trace record
+  /// (benchmark name; empty by default). No-op unless tracing.
+  void set_trace_label(const std::string& label) { trace_label_ = label; }
+
+  /// The access-trace writer, or null when SimConfig::trace_path is
+  /// empty. Exposed so callers can check ok()/error() after a run.
+  trace::TraceWriter* trace_writer() { return trace_writer_.get(); }
+
  private:
   arch::GpuConfig gpu_config_;
   rd::HaccrgConfig haccrg_config_;
@@ -53,6 +62,8 @@ class Gpu {
   mem::DeviceAllocator allocator_;
   Cycle max_cycles_ = 2'000'000'000ULL;
   std::vector<Addr>* global_trace_ = nullptr;
+  std::unique_ptr<trace::TraceWriter> trace_writer_;
+  std::string trace_label_;
 };
 
 }  // namespace haccrg::sim

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -15,10 +16,17 @@ struct SimConfig {
   /// each cycle epoch. 1 == fully sequential engine.
   u32 num_threads = 1;
 
+  /// When non-empty, every launch records an access trace (src/trace
+  /// format) to this file. Trace writes happen only in the engine's
+  /// serial phases, so the recorded bytes are identical for any
+  /// num_threads value.
+  std::string trace_path;
+
   static constexpr u32 kMaxThreads = 64;
 
-  /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]); defaults to 1.
-  /// An environment knob rather than per-call plumbing so existing tests
+  /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]; defaults to 1)
+  /// and HACCRG_TRACE (trace output path; defaults to no tracing). An
+  /// environment knob rather than per-call plumbing so existing tests
   /// and benchmarks can be forced parallel wholesale (the TSan gate).
   static SimConfig from_env() {
     SimConfig cfg;
@@ -26,6 +34,8 @@ struct SimConfig {
       const long v = std::strtol(env, nullptr, 10);
       if (v > 0) cfg.num_threads = v > long{kMaxThreads} ? kMaxThreads : static_cast<u32>(v);
     }
+    if (const char* env = std::getenv("HACCRG_TRACE"); env != nullptr && env[0] != '\0')
+      cfg.trace_path = env;
     return cfg;
   }
 };

@@ -12,6 +12,28 @@ using isa::Instr;
 using isa::Opcode;
 using isa::SpecialReg;
 
+namespace {
+
+/// Map an opcode's trace class (src/isa) to the wire-format event kind.
+trace::EventKind trace_kind_for(Opcode op) {
+  switch (isa::trace_event_class(op)) {
+    case isa::TraceEventClass::kSharedLoad: return trace::EventKind::kSharedLoad;
+    case isa::TraceEventClass::kSharedStore: return trace::EventKind::kSharedStore;
+    case isa::TraceEventClass::kSharedAtomic: return trace::EventKind::kSharedAtomic;
+    case isa::TraceEventClass::kGlobalLoad: return trace::EventKind::kGlobalLoad;
+    case isa::TraceEventClass::kGlobalStore: return trace::EventKind::kGlobalStore;
+    case isa::TraceEventClass::kGlobalAtomic: return trace::EventKind::kGlobalAtomic;
+    case isa::TraceEventClass::kBarrier: return trace::EventKind::kBarrierArrive;
+    case isa::TraceEventClass::kFence: return trace::EventKind::kFence;
+    case isa::TraceEventClass::kLockAcquire: return trace::EventKind::kLockAcquire;
+    case isa::TraceEventClass::kLockRelease: return trace::EventKind::kLockRelease;
+    case isa::TraceEventClass::kNone: break;
+  }
+  return trace::EventKind::kKernelEnd;  // unreachable for traced opcodes
+}
+
+}  // namespace
+
 Sm::Sm(u32 sm_id, const SmEnv& env)
     : sm_id_(sm_id), env_(env), warps_(env.gpu->warps_per_sm()),
       blocks_(env.gpu->max_blocks_per_sm),
@@ -30,7 +52,7 @@ Sm::Sm(u32 sm_id, const SmEnv& env)
   }
 }
 
-bool Sm::try_launch_block(u32 block_id) {
+bool Sm::try_launch_block(u32 block_id, Cycle now) {
   const LaunchConfig& launch = *env_.launch;
   const u32 warp_size = env_.gpu->warp_size;
   const u32 warps_needed = static_cast<u32>(ceil_div(launch.block_dim, warp_size));
@@ -87,8 +109,31 @@ bool Sm::try_launch_block(u32 block_id) {
     shared_rdu_->reset_region(smem_base, smem_per_slot, env_.gpu->shared_mem_banks);
   }
 
+  // Block launches happen in the scheduler's serial context, so the trace
+  // event goes straight to the writer (after all of this cycle's events).
+  if (env_.trace != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kBlockLaunch;
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = slot;
+    e.block_id = block_id;
+    e.warp_base = warp_base;
+    e.num_warps = warps_needed;
+    e.thread_base = block.thread_base;
+    e.smem_base = smem_base;
+    e.smem_bytes = smem_per_slot;
+    env_.trace->write_event(e);
+  }
+
   ++resident_blocks_;
   return true;
+}
+
+void Sm::flush_trace() {
+  if (env_.trace == nullptr || trace_staged_.empty()) return;
+  for (const trace::Event& e : trace_staged_) env_.trace->write_event(e);
+  trace_staged_.clear();
 }
 
 void Sm::deliver(const mem::Response& rsp, Cycle now) {
@@ -99,6 +144,14 @@ void Sm::deliver(const mem::Response& rsp, Cycle now) {
       warp.state = WarpState::kReady;
       warp.ready_at = now + env_.gpu->fence_latency;
       ids_.on_fence(warp.warp_slot());
+      if (env_.trace != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kFenceCommit;
+        e.cycle = now;
+        e.sm = sm_id_;
+        e.warp_slot = warp.warp_slot();
+        stage_trace(std::move(e));
+      }
     }
     return;
   }
@@ -153,6 +206,11 @@ void Sm::commit_epoch(Cycle now) {
 
 void Sm::replay(DeferredGlobalOp& op) {
   WarpContext& warp = warps_[op.warp_slot];
+
+  // Global-memory trace events are written here, in the serial commit
+  // phase, so the file interleaves them in SM-id order after every SM's
+  // issue-phase events for the cycle (the replay ordering contract).
+  if (op.has_trace_event && env_.trace != nullptr) env_.trace->write_event(op.trace_event);
 
   // Functional effects, in the lane order the sequential engine used.
   for (const DeferredGlobalOp::Lane& lane : op.lanes) {
@@ -390,6 +448,21 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   // analysis proved race-free at the detector's granularity.
   const bool shared_static_skip = shared_rdu_ && !is_atomic && static_filtered(warp.pc);
   if (shared_static_skip) static_filtered_ += scratch_accesses_.size();
+  if (env_.trace != nullptr && !scratch_accesses_.empty()) {
+    trace::Event e;
+    e.kind = trace_kind_for(ins.op);
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = warp.block_slot();
+    e.warp_slot = warp.warp_slot();
+    e.warp_in_block = warp.warp_in_block();
+    e.pc = warp.pc;
+    e.width = static_cast<u8>(width);
+    e.checked = shared_rdu_ != nullptr && !is_atomic && !shared_static_skip;
+    for (const auto& acc : scratch_accesses_)
+      e.lanes.push_back({static_cast<u8>(acc.lane), acc.addr, false, 0});
+    stage_trace(std::move(e));
+  }
   if (shared_rdu_ && !is_atomic && !shared_static_skip) {
     if (is_store) {
       // The pre-issue intra-warp WAW check compares exact addresses at
@@ -482,6 +555,22 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   if (detect_cfg && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
   if (global_static_skip) static_filtered_ += scratch_accesses_.size();
 
+  if (env_.trace != nullptr && !scratch_accesses_.empty()) {
+    op.has_trace_event = true;
+    trace::Event& e = op.trace_event;
+    e.kind = trace_kind_for(ins.op);
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = warp.block_slot();
+    e.warp_slot = warp.warp_slot();
+    e.warp_in_block = warp.warp_in_block();
+    e.pc = warp.pc;
+    e.width = static_cast<u8>(width);
+    e.checked = detect && !is_atomic;
+    for (const auto& acc : scratch_accesses_)
+      e.lanes.push_back({static_cast<u8>(acc.lane), acc.addr, false, 0});
+  }
+
   u32 transactions = 0;
 
   if (is_atomic) {
@@ -529,6 +618,15 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
       op.trace_addrs.push_back(seg.addr);
       const Cycle line_fill = l1_.fill_time(seg.addr);
       const bool l1_hit = l1_.access(seg.addr, is_store, now).hit;
+      if (op.has_trace_event && !is_store && l1_hit) {
+        // Stamp the stale-L1 rule's inputs onto this segment's lanes.
+        for (u32 lane_idx : seg.lanes)
+          for (trace::TraceLane& tl : op.trace_event.lanes)
+            if (tl.lane == lane_idx) {
+              tl.l1_hit = true;
+              tl.l1_fill = line_fill;
+            }
+      }
       if (is_store) {
         mem::Packet pkt;  // write-through
         pkt.kind = mem::PacketKind::kStore;
@@ -583,6 +681,16 @@ void Sm::exec_barrier(WarpContext& warp, Cycle now) {
   ++warp.pc;
   ++block.warps_at_barrier;
 
+  if (env_.trace != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kBarrierArrive;
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = warp.block_slot();
+    e.warp_slot = warp.warp_slot();
+    stage_trace(std::move(e));
+  }
+
   const u32 expected = block.num_warps - block.warps_done;
   if (block.warps_at_barrier < expected) return;
 
@@ -604,14 +712,40 @@ void Sm::exec_barrier(WarpContext& warp, Cycle now) {
     issue_free_at_ = std::max(issue_free_at_, now + cost);
   }
   if (env_.haccrg->enable_global) ids_.on_barrier(warp.block_slot());
+  if (env_.trace != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kBarrierRelease;
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = warp.block_slot();
+    e.smem_base = block.smem_base;
+    e.smem_bytes = block.smem_bytes;
+    stage_trace(std::move(e));
+  }
 }
 
 void Sm::exec_fence(WarpContext& warp, Cycle now) {
   ++fences_;
   ++warp.pc;
+  if (env_.trace != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kFence;
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.warp_slot = warp.warp_slot();
+    stage_trace(std::move(e));
+  }
   if (warp.outstanding_stores == 0) {
     warp.ready_at = now + env_.gpu->fence_latency;
     ids_.on_fence(warp.warp_slot());
+    if (env_.trace != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kFenceCommit;
+      e.cycle = now;
+      e.sm = sm_id_;
+      e.warp_slot = warp.warp_slot();
+      stage_trace(std::move(e));
+    }
   } else {
     warp.state = WarpState::kWaitFence;  // fence ID bumps when stores drain
   }
@@ -647,8 +781,17 @@ void Sm::exec_exit(WarpContext& warp, Cycle now) {
 }
 
 void Sm::block_finished(u32 block_slot, Cycle now) {
-  (void)now;
   BlockContext& block = blocks_[block_slot];
+  if (env_.trace != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kBlockFinish;
+    e.cycle = now;
+    e.sm = sm_id_;
+    e.block_slot = block_slot;
+    e.smem_base = block.smem_base;
+    e.smem_bytes = block.smem_bytes;
+    stage_trace(std::move(e));
+  }
   for (auto& w : warps_) {
     if (w.state == WarpState::kDone && w.block_slot() == block_slot) w.release();
   }
@@ -769,26 +912,34 @@ void Sm::execute(WarpContext& warp, Cycle now) {
       warp.pc = ins.imm;
       return;
     }
-    case Opcode::kLockAcqMark: {
+    case Opcode::kLockAcqMark:
+    case Opcode::kLockRelMark: {
+      const bool acquire = ins.op == Opcode::kLockAcqMark;
       const BlockContext& block = blocks_[warp.block_slot()];
       const rd::BloomGeometry geom{env_.haccrg->bloom_bits, env_.haccrg->bloom_bins};
+      trace::Event e;
+      if (env_.trace != nullptr) {
+        e.kind = trace_kind_for(ins.op);
+        e.cycle = now;
+        e.sm = sm_id_;
+        e.block_slot = warp.block_slot();
+        e.warp_slot = warp.warp_slot();
+        e.warp_in_block = warp.warp_in_block();
+        e.pc = warp.pc;
+      }
       for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
         if (!warp.lane_active(lane)) continue;
         const u32 slot =
             block.thread_base + warp.warp_in_block() * env_.gpu->warp_size + lane;
-        ids_.on_lock_acquired(slot, warp.reg(ins.src0, lane), geom);
+        if (acquire)
+          ids_.on_lock_acquired(slot, warp.reg(ins.src0, lane), geom);
+        else
+          ids_.on_lock_releasing(slot);
+        if (env_.trace != nullptr)
+          e.lanes.push_back(
+              {static_cast<u8>(lane), acquire ? warp.reg(ins.src0, lane) : 0, false, 0});
       }
-      ++warp.pc;
-      return;
-    }
-    case Opcode::kLockRelMark: {
-      const BlockContext& block = blocks_[warp.block_slot()];
-      for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
-        if (!warp.lane_active(lane)) continue;
-        const u32 slot =
-            block.thread_base + warp.warp_in_block() * env_.gpu->warp_size + lane;
-        ids_.on_lock_releasing(slot);
-      }
+      if (env_.trace != nullptr) stage_trace(std::move(e));
       ++warp.pc;
       return;
     }

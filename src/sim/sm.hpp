@@ -38,6 +38,7 @@
 #include "mem/shared_memory.hpp"
 #include "sim/launch.hpp"
 #include "sim/warp.hpp"
+#include "trace/writer.hpp"
 
 namespace haccrg::sim {
 
@@ -55,14 +56,19 @@ struct SmEnv {
   /// Optional sink recording every coalesced global transaction address
   /// (used by the virtual-memory TLB study).
   std::vector<Addr>* global_trace = nullptr;
+  /// Optional access-trace recorder (SimConfig::trace_path). Issue-phase
+  /// events are staged per SM and flushed serially in SM-id order by the
+  /// engine; global-memory events are written during commit_epoch.
+  trace::TraceWriter* trace = nullptr;
 };
 
 class Sm {
  public:
   Sm(u32 sm_id, const SmEnv& env);
 
-  /// Try to start `block_id`; returns false if no capacity.
-  bool try_launch_block(u32 block_id);
+  /// Try to start `block_id`; returns false if no capacity. Runs in the
+  /// serial scheduler context (its trace event is written directly).
+  bool try_launch_block(u32 block_id, Cycle now);
 
   /// Advance one core cycle. Safe to call concurrently with other SMs'
   /// cycle()/deliver(); cross-SM effects are staged until commit_epoch.
@@ -72,6 +78,11 @@ class Sm {
   /// staged race records, replay deferred global-memory work, and push
   /// this SM's staged packets into the interconnect.
   void commit_epoch(Cycle now);
+
+  /// Write this SM's staged issue-phase trace events. Called serially in
+  /// SM-id order between the parallel SM phase and the commit loop, so
+  /// the file order matches the engine's deterministic phase order.
+  void flush_trace();
 
   bool busy() const { return resident_blocks_ > 0; }
   u32 resident_blocks() const { return resident_blocks_; }
@@ -151,8 +162,15 @@ class Sm {
     std::vector<Lane> lanes;
     std::vector<Addr> trace_addrs;       ///< coalesced segments, issue order
     std::vector<rd::AccessInfo> checks;  ///< global RDU inputs, issue order
+    trace::Event trace_event;            ///< written at commit when recording
+    bool has_trace_event = false;
   };
   void replay(DeferredGlobalOp& op);
+
+  /// Stage one issue-phase trace event (no-op unless recording).
+  void stage_trace(trace::Event event) {
+    if (env_.trace != nullptr) trace_staged_.push_back(std::move(event));
+  }
 
   u32 sm_id_;
   SmEnv env_;
@@ -172,6 +190,7 @@ class Sm {
   // Thread-confined epoch staging, replayed by commit_epoch().
   rd::RaceStaging race_staging_;
   std::vector<DeferredGlobalOp> deferred_;
+  std::vector<trace::Event> trace_staged_;  ///< issue-phase events this cycle
 
   // Scratch vectors reused across instructions to avoid per-issue churn.
   std::vector<mem::LaneAccess> scratch_accesses_;

@@ -1,0 +1,440 @@
+// haccrg-trace: record, inspect, replay, and diff access traces.
+//
+// Exit codes (all subcommands): 0 success; 2 usage error, I/O failure, or
+// a corrupt/unreadable trace. `diff` additionally exits 1 when both
+// inputs are readable but their race sets differ — scripts can tell
+// "detectors disagree" (1) from "could not compare" (2).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using namespace haccrg;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "haccrg-trace: %s\n\n", error);
+  std::fprintf(stderr, "%s",
+               "usage: haccrg-trace <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  record --kernel NAME --out FILE.trc [options]\n"
+               "      Run a registry kernel with tracing enabled.\n"
+               "      --det combined|word|shared|off   detector config (default combined)\n"
+               "      --scale N      workload scale multiplier (default 1)\n"
+               "      --seed N       workload data seed (default 0)\n"
+               "      --single-block run SCAN/KMEANS as designed (one block)\n"
+               "      --inject KIND:SITE  inject a race; KIND is barrier, cross,\n"
+               "                     fence, or critical\n"
+               "      --threads N    simulator worker threads (default HACCRG_THREADS)\n"
+               "      --races FILE   also write the live run's race set\n"
+               "      --label STR    kernel label stored in the trace (default NAME)\n"
+               "  info FILE.trc\n"
+               "      Print the header and per-kernel event/cycle counts.\n"
+               "  dump FILE.trc [--limit N] [--kind NAME]\n"
+               "      Print decoded events (optionally only events of one kind).\n"
+               "  replay FILE.trc [--races FILE] [--sw] [--grace] [--repeat N]\n"
+               "      Stream the trace through the recorded hardware detectors\n"
+               "      (--sw / --grace add the software emulators; --repeat for\n"
+               "      timing). Prints per-kernel race totals.\n"
+               "  diff A B\n"
+               "      Compare race sets. Each input is either a trace (replayed\n"
+               "      with the hardware detectors) or a race-set file written by\n"
+               "      record/replay --races. Exits 0 when the sets are identical,\n"
+               "      1 when they differ, 2 when an input cannot be read — so a\n"
+               "      CI step can assert replay-vs-live equivalence directly.\n");
+  return 2;
+}
+
+bool next_arg(int argc, char** argv, int& i, const char* flag, std::string& out) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "haccrg-trace: %s needs a value\n", flag);
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+bool parse_u32(const std::string& text, u32& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v > 0xffffffffUL) return false;
+  out = static_cast<u32>(v);
+  return true;
+}
+
+bool detection_config(const std::string& name, rd::HaccrgConfig& out) {
+  out = rd::HaccrgConfig{};
+  if (name == "off") return true;
+  if (name == "shared") {
+    out.enable_shared = true;
+    out.shared_granularity = 16;
+    return true;
+  }
+  if (name == "combined") {
+    out.enable_shared = true;
+    out.enable_global = true;
+    out.shared_granularity = 16;
+    out.global_granularity = 4;
+    return true;
+  }
+  if (name == "word") {
+    out.enable_shared = true;
+    out.enable_global = true;
+    out.shared_granularity = 4;
+    out.global_granularity = 4;
+    return true;
+  }
+  return false;
+}
+
+bool parse_injection(const std::string& text, kernels::Injection& out) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string kind = text.substr(0, colon);
+  if (!parse_u32(text.substr(colon + 1), out.site)) return false;
+  if (kind == "barrier")
+    out.kind = kernels::InjectionKind::kRemoveBarrier;
+  else if (kind == "cross")
+    out.kind = kernels::InjectionKind::kRogueCrossBlock;
+  else if (kind == "fence")
+    out.kind = kernels::InjectionKind::kRemoveFence;
+  else if (kind == "critical")
+    out.kind = kernels::InjectionKind::kRogueCritical;
+  else
+    return false;
+  return true;
+}
+
+bool write_race_file(const std::string& path, const std::vector<std::string>& lines,
+                     const std::string& origin) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "haccrg-trace: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << "# haccrg race set: " << origin << "\n";
+  for (const std::string& line : lines) out << line << "\n";
+  return out.good();
+}
+
+int cmd_record(int argc, char** argv) {
+  std::string kernel;
+  std::string out_path;
+  std::string det_name = "combined";
+  std::string races_path;
+  std::string label;
+  kernels::BenchOptions opts;
+  sim::SimConfig sim_cfg = sim::SimConfig::from_env();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--kernel") {
+      if (!next_arg(argc, argv, i, "--kernel", kernel)) return 2;
+    } else if (arg == "--out") {
+      if (!next_arg(argc, argv, i, "--out", out_path)) return 2;
+    } else if (arg == "--det") {
+      if (!next_arg(argc, argv, i, "--det", det_name)) return 2;
+    } else if (arg == "--races") {
+      if (!next_arg(argc, argv, i, "--races", races_path)) return 2;
+    } else if (arg == "--label") {
+      if (!next_arg(argc, argv, i, "--label", label)) return 2;
+    } else if (arg == "--scale") {
+      if (!next_arg(argc, argv, i, "--scale", value) || !parse_u32(value, opts.scale)) return 2;
+    } else if (arg == "--seed") {
+      if (!next_arg(argc, argv, i, "--seed", value) || !parse_u32(value, opts.seed)) return 2;
+    } else if (arg == "--single-block") {
+      opts.single_block = true;
+    } else if (arg == "--inject") {
+      if (!next_arg(argc, argv, i, "--inject", value) || !parse_injection(value, opts.injection))
+        return usage("--inject expects KIND:SITE (e.g. barrier:0)");
+    } else if (arg == "--threads") {
+      if (!next_arg(argc, argv, i, "--threads", value) ||
+          !parse_u32(value, sim_cfg.num_threads) || sim_cfg.num_threads == 0)
+        return 2;
+    } else {
+      return usage(("unknown record option " + arg).c_str());
+    }
+  }
+  if (kernel.empty() || out_path.empty()) return usage("record needs --kernel and --out");
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(kernel);
+  if (info == nullptr) return usage(("unknown benchmark " + kernel).c_str());
+  rd::HaccrgConfig det;
+  if (!detection_config(det_name, det)) return usage("--det must be combined|word|shared|off");
+
+  arch::GpuConfig gpu_cfg;  // Table I defaults
+  gpu_cfg.device_mem_bytes = 64u * 1024u * 1024u;
+  sim_cfg.trace_path = out_path;
+  sim::Gpu gpu(gpu_cfg, det, sim_cfg);
+  gpu.set_trace_label(label.empty() ? kernel : label);
+  kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  sim::SimResult result = gpu.launch(prep.launch());
+  if (!result.completed) {
+    std::fprintf(stderr, "haccrg-trace: %s failed: %s\n", kernel.c_str(), result.error.c_str());
+    return 2;
+  }
+  if (gpu.trace_writer() != nullptr && !gpu.trace_writer()->finish()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", gpu.trace_writer()->error().c_str());
+    return 2;
+  }
+  std::printf("recorded %s: %llu cycles, %llu events, %llu bytes -> %s\n", kernel.c_str(),
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(gpu.trace_writer()->events_written()),
+              static_cast<unsigned long long>(gpu.trace_writer()->bytes_written()),
+              out_path.c_str());
+  std::printf("live races: %llu unique (%llu raw)\n",
+              static_cast<unsigned long long>(result.races.unique()),
+              static_cast<unsigned long long>(result.races.total()));
+  if (!races_path.empty() &&
+      !write_race_file(races_path, trace::race_set_lines(result.races), "live " + kernel))
+    return 2;
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  trace::TraceReader reader(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
+    return 2;
+  }
+  const trace::TraceHeader& h = reader.header();
+  std::printf("trace: %s (%llu bytes, format v%u)\n", path.c_str(),
+              static_cast<unsigned long long>(reader.bytes_total()), h.version);
+  std::printf("machine: %u SMs x %u warps (warp size %u), %u KiB smem/SM, L1 line %u\n",
+              h.num_sms, h.warps_per_sm(), h.warp_size, h.shared_mem_per_sm / 1024, h.l1_line);
+  std::printf("detection: shared=%s(gran %u) global=%s(gran %u)%s%s%s\n",
+              h.enable_shared ? "on" : "off", h.shared_granularity,
+              h.enable_global ? "on" : "off", h.global_granularity,
+              h.warp_regrouping ? " regrouping" : "", h.disable_fence_gate ? " no-fence-gate" : "",
+              h.static_filter ? " static-filter" : "");
+  trace::Event event;
+  u64 kernels_seen = 0;
+  u64 events = 0;
+  u64 accesses = 0;
+  Cycle cycles = 0;
+  std::string label;
+  while (reader.next(event)) {
+    ++events;
+    if (event.kind == trace::EventKind::kKernelBegin) {
+      ++kernels_seen;
+      label = event.label;
+    } else if (event.kind == trace::EventKind::kKernelEnd) {
+      cycles = event.cycle;
+      std::printf("kernel '%s': %llu cycles\n", label.c_str(),
+                  static_cast<unsigned long long>(cycles));
+    } else if (trace::is_access_kind(event.kind)) {
+      ++accesses;
+    }
+  }
+  if (!reader.error().empty()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
+    return 2;
+  }
+  std::printf("%llu kernels, %llu events (%llu memory accesses)\n",
+              static_cast<unsigned long long>(kernels_seen),
+              static_cast<unsigned long long>(events), static_cast<unsigned long long>(accesses));
+  return 0;
+}
+
+int cmd_dump(const std::string& path, u64 limit, const std::string& kind_filter) {
+  trace::TraceReader reader(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
+    return 2;
+  }
+  trace::Event event;
+  u64 printed = 0;
+  while (reader.next(event) && printed < limit) {
+    const std::string_view name = trace::event_kind_name(event.kind);
+    if (!kind_filter.empty() && name != kind_filter) continue;
+    ++printed;
+    std::printf("%10llu %-15.*s", static_cast<unsigned long long>(event.cycle),
+                static_cast<int>(name.size()), name.data());
+    if (event.kind == trace::EventKind::kKernelBegin) {
+      std::printf(" grid=%u block=%u smem=%u heap=%u shadow=0x%x label='%s'", event.grid_dim,
+                  event.block_dim, event.shared_mem_bytes, event.app_heap_bytes,
+                  event.shadow_base, event.label.c_str());
+    } else if (event.kind == trace::EventKind::kBlockLaunch) {
+      std::printf(" sm=%u slot=%u block=%u warps=%u threads@%u smem@%u+%u", event.sm,
+                  event.block_slot, event.block_id, event.num_warps, event.thread_base,
+                  event.smem_base, event.smem_bytes);
+    } else if (trace::is_access_kind(event.kind) ||
+               event.kind == trace::EventKind::kLockAcquire ||
+               event.kind == trace::EventKind::kLockRelease) {
+      std::printf(" sm=%u slot=%u warp=%u pc=%u width=%u%s lanes=[", event.sm, event.block_slot,
+                  event.warp_slot, event.pc, event.width, event.checked ? " checked" : "");
+      for (size_t i = 0; i < event.lanes.size(); ++i) {
+        const trace::TraceLane& lane = event.lanes[i];
+        std::printf("%s%u:0x%x", i == 0 ? "" : " ", lane.lane, lane.addr);
+        if (lane.l1_hit) std::printf("@hit%llu", static_cast<unsigned long long>(lane.l1_fill));
+      }
+      std::printf("]");
+    } else if (event.kind != trace::EventKind::kKernelEnd) {
+      std::printf(" sm=%u slot=%u warp=%u", event.sm, event.block_slot, event.warp_slot);
+    }
+    std::printf("\n");
+  }
+  if (!reader.error().empty()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_replay(const std::string& path, const std::string& races_path, bool sw, bool grace,
+               u32 repeat) {
+  trace::ReplayOptions opts;
+  opts.sw_haccrg = sw;
+  opts.grace = grace;
+  trace::ReplayResult result;
+  for (u32 r = 0; r < repeat; ++r) {
+    result = trace::replay_trace(path, opts);
+    if (!result.ok) {
+      std::fprintf(stderr, "haccrg-trace: %s\n", result.error.c_str());
+      return 2;
+    }
+  }
+  std::vector<std::string> lines;
+  for (const trace::KernelReplay& k : result.kernels) {
+    std::printf("kernel '%s': %llu cycles, %llu events, hw races %llu unique (%llu raw)",
+                k.label.c_str(), static_cast<unsigned long long>(k.cycles),
+                static_cast<unsigned long long>(k.events),
+                static_cast<unsigned long long>(k.races.unique()),
+                static_cast<unsigned long long>(k.races.total()));
+    if (sw) std::printf(", sw-haccrg %llu", static_cast<unsigned long long>(k.sw_haccrg_races));
+    if (grace) std::printf(", grace %llu", static_cast<unsigned long long>(k.grace_races));
+    std::printf("\n");
+    for (const std::string& line : trace::race_set_lines(k.races)) lines.push_back(line);
+  }
+  if (!races_path.empty() && !write_race_file(races_path, lines, "replay " + path)) return 2;
+  return 0;
+}
+
+/// Load a diff input: a trace file is replayed (hardware detectors); a
+/// text race-set file is read line by line ('#' comments skipped).
+bool load_race_set(const std::string& path, std::set<std::string>& out) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    std::fprintf(stderr, "haccrg-trace: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  char magic[8] = {};
+  probe.read(magic, sizeof(magic));
+  if (probe.gcount() == 8 && std::memcmp(magic, trace::kMagic, 8) == 0) {
+    const trace::ReplayResult result = trace::replay_trace(path, trace::ReplayOptions{});
+    if (!result.ok) {
+      std::fprintf(stderr, "haccrg-trace: %s: %s\n", path.c_str(), result.error.c_str());
+      return false;
+    }
+    for (const trace::RaceKey& key : result.race_set()) out.insert(trace::race_key_line(key));
+    return true;
+  }
+  probe.clear();
+  probe.seekg(0);
+  std::string line;
+  while (std::getline(probe, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    out.insert(line);
+  }
+  return true;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  std::set<std::string> a;
+  std::set<std::string> b;
+  if (!load_race_set(a_path, a) || !load_race_set(b_path, b)) return 2;
+  u64 missing = 0;
+  u64 extra = 0;
+  for (const std::string& line : a)
+    if (!b.count(line)) {
+      std::printf("- %s\n", line.c_str());
+      ++missing;
+    }
+  for (const std::string& line : b)
+    if (!a.count(line)) {
+      std::printf("+ %s\n", line.c_str());
+      ++extra;
+    }
+  if (missing == 0 && extra == 0) {
+    std::printf("race sets match (%llu races)\n", static_cast<unsigned long long>(a.size()));
+    return 0;
+  }
+  std::printf("race sets differ: %llu only in %s, %llu only in %s\n",
+              static_cast<unsigned long long>(missing), a_path.c_str(),
+              static_cast<unsigned long long>(extra), b_path.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage();
+    return 0;
+  }
+  if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+  if (cmd == "info") {
+    if (argc != 3) return usage("info needs a trace file");
+    return cmd_info(argv[2]);
+  }
+  if (cmd == "dump") {
+    if (argc < 3) return usage("dump needs a trace file");
+    u64 limit = ~0ULL;
+    std::string kind;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string value;
+      if (arg == "--limit") {
+        u32 parsed = 0;
+        if (!next_arg(argc, argv, i, "--limit", value) || !parse_u32(value, parsed)) return 2;
+        limit = parsed;
+      } else if (arg == "--kind") {
+        if (!next_arg(argc, argv, i, "--kind", kind)) return 2;
+      } else {
+        return usage(("unknown dump option " + arg).c_str());
+      }
+    }
+    return cmd_dump(argv[2], limit, kind);
+  }
+  if (cmd == "replay") {
+    if (argc < 3) return usage("replay needs a trace file");
+    std::string races;
+    bool sw = false;
+    bool grace = false;
+    u32 repeat = 1;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string value;
+      if (arg == "--races") {
+        if (!next_arg(argc, argv, i, "--races", races)) return 2;
+      } else if (arg == "--sw") {
+        sw = true;
+      } else if (arg == "--grace") {
+        grace = true;
+      } else if (arg == "--repeat") {
+        if (!next_arg(argc, argv, i, "--repeat", value) || !parse_u32(value, repeat) ||
+            repeat == 0)
+          return 2;
+      } else {
+        return usage(("unknown replay option " + arg).c_str());
+      }
+    }
+    return cmd_replay(argv[2], races, sw, grace, repeat);
+  }
+  if (cmd == "diff") {
+    if (argc != 4) return usage("diff needs exactly two inputs");
+    return cmd_diff(argv[2], argv[3]);
+  }
+  return usage(("unknown command " + cmd).c_str());
+}

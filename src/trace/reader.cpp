@@ -1,0 +1,55 @@
+#include "trace/reader.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace haccrg::trace {
+
+TraceReader::TraceReader(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    error_ = "trace: cannot open '" + path + "': " + std::strerror(errno);
+    return;
+  }
+  char chunk[1u << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+    bytes_.insert(bytes_.end(), chunk, chunk + got);
+  if (std::ferror(file) != 0)
+    error_ = "trace: read error on '" + path + "': " + std::strerror(errno);
+  std::fclose(file);
+  if (error_.empty()) parse_header();
+}
+
+TraceReader::TraceReader(std::vector<u8> bytes) : bytes_(std::move(bytes)) { parse_header(); }
+
+void TraceReader::parse_header() {
+  cursor_ = DecodeCursor{bytes_.data(), bytes_.size(), 0, {}};
+  if (!decode_header(cursor_, header_)) {
+    error_ = cursor_.error;
+    return;
+  }
+  first_event_pos_ = cursor_.pos;
+}
+
+bool TraceReader::next(Event& out) {
+  if (!ok() || cursor_.at_end()) return false;
+  if (!decode_event(cursor_, last_cycle_, out)) {
+    error_ = cursor_.error;
+    return false;
+  }
+  ++events_;
+  return true;
+}
+
+void TraceReader::rewind() {
+  if (!ok() && first_event_pos_ == 0) return;  // header never parsed
+  cursor_.pos = first_event_pos_;
+  cursor_.error.clear();
+  error_.clear();
+  last_cycle_ = 0;
+  events_ = 0;
+}
+
+}  // namespace haccrg::trace

@@ -1,0 +1,50 @@
+// Trace file reader: loads the file, validates magic/version/header up
+// front, then decodes events one at a time. All failure modes — missing
+// file, bad magic, wrong version, a truncated or bit-flipped event — are
+// reported through error() rather than thrown or crashed on, so the CLI
+// and replay engine can turn them into exit codes.
+#pragma once
+
+#include <string>
+
+#include "trace/format.hpp"
+
+namespace haccrg::trace {
+
+class TraceReader {
+ public:
+  /// Loads `path` and parses the header; check ok() before use.
+  explicit TraceReader(const std::string& path);
+
+  /// Parse an in-memory image (tests; the property/corruption suites).
+  explicit TraceReader(std::vector<u8> bytes);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const TraceHeader& header() const { return header_; }
+
+  /// Decode the next event into `out`. Returns false at clean end-of-
+  /// trace or on a malformed event; the two are distinguished by error()
+  /// being empty or not.
+  bool next(Event& out);
+
+  bool at_end() const { return cursor_.at_end(); }
+  u64 events_read() const { return events_; }
+  u64 bytes_total() const { return static_cast<u64>(bytes_.size()); }
+
+  /// Rewind to the first event (after the header).
+  void rewind();
+
+ private:
+  void parse_header();
+
+  std::vector<u8> bytes_;
+  DecodeCursor cursor_;
+  TraceHeader header_;
+  std::string error_;
+  size_t first_event_pos_ = 0;
+  Cycle last_cycle_ = 0;
+  u64 events_ = 0;
+};
+
+}  // namespace haccrg::trace

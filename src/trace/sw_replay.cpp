@@ -1,0 +1,104 @@
+#include "trace/sw_replay.hpp"
+
+namespace haccrg::trace {
+
+namespace {
+
+/// Per-block shared region the instrumentation assumes (16 KB -> 4096
+/// words); must match the stride baked into sw_haccrg's preamble.
+constexpr u32 kSharedRegionWords = 4096;
+
+constexpr u32 kWarpSizeForGtid = 32;  // SpecialReg::kTid = warp_in_block*32 + lane
+
+}  // namespace
+
+SwHaccrgReplay::SwHaccrgReplay(u32 app_heap_bytes, u32 grid_dim, u32 block_dim,
+                               std::function<bool(u32)> is_safe)
+    : block_dim_(block_dim), is_safe_(std::move(is_safe)),
+      global_shadow_(app_heap_bytes / 4 + 1, 0), shared_shadow_(grid_dim),
+      epochs_(grid_dim, 0) {}
+
+void SwHaccrgReplay::check_word(bool shared_space, u32 block_id, Addr word_addr, u32 gtid,
+                                bool is_write) {
+  u32* slot = nullptr;
+  if (shared_space) {
+    std::vector<u32>& region = shared_shadow_[block_id];
+    if (region.empty()) region.assign(kSharedRegionWords, 0);
+    const u32 word = word_addr / 4;
+    if (word >= kSharedRegionWords) return;
+    slot = &region[word];
+  } else {
+    const u32 word = word_addr / 4;
+    if (word >= global_shadow_.size()) return;
+    slot = &global_shadow_[word];
+  }
+
+  // The instrumented sequence, in 32-bit register arithmetic:
+  //   tag = gtid<<12 | (epoch & 0x3ff)<<2 | (write ? 2 : 1)
+  //   old = atomicExch(shadow, tag)
+  //   race = old != 0 && same-epoch && other-thread && a write involved
+  const u32 epoch = epochs_[block_id];
+  const u32 tag = (gtid << 12) | ((epoch & 0x3ffu) << 2) | (is_write ? 2u : 1u);
+  const u32 old = *slot;
+  *slot = tag;
+  if (old != 0 && (((old ^ tag) >> 2) & 0x3ffu) == 0 && (old >> 12) != gtid &&
+      ((old | tag) & 2u) != 0) {
+    ++races_;
+    locations_.insert({shared_space ? 0 : 1, shared_space ? block_id : 0, word_addr & ~3u});
+  }
+}
+
+void SwHaccrgReplay::on_access(const Event& event, u32 block_id, u32 smem_base) {
+  if (is_safe_ && is_safe_(event.pc)) return;  // statically pruned site
+  const bool shared_space = is_shared_access(event.kind);
+  const bool is_write =
+      event.kind == EventKind::kSharedStore || event.kind == EventKind::kGlobalStore;
+  for (const TraceLane& lane : event.lanes) {
+    const u32 gtid =
+        block_id * block_dim_ + event.warp_in_block * kWarpSizeForGtid + lane.lane;
+    const Addr addr = shared_space ? lane.addr - smem_base : lane.addr;
+    check_word(shared_space, block_id, addr, gtid, is_write);
+  }
+}
+
+void SwHaccrgReplay::on_barrier_release(u32 block_id) { ++epochs_[block_id]; }
+
+GraceReplay::GraceReplay(u32 grid_dim, u32 block_dim, std::function<bool(u32)> is_safe)
+    : block_dim_(block_dim), is_safe_(std::move(is_safe)), bitmaps_(grid_dim) {}
+
+void GraceReplay::on_access(const Event& event, u32 block_id, u32 smem_base) {
+  if (is_safe_ && is_safe_(event.pc)) return;
+  std::vector<u32>& tables = bitmaps_[block_id];
+  if (tables.empty()) tables.assign(kBitmapWords * 2, 0);
+  const bool is_write = event.kind == EventKind::kSharedStore;
+  for (const TraceLane& lane : event.lanes) {
+    const u32 word = (lane.addr - smem_base) / 4;
+    const u32 bitmap_word = (word >> 5) % kBitmapWords;
+    const u32 mask = 1u << (word & 31u);
+    // Own bit first (write table at +0, read table at +kBitmapWords)...
+    tables[(is_write ? 0 : kBitmapWords) + bitmap_word] |= mask;
+    // ...then the diagnosis scan ORs the whole write table. A write's own
+    // just-set bit always survives the AND — the live instrumentation
+    // behaves identically, which is why GRace-add over-reports.
+    u32 acc = 0;
+    for (u32 j = 0; j < kBitmapWords; ++j) acc |= tables[j];
+    if (is_write && (acc & mask) != 0) {
+      ++races_;
+      locations_.insert({0, block_id, (word * 4) & ~3u});
+    }
+  }
+}
+
+void GraceReplay::on_barrier_release(u32 block_id) {
+  std::vector<u32>& tables = bitmaps_[block_id];
+  if (tables.empty()) return;
+  // Each thread tid clears word tid % kBitmapWords in both tables; a
+  // block smaller than 128 threads leaves the tail words set, exactly as
+  // the live barrier-clear slice does.
+  for (u32 t = 0; t < block_dim_ && t < kBitmapWords; ++t) {
+    tables[t % kBitmapWords] = 0;
+    tables[kBitmapWords + t % kBitmapWords] = 0;
+  }
+}
+
+}  // namespace haccrg::trace

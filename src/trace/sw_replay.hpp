@@ -1,0 +1,98 @@
+// Trace-driven emulation of the two instrumentation-based detectors —
+// the software HAccRG tag scheme (swrace/sw_haccrg) and the GRace-add
+// bitmap baseline (swrace/grace) — run directly over a recorded access
+// stream instead of rewriting and re-simulating the kernel.
+//
+// Fidelity contract: both emulators execute the instrumented code's
+// *algorithm* verbatim (tag layout, epoch arithmetic, bitmap indexing,
+// the GRace own-bit-before-scan artifact) on the same accesses the live
+// kernel makes, in trace order. Two things are approximations, both
+// documented in DESIGN.md: (1) the per-thread epoch register becomes a
+// per-block counter bumped at the barrier-release event — equivalent for
+// tagging, because a warp that bumped its epoch cannot touch memory until
+// the block releases; (2) cross-SM interleaving of shadow exchanges
+// follows trace order, not the instrumented run's (perturbed) timing. So
+// an emulated run is deterministic and verdict-faithful (races vs none),
+// while exact counter values can differ from a live instrumented run the
+// same way two live instrumented runs under different timing would.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/format.hpp"
+
+namespace haccrg::trace {
+
+/// (space, block_id, word-granule byte address) of an emulated race —
+/// block-relative for shared space, device address for global. block_id
+/// is 0 for global locations (the global shadow is grid-wide).
+using SwLocation = std::tuple<int, u32, Addr>;
+
+/// Software HAccRG tag scheme: a shadow word per 4-byte granule holding
+/// [gtid:20 | epoch:10 | rw:2], claimed with an exchange; a race is a
+/// same-epoch claim by a different thread with a write involved.
+class SwHaccrgReplay {
+ public:
+  /// `is_safe` mirrors InstrumentOptions::static_prune: accesses at a pc
+  /// the static analysis proved safe carry no instrumentation. Pass
+  /// nullptr to instrument every access.
+  SwHaccrgReplay(u32 app_heap_bytes, u32 grid_dim, u32 block_dim,
+                 std::function<bool(u32)> is_safe = nullptr);
+
+  /// Feed one shared/global load/store event (atomics are never
+  /// instrumented and must not be fed). `block_id`/`smem_base` come from
+  /// the replay engine's block-slot table.
+  void on_access(const Event& event, u32 block_id, u32 smem_base);
+
+  /// The block passed a barrier: its threads' epoch registers advance.
+  void on_barrier_release(u32 block_id);
+
+  u64 races() const { return races_; }
+  const std::set<SwLocation>& locations() const { return locations_; }
+
+ private:
+  void check_word(bool shared_space, u32 block_id, Addr word_addr, u32 gtid, bool is_write);
+
+  u32 block_dim_;
+  std::function<bool(u32)> is_safe_;
+  std::vector<u32> global_shadow_;               ///< word tags over the app heap
+  std::vector<std::vector<u32>> shared_shadow_;  ///< per-block 16 KB regions
+  std::vector<u32> epochs_;                      ///< per-block barrier count
+  u64 races_ = 0;
+  std::set<SwLocation> locations_;
+};
+
+/// GRace-add baseline: per-block read/write bitmaps in device memory,
+/// own-bit atomicOr then a full scan of the write table. Reproduces the
+/// live instrumentation exactly, including the artifact that a write
+/// always sees its own just-set bit (the pinned over-reporting the
+/// differential tests document).
+class GraceReplay {
+ public:
+  GraceReplay(u32 grid_dim, u32 block_dim, std::function<bool(u32)> is_safe = nullptr);
+
+  /// Feed one *shared* load/store event (GRace only instruments shared
+  /// accesses; atomics are skipped by the caller).
+  void on_access(const Event& event, u32 block_id, u32 smem_base);
+
+  void on_barrier_release(u32 block_id);
+
+  u64 races() const { return races_; }
+  const std::set<SwLocation>& locations() const { return locations_; }
+
+ private:
+  static constexpr u32 kBitmapWords = 128;  ///< GraceLayout::kBitmapWords
+
+  u32 block_dim_;
+  std::function<bool(u32)> is_safe_;
+  /// Per block: write table then read table, kBitmapWords words each.
+  std::vector<std::vector<u32>> bitmaps_;
+  u64 races_ = 0;
+  std::set<SwLocation> locations_;
+};
+
+}  // namespace haccrg::trace

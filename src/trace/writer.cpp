@@ -1,0 +1,51 @@
+#include "trace/writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace haccrg::trace {
+
+namespace {
+constexpr size_t kFlushThreshold = 1u << 20;  // 1 MiB
+}
+
+TraceWriter::TraceWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr)
+    error_ = "trace: cannot open '" + path + "' for writing: " + std::strerror(errno);
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+bool TraceWriter::write_header(const TraceHeader& header) {
+  if (!ok() || file_ == nullptr) return false;
+  encode_header(header, buffer_);
+  return true;
+}
+
+bool TraceWriter::write_event(const Event& event) {
+  if (!ok() || file_ == nullptr) return false;
+  encode_event(event, last_cycle_, buffer_);
+  ++events_;
+  if (buffer_.size() >= kFlushThreshold) flush_buffer();
+  return ok();
+}
+
+void TraceWriter::flush_buffer() {
+  if (buffer_.empty() || file_ == nullptr || !ok()) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size())
+    error_ = "trace: short write to '" + path_ + "': " + std::strerror(errno);
+  bytes_ += buffer_.size();
+  buffer_.clear();
+}
+
+bool TraceWriter::finish() {
+  if (file_ == nullptr) return ok();
+  flush_buffer();
+  if (std::fclose(file_) != 0 && ok())
+    error_ = "trace: close of '" + path_ + "' failed: " + std::strerror(errno);
+  file_ = nullptr;
+  return ok();
+}
+
+}  // namespace haccrg::trace

@@ -1,0 +1,50 @@
+// Buffered trace file writer. The simulator's recording hooks call
+// write_event from the engine's serial phases only (SM-id-ordered flush
+// and commit), so the writer needs no locking and the byte stream is
+// identical for any HACCRG_THREADS value. I/O errors latch: the first
+// failure is kept and every later call becomes a no-op, so a full disk
+// surfaces as one diagnosis at the end of the run instead of a crash.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace haccrg::trace {
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Must be the first write. False if the file could not be opened.
+  bool write_header(const TraceHeader& header);
+  bool write_event(const Event& event);
+
+  /// Flush and close; returns ok(). Idempotent (the dtor calls it too).
+  bool finish();
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return path_; }
+  u64 events_written() const { return events_; }
+  u64 bytes_written() const { return bytes_; }
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<u8> buffer_;
+  std::string error_;
+  Cycle last_cycle_ = 0;
+  u64 events_ = 0;
+  u64 bytes_ = 0;
+};
+
+}  // namespace haccrg::trace
