@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
     sweep.push_back(pt);
   }
 
-  TablePrinter sweep_table({"Threads", "Wall ms", "KIPS", "Speedup"});
+  TablePrinter sweep_table({"Threads", "Wall ms", "KIPS", "Speedup", "Oversub"});
+  bool any_oversubscribed = false;
   for (const SweepPoint& pt : sweep) {
     if (pt.sim_cycles != sweep.front().sim_cycles) {
       std::fprintf(stderr, "DETERMINISM VIOLATION: %u threads retired %llu cycles, 1 thread %llu\n",
@@ -111,11 +112,20 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(sweep.front().sim_cycles));
       return 1;
     }
+    const bool oversubscribed = hw_threads > 0 && pt.threads > hw_threads;
+    any_oversubscribed = any_oversubscribed || oversubscribed;
     sweep_table.add_row({std::to_string(pt.threads), TablePrinter::fmt(pt.wall_ms, 1),
                          TablePrinter::fmt(pt.kips, 0),
-                         TablePrinter::fmt(sweep.front().wall_ms / pt.wall_ms, 2)});
+                         TablePrinter::fmt(sweep.front().wall_ms / pt.wall_ms, 2),
+                         oversubscribed ? "yes" : "-"});
   }
   sweep_table.print();
+  if (any_oversubscribed) {
+    std::printf("\nWARNING: sweep points above %u worker threads oversubscribe this host's\n"
+                "hardware concurrency; their wall-clock/KIPS numbers measure scheduler\n"
+                "contention, not engine scaling, and should not be quoted as speedup.\n",
+                hw_threads);
+  }
   std::printf("\nSimulated cycles identical across all thread counts: %llu total.\n",
               static_cast<unsigned long long>(sweep.front().sim_cycles));
   if (hw_threads <= 1) {
@@ -127,13 +137,16 @@ int main(int argc, char** argv) {
   if (json.good()) {
     json << "{\n  \"bench\": \"fig7_parallel_sweep\",\n";
     json << "  \"host_hardware_threads\": " << hw_threads << ",\n";
+    json << "  \"oversubscribed\": " << (any_oversubscribed ? "true" : "false") << ",\n";
     json << "  \"sim_cycles_total\": " << sweep.front().sim_cycles << ",\n";
     json << "  \"sweep\": [\n";
     for (size_t i = 0; i < sweep.size(); ++i) {
       const SweepPoint& pt = sweep[i];
       json << "    {\"threads\": " << pt.threads << ", \"wall_ms\": " << pt.wall_ms
            << ", \"kips\": " << pt.kips
-           << ", \"speedup\": " << (sweep.front().wall_ms / pt.wall_ms) << "}"
+           << ", \"speedup\": " << (sweep.front().wall_ms / pt.wall_ms)
+           << ", \"oversubscribed\": "
+           << ((hw_threads > 0 && pt.threads > hw_threads) ? "true" : "false") << "}"
            << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";

@@ -6,7 +6,9 @@
 
 #include "common/rng.hpp"
 #include "haccrg/bloom.hpp"
+#include "haccrg/race.hpp"
 #include "haccrg/shadow.hpp"
+#include "haccrg/shared_rdu.hpp"
 #include "mem/cache.hpp"
 #include "mem/coalescer.hpp"
 #include "mem/shared_memory.hpp"
@@ -109,6 +111,55 @@ void BM_BankConflicts(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BankConflicts)->Arg(1)->Arg(2)->Arg(16);
+
+// Insert throughput of the race log's flat dedup table. Arg(0) is the
+// number of distinct (granule, pc) keys cycled through — small = mostly
+// duplicate hits, large = mostly fresh inserts with growth amortized in.
+void BM_RaceLogRecord(benchmark::State& state) {
+  const u32 distinct = static_cast<u32>(state.range(0));
+  rd::RaceLog log;
+  rd::RaceRecord race;
+  race.space = rd::MemSpace::kGlobal;
+  race.type = rd::RaceType::kRaw;
+  SplitMix64 rng(5);
+  for (auto _ : state) {
+    const u64 r = rng.next();
+    race.granule_addr = static_cast<Addr>(r % distinct) * 4;
+    race.pc = static_cast<u32>((r >> 32) & 0xf);
+    bool fresh = log.record(race);
+    benchmark::DoNotOptimize(fresh);
+  }
+}
+BENCHMARK(BM_RaceLogRecord)->Arg(16)->Arg(1024)->Arg(65536);
+
+// Full SharedRdu::check per-warp cost: 32 lanes hammering one block's
+// scratchpad region. Arg(0)=0 measures the word-level fast path (every
+// lane re-reads its own granule); Arg(0)=1 forces the slow unpack/pack
+// path (alternating writer threads per granule).
+void BM_SharedRduCheck(benchmark::State& state) {
+  const bool contended = state.range(0) != 0;
+  rd::HaccrgConfig config;
+  rd::DetectPolicy policy;
+  rd::RaceStaging staging;
+  rd::SharedRdu rdu(0, 16 * 1024, config, policy, staging);
+  rd::AccessInfo access;
+  access.size = 4;
+  u64 iter = 0;
+  for (auto _ : state) {
+    ++iter;
+    for (u32 lane = 0; lane < 32; ++lane) {
+      access.addr = lane * 64;
+      access.thread_slot = contended ? static_cast<u16>((iter + lane) & 0x3ff)
+                                     : static_cast<u16>(lane);
+      access.warp_in_sm = access.thread_slot / policy.warp_size;
+      access.is_write = contended;
+      rdu.check(access);
+    }
+    benchmark::DoNotOptimize(rdu.checks());
+  }
+  benchmark::DoNotOptimize(staging);
+}
+BENCHMARK(BM_SharedRduCheck)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace haccrg

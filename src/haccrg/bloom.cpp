@@ -17,8 +17,9 @@ void BloomSignature::insert(Addr lock_addr, const BloomGeometry& geom) {
 
 bool BloomSignature::intersection_null(BloomSignature a, BloomSignature b,
                                        const BloomGeometry& geom) {
-  const u32 per_bin = geom.bits_per_bin();
   const u32 both = a.bits_ & b.bits_;
+  if (both == 0) return true;  // no overlapping bit in any bin
+  const u32 per_bin = geom.bits_per_bin();
   for (u32 bin = 0; bin < geom.bins; ++bin) {
     const u32 mask = ((per_bin == 32) ? ~0u : ((1u << per_bin) - 1)) << (bin * per_bin);
     if ((both & mask) == 0) return true;  // provably no common lock

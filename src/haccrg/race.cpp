@@ -1,5 +1,6 @@
 #include "haccrg/race.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -43,15 +44,50 @@ void RaceStaging::drain_into(RaceLog& log) {
 
 bool RaceLog::record(const RaceRecord& race) {
   ++total_;
-  Key key{static_cast<u8>(race.space), static_cast<u8>(race.type),
-          static_cast<u8>(race.mechanism), race.granule_addr, race.pc};
-  auto [it, inserted] = seen_.emplace(key, 1);
-  if (!inserted) {
-    ++it->second;
-    return false;
+  const u64 key_lo = static_cast<u64>(race.granule_addr) | (static_cast<u64>(race.pc) << 32);
+  const u32 key_hi = static_cast<u32>(race.space) | (static_cast<u32>(race.type) << 8) |
+                     (static_cast<u32>(race.mechanism) << 16);
+  // Grow before probing so the table never saturates (keeps the probe
+  // loop guaranteed to find an empty slot).
+  if (occupied_ * 10 >= seen_.size() * 7) grow();
+  const u64 mask = seen_.size() - 1;
+  // FNV-1a style mix of the 96-bit key into a table index.
+  u64 h = 1469598103934665603ull;
+  h = (h ^ key_lo) * 1099511628211ull;
+  h = (h ^ key_hi) * 1099511628211ull;
+  for (u64 i = h & mask;; i = (i + 1) & mask) {
+    Slot& slot = seen_[i];
+    if (slot.count == 0) {
+      slot.key_lo = key_lo;
+      slot.key_hi = key_hi;
+      slot.count = 1;
+      ++occupied_;
+      if (races_.size() < max_recorded_) races_.push_back(race);
+      return true;
+    }
+    if (slot.key_lo == key_lo && slot.key_hi == key_hi) {
+      ++slot.count;
+      return false;
+    }
   }
-  if (races_.size() < max_recorded_) races_.push_back(race);
-  return true;
+}
+
+void RaceLog::grow() {
+  std::vector<Slot> old = std::move(seen_);
+  seen_.assign(old.size() * 2, Slot{});
+  const u64 mask = seen_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.count == 0) continue;
+    u64 h = 1469598103934665603ull;
+    h = (h ^ s.key_lo) * 1099511628211ull;
+    h = (h ^ s.key_hi) * 1099511628211ull;
+    for (u64 i = h & mask;; i = (i + 1) & mask) {
+      if (seen_[i].count == 0) {
+        seen_[i] = s;
+        break;
+      }
+    }
+  }
 }
 
 u64 RaceLog::count(RaceMechanism m) const {
@@ -77,7 +113,9 @@ u64 RaceLog::count(MemSpace s) const {
 
 void RaceLog::clear() {
   total_ = 0;
-  seen_.clear();
+  occupied_ = 0;
+  // Keep capacity: clearing between kernels must not reallocate.
+  std::fill(seen_.begin(), seen_.end(), Slot{});
   races_.clear();
 }
 

@@ -1,7 +1,6 @@
 // Race records and the deduplicating race log.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -64,9 +63,16 @@ class RaceStaging {
 };
 
 /// Collects races, deduplicating by (space, granule, type, mechanism, pc).
+///
+/// Dedup lookups sit on the detection hot path (every dynamic race of a
+/// buggy or injected kernel lands here), so the seen-set is a flat
+/// open-addressing hash table rather than a node-based map: one pow2
+/// array of 16-byte slots, linear probing, no per-insert allocation.
 class RaceLog {
  public:
-  explicit RaceLog(u32 max_recorded = 4096) : max_recorded_(max_recorded) {}
+  explicit RaceLog(u32 max_recorded = 4096) : max_recorded_(max_recorded) {
+    seen_.resize(kInitialSlots);
+  }
 
   /// Record a race; returns true if it was new (not a duplicate).
   bool record(const RaceRecord& race);
@@ -83,18 +89,22 @@ class RaceLog {
   std::string summary() const;
 
  private:
-  struct Key {
-    u8 space;
-    u8 type;
-    u8 mechanism;
-    Addr granule;
-    u32 pc;
-    auto operator<=>(const Key&) const = default;
+  /// One dedup slot. `count` doubles as the occupancy flag (0 == empty;
+  /// a recorded key always has count >= 1), so the table needs no
+  /// separate metadata array and clear() is a plain fill.
+  struct Slot {
+    u64 key_lo = 0;  ///< granule | pc << 32
+    u32 key_hi = 0;  ///< space | type << 8 | mechanism << 16
+    u32 count = 0;
   };
+  static constexpr u32 kInitialSlots = 1024;  // pow2; grown at 70% load
+
+  void grow();
 
   u32 max_recorded_;
   u64 total_ = 0;
-  std::map<Key, u32> seen_;
+  u64 occupied_ = 0;  ///< live slots in seen_ (load-factor bookkeeping)
+  std::vector<Slot> seen_;
   std::vector<RaceRecord> races_;
 };
 

@@ -12,9 +12,35 @@ SharedRdu::SharedRdu(u32 sm_id, u32 smem_bytes, const HaccrgConfig& config,
 void SharedRdu::check(const AccessInfo& access) {
   const u32 first = access.addr / granularity_;
   const u32 last = (access.addr + access.size - 1) / granularity_;
+  const u16 t = access.thread_slot & 0x3ff;
   for (u32 g = first; g <= last && g < shadow_.size(); ++g) {
     ++checks_;
-    SharedShadowEntry entry = SharedShadowEntry::unpack(shadow_[g]);
+    // Word-level fast path on the packed entry: the state-machine cases
+    // that provably neither mutate the entry nor report a race skip the
+    // unpack/dispatch/pack round-trip. Packing is bit0 = !M, bit1 = !S,
+    // tid << 2 (see SharedShadowEntry), so raw & 3 identifies the state:
+    //   3 -> state 2 (read-only): a same-thread/same-warp read is a no-op;
+    //   2 -> state 3 (written):   any same-thread access is a no-op;
+    //   1 -> state 4 (multi-read): any read is a no-op.
+    const u16 raw = shadow_[g];
+    const u16 stored_tid = static_cast<u16>(raw >> 2);
+    const bool same_thread = stored_tid == t;
+    const bool warp_ordered =
+        !policy_.warp_regrouping && (stored_tid / policy_.warp_size) == access.warp_in_sm;
+    switch (raw & 3) {
+      case 3:
+        if (!access.is_write && (same_thread || warp_ordered)) continue;
+        break;
+      case 2:
+        if (same_thread) continue;
+        break;
+      case 1:
+        if (!access.is_write) continue;
+        break;
+      default:
+        break;  // state 1 always claims the entry
+    }
+    SharedShadowEntry entry = SharedShadowEntry::unpack(raw);
     AccessInfo granule_access = access;
     granule_access.addr = g * granularity_;
     CheckOutcome out = check_shared_access(entry, granule_access, policy_);

@@ -1,49 +1,84 @@
 #include "mem/coalescer.hpp"
 
-#include <algorithm>
-#include <map>
-
 namespace haccrg::mem {
+
+CoalesceBuffer::Segment& CoalesceBuffer::acquire(Addr addr) {
+  if (count_ == slots_.size()) slots_.emplace_back();
+  Segment& seg = slots_[count_++];
+  seg.addr = addr;
+  seg.access_indices.clear();
+  return seg;
+}
+
+void CoalesceBuffer::build(const std::vector<LaneAccess>& accesses, u32 segment_bytes) {
+  count_ = 0;
+  for (u32 i = 0; i < static_cast<u32>(accesses.size()); ++i) {
+    const LaneAccess& a = accesses[i];
+    const Addr first = a.addr & ~(segment_bytes - 1);
+    const Addr last = (a.addr + a.size - 1) & ~(segment_bytes - 1);
+    for (Addr seg_addr = first; seg_addr <= last; seg_addr += segment_bytes) {
+      Segment* seg = nullptr;
+      for (u32 s = 0; s < count_; ++s) {
+        if (slots_[s].addr == seg_addr) {
+          seg = &slots_[s];
+          break;
+        }
+      }
+      if (seg == nullptr) {
+        acquire(seg_addr).access_indices.push_back(i);
+      } else if (seg->access_indices.empty() ||
+                 accesses[seg->access_indices.back()].lane != a.lane) {
+        seg->access_indices.push_back(i);
+      }
+      if (seg_addr > last - segment_bytes && seg_addr == last) break;  // avoid overflow wrap
+    }
+  }
+}
 
 std::vector<CoalescedSegment> coalesce(const std::vector<LaneAccess>& accesses,
                                        u32 segment_bytes) {
-  // Map segment base -> lanes, preserving lane order within a segment and
-  // first-touch order across segments (deterministic issue order).
-  std::vector<CoalescedSegment> segments;
-  for (const LaneAccess& a : accesses) {
-    const Addr first = a.addr & ~(segment_bytes - 1);
-    const Addr last = (a.addr + a.size - 1) & ~(segment_bytes - 1);
-    for (Addr seg = first; seg <= last; seg += segment_bytes) {
-      auto it = std::find_if(segments.begin(), segments.end(),
-                             [&](const CoalescedSegment& s) { return s.addr == seg; });
-      if (it == segments.end()) {
-        segments.push_back({seg, {a.lane}});
-      } else if (it->lanes.empty() || it->lanes.back() != a.lane) {
-        it->lanes.push_back(a.lane);
-      }
-      if (seg > last - segment_bytes && seg == last) break;  // avoid overflow wrap
-    }
+  CoalesceBuffer buffer;
+  buffer.build(accesses, segment_bytes);
+  std::vector<CoalescedSegment> segments(buffer.size());
+  for (u32 s = 0; s < buffer.size(); ++s) {
+    segments[s].addr = buffer[s].addr;
+    segments[s].lanes.reserve(buffer[s].access_indices.size());
+    for (u32 idx : buffer[s].access_indices) segments[s].lanes.push_back(accesses[idx].lane);
   }
   return segments;
 }
 
-std::vector<IntraWarpConflict> intra_warp_waw(const std::vector<LaneAccess>& accesses,
-                                              u32 granule_bytes) {
-  std::map<Addr, u32> first_writer;  // granule base -> first lane
-  std::vector<IntraWarpConflict> conflicts;
+void WawBuffer::build(const std::vector<LaneAccess>& accesses, u32 granule_bytes) {
+  granules_.clear();
+  first_lane_.clear();
+  conflicts_.clear();
   for (const LaneAccess& a : accesses) {
     const Addr granule = a.addr & ~(granule_bytes - 1);
-    auto [it, inserted] = first_writer.emplace(granule, a.lane);
-    if (!inserted && it->second != a.lane) {
-      // Report each granule once.
-      const bool already = std::any_of(conflicts.begin(), conflicts.end(),
-                                       [&](const IntraWarpConflict& c) {
-                                         return c.granule_addr == granule;
-                                       });
-      if (!already) conflicts.push_back({it->second, a.lane, granule});
+    u32 g = 0;
+    const u32 n = static_cast<u32>(granules_.size());
+    while (g < n && granules_[g] != granule) ++g;
+    if (g == n) {
+      granules_.push_back(granule);
+      first_lane_.push_back(a.lane);
+      continue;
     }
+    if (first_lane_[g] == a.lane) continue;
+    bool already = false;
+    for (const IntraWarpConflict& c : conflicts_) {
+      if (c.granule_addr == granule) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) conflicts_.push_back({first_lane_[g], a.lane, granule});
   }
-  return conflicts;
+}
+
+std::vector<IntraWarpConflict> intra_warp_waw(const std::vector<LaneAccess>& accesses,
+                                              u32 granule_bytes) {
+  WawBuffer buffer;
+  buffer.build(accesses, granule_bytes);
+  return buffer.conflicts();
 }
 
 }  // namespace haccrg::mem

@@ -11,10 +11,6 @@ Interconnect::Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per
   response_staging_.resize(num_partitions);
 }
 
-void Interconnect::stage_request(u32 sm, Packet pkt) {
-  request_staging_[sm].push_back(std::move(pkt));
-}
-
 void Interconnect::commit_requests(u32 sm, Cycle now) {
   auto& queue = request_staging_[sm];
   while (!queue.empty()) {
@@ -26,45 +22,11 @@ void Interconnect::commit_requests(u32 sm, Cycle now) {
   }
 }
 
-void Interconnect::stage_response(u32 partition, Response rsp) {
-  response_staging_[partition].push_back(rsp);
-}
-
 void Interconnect::commit_responses(Cycle now) {
   for (auto& staged : response_staging_) {
     for (const Response& rsp : staged) send_response(rsp.sm_id, now, rsp);
     staged.clear();
   }
-}
-
-bool Interconnect::can_send_request(u32 partition, Cycle now) const {
-  return to_partition_[partition].can_push(now);
-}
-
-void Interconnect::send_request(u32 partition, Cycle now, Packet pkt) {
-  ++request_packets_;
-  to_partition_[partition].push(now, std::move(pkt));
-}
-
-bool Interconnect::has_request(u32 partition, Cycle now) const {
-  return to_partition_[partition].has_ready(now);
-}
-
-std::optional<Packet> Interconnect::recv_request(u32 partition, Cycle now) {
-  return to_partition_[partition].pop_ready(now);
-}
-
-bool Interconnect::can_send_response(u32 sm, Cycle now) const {
-  return to_sm_[sm].can_push(now);
-}
-
-void Interconnect::send_response(u32 sm, Cycle now, Response rsp) {
-  ++response_packets_;
-  to_sm_[sm].push(now, rsp);
-}
-
-std::optional<Response> Interconnect::recv_response(u32 sm, Cycle now) {
-  return to_sm_[sm].pop_ready(now);
 }
 
 bool Interconnect::idle() const {

@@ -70,19 +70,38 @@ class Interconnect {
  public:
   Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle);
 
-  bool can_send_request(u32 partition, Cycle now) const;
-  void send_request(u32 partition, Cycle now, Packet pkt);
-  bool has_request(u32 partition, Cycle now) const;
-  std::optional<Packet> recv_request(u32 partition, Cycle now);
+  // The per-cycle queries below run once per SM (or partition) per cycle
+  // in the engine's hot loop, so they are defined inline.
+  bool can_send_request(u32 partition, Cycle now) const {
+    return to_partition_[partition].can_push(now);
+  }
+  void send_request(u32 partition, Cycle now, Packet pkt) {
+    ++request_packets_;
+    to_partition_[partition].push(now, std::move(pkt));
+  }
+  bool has_request(u32 partition, Cycle now) const {
+    return to_partition_[partition].has_ready(now);
+  }
+  std::optional<Packet> recv_request(u32 partition, Cycle now) {
+    return to_partition_[partition].pop_ready(now);
+  }
 
-  bool can_send_response(u32 sm, Cycle now) const;
-  void send_response(u32 sm, Cycle now, Response rsp);
-  std::optional<Response> recv_response(u32 sm, Cycle now);
+  bool can_send_response(u32 sm, Cycle now) const { return to_sm_[sm].can_push(now); }
+  void send_response(u32 sm, Cycle now, Response rsp) {
+    ++response_packets_;
+    to_sm_[sm].push(now, rsp);
+  }
+  std::optional<Response> recv_response(u32 sm, Cycle now) {
+    return to_sm_[sm].pop_ready(now);
+  }
+  /// True when SM `sm` has a response ready this cycle (cheap pre-check
+  /// that saves the optional machinery on the common empty path).
+  bool has_response(u32 sm, Cycle now) const { return to_sm_[sm].has_ready(now); }
 
   // --- Epoch staging (thread-confined per SM / per partition) ---------------
   /// Append a request to SM `sm`'s staging queue (pkt.dest_partition must
   /// be set). Safe to call concurrently for distinct `sm`.
-  void stage_request(u32 sm, Packet pkt);
+  void stage_request(u32 sm, Packet pkt) { request_staging_[sm].push_back(std::move(pkt)); }
   /// Requests still staged (or back-pressured) for SM `sm`.
   size_t staged_requests(u32 sm) const { return request_staging_[sm].size(); }
   /// Push SM `sm`'s staged requests into the partition pipes, oldest
@@ -92,7 +111,9 @@ class Interconnect {
 
   /// Stage a response produced by partition `partition` this cycle.
   /// Safe to call concurrently for distinct `partition`.
-  void stage_response(u32 partition, Response rsp);
+  void stage_response(u32 partition, Response rsp) {
+    response_staging_[partition].push_back(rsp);
+  }
   /// Push all staged responses into the SM pipes in partition-id order.
   /// Serial phase only.
   void commit_responses(Cycle now);

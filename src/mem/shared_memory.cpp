@@ -22,24 +22,24 @@ void SharedMemory::clear(u32 addr, u32 bytes) {
 }
 
 u32 SharedMemory::conflict_cycles(const std::vector<u32>& lane_addrs) const {
-  // For each bank, count distinct word addresses requested from it.
-  // Broadcast (same word from many lanes) costs one cycle.
+  // Count distinct word addresses per bank in one pass over the lanes
+  // (a warp is at most 32 accesses, so the duplicate scan is a short
+  // backward walk). Broadcast (same word from many lanes) costs one
+  // cycle; the answer is the most-loaded bank.
+  bank_load_.assign(banks_, 0);
   u32 worst = 0;
-  for (u32 b = 0; b < banks_; ++b) {
-    u32 distinct = 0;
-    for (size_t i = 0; i < lane_addrs.size(); ++i) {
-      const u32 word = lane_addrs[i] / 4;
-      if (word % banks_ != b) continue;
-      bool seen = false;
-      for (size_t j = 0; j < i; ++j) {
-        if (lane_addrs[j] / 4 == word) {
-          seen = true;
-          break;
-        }
+  for (size_t i = 0; i < lane_addrs.size(); ++i) {
+    const u32 word = lane_addrs[i] / 4;
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (lane_addrs[j] / 4 == word) {
+        seen = true;
+        break;
       }
-      if (!seen) ++distinct;
     }
-    worst = std::max(worst, distinct);
+    if (seen) continue;
+    const u32 load = ++bank_load_[word % banks_];
+    worst = std::max(worst, load);
   }
   return std::max(worst, 1u);
 }

@@ -36,6 +36,9 @@ class SharedMemory {
  private:
   std::vector<u8> data_;
   u32 banks_;
+  /// Per-bank distinct-word counters reused across conflict_cycles calls
+  /// (the SM calls once per shared instruction — keep it allocation-free).
+  mutable std::vector<u32> bank_load_;
 };
 
 }  // namespace haccrg::mem

@@ -24,6 +24,7 @@
 
 #include "mem/interconnect.hpp"
 #include "mem/partition.hpp"
+#include "sim/profiler.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/sm.hpp"
 #include "sim/thread_pool.hpp"
@@ -40,6 +41,9 @@ class Engine {
 
   u32 num_threads() const { return pool_.num_threads(); }
 
+  /// Per-phase wall-clock accounting (no-ops unless SimConfig::profile).
+  const PhaseProfiler& profiler() const { return profiler_; }
+
  private:
   static void sm_phase(void* ctx, u32 begin, u32 end);
   static void partition_phase(void* ctx, u32 begin, u32 end);
@@ -48,6 +52,8 @@ class Engine {
   std::vector<mem::MemoryPartition>* partitions_;
   mem::Interconnect* icnt_;
   WorkerPool pool_;
+  PhaseProfiler profiler_;
+  bool tracing_ = false;  ///< cached: skip the flush sweep when not recording
   Cycle now_ = 0;
 };
 

@@ -195,10 +195,18 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     // Done?
     bool busy = !pending_blocks.empty();
     if (!busy)
-      for (const auto& sm : sms) busy = busy || sm->busy();
+      for (const auto& sm : sms)
+        if (sm->busy()) {
+          busy = true;
+          break;
+        }
     if (!busy) busy = !icnt.idle();
     if (!busy)
-      for (const auto& part : partitions) busy = busy || !part.idle();
+      for (const auto& part : partitions)
+        if (!part.idle()) {
+          busy = true;
+          break;
+        }
     if (!busy) break;
   }
 
@@ -235,6 +243,9 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   }
   result.avg_dram_utilization = util_sum / static_cast<f64>(partitions.size());
   result.shadow_bytes = shadow_bytes;
+  // Opt-in phase timing: never part of the default stat set, so golden
+  // fingerprints are unaffected.
+  if (sim_config_.profile) engine.profiler().export_stats(result.stats);
   if (global_rdu) global_rdu->export_stats(result.stats);
   result.races = race_log;
   return result;

@@ -22,12 +22,19 @@ struct SimConfig {
   /// num_threads value.
   std::string trace_path;
 
+  /// Per-phase engine profiling (src/sim/profiler.hpp). When on, runs
+  /// export "prof.*" wall-clock stats; off by default so golden stat
+  /// sets stay free of host-time noise.
+  bool profile = false;
+
   static constexpr u32 kMaxThreads = 64;
 
-  /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]; defaults to 1)
-  /// and HACCRG_TRACE (trace output path; defaults to no tracing). An
-  /// environment knob rather than per-call plumbing so existing tests
-  /// and benchmarks can be forced parallel wholesale (the TSan gate).
+  /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]; defaults to 1),
+  /// HACCRG_TRACE (trace output path; defaults to no tracing), and
+  /// HACCRG_PROFILE (any non-empty value but "0" enables the per-phase
+  /// profiler). Environment knobs rather than per-call plumbing so
+  /// existing tests and benchmarks can be forced parallel or profiled
+  /// wholesale (the TSan gate, the perf smoke run).
   static SimConfig from_env() {
     SimConfig cfg;
     if (const char* env = std::getenv("HACCRG_THREADS")) {
@@ -36,6 +43,9 @@ struct SimConfig {
     }
     if (const char* env = std::getenv("HACCRG_TRACE"); env != nullptr && env[0] != '\0')
       cfg.trace_path = env;
+    if (const char* env = std::getenv("HACCRG_PROFILE");
+        env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+      cfg.profile = true;
     return cfg;
   }
 };

@@ -100,6 +100,7 @@ bool Sm::try_launch_block(u32 block_id, Cycle now) {
     const u32 lanes = std::min(threads_left, warp_size);
     threads_left -= lanes;
     warp.init(warp_base + w, slot, block_id, w, lanes, env_.program->regs_used());
+    ++num_ready_;  // init() puts the warp in kReady
   }
 
   // HAccRG bookkeeping for the fresh tenant of this slot.
@@ -141,7 +142,7 @@ void Sm::deliver(const mem::Response& rsp, Cycle now) {
   if (rsp.kind == mem::PacketKind::kStore) {
     if (warp.outstanding_stores > 0) --warp.outstanding_stores;
     if (warp.state == WarpState::kWaitFence && warp.outstanding_stores == 0) {
-      warp.state = WarpState::kReady;
+      set_state(warp, WarpState::kReady);
       warp.ready_at = now + env_.gpu->fence_latency;
       ids_.on_fence(warp.warp_slot());
       if (env_.trace != nullptr) {
@@ -158,7 +159,7 @@ void Sm::deliver(const mem::Response& rsp, Cycle now) {
   // Load or atomic response.
   if (warp.pending_responses > 0) --warp.pending_responses;
   if (warp.state == WarpState::kWaitMem && warp.pending_responses == 0) {
-    warp.state = WarpState::kReady;
+    set_state(warp, WarpState::kReady);
     warp.ready_at = now + 1;
   }
 }
@@ -176,6 +177,10 @@ WarpContext* Sm::pick_ready_warp(Cycle now) {
 }
 
 void Sm::cycle(Cycle now) {
+  // Idle and memory-bound SMs leave without touching the warp array:
+  // with nothing resident or no warp in kReady the scheduler scan is a
+  // provable no-op (it neither issues nor moves the round-robin cursor).
+  if (resident_blocks_ == 0 || num_ready_ == 0) return;
   if (now < issue_free_at_) return;
   // Severe backpressure (packets the interconnect refused to take at
   // the last commit): stall issue until the backlog drains.
@@ -199,9 +204,19 @@ void Sm::commit_epoch(Cycle now) {
   // so draining the staging buffer before the replay preserves its
   // exact record order.
   if (!race_staging_.empty()) race_staging_.drain_into(*env_.race_log);
-  for (auto& op : deferred_) replay(op);
-  deferred_.clear();
-  env_.icnt->commit_requests(sm_id_, now);
+  for (u32 i = 0; i < deferred_count_; ++i) replay(deferred_[i]);
+  deferred_count_ = 0;
+  if (env_.icnt->staged_requests(sm_id_) != 0) env_.icnt->commit_requests(sm_id_, now);
+}
+
+Sm::DeferredGlobalOp& Sm::acquire_deferred() {
+  if (deferred_count_ == deferred_.size()) deferred_.emplace_back();
+  DeferredGlobalOp& op = deferred_[deferred_count_++];
+  op.lanes.clear();
+  op.trace_addrs.clear();
+  op.checks.clear();
+  op.has_trace_event = false;
+  return op;
 }
 
 void Sm::replay(DeferredGlobalOp& op) {
@@ -397,14 +412,14 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   const u32 width = is_atomic ? 4 : ins.width();
 
   scratch_accesses_.clear();
-  std::vector<u32> sm_local_addrs;
+  scratch_smem_addrs_.clear();
   for (u32 lane = 0; lane < env_.gpu->warp_size; ++lane) {
     if (!warp.lane_active(lane)) continue;
     ++lane_instructions_;
     const u32 block_addr = warp.reg(ins.src0, lane) + ins.imm;
     const u32 local = block.smem_base + block_addr;
     if (block_addr + width > block.smem_bytes) continue;  // out of the block's region
-    sm_local_addrs.push_back(local);
+    scratch_smem_addrs_.push_back(local);
     scratch_accesses_.push_back({lane, local, static_cast<u8>(width)});
 
     // Functional effect.
@@ -434,9 +449,9 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
 
   // Timing: bank conflicts; atomics to the same word serialize fully.
   u32 cycles = env_.gpu->shared_mem_latency;
-  if (!sm_local_addrs.empty()) {
-    cycles += is_atomic ? static_cast<u32>(sm_local_addrs.size())
-                        : smem_.conflict_cycles(sm_local_addrs) - 1;
+  if (!scratch_smem_addrs_.empty()) {
+    cycles += is_atomic ? static_cast<u32>(scratch_smem_addrs_.size())
+                        : smem_.conflict_cycles(scratch_smem_addrs_) - 1;
   }
   bank_conflict_cycles_ += cycles > env_.gpu->shared_mem_latency
                                ? cycles - env_.gpu->shared_mem_latency
@@ -469,7 +484,8 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
       // the access width (not the tracking granularity): warp lanes
       // writing *different* locations of one shadow granule are SIMD-
       // synchronized and must not be reported (Section III-A/Table III).
-      for (const auto& c : mem::intra_warp_waw(scratch_accesses_, width)) {
+      waw_buf_.build(scratch_accesses_, width);
+      for (const auto& c : waw_buf_.conflicts()) {
         rd::RaceRecord race;
         race.type = rd::RaceType::kWaw;
         race.mechanism = rd::RaceMechanism::kIntraWarpWaw;
@@ -492,13 +508,13 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
           make_access(warp, acc.lane, acc.addr, acc.size, is_store, warp.pc, now, false));
     }
     if (env_.haccrg->shared_shadow == rd::SharedShadowPlacement::kGlobalMemory) {
-      cycles += sw_shadow_traffic(warp, sm_local_addrs);
+      cycles += sw_shadow_traffic(warp, scratch_smem_addrs_);
     }
   }
 
   issue_free_at_ = now + std::max(env_.gpu->warp_issue_cycles(), cycles);
   if (warp.pending_responses > 0) {
-    warp.state = WarpState::kWaitMem;  // sw shadow miss outstanding
+    set_state(warp, WarpState::kWaitMem);  // sw shadow miss outstanding
   } else {
     warp.ready_at = now + cycles;
   }
@@ -518,8 +534,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   // operands are read now (issue-time register values); destination
   // registers are written at replay, which nothing can observe earlier
   // because this warp issues again next cycle at the soonest.
-  deferred_.emplace_back();
-  DeferredGlobalOp& op = deferred_.back();
+  DeferredGlobalOp& op = acquire_deferred();
   op.warp_slot = warp.warp_slot();
   op.is_store = is_store;
   op.is_atomic = is_atomic;
@@ -558,6 +573,12 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   if (env_.trace != nullptr && !scratch_accesses_.empty()) {
     op.has_trace_event = true;
     trace::Event& e = op.trace_event;
+    // The slot may be reused: reset the event to defaults while keeping
+    // the lane vector's capacity.
+    auto lanes = std::move(e.lanes);
+    lanes.clear();
+    e = trace::Event{};
+    e.lanes = std::move(lanes);
     e.kind = trace_kind_for(ins.op);
     e.cycle = now;
     e.sm = sm_id_;
@@ -590,7 +611,8 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
     if (detect && is_store) {
       const BlockContext& block = blocks_[warp.block_slot()];
       // Exact-address comparison at access width; see the shared path.
-      for (const auto& c : mem::intra_warp_waw(scratch_accesses_, width)) {
+      waw_buf_.build(scratch_accesses_, width);
+      for (const auto& c : waw_buf_.conflicts()) {
         rd::RaceRecord race;
         race.type = rd::RaceType::kWaw;
         race.mechanism = rd::RaceMechanism::kIntraWarpWaw;
@@ -611,18 +633,21 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
 
     // Coalesce into line transactions and run them through the L1. The
     // L1 is SM-local, so lookups happen at issue and the hit/fill facts
-    // ride along with the deferred RDU checks.
-    const auto segments = mem::coalesce(scratch_accesses_, env_.gpu->l1_line);
-    transactions = static_cast<u32>(segments.size());
-    for (const auto& seg : segments) {
+    // ride along with the deferred RDU checks. The buffer's segments
+    // index straight into scratch_accesses_, so no per-lane search is
+    // needed to recover the full access.
+    coalesce_buf_.build(scratch_accesses_, env_.gpu->l1_line);
+    transactions = coalesce_buf_.size();
+    for (u32 s = 0; s < coalesce_buf_.size(); ++s) {
+      const mem::CoalesceBuffer::Segment& seg = coalesce_buf_[s];
       op.trace_addrs.push_back(seg.addr);
       const Cycle line_fill = l1_.fill_time(seg.addr);
       const bool l1_hit = l1_.access(seg.addr, is_store, now).hit;
       if (op.has_trace_event && !is_store && l1_hit) {
         // Stamp the stale-L1 rule's inputs onto this segment's lanes.
-        for (u32 lane_idx : seg.lanes)
+        for (u32 idx : seg.access_indices)
           for (trace::TraceLane& tl : op.trace_event.lanes)
-            if (tl.lane == lane_idx) {
+            if (tl.lane == scratch_accesses_[idx].lane) {
               tl.l1_hit = true;
               tl.l1_fill = line_fill;
             }
@@ -647,13 +672,8 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
       // Race checks for the lanes of this segment, carrying the L1-hit
       // flag loads need for the stale-data rule.
       if (detect) {
-        for (u32 lane_idx : seg.lanes) {
-          const auto& acc = scratch_accesses_[std::find_if(scratch_accesses_.begin(),
-                                                           scratch_accesses_.end(),
-                                                           [&](const mem::LaneAccess& a) {
-                                                             return a.lane == lane_idx;
-                                                           }) -
-                                              scratch_accesses_.begin()];
+        for (u32 idx : seg.access_indices) {
+          const mem::LaneAccess& acc = scratch_accesses_[idx];
           rd::AccessInfo info = make_access(warp, acc.lane, acc.addr, acc.size, is_store,
                                             warp.pc, now, !is_store && l1_hit);
           info.l1_fill_cycle = line_fill;
@@ -668,7 +688,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   issue_free_at_ =
       now + std::max(env_.gpu->warp_issue_cycles(), std::max(transactions, 1u));
   if (warp.pending_responses > 0)
-    warp.state = WarpState::kWaitMem;
+    set_state(warp, WarpState::kWaitMem);
   else
     warp.ready_at = now + 1;
   ++warp.pc;
@@ -677,7 +697,7 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
 void Sm::exec_barrier(WarpContext& warp, Cycle now) {
   ++barriers_;
   BlockContext& block = blocks_[warp.block_slot()];
-  warp.state = WarpState::kAtBarrier;
+  set_state(warp, WarpState::kAtBarrier);
   ++warp.pc;
   ++block.warps_at_barrier;
 
@@ -698,7 +718,7 @@ void Sm::exec_barrier(WarpContext& warp, Cycle now) {
   block.warps_at_barrier = 0;
   for (auto& w : warps_) {
     if (w.state == WarpState::kAtBarrier && w.block_slot() == warp.block_slot()) {
-      w.state = WarpState::kReady;
+      set_state(w, WarpState::kReady);
       w.ready_at = now + 1;
     }
   }
@@ -747,7 +767,7 @@ void Sm::exec_fence(WarpContext& warp, Cycle now) {
       stage_trace(std::move(e));
     }
   } else {
-    warp.state = WarpState::kWaitFence;  // fence ID bumps when stores drain
+    set_state(warp, WarpState::kWaitFence);  // fence ID bumps when stores drain
   }
 }
 
@@ -759,7 +779,7 @@ void Sm::exec_exit(WarpContext& warp, Cycle now) {
     ++warp.pc;
     return;
   }
-  warp.state = WarpState::kDone;
+  set_state(warp, WarpState::kDone);
   BlockContext& block = blocks_[warp.block_slot()];
   ++block.warps_done;
 
@@ -771,7 +791,7 @@ void Sm::exec_exit(WarpContext& warp, Cycle now) {
     block.warps_at_barrier = 0;
     for (auto& w : warps_) {
       if (w.state == WarpState::kAtBarrier && w.block_slot() == warp.block_slot()) {
-        w.state = WarpState::kReady;
+        set_state(w, WarpState::kReady);
         w.ready_at = now + 1;
       }
     }

@@ -87,6 +87,9 @@ class Sm {
   bool busy() const { return resident_blocks_ > 0; }
   u32 resident_blocks() const { return resident_blocks_; }
   u32 blocks_completed() const { return blocks_completed_; }
+  /// Is this SM recording an access trace? (All SMs share the answer;
+  /// the engine caches it to skip the per-cycle flush sweep.)
+  bool tracing() const { return env_.trace != nullptr; }
 
   /// Deliver a memory response routed back by the GPU.
   void deliver(const mem::Response& rsp, Cycle now);
@@ -167,6 +170,18 @@ class Sm {
   };
   void replay(DeferredGlobalOp& op);
 
+  /// Next pooled deferred-op slot: inner vectors are cleared, not freed,
+  /// so steady-state global-memory issue performs no heap allocation.
+  DeferredGlobalOp& acquire_deferred();
+
+  /// Single mutation point for warp scheduling state; keeps the ready
+  /// count the scheduler's early-out relies on exact.
+  void set_state(WarpContext& warp, WarpState s) {
+    if (warp.state == WarpState::kReady) --num_ready_;
+    if (s == WarpState::kReady) ++num_ready_;
+    warp.state = s;
+  }
+
   /// Stage one issue-phase trace event (no-op unless recording).
   void stage_trace(trace::Event event) {
     if (env_.trace != nullptr) trace_staged_.push_back(std::move(event));
@@ -184,17 +199,24 @@ class Sm {
   u32 resident_blocks_ = 0;
   u32 blocks_completed_ = 0;
   u32 rr_cursor_ = 0;
+  u32 num_ready_ = 0;  ///< warps in WarpState::kReady (scheduler early-out)
   Cycle issue_free_at_ = 0;
   u64 token_counter_ = 0;
 
-  // Thread-confined epoch staging, replayed by commit_epoch().
+  // Thread-confined epoch staging, replayed by commit_epoch(). The
+  // deferred-op arena is slot-pooled: commit resets the count, capacity
+  // (including each op's inner vectors) persists across cycles.
   rd::RaceStaging race_staging_;
   std::vector<DeferredGlobalOp> deferred_;
+  u32 deferred_count_ = 0;
   std::vector<trace::Event> trace_staged_;  ///< issue-phase events this cycle
 
-  // Scratch vectors reused across instructions to avoid per-issue churn.
+  // Scratch buffers reused across instructions to avoid per-issue churn.
   std::vector<mem::LaneAccess> scratch_accesses_;
   std::vector<Addr> scratch_shadow_;
+  std::vector<u32> scratch_smem_addrs_;  ///< shared-mem lane addresses
+  mem::CoalesceBuffer coalesce_buf_;
+  mem::WawBuffer waw_buf_;
 
   // Counters.
   u64 warp_instructions_ = 0;

@@ -45,8 +45,11 @@ class WorkerPool {
   void* job_ctx_ = nullptr;
   u32 job_count_ = 0;
 
-  std::atomic<u64> epoch_{0};
-  std::atomic<u32> done_{0};
+  // The epoch and done counters sit on separate cache lines: workers
+  // spin on epoch_ while finishing workers write done_, and co-locating
+  // them makes every completion invalidate every spinner's line.
+  alignas(64) std::atomic<u64> epoch_{0};
+  alignas(64) std::atomic<u32> done_{0};
   std::atomic<bool> stop_{false};
 };
 
