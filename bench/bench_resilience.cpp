@@ -1,0 +1,255 @@
+// Resilience campaign: how HAccRG's detection coverage degrades when its
+// own hardware is damaged. Sweeps fault site x fault rate over a sample
+// of the Section VI-A injected-race campaign and reports, per point,
+// how many injected races are still caught, how many detection
+// opportunities were lost, and the timing overhead of the interconnect
+// retry machinery. Two invariants are asserted, not just reported:
+//
+//   1. Zero-fault identity: a FaultPlan with every rate at zero (seed
+//      set) produces byte-identical stats/cycles/races to no plan at
+//      all — arming the framework costs nothing until a site fires.
+//   2. Accounted degradation: any campaign point that misses a race the
+//      zero-fault baseline catches must carry a non-zero
+//      rd.coverage_lost — coverage is never lost silently.
+//
+//   bench_resilience [--smoke] [--seed N] [--min-coverage F]
+//                    [--json BENCH_resilience.json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "fault/fault.hpp"
+#include "kernels/injection.hpp"
+
+namespace {
+
+using namespace haccrg;
+using fault::FaultPlan;
+using fault::FaultSite;
+
+/// One injection-case execution, with the degradation accounting the
+/// plain kernels::run_injection_case does not expose.
+struct CaseRun {
+  bool completed = false;
+  bool detected = false;
+  u64 races_in_space = 0;
+  u64 races_total = 0;
+  Cycle cycles = 0;
+  u64 coverage_lost = 0;
+  std::string stats;  ///< StatSet::serialize(), for the identity check
+};
+
+/// Mirror of kernels::run_injection_case (same detector config, same
+/// single-block policy) plus a FaultPlan and full stats capture.
+CaseRun run_case(const kernels::InjectionCase& test, const FaultPlan& plan) {
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(test.benchmark);
+  CaseRun out;
+  if (info == nullptr) return out;
+
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 4;
+  det.global_granularity = 4;
+
+  kernels::BenchOptions opts;
+  opts.injection = test.injection;
+  if (info->real_race_multiblock &&
+      test.injection.kind == kernels::InjectionKind::kRemoveBarrier)
+    opts.single_block = true;
+
+  sim::SimConfig sim_cfg = sim::SimConfig::from_env();
+  sim_cfg.faults = plan;
+  sim::Gpu gpu(bench::experiment_gpu(), det, sim_cfg);
+  kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  sim::SimResult run = gpu.launch(prep.launch());
+  if (!run.completed) {
+    std::fprintf(stderr, "%s failed: %s\n", test.label().c_str(), run.error.c_str());
+    return out;
+  }
+  out.completed = true;
+  out.cycles = run.cycles;
+  out.races_total = run.races.unique();
+  out.races_in_space = run.races.count(test.expected_space);
+  out.coverage_lost = run.stats.get("rd.coverage_lost");
+  out.stats = run.stats.serialize();
+  if (test.injection.kind == kernels::InjectionKind::kRogueCritical)
+    out.detected = run.races.count(rd::RaceMechanism::kLockset) > 0;
+  else if (test.injection.kind == kernels::InjectionKind::kRemoveFence)
+    out.detected = run.races.count(rd::RaceMechanism::kFence) +
+                       run.races.count(rd::RaceMechanism::kL1Stale) >
+                   0;
+  else
+    out.detected = out.races_in_space > 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  u64 seed = 7;
+  f64 min_coverage = 0.0;
+  std::string json_path = "BENCH_resilience.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-coverage") == 0 && i + 1 < argc) {
+      min_coverage = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_resilience [--smoke] [--seed N] "
+                   "[--min-coverage F] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("Detector resilience under injected hardware faults",
+                      "the robustness study (not in the paper)");
+
+  // Sample of the 41-case campaign: every injection kind is represented.
+  const auto all_cases = kernels::all_injection_cases();
+  std::vector<kernels::InjectionCase> cases;
+  for (size_t i = 0; i < all_cases.size(); i += smoke ? 18 : 9)
+    cases.push_back(all_cases[i]);
+
+  // The swept sites; the three interconnect sites perturb timing only,
+  // so their rows double as a retry-overhead measurement.
+  const FaultSite sites[] = {
+      FaultSite::kSharedShadowFlip, FaultSite::kGlobalShadowFlip,
+      FaultSite::kBloomFlip,        FaultSite::kRaceRegDrop,
+      FaultSite::kDramShadowFlip,   FaultSite::kIcntDrop,
+      FaultSite::kIcntDelay,
+  };
+  std::vector<u32> rates = smoke ? std::vector<u32>{20'000}
+                                 : std::vector<u32>{1'000, 10'000, 100'000};
+
+  // --- Zero-fault baseline (and the arming-is-free identity check) ----------
+  std::vector<CaseRun> baseline;
+  u32 baseline_detected = 0;
+  bool identity_ok = true;
+  for (const auto& test : cases) {
+    CaseRun base = run_case(test, FaultPlan{});
+    if (!base.completed) return 1;
+    if (base.detected) ++baseline_detected;
+
+    FaultPlan armed_zero;
+    armed_zero.seed = seed;  // nonzero seed, every rate zero
+    const CaseRun zero = run_case(test, armed_zero);
+    if (!zero.completed || zero.cycles != base.cycles || zero.stats != base.stats ||
+        zero.races_total != base.races_total) {
+      std::fprintf(stderr, "FAIL: zero-rate FaultPlan perturbed %s\n", test.label().c_str());
+      identity_ok = false;
+    }
+    baseline.push_back(std::move(base));
+  }
+  std::printf("baseline: %u / %zu sampled injected races detected, zero-fault identity %s\n\n",
+              baseline_detected, cases.size(), identity_ok ? "holds" : "VIOLATED");
+
+  // --- The sweep -------------------------------------------------------------
+  struct Point {
+    std::string site;
+    u32 rate_ppm = 0;
+    u32 detected = 0;
+    u64 races_caught = 0;
+    u64 coverage_lost = 0;
+    u64 missed_unexplained = 0;
+    f64 mean_overhead = 0.0;  ///< cycles vs the zero-fault run, geomean
+  };
+  std::vector<Point> points;
+  bool accounting_ok = true;
+
+  TablePrinter table({"Site", "RatePPM", "Detected", "CoverageLost", "Unexplained", "Overhead"});
+  for (const FaultSite site : sites) {
+    for (const u32 rate : rates) {
+      Point pt;
+      pt.site = std::string(fault::fault_site_key(site));
+      pt.rate_ppm = rate;
+      std::vector<f64> overheads;
+      for (size_t i = 0; i < cases.size(); ++i) {
+        FaultPlan plan;
+        plan.seed = seed ^ (static_cast<u64>(site) << 32) ^ rate;
+        plan.set_rate(site, rate);
+        const CaseRun run = run_case(cases[i], plan);
+        if (!run.completed) return 1;
+        if (run.detected) ++pt.detected;
+        pt.races_caught += run.races_in_space;
+        pt.coverage_lost += run.coverage_lost;
+        overheads.push_back(baseline[i].cycles > 0
+                                ? static_cast<f64>(run.cycles) /
+                                      static_cast<f64>(baseline[i].cycles)
+                                : 1.0);
+        // The accounting invariant: a race the baseline catches may only
+        // go missing if the run also reports lost coverage.
+        if (baseline[i].detected && !run.detected && run.coverage_lost == 0) {
+          ++pt.missed_unexplained;
+          accounting_ok = false;
+          std::fprintf(stderr, "FAIL: %s at %s=%u missed silently (coverage_lost=0)\n",
+                       cases[i].label().c_str(), pt.site.c_str(), rate);
+        }
+      }
+      pt.mean_overhead = geomean(overheads);
+      table.add_row({pt.site, std::to_string(pt.rate_ppm),
+                     std::to_string(pt.detected) + "/" + std::to_string(baseline_detected),
+                     std::to_string(pt.coverage_lost), std::to_string(pt.missed_unexplained),
+                     TablePrinter::fmt(pt.mean_overhead, 3) + "x"});
+      points.push_back(std::move(pt));
+    }
+  }
+  table.print();
+
+  // --- Coverage floor (CI smoke uses this) -----------------------------------
+  f64 worst_coverage = 1.0;
+  for (const Point& pt : points) {
+    if (baseline_detected == 0) break;
+    const f64 cov = static_cast<f64>(pt.detected) / baseline_detected;
+    if (cov < worst_coverage) worst_coverage = cov;
+  }
+  std::printf("\nworst-point coverage: %.2f (floor %.2f)\n", worst_coverage, min_coverage);
+
+  // --- JSON ------------------------------------------------------------------
+  std::ofstream json(json_path, std::ios::trunc);
+  if (json.good()) {
+    json << "{\n  \"bench\": \"resilience\",\n  \"seed\": " << seed
+         << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+         << ",\n  \"cases\": " << cases.size()
+         << ",\n  \"baseline_detected\": " << baseline_detected
+         << ",\n  \"zero_fault_identical\": " << (identity_ok ? "true" : "false")
+         << ",\n  \"worst_coverage\": " << worst_coverage << ",\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& pt = points[i];
+      json << "    {\"site\": \"" << pt.site << "\", \"rate_ppm\": " << pt.rate_ppm
+           << ", \"detected\": " << pt.detected << ", \"races_caught\": " << pt.races_caught
+           << ", \"coverage_lost\": " << pt.coverage_lost
+           << ", \"missed_unexplained\": " << pt.missed_unexplained
+           << ", \"mean_overhead\": " << pt.mean_overhead << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!identity_ok) {
+    std::printf("FAIL: zero-fault runs are not byte-identical to the unarmed baseline\n");
+    return 1;
+  }
+  if (!accounting_ok) {
+    std::printf("FAIL: some campaign point lost coverage silently\n");
+    return 1;
+  }
+  if (worst_coverage < min_coverage) {
+    std::printf("FAIL: coverage %.2f below the --min-coverage floor %.2f\n", worst_coverage,
+                min_coverage);
+    return 1;
+  }
+  std::printf("degradation fully accounted: every missed race carries coverage_lost > 0\n");
+  return 0;
+}

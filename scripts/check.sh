@@ -49,6 +49,18 @@ trace_equivalence() {
   rm -rf "$tmp"
 }
 
+# Fault-campaign smoke: one low-rate pass per fault site over a sample
+# of the injection campaign. bench_resilience exits non-zero if a
+# zero-rate FaultPlan perturbs the baseline, if any point misses a race
+# without reporting coverage_lost, or if coverage drops below the floor.
+fault_smoke() {
+  local tmp
+  tmp=$(mktemp -d)
+  "$1/bench/bench_resilience" --smoke --min-coverage 0.5 \
+    --json "$tmp/BENCH_resilience_smoke.json" >/dev/null
+  rm -rf "$tmp"
+}
+
 if [[ $run_tier1 == 1 ]]; then
   echo "=== tier-1 build (build/) ==="
   cmake -B build -S . >/dev/null
@@ -74,6 +86,8 @@ if [[ $run_strict == 1 ]]; then
   ctest --test-dir build-strict --output-on-failure -j "$jobs"
   echo "--- trace equivalence (strict build) ---"
   trace_equivalence build-strict
+  echo "--- fault-campaign smoke (strict build) ---"
+  fault_smoke build-strict
 fi
 
 if [[ $run_tsan == 1 ]]; then
@@ -90,6 +104,8 @@ if [[ $run_tsan == 1 ]]; then
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
   echo "--- trace equivalence (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" trace_equivalence build-tsan
+  echo "--- fault-campaign smoke (TSan build, HACCRG_THREADS=2) ---"
+  HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" fault_smoke build-tsan
 fi
 
 echo "=== all checks passed ==="

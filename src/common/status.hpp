@@ -1,0 +1,76 @@
+// Structured error type for user-reachable failure paths (config
+// validation, environment parsing, trace decode, CLI handling). Code
+// that can be fed malformed input returns a Status instead of aborting
+// or throwing, so every caller — tests, the CLI, the fuzz harnesses —
+// can branch on the failure class and render the message.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace haccrg {
+
+/// Failure class. The CLI maps these to distinct exit codes, so the
+/// order is part of the tool's documented interface — append only.
+enum class StatusCode : u8 {
+  kOk = 0,
+  kInvalidArgument,   ///< bad config value / malformed env var or flag
+  kNotFound,          ///< a named input (file, kernel, key) doesn't exist
+  kIoError,           ///< the OS failed a read/write that should work
+  kBadMagic,          ///< input is not the expected file format at all
+  kVersionMismatch,   ///< right format, wrong version
+  kCorrupt,           ///< right format+version, damaged content
+};
+
+std::string_view status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>" for logs and stderr.
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+  static Status io_error(std::string msg) { return {StatusCode::kIoError, std::move(msg)}; }
+  static Status bad_magic(std::string msg) { return {StatusCode::kBadMagic, std::move(msg)}; }
+  static Status version_mismatch(std::string msg) {
+    return {StatusCode::kVersionMismatch, std::move(msg)};
+  }
+  static Status corrupt(std::string msg) { return {StatusCode::kCorrupt, std::move(msg)}; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kIoError: return "i/o error";
+    case StatusCode::kBadMagic: return "bad magic";
+    case StatusCode::kVersionMismatch: return "version mismatch";
+    case StatusCode::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+}  // namespace haccrg

@@ -1,0 +1,265 @@
+#include "fault/fault.hpp"
+
+#include <cstdlib>
+
+namespace haccrg::fault {
+
+namespace {
+
+constexpr std::string_view kSiteNames[kNumFaultSites] = {
+    "shared-shadow-flip", "global-shadow-flip", "bloom-flip",
+    "racereg-drop",       "icnt-drop",          "icnt-dup",
+    "icnt-delay",         "dram-shadow-flip",   "trace-corrupt",
+};
+
+constexpr std::string_view kSiteKeys[kNumFaultSites] = {
+    "shared_flip", "global_flip", "bloom_flip",   "racereg_drop", "icnt_drop",
+    "icnt_dup",    "icnt_delay",  "dram_flip",    "trace_corrupt",
+};
+
+constexpr u32 kMaxPpm = 1'000'000;
+
+/// Strict u64 parse: the whole token must be decimal digits.
+bool parse_u64(std::string_view text, u64& out) {
+  if (text.empty() || text.size() > 20) return false;
+  u64 value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const u64 digit = static_cast<u64>(c - '0');
+    if (value > (~0ULL - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view fault_site_name(FaultSite site) {
+  return kSiteNames[static_cast<u32>(site)];
+}
+
+std::string_view fault_site_key(FaultSite site) {
+  return kSiteKeys[static_cast<u32>(site)];
+}
+
+bool FaultPlan::any() const {
+  for (u32 ppm : rate_ppm) {
+    if (ppm != 0) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (u32 i = 0; i < kNumFaultSites; ++i) {
+    if (rate_ppm[i] == 0) continue;
+    out += ",";
+    out += kSiteKeys[i];
+    out += "=";
+    out += std::to_string(rate_ppm[i]);
+  }
+  if (retry_timeout != FaultPlan{}.retry_timeout)
+    out += ",retry_timeout=" + std::to_string(retry_timeout);
+  if (max_retries != FaultPlan{}.max_retries)
+    out += ",max_retries=" + std::to_string(max_retries);
+  return out;
+}
+
+Status FaultPlan::parse(const std::string& text, FaultPlan& out) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view pair(text.data() + pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument(
+          "HACCRG_FAULTS: expected key=value, got '" + std::string(pair) + "'");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    u64 number = 0;
+    if (!parse_u64(value, number)) {
+      return Status::invalid_argument("HACCRG_FAULTS: bad value '" +
+                                      std::string(value) + "' for key '" +
+                                      std::string(key) + "'");
+    }
+
+    if (key == "seed") {
+      plan.seed = number;
+      continue;
+    }
+    if (key == "retry_timeout") {
+      if (number == 0 || number > 1'000'000) {
+        return Status::invalid_argument(
+            "HACCRG_FAULTS: retry_timeout must be in [1, 1000000] cycles");
+      }
+      plan.retry_timeout = static_cast<u32>(number);
+      continue;
+    }
+    if (key == "max_retries") {
+      if (number > 1024) {
+        return Status::invalid_argument(
+            "HACCRG_FAULTS: max_retries must be at most 1024");
+      }
+      plan.max_retries = static_cast<u32>(number);
+      continue;
+    }
+
+    bool matched = false;
+    for (u32 i = 0; i < kNumFaultSites; ++i) {
+      if (key != kSiteKeys[i]) continue;
+      if (number > kMaxPpm) {
+        return Status::invalid_argument(
+            "HACCRG_FAULTS: rate for '" + std::string(key) +
+            "' exceeds 1000000 ppm");
+      }
+      plan.rate_ppm[i] = static_cast<u32>(number);
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return Status::invalid_argument("HACCRG_FAULTS: unknown key '" +
+                                      std::string(key) + "'");
+    }
+  }
+  out = plan;
+  return Status();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, u32 num_sms,
+                             u32 num_partitions)
+    : plan_(plan), dram_staged_(num_partitions) {
+  const auto per_unit = [&](FaultSite site, u32 units) {
+    auto& vec = streams_[static_cast<u32>(site)];
+    vec.reserve(units);
+    for (u32 u = 0; u < units; ++u) vec.emplace_back(plan.seed, site, u);
+  };
+  per_unit(FaultSite::kSharedShadowFlip, num_sms);
+  per_unit(FaultSite::kBloomFlip, num_sms);
+  per_unit(FaultSite::kRaceRegDrop, num_sms);
+  // The interconnect sites roll in the serial, SM-id-ordered commit
+  // phase, but keep one stream per SM anyway: the number of packets an
+  // SM commits per epoch is deterministic per SM, so per-SM streams keep
+  // fault placement independent of how other SMs' traffic interleaves.
+  per_unit(FaultSite::kIcntDrop, num_sms);
+  per_unit(FaultSite::kIcntDup, num_sms);
+  per_unit(FaultSite::kIcntDelay, num_sms);
+  per_unit(FaultSite::kDramShadowFlip, num_partitions);
+  per_unit(FaultSite::kGlobalShadowFlip, 1);
+  per_unit(FaultSite::kTraceCorrupt, 1);
+}
+
+bool FaultInjector::shared_shadow_flip(u32 sm, u32& bit) {
+  auto& s = stream(FaultSite::kSharedShadowFlip, sm);
+  if (!s.roll(rate(FaultSite::kSharedShadowFlip))) return false;
+  bit = static_cast<u32>(s.draw() % 12);  // the 12 architectural entry bits
+  return true;
+}
+
+bool FaultInjector::bloom_flip(u32 sm, u64& pick) {
+  auto& s = stream(FaultSite::kBloomFlip, sm);
+  if (!s.roll(rate(FaultSite::kBloomFlip))) return false;
+  pick = s.draw();
+  return true;
+}
+
+bool FaultInjector::racereg_drop(u32 sm, u64& pick) {
+  auto& s = stream(FaultSite::kRaceRegDrop, sm);
+  if (!s.roll(rate(FaultSite::kRaceRegDrop))) return false;
+  pick = s.draw();
+  return true;
+}
+
+bool FaultInjector::global_shadow_flip(u32& bit) {
+  auto& s = stream(FaultSite::kGlobalShadowFlip);
+  if (!s.roll(rate(FaultSite::kGlobalShadowFlip))) return false;
+  bit = static_cast<u32>(s.draw() % 64);
+  return true;
+}
+
+IcntFaultKind FaultInjector::icnt_fault(u32 sm) {
+  // One roll per site, in enum order, first hit wins. Rolling every
+  // armed site (rather than short-circuiting) keeps each stream's
+  // position a function of packet count alone, so arming kIcntDup does
+  // not move kIcntDelay's placements.
+  const bool drop = stream(FaultSite::kIcntDrop, sm).roll(rate(FaultSite::kIcntDrop));
+  const bool dup = stream(FaultSite::kIcntDup, sm).roll(rate(FaultSite::kIcntDup));
+  const bool delay =
+      stream(FaultSite::kIcntDelay, sm).roll(rate(FaultSite::kIcntDelay));
+  if (drop) return IcntFaultKind::kDrop;
+  if (dup) return IcntFaultKind::kDup;
+  if (delay) return IcntFaultKind::kDelay;
+  return IcntFaultKind::kNone;
+}
+
+bool FaultInjector::trace_corrupt(u64& pick) {
+  auto& s = stream(FaultSite::kTraceCorrupt);
+  if (!s.roll(rate(FaultSite::kTraceCorrupt))) return false;
+  pick = s.draw();
+  return true;
+}
+
+void FaultInjector::set_shadow_region(Addr base, u64 bytes) {
+  shadow_base_ = base;
+  shadow_bytes_ = bytes;
+}
+
+void FaultInjector::note_shadow_packet(u32 partition, Addr addr, u32 bytes) {
+  if (shadow_bytes_ == 0 || bytes == 0) return;
+  auto& s = stream(FaultSite::kDramShadowFlip, partition);
+  if (!s.roll(rate(FaultSite::kDramShadowFlip))) return;
+  // Pick a u64-aligned word inside the packet, clamped to the shadow
+  // region — DRAM faults must never leak into application data.
+  const u64 raw = s.draw();
+  Addr word = (addr + static_cast<Addr>(raw % bytes)) & ~Addr{7};
+  if (word < shadow_base_) word = shadow_base_;
+  const Addr last = static_cast<Addr>(shadow_base_ + shadow_bytes_ - 8);
+  if (word > last) word = last & ~Addr{7};
+  dram_staged_[partition].push_back(
+      DramFlip{word, static_cast<u32>((raw >> 32) % 64)});
+}
+
+bool FaultInjector::drain_dram_flips(std::vector<DramFlip>& out) {
+  bool any = false;
+  for (auto& staged : dram_staged_) {
+    for (const DramFlip& flip : staged) {
+      out.push_back(flip);
+      any = true;
+    }
+    staged.clear();
+  }
+  return any;
+}
+
+u64 FaultInjector::injected(FaultSite site) const {
+  u64 total = 0;
+  for (const FaultStream& s : streams_[static_cast<u32>(site)])
+    total += s.injected();
+  // DRAM rolls that hit but were discarded (no shadow region yet) still
+  // count as injections in the stream; that is fine — the discard can
+  // only happen before launch wiring, which never occurs in practice.
+  return total;
+}
+
+u64 FaultInjector::detector_state_injections() const {
+  return injected(FaultSite::kSharedShadowFlip) +
+         injected(FaultSite::kGlobalShadowFlip) +
+         injected(FaultSite::kBloomFlip) + injected(FaultSite::kRaceRegDrop) +
+         injected(FaultSite::kDramShadowFlip);
+}
+
+void FaultInjector::export_stats(StatSet& stats) const {
+  for (u32 i = 0; i < kNumFaultSites; ++i) {
+    const u64 count = injected(static_cast<FaultSite>(i));
+    if (count == 0) continue;
+    stats.add("fault." + std::string(kSiteKeys[i]), count);
+  }
+}
+
+}  // namespace haccrg::fault

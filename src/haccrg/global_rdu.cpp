@@ -32,7 +32,14 @@ void GlobalRdu::check(const AccessInfo& access, std::vector<Addr>& shadow_lines_
     if (static_cast<u64>(g) * granularity_ >= app_bytes_) break;
     ++checks_;
     const Addr entry_addr = shadow_base_ + g * kEntryBytes;
-    GlobalShadowEntry entry = GlobalShadowEntry::unpack(memory_->read_u64(entry_addr));
+    u64 raw = memory_->read_u64(entry_addr);
+    if (faults_ != nullptr) {
+      // Transient read-path flip: the corrupted word feeds this check,
+      // and persists only if the state machine writes the entry back.
+      u32 bit = 0;
+      if (faults_->global_shadow_flip(bit)) raw ^= u64{1} << bit;
+    }
+    GlobalShadowEntry entry = GlobalShadowEntry::unpack(raw);
     AccessInfo granule_access = access;
     granule_access.addr = g * granularity_;
     // Stale-L1 qualification: only an L1 line filled before the granule's

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "haccrg/options.hpp"
 #include "haccrg/race.hpp"
 #include "haccrg/shadow.hpp"
@@ -23,6 +24,11 @@ class GlobalRdu {
   GlobalRdu(mem::DeviceMemory& memory, const HaccrgConfig& config, const DetectPolicy& policy,
             RaceLog& log, FenceIdReader fence_reader);
 
+  /// Arm fault injection (null = off). Checks run only in the serial
+  /// commit phase, so the injector's single global-shadow stream is
+  /// advanced in a deterministic cross-SM order.
+  void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
   /// Reserve + zero the shadow region covering `app_bytes` of heap,
   /// starting at `shadow_base` (called at kernel launch, the paper's
   /// cudaMalloc/cudaMemset step).
@@ -31,6 +37,11 @@ class GlobalRdu {
   /// Bytes of shadow storage needed for `app_bytes` of application heap
   /// at granularity `granularity` (Table IV accounting).
   static u32 shadow_bytes_for(u32 app_bytes, u32 granularity);
+
+  /// Bytes per packed shadow entry (public so trace replay can bound a
+  /// damaged kernel-begin event's footprint in 64-bit arithmetic before
+  /// allocating).
+  static constexpr u32 kEntryBytes = 8;
 
   /// Check one lane's global access. Shadow line addresses (device
   /// addresses within the shadow region) touched by the check are
@@ -47,13 +58,12 @@ class GlobalRdu {
   GlobalShadowEntry entry_at(Addr app_addr) const;
 
  private:
-  static constexpr u32 kEntryBytes = 8;
-
   mem::DeviceMemory* memory_;
   u32 granularity_;
   DetectPolicy policy_;
   RaceLog* log_;
   FenceIdReader fence_reader_;
+  fault::FaultInjector* faults_ = nullptr;
   Addr shadow_base_ = 0;
   u32 app_bytes_ = 0;
   u32 shadow_bytes_ = 0;

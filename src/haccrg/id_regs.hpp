@@ -84,6 +84,20 @@ class SmIdRegisters {
     cs_depth_[thread_slot] = 0;
   }
 
+  // --- Fault-injection mutators (src/fault) ---
+  // Model storage-cell loss in the identifier registers: a dropped ID
+  // falls back to the reset value, which can order accesses that were
+  // racing (a counted false-negative source) or split an epoch (extra
+  // reports). Only the injector calls these.
+  void drop_sync_id(u32 block_slot) {
+    sync_ids_[block_slot] = 0;
+    global_touched_[block_slot] = false;
+  }
+  void drop_fence_id(u32 warp_slot) { fence_ids_[warp_slot] = 0; }
+  void corrupt_sig(u32 thread_slot, u32 bit) {
+    sigs_[thread_slot] = BloomSignature(sigs_[thread_slot].bits() ^ (1u << (bit % 32)));
+  }
+
  private:
   u64 barrier_events_ = 0;
   u64 sync_increments_ = 0;

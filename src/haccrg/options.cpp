@@ -2,7 +2,48 @@
 
 #include <sstream>
 
+#include "haccrg/bloom.hpp"
+
 namespace haccrg::rd {
+
+Status HaccrgConfig::validate() const {
+  const auto check_granularity = [](u32 g, const char* which) {
+    if (g == 0 || g > 4096 || !is_pow2(g)) {
+      return Status::invalid_argument(
+          std::string(which) + " granularity must be a power of two in [1, 4096], got " +
+          std::to_string(g));
+    }
+    return Status();
+  };
+  if (Status st = check_granularity(shared_granularity, "shared"); !st.ok()) return st;
+  if (Status st = check_granularity(global_granularity, "global"); !st.ok()) return st;
+
+  const BloomGeometry geom{bloom_bits, bloom_bins};
+  if (bloom_bits == 0 || bloom_bins == 0 || !geom.valid()) {
+    return Status::invalid_argument(
+        "invalid bloom geometry: " + std::to_string(bloom_bits) + " bits / " +
+        std::to_string(bloom_bins) +
+        " bins (need bins > 0, bits a multiple of bins, power-of-two bits per bin, <= 32 total)");
+  }
+
+  if (max_recorded_races == 0) {
+    return Status::invalid_argument("max_recorded_races must be at least 1");
+  }
+  if (max_unique_races != 0 && max_unique_races < max_recorded_races) {
+    return Status::invalid_argument(
+        "max_unique_races (" + std::to_string(max_unique_races) +
+        ") must be 0 (unbounded) or >= max_recorded_races (" +
+        std::to_string(max_recorded_races) + ")");
+  }
+
+  if (static_filter && warp_regrouping) {
+    return Status::invalid_argument(
+        "static_filter cannot be combined with warp_regrouping: the static "
+        "analysis assumes the fixed warp grouping its proofs were built on");
+  }
+
+  return Status();
+}
 
 std::string HaccrgConfig::describe() const {
   std::ostringstream out;

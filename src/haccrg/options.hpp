@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace haccrg::rd {
@@ -46,7 +47,28 @@ struct HaccrgConfig {
   /// continue so timing is unaffected).
   u32 max_recorded_races = 4096;
 
+  /// Finite shared shadow table: number of direct-mapped entry slots per
+  /// SM. 0 = fully provisioned (one slot per granule, today's behavior).
+  /// With a finite table, conflicting granules evict each other; every
+  /// eviction is counted in "rd.evictions" / "rd.coverage_lost", never
+  /// silent.
+  u32 shared_shadow_capacity = 0;
+
+  /// Unique-race dedup-table saturation bound: once this many distinct
+  /// race keys are tracked, further *new* keys are dropped and counted
+  /// in "rd.race_log_saturated". 0 = unbounded. The default is far above
+  /// anything the bundled kernels produce, so goldens are unaffected,
+  /// while a pathological (or fault-injected) run can no longer grow the
+  /// table without bound.
+  u32 max_unique_races = 1u << 20;
+
   bool any_enabled() const { return enable_shared || enable_global; }
+
+  /// Rejects configurations that would previously hit UB, silent
+  /// clamping, or an assert deep inside the detectors: non-power-of-two
+  /// or absurd granularities, invalid Bloom geometry, zero log bounds,
+  /// and flag combinations whose semantics conflict.
+  Status validate() const;
 
   std::string describe() const;
 };

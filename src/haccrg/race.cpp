@@ -58,6 +58,13 @@ bool RaceLog::record(const RaceRecord& race) {
   for (u64 i = h & mask;; i = (i + 1) & mask) {
     Slot& slot = seen_[i];
     if (slot.count == 0) {
+      if (max_unique_ != 0 && occupied_ >= max_unique_) {
+        // Saturated: the key is new but the table is full. Dropping it is
+        // a counted degradation, not silent loss — saturated() feeds the
+        // run's rd.coverage_lost accounting.
+        ++saturated_;
+        return false;
+      }
       slot.key_lo = key_lo;
       slot.key_hi = key_hi;
       slot.count = 1;
@@ -113,6 +120,7 @@ u64 RaceLog::count(MemSpace s) const {
 
 void RaceLog::clear() {
   total_ = 0;
+  saturated_ = 0;
   occupied_ = 0;
   // Keep capacity: clearing between kernels must not reallocate.
   std::fill(seen_.begin(), seen_.end(), Slot{});

@@ -74,10 +74,20 @@ class RaceLog {
     seen_.resize(kInitialSlots);
   }
 
+  /// Saturation bound on the dedup table itself: once `max_unique`
+  /// distinct keys are tracked, further *new* keys are dropped (counted
+  /// in `saturated()`) instead of growing the table without bound.
+  /// 0 = unbounded. Existing keys still deduplicate normally.
+  void set_max_unique(u32 max_unique) { max_unique_ = max_unique; }
+
   /// Record a race; returns true if it was new (not a duplicate).
   bool record(const RaceRecord& race);
 
   u64 total() const { return total_; }
+  /// New race keys dropped because the dedup table was saturated — each
+  /// is a distinct race location the log could not account for, so it
+  /// feeds rd.coverage_lost.
+  u64 saturated() const { return saturated_; }
   u64 unique() const { return static_cast<u64>(races_.size()); }
   u64 count(RaceMechanism m) const;
   u64 count(RaceType t) const;
@@ -102,7 +112,9 @@ class RaceLog {
   void grow();
 
   u32 max_recorded_;
+  u32 max_unique_ = 0;  ///< 0 = unbounded
   u64 total_ = 0;
+  u64 saturated_ = 0;
   u64 occupied_ = 0;  ///< live slots in seen_ (load-factor bookkeeping)
   std::vector<Slot> seen_;
   std::vector<RaceRecord> races_;

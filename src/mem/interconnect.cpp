@@ -11,14 +11,67 @@ Interconnect::Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per
   response_staging_.resize(num_partitions);
 }
 
+bool Interconnect::inject_request(u32 sm, Cycle now, Packet pkt, u32 tries) {
+  const u32 partition = pkt.dest_partition;
+  auto fate = faults_->icnt_fault(sm);
+  if ((fate == fault::IcntFaultKind::kDrop || fate == fault::IcntFaultKind::kDelay) &&
+      tries >= faults_->plan().max_retries) {
+    // Retries exhausted: force the packet through so a 100% drop rate
+    // cannot livelock the simulation. The roll still happens (streams
+    // advance once per injection attempt regardless of outcome).
+    ++fault_forced_;
+    fate = fault::IcntFaultKind::kNone;
+  }
+  switch (fate) {
+    case fault::IcntFaultKind::kDrop:
+    case fault::IcntFaultKind::kDelay: {
+      if (fate == fault::IcntFaultKind::kDrop) ++fault_drops_; else ++fault_delays_;
+      const u32 timeout = faults_->plan().retry_timeout;
+      retry_cycles_ += timeout;
+      retry_[sm].push_back(RetryEntry{now + timeout, tries + 1, std::move(pkt)});
+      return false;
+    }
+    case fault::IcntFaultKind::kDup:
+      ++fault_dups_;
+      ++request_packets_;
+      to_partition_[partition].push(now, pkt);
+      break;
+    case fault::IcntFaultKind::kNone:
+      break;
+  }
+  ++request_packets_;
+  to_partition_[partition].push(now, std::move(pkt));
+  return true;
+}
+
 void Interconnect::commit_requests(u32 sm, Cycle now) {
   auto& queue = request_staging_[sm];
+  if (faults_ == nullptr) {
+    while (!queue.empty()) {
+      const u32 partition = queue.front().dest_partition;
+      if (!to_partition_[partition].can_push(now)) break;
+      ++request_packets_;
+      to_partition_[partition].push(now, std::move(queue.front()));
+      queue.pop_front();
+    }
+    return;
+  }
+  // Ripe retried packets re-inject before fresh traffic (they are the
+  // oldest in flight). Entries are appended with monotonically increasing
+  // ready cycles, so the deque front is always the ripest.
+  auto& retries = retry_[sm];
+  while (!retries.empty() && retries.front().ready <= now) {
+    if (!to_partition_[retries.front().pkt.dest_partition].can_push(now)) return;
+    RetryEntry entry = std::move(retries.front());
+    retries.pop_front();
+    inject_request(sm, now, std::move(entry.pkt), entry.tries);
+  }
   while (!queue.empty()) {
     const u32 partition = queue.front().dest_partition;
     if (!to_partition_[partition].can_push(now)) break;
-    ++request_packets_;
-    to_partition_[partition].push(now, std::move(queue.front()));
+    Packet pkt = std::move(queue.front());
     queue.pop_front();
+    inject_request(sm, now, std::move(pkt), 0);
   }
 }
 
@@ -38,12 +91,21 @@ bool Interconnect::idle() const {
     if (!queue.empty()) return false;
   for (const auto& staged : response_staging_)
     if (!staged.empty()) return false;
+  for (const auto& retries : retry_)
+    if (!retries.empty()) return false;
   return true;
 }
 
 void Interconnect::export_stats(StatSet& stats) const {
   stats.add("icnt.request_packets", request_packets_);
   stats.add("icnt.response_packets", response_packets_);
+  // Fault accounting is exported only when it fired so zero-fault golden
+  // stat sets stay byte-identical.
+  if (fault_drops_ != 0) stats.add("icnt.fault_drops", fault_drops_);
+  if (fault_dups_ != 0) stats.add("icnt.fault_dups", fault_dups_);
+  if (fault_delays_ != 0) stats.add("icnt.fault_delays", fault_delays_);
+  if (fault_forced_ != 0) stats.add("icnt.fault_forced", fault_forced_);
+  if (retry_cycles_ != 0) stats.add("icnt.retry_cycles", retry_cycles_);
 }
 
 }  // namespace haccrg::mem

@@ -9,6 +9,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "mem/packets.hpp"
 
 namespace haccrg::mem {
@@ -70,6 +71,19 @@ class Interconnect {
  public:
   Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle);
 
+  /// Arm fault injection on the request path (null = off). Faults are
+  /// rolled in commit_requests — a serial, SM-id-ordered phase — using
+  /// the injector's per-SM interconnect streams, so placement depends
+  /// only on each SM's own packet sequence. A dropped or delayed packet
+  /// parks in a per-SM retry buffer and is re-injected after the plan's
+  /// retry_timeout; after max_retries failed attempts it is forced
+  /// through so a 100% fault rate still terminates.
+  void set_faults(fault::FaultInjector* faults) {
+    faults_ = faults;
+    if (faults_ != nullptr && retry_.size() != request_staging_.size())
+      retry_.resize(request_staging_.size());
+  }
+
   // The per-cycle queries below run once per SM (or partition) per cycle
   // in the engine's hot loop, so they are defined inline.
   bool can_send_request(u32 partition, Cycle now) const {
@@ -104,6 +118,12 @@ class Interconnect {
   void stage_request(u32 sm, Packet pkt) { request_staging_[sm].push_back(std::move(pkt)); }
   /// Requests still staged (or back-pressured) for SM `sm`.
   size_t staged_requests(u32 sm) const { return request_staging_[sm].size(); }
+  /// Anything left to commit for SM `sm` — staged or awaiting retry.
+  /// Callers gating commit_requests must use this, not staged_requests:
+  /// a retry buffer with no fresh traffic still needs the commit sweep.
+  bool has_pending(u32 sm) const {
+    return !request_staging_[sm].empty() || (!retry_.empty() && !retry_[sm].empty());
+  }
   /// Push SM `sm`'s staged requests into the partition pipes, oldest
   /// first, stopping at the first rate-limited packet (head-of-line
   /// blocking, like a real injection port). Serial phase only.
@@ -126,12 +146,31 @@ class Interconnect {
   void export_stats(StatSet& stats) const;
 
  private:
+  /// A dropped/delayed request waiting out its retry window.
+  struct RetryEntry {
+    Cycle ready = 0;  ///< earliest re-injection cycle
+    u32 tries = 0;    ///< failed injection attempts so far
+    Packet pkt;
+  };
+
+  /// Try to inject one packet, rolling the fault sites unless the packet
+  /// has exhausted its retries. Returns false if the packet was parked
+  /// in the retry buffer instead of entering the pipe.
+  bool inject_request(u32 sm, Cycle now, Packet pkt, u32 tries);
+
   std::vector<LatencyPipe<Packet>> to_partition_;
   std::vector<LatencyPipe<Response>> to_sm_;
   std::vector<std::deque<Packet>> request_staging_;    ///< one queue per SM
   std::vector<std::vector<Response>> response_staging_;  ///< one slot per partition
+  std::vector<std::deque<RetryEntry>> retry_;  ///< per SM; allocated when faults arm
+  fault::FaultInjector* faults_ = nullptr;
   u64 request_packets_ = 0;
   u64 response_packets_ = 0;
+  u64 fault_drops_ = 0;
+  u64 fault_dups_ = 0;
+  u64 fault_delays_ = 0;
+  u64 fault_forced_ = 0;
+  u64 retry_cycles_ = 0;  ///< total cycles packets spent parked for retry
 };
 
 }  // namespace haccrg::mem

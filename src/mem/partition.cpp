@@ -12,10 +12,12 @@ MemoryPartition::MemoryPartition(u32 id, const arch::GpuConfig& config)
 
 bool MemoryPartition::accept(Packet pkt) {
   if (input_.size() >= kInputDepth) return false;
-  if (pkt.kind == PacketKind::kShadow)
+  if (pkt.kind == PacketKind::kShadow) {
     ++shadow_packets_;
-  else
+    if (faults_ != nullptr) faults_->note_shadow_packet(id_, pkt.addr, pkt.bytes);
+  } else {
     ++data_packets_;
+  }
   input_.push_back(std::move(pkt));
   return true;
 }

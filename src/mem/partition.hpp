@@ -10,6 +10,7 @@
 
 #include "arch/config.hpp"
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/packets.hpp"
@@ -27,6 +28,12 @@ struct PartitionCompletion {
 class MemoryPartition {
  public:
   MemoryPartition(u32 id, const arch::GpuConfig& config);
+
+  /// Arm fault injection (null = off). Accepting a shadow packet may
+  /// stage a DRAM bit flip in the injector; the draw is thread-confined
+  /// (per-partition stream) and the flip is applied by the Gpu in the
+  /// serial post-step phase, confined to the shadow region.
+  void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
 
   /// Room for another incoming packet this cycle?
   bool can_accept() const { return input_.size() < kInputDepth; }
@@ -60,6 +67,7 @@ class MemoryPartition {
   u32 l2_latency_;
 
   u32 id_;
+  fault::FaultInjector* faults_ = nullptr;
   Cache l2_;
   DramChannel dram_;
   std::deque<Packet> input_;

@@ -50,6 +50,10 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     result.error = "invalid gpu config: " + err;
     return result;
   }
+  if (const Status st = haccrg_config_.validate(); !st.ok()) {
+    result.error = "invalid haccrg config: " + st.to_string();
+    return result;
+  }
   if (launch.block_dim == 0 || launch.block_dim > gpu_config_.max_threads_per_sm) {
     result.error = "block_dim out of range";
     return result;
@@ -60,6 +64,16 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   }
 
   rd::RaceLog race_log(haccrg_config_.max_recorded_races);
+  race_log.set_max_unique(haccrg_config_.max_unique_races);
+
+  // Fault-injection campaign (SimConfig::faults / HACCRG_FAULTS). The
+  // injector lives for one launch; every hook below is a null pointer
+  // when no site is armed, so the zero-fault path is unchanged.
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (sim_config_.faults.any()) {
+    faults = std::make_unique<fault::FaultInjector>(sim_config_.faults, gpu_config_.num_sms,
+                                                    gpu_config_.num_mem_partitions);
+  }
 
   // Race register file: the global RDU reads the current fence ID of any
   // warp on any SM. SMs are created below; the reader indirects through
@@ -89,6 +103,10 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
       return result;
     }
     global_rdu->init_shadow(shadow_base, app_bytes);
+    if (faults != nullptr) {
+      global_rdu->set_faults(faults.get());
+      faults->set_shadow_region(shadow_base, shadow_bytes);
+    }
   }
 
   // Software-placed shared shadow (Figure 8): a per-SM region of device
@@ -115,6 +133,11 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   std::vector<mem::MemoryPartition> partitions;
   partitions.reserve(gpu_config_.num_mem_partitions);
   for (u32 p = 0; p < gpu_config_.num_mem_partitions; ++p) partitions.emplace_back(p, gpu_config_);
+  if (faults != nullptr) {
+    icnt.set_faults(faults.get());
+    for (auto& part : partitions) part.set_faults(faults.get());
+    if (trace_writer_ != nullptr) trace_writer_->set_faults(faults.get());
+  }
 
   SmEnv env;
   env.gpu = &gpu_config_;
@@ -127,6 +150,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   env.launch = &launch;
   env.global_trace = global_trace_;
   env.trace = trace_writer_.get();
+  env.faults = faults.get();
   sms.reserve(gpu_config_.num_sms);
   for (u32 s = 0; s < gpu_config_.num_sms; ++s) {
     SmEnv sm_env = env;
@@ -176,6 +200,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   Engine engine(sms, partitions, icnt, sim_config_);
   Cycle now = 0;
   u32 completed_last = 0;
+  std::vector<fault::DramFlip> dram_flips;
   for (;; ++now) {
     if (now > max_cycles_) {
       result.error = "watchdog: kernel exceeded max cycles";
@@ -183,6 +208,16 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     }
 
     engine.step(now);
+
+    // Apply DRAM shadow flips the partitions staged during their
+    // (possibly parallel) step — serially, in partition-id order, the
+    // same barrier discipline as every other cross-unit effect.
+    if (faults != nullptr && faults->drain_dram_flips(dram_flips)) {
+      for (const fault::DramFlip& flip : dram_flips) {
+        memory_.write_u64(flip.addr, memory_.read_u64(flip.addr) ^ (u64{1} << flip.bit));
+      }
+      dram_flips.clear();
+    }
 
     // Launch more blocks as slots free up.
     u32 completed = 0;
@@ -217,6 +252,8 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     trace_writer_->write_event(end);
     if (!trace_writer_->ok() && result.error.empty())
       result.error = trace_writer_->error();
+    // The injector dies with this launch; the writer may outlive it.
+    trace_writer_->set_faults(nullptr);
   }
 
   // --- Collect results ---------------------------------------------------------
@@ -247,6 +284,22 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   // fingerprints are unaffected.
   if (sim_config_.profile) engine.profiler().export_stats(result.stats);
   if (global_rdu) global_rdu->export_stats(result.stats);
+
+  // Coverage accounting: every event that can silently cost a detection
+  // — shadow-table evictions, race-log saturation, detector-state fault
+  // injections — is summed into one stat so a campaign can always
+  // explain its gap to the zero-fault baseline. Exported only when
+  // non-zero to keep zero-fault golden stat sets byte-identical.
+  if (race_log.saturated() != 0)
+    result.stats.add("rd.race_log_saturated", race_log.saturated());
+  u64 coverage_lost = race_log.saturated();
+  if (result.stats.has("rd.evictions")) coverage_lost += result.stats.get("rd.evictions");
+  if (faults != nullptr) {
+    coverage_lost += faults->detector_state_injections();
+    faults->export_stats(result.stats);
+  }
+  if (coverage_lost != 0) result.stats.set("rd.coverage_lost", coverage_lost);
+
   result.races = race_log;
   return result;
 }

@@ -4,10 +4,11 @@
 // because all cross-SM effects are committed at deterministic barriers.
 #pragma once
 
-#include <cstdlib>
 #include <string>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 
 namespace haccrg::sim {
 
@@ -27,27 +28,30 @@ struct SimConfig {
   /// sets stay free of host-time noise.
   bool profile = false;
 
+  /// Fault-injection campaign (src/fault). Default is the empty plan:
+  /// no site armed, zero overhead, output byte-identical to a build
+  /// without the fault subsystem.
+  fault::FaultPlan faults;
+
   static constexpr u32 kMaxThreads = 64;
 
   /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]; defaults to 1),
-  /// HACCRG_TRACE (trace output path; defaults to no tracing), and
+  /// HACCRG_TRACE (trace output path; defaults to no tracing),
   /// HACCRG_PROFILE (any non-empty value but "0" enables the per-phase
-  /// profiler). Environment knobs rather than per-call plumbing so
-  /// existing tests and benchmarks can be forced parallel or profiled
-  /// wholesale (the TSan gate, the perf smoke run).
-  static SimConfig from_env() {
-    SimConfig cfg;
-    if (const char* env = std::getenv("HACCRG_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) cfg.num_threads = v > long{kMaxThreads} ? kMaxThreads : static_cast<u32>(v);
-    }
-    if (const char* env = std::getenv("HACCRG_TRACE"); env != nullptr && env[0] != '\0')
-      cfg.trace_path = env;
-    if (const char* env = std::getenv("HACCRG_PROFILE");
-        env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
-      cfg.profile = true;
-    return cfg;
-  }
+  /// profiler), and HACCRG_FAULTS (FaultPlan::parse syntax; a malformed
+  /// value is ignored with a one-line stderr warning — this lenient
+  /// entry point is the Gpu constructor's default argument and must not
+  /// fail). Environment knobs rather than per-call plumbing so existing
+  /// tests and benchmarks can be forced parallel or profiled wholesale
+  /// (the TSan gate, the perf smoke run).
+  static SimConfig from_env();
+
+  /// Strict variant for the CLI and other user-facing front doors: the
+  /// same environment variables, but a malformed HACCRG_THREADS
+  /// (non-numeric, zero, > kMaxThreads) or HACCRG_FAULTS value is a
+  /// reported error instead of a silent clamp/skip. On error, `out` is
+  /// untouched.
+  static Status parse_env(SimConfig& out);
 };
 
 }  // namespace haccrg::sim

@@ -49,6 +49,7 @@ Sm::Sm(u32 sm_id, const SmEnv& env)
     policy.bloom = {env_.haccrg->bloom_bits, env_.haccrg->bloom_bins};
     shared_rdu_ = std::make_unique<rd::SharedRdu>(sm_id_, env_.gpu->shared_mem_per_sm,
                                                   *env_.haccrg, policy, race_staging_);
+    if (env_.faults != nullptr) shared_rdu_->set_faults(env_.faults);
   }
 }
 
@@ -187,7 +188,28 @@ void Sm::cycle(Cycle now) {
   if (env_.icnt->staged_requests(sm_id_) > 64) return;
   WarpContext* warp = pick_ready_warp(now);
   if (warp == nullptr) return;
+  if (env_.faults != nullptr) inject_id_faults();
   execute(*warp, now);
+}
+
+void Sm::inject_id_faults() {
+  // One roll per site per issued instruction: the number of instructions
+  // an SM issues is deterministic, so fault placement is too. All state
+  // touched (ids_) is SM-local — safe in the parallel phase.
+  u64 pick = 0;
+  if (env_.faults->bloom_flip(sm_id_, pick)) {
+    const u32 thread_slot = static_cast<u32>(pick % env_.gpu->max_threads_per_sm);
+    ids_.corrupt_sig(thread_slot, static_cast<u32>((pick >> 32) % 32));
+  }
+  if (env_.faults->racereg_drop(sm_id_, pick)) {
+    // Even picks lose a fence ID, odd picks a sync ID — both halves of
+    // the race register file are exercised by one site.
+    if ((pick & 1) == 0) {
+      ids_.drop_fence_id(static_cast<u32>((pick >> 1) % warps_.size()));
+    } else {
+      ids_.drop_sync_id(static_cast<u32>((pick >> 1) % blocks_.size()));
+    }
+  }
 }
 
 void Sm::send_packet(mem::Packet pkt) {
@@ -206,7 +228,7 @@ void Sm::commit_epoch(Cycle now) {
   if (!race_staging_.empty()) race_staging_.drain_into(*env_.race_log);
   for (u32 i = 0; i < deferred_count_; ++i) replay(deferred_[i]);
   deferred_count_ = 0;
-  if (env_.icnt->staged_requests(sm_id_) != 0) env_.icnt->commit_requests(sm_id_, now);
+  if (env_.icnt->has_pending(sm_id_)) env_.icnt->commit_requests(sm_id_, now);
 }
 
 Sm::DeferredGlobalOp& Sm::acquire_deferred() {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/config.hpp"
+#include "fault/fault.hpp"
 #include "haccrg/global_rdu.hpp"
 #include "haccrg/id_regs.hpp"
 #include "haccrg/options.hpp"
@@ -60,6 +61,10 @@ struct SmEnv {
   /// events are staged per SM and flushed serially in SM-id order by the
   /// engine; global-memory events are written during commit_epoch.
   trace::TraceWriter* trace = nullptr;
+  /// Optional fault injector (SimConfig::faults); null = no faults. The
+  /// SM only draws from its own per-SM streams during cycle(), keeping
+  /// the parallel phase thread-confined.
+  fault::FaultInjector* faults = nullptr;
 };
 
 class Sm {
@@ -134,6 +139,10 @@ class Sm {
 
   /// True when the opt-in static filter suppresses the RDU check at `pc`.
   bool static_filtered(u32 pc) const;
+
+  /// Roll the ID-register fault sites once per issued instruction
+  /// (Bloom signature flips, fence/sync ID drops).
+  void inject_id_faults();
 
   /// Stage a packet on this SM's interconnect queue (sent at commit).
   void send_packet(mem::Packet pkt);

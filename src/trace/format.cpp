@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "haccrg/bloom.hpp"
+
 namespace haccrg::trace {
 
 std::string_view event_kind_name(EventKind kind) {
@@ -51,8 +53,11 @@ void put_varint(std::vector<u8>& out, u64 value) {
   out.push_back(static_cast<u8>(value));
 }
 
-bool DecodeCursor::fail(std::string_view what) {
-  if (error.empty()) error = std::string(what);
+bool DecodeCursor::fail(std::string_view what, StatusCode why) {
+  if (error.empty()) {
+    error = std::string(what);
+    code = why;
+  }
   return false;
 }
 
@@ -120,14 +125,14 @@ bool decode_header(DecodeCursor& cursor, TraceHeader& out) {
   if (cursor.size - cursor.pos < sizeof(kMagic) + 2)
     return cursor.fail("truncated: file shorter than the trace header");
   if (std::memcmp(cursor.data + cursor.pos, kMagic, sizeof(kMagic)) != 0)
-    return cursor.fail("bad magic: not a HAccRG access trace");
+    return cursor.fail("bad magic: not a HAccRG access trace", StatusCode::kBadMagic);
   cursor.pos += sizeof(kMagic);
   u8 lo = 0;
   u8 hi = 0;
   if (!cursor.get_u8(lo) || !cursor.get_u8(hi)) return false;
   out.version = static_cast<u16>(lo | (hi << 8));
   if (out.version != kFormatVersion)
-    return cursor.fail("unsupported trace version");
+    return cursor.fail("unsupported trace version", StatusCode::kVersionMismatch);
   u64 device_mem = 0;
   u8 flags = 0;
   if (!cursor.get_varint_u32(out.num_sms) || !cursor.get_varint_u32(out.warp_size) ||
@@ -150,6 +155,22 @@ bool decode_header(DecodeCursor& cursor, TraceHeader& out) {
     return cursor.fail("corrupt header: implausible machine geometry");
   if (out.max_threads_per_sm == 0 || out.max_threads_per_sm % out.warp_size != 0)
     return cursor.fail("corrupt header: max_threads_per_sm not a warp multiple");
+  // Bound everything replay sizes allocations by. A bit-flipped varint can
+  // otherwise inflate a field to ~4G and turn a damaged trace into an OOM
+  // instead of a structured decode error. The caps are an order of
+  // magnitude past any machine the simulator models.
+  if (out.num_sms > 1024 || out.max_blocks_per_sm == 0 || out.max_blocks_per_sm > 256 ||
+      out.max_threads_per_sm > 16384 || out.shared_mem_per_sm > (64u << 20) ||
+      out.l1_line == 0 || out.l1_line > 4096)
+    return cursor.fail("corrupt header: implausible machine geometry");
+  if (out.shared_granularity == 0 || out.shared_granularity > 4096 ||
+      !is_pow2(out.shared_granularity) || out.global_granularity == 0 ||
+      out.global_granularity > 4096 || !is_pow2(out.global_granularity))
+    return cursor.fail("corrupt header: implausible detector granularity");
+  if (!rd::BloomGeometry{out.bloom_bits, out.bloom_bins}.valid())
+    return cursor.fail("corrupt header: invalid bloom signature geometry");
+  if (out.max_recorded_races == 0 || out.max_recorded_races > (1u << 24))
+    return cursor.fail("corrupt header: implausible race log capacity");
   return true;
 }
 

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "haccrg/options.hpp"
 
@@ -193,10 +194,15 @@ struct DecodeCursor {
   size_t size = 0;
   size_t pos = 0;
   std::string error;
+  /// Failure class of `error` (kCorrupt for plain fail(); bad magic and
+  /// version mismatches are tagged so callers — the CLI's exit codes,
+  /// the reader's Status — can distinguish "wrong file" from "damaged
+  /// file" without string matching.
+  StatusCode code = StatusCode::kOk;
 
   bool failed() const { return !error.empty(); }
   bool at_end() const { return pos >= size; }
-  bool fail(std::string_view what);
+  bool fail(std::string_view what, StatusCode why = StatusCode::kCorrupt);
   bool get_u8(u8& out);
   bool get_varint(u64& out);
   bool get_varint_u32(u32& out);

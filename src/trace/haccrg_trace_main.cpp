@@ -1,9 +1,13 @@
 // haccrg-trace: record, inspect, replay, and diff access traces.
 //
-// Exit codes (all subcommands): 0 success; 2 usage error, I/O failure, or
-// a corrupt/unreadable trace. `diff` additionally exits 1 when both
-// inputs are readable but their race sets differ — scripts can tell
-// "detectors disagree" (1) from "could not compare" (2).
+// Exit codes (all subcommands): 0 success; 2 usage error or other
+// failure; and for unreadable traces, a code per failure class so
+// scripts can tell them apart: 3 missing/unreadable file, 4 bad magic
+// (not a trace), 5 unsupported format version, 6 corrupt or truncated
+// stream. `diff` additionally exits 1 when both inputs are readable but
+// their race sets differ — "detectors disagree" (1) is distinct from
+// "could not compare" (2..6). No input, however damaged, aborts or
+// throws: every failure is a diagnosed exit code.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +23,18 @@
 namespace {
 
 using namespace haccrg;
+
+/// Exit code for an unreadable trace (see the header comment).
+int trace_exit_code(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError: return 3;
+    case StatusCode::kBadMagic: return 4;
+    case StatusCode::kVersionMismatch: return 5;
+    case StatusCode::kCorrupt: return 6;
+    default: return 2;
+  }
+}
 
 int usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "haccrg-trace: %s\n\n", error);
@@ -39,8 +55,10 @@ int usage(const char* error = nullptr) {
                "      --label STR    kernel label stored in the trace (default NAME)\n"
                "  info FILE.trc\n"
                "      Print the header and per-kernel event/cycle counts.\n"
-               "  dump FILE.trc [--limit N] [--kind NAME]\n"
+               "  dump FILE.trc [--limit N] [--kind NAME] [--resync]\n"
                "      Print decoded events (optionally only events of one kind).\n"
+               "      --resync skips damaged records and resumes at the next\n"
+               "      decodable boundary, reporting how much was lost.\n"
                "  replay FILE.trc [--races FILE] [--sw] [--grace] [--repeat N]\n"
                "      Stream the trace through the recorded hardware detectors\n"
                "      (--sw / --grace add the software emulators; --repeat for\n"
@@ -133,7 +151,11 @@ int cmd_record(int argc, char** argv) {
   std::string races_path;
   std::string label;
   kernels::BenchOptions opts;
-  sim::SimConfig sim_cfg = sim::SimConfig::from_env();
+  sim::SimConfig sim_cfg;
+  if (const Status env_status = sim::SimConfig::parse_env(sim_cfg); !env_status.ok()) {
+    std::fprintf(stderr, "haccrg-trace: %s\n", env_status.to_string().c_str());
+    return 2;
+  }
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -203,7 +225,7 @@ int cmd_info(const std::string& path) {
   trace::TraceReader reader(path);
   if (!reader.ok()) {
     std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
-    return 2;
+    return trace_exit_code(reader.status());
   }
   const trace::TraceHeader& h = reader.header();
   std::printf("trace: %s (%llu bytes, format v%u)\n", path.c_str(),
@@ -236,7 +258,7 @@ int cmd_info(const std::string& path) {
   }
   if (!reader.error().empty()) {
     std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
-    return 2;
+    return trace_exit_code(reader.status());
   }
   std::printf("%llu kernels, %llu events (%llu memory accesses)\n",
               static_cast<unsigned long long>(kernels_seen),
@@ -244,15 +266,23 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_dump(const std::string& path, u64 limit, const std::string& kind_filter) {
+int cmd_dump(const std::string& path, u64 limit, const std::string& kind_filter,
+             bool allow_resync) {
   trace::TraceReader reader(path);
   if (!reader.ok()) {
     std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
-    return 2;
+    return trace_exit_code(reader.status());
   }
   trace::Event event;
   u64 printed = 0;
-  while (reader.next(event) && printed < limit) {
+  while (printed < limit) {
+    if (!reader.next(event)) {
+      if (reader.error().empty()) break;  // clean end of trace
+      if (!allow_resync) break;
+      std::fprintf(stderr, "haccrg-trace: %s (resyncing)\n", reader.error().c_str());
+      if (!reader.resync()) break;  // no decodable boundary remains
+      continue;
+    }
     const std::string_view name = trace::event_kind_name(event.kind);
     if (!kind_filter.empty() && name != kind_filter) continue;
     ++printed;
@@ -284,8 +314,12 @@ int cmd_dump(const std::string& path, u64 limit, const std::string& kind_filter)
   }
   if (!reader.error().empty()) {
     std::fprintf(stderr, "haccrg-trace: %s\n", reader.error().c_str());
-    return 2;
+    return trace_exit_code(reader.status());
   }
+  if (reader.resyncs() != 0)
+    std::fprintf(stderr, "haccrg-trace: recovered after %llu damaged region(s), %llu bytes lost\n",
+                 static_cast<unsigned long long>(reader.resyncs()),
+                 static_cast<unsigned long long>(reader.bytes_skipped()));
   return 0;
 }
 
@@ -299,7 +333,7 @@ int cmd_replay(const std::string& path, const std::string& races_path, bool sw, 
     result = trace::replay_trace(path, opts);
     if (!result.ok) {
       std::fprintf(stderr, "haccrg-trace: %s\n", result.error.c_str());
-      return 2;
+      return trace_exit_code(result.status());
     }
   }
   std::vector<std::string> lines;
@@ -392,6 +426,7 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage("dump needs a trace file");
     u64 limit = ~0ULL;
     std::string kind;
+    bool allow_resync = false;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       std::string value;
@@ -401,11 +436,13 @@ int main(int argc, char** argv) {
         limit = parsed;
       } else if (arg == "--kind") {
         if (!next_arg(argc, argv, i, "--kind", kind)) return 2;
+      } else if (arg == "--resync") {
+        allow_resync = true;
       } else {
         return usage(("unknown dump option " + arg).c_str());
       }
     }
-    return cmd_dump(argv[2], limit, kind);
+    return cmd_dump(argv[2], limit, kind, allow_resync);
   }
   if (cmd == "replay") {
     if (argc < 3) return usage("replay needs a trace file");

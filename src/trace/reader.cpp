@@ -10,14 +10,17 @@ TraceReader::TraceReader(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     error_ = "trace: cannot open '" + path + "': " + std::strerror(errno);
+    code_ = StatusCode::kNotFound;
     return;
   }
   char chunk[1u << 16];
   size_t got = 0;
   while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
     bytes_.insert(bytes_.end(), chunk, chunk + got);
-  if (std::ferror(file) != 0)
+  if (std::ferror(file) != 0) {
     error_ = "trace: read error on '" + path + "': " + std::strerror(errno);
+    code_ = StatusCode::kIoError;
+  }
   std::fclose(file);
   if (error_.empty()) parse_header();
 }
@@ -25,31 +28,71 @@ TraceReader::TraceReader(const std::string& path) {
 TraceReader::TraceReader(std::vector<u8> bytes) : bytes_(std::move(bytes)) { parse_header(); }
 
 void TraceReader::parse_header() {
-  cursor_ = DecodeCursor{bytes_.data(), bytes_.size(), 0, {}};
+  cursor_ = DecodeCursor{bytes_.data(), bytes_.size(), 0, {}, StatusCode::kOk};
   if (!decode_header(cursor_, header_)) {
     error_ = cursor_.error;
+    code_ = cursor_.code;
     return;
   }
   first_event_pos_ = cursor_.pos;
+  last_event_start_ = cursor_.pos;
 }
 
 bool TraceReader::next(Event& out) {
   if (!ok() || cursor_.at_end()) return false;
+  last_event_start_ = cursor_.pos;
   if (!decode_event(cursor_, last_cycle_, out)) {
     error_ = cursor_.error;
+    code_ = cursor_.code;
     return false;
   }
   ++events_;
   return true;
 }
 
+bool TraceReader::resync() {
+  // Only an event-level failure leaves something to skip past: a missing
+  // file or unreadable header has no known record boundary to resume at.
+  if (ok() || first_event_pos_ == 0) return false;
+
+  for (size_t pos = last_event_start_ + 1; pos < bytes_.size(); ++pos) {
+    // Probe: a candidate boundary is accepted when several consecutive
+    // records decode cleanly from it (or the remaining bytes decode
+    // cleanly to the end). A scratch cursor keeps the probe side-effect
+    // free; decode correctness checks make random garbage very unlikely
+    // to pass three records in a row.
+    DecodeCursor probe{bytes_.data(), bytes_.size(), pos, {}, StatusCode::kOk};
+    Cycle probe_cycle = last_cycle_;
+    Event scratch;
+    u32 good = 0;
+    while (good < 3 && !probe.at_end() && decode_event(probe, probe_cycle, scratch)) ++good;
+    if (good >= 3 || (good > 0 && !probe.failed() && probe.at_end())) {
+      bytes_skipped_ += pos - last_event_start_;
+      ++resyncs_;
+      cursor_.pos = pos;
+      cursor_.error.clear();
+      cursor_.code = StatusCode::kOk;
+      error_.clear();
+      code_ = StatusCode::kOk;
+      last_event_start_ = pos;
+      return true;
+    }
+  }
+  return false;
+}
+
 void TraceReader::rewind() {
   if (!ok() && first_event_pos_ == 0) return;  // header never parsed
   cursor_.pos = first_event_pos_;
   cursor_.error.clear();
+  cursor_.code = StatusCode::kOk;
   error_.clear();
+  code_ = StatusCode::kOk;
+  last_event_start_ = first_event_pos_;
   last_cycle_ = 0;
   events_ = 0;
+  resyncs_ = 0;
+  bytes_skipped_ = 0;
 }
 
 }  // namespace haccrg::trace

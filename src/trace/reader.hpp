@@ -1,12 +1,18 @@
 // Trace file reader: loads the file, validates magic/version/header up
 // front, then decodes events one at a time. All failure modes — missing
 // file, bad magic, wrong version, a truncated or bit-flipped event — are
-// reported through error() rather than thrown or crashed on, so the CLI
-// and replay engine can turn them into exit codes.
+// reported through error()/status() rather than thrown or crashed on, so
+// the CLI and replay engine can turn them into exit codes.
+//
+// Damaged streams are recoverable: after next() fails mid-stream,
+// resync() scans forward for the next plausible record boundary and
+// resumes decoding there. Skipped bytes and resync count are reported —
+// a recovered trace is usable but its losses are never silent.
 #pragma once
 
 #include <string>
 
+#include "common/status.hpp"
 #include "trace/format.hpp"
 
 namespace haccrg::trace {
@@ -21,6 +27,9 @@ class TraceReader {
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
+  /// Structured form of error(): kNotFound / kIoError for file problems,
+  /// kBadMagic / kVersionMismatch / kCorrupt from the decoder.
+  Status status() const { return ok() ? Status() : Status(code_, error_); }
   const TraceHeader& header() const { return header_; }
 
   /// Decode the next event into `out`. Returns false at clean end-of-
@@ -28,9 +37,20 @@ class TraceReader {
   /// being empty or not.
   bool next(Event& out);
 
+  /// After next() failed on a damaged mid-stream record: scan forward
+  /// for the next position where decoding yields several consecutive
+  /// well-formed events (or a clean tail), clear the error, and resume
+  /// there. Returns false when no plausible boundary exists (or the
+  /// failure was in the file/header, which has nothing to skip past).
+  /// Every skipped byte is counted in bytes_skipped(); each successful
+  /// call bumps resyncs(). At least one whole record is lost per resync.
+  bool resync();
+
   bool at_end() const { return cursor_.at_end(); }
   u64 events_read() const { return events_; }
   u64 bytes_total() const { return static_cast<u64>(bytes_.size()); }
+  u64 resyncs() const { return resyncs_; }
+  u64 bytes_skipped() const { return bytes_skipped_; }
 
   /// Rewind to the first event (after the header).
   void rewind();
@@ -42,9 +62,13 @@ class TraceReader {
   DecodeCursor cursor_;
   TraceHeader header_;
   std::string error_;
+  StatusCode code_ = StatusCode::kOk;
   size_t first_event_pos_ = 0;
+  size_t last_event_start_ = 0;  ///< file offset of the record next() last tried
   Cycle last_cycle_ = 0;
   u64 events_ = 0;
+  u64 resyncs_ = 0;
+  u64 bytes_skipped_ = 0;
 };
 
 }  // namespace haccrg::trace

@@ -133,7 +133,7 @@ class ReplayEngine {
       if (!handle(event)) return std::move(result_);
     }
     if (!reader_.error().empty()) {
-      fail(reader_.error());
+      fail(reader_.error(), reader_.status().code());
       return std::move(result_);
     }
     finish_kernel();
@@ -142,8 +142,11 @@ class ReplayEngine {
   }
 
  private:
-  bool fail(const std::string& what) {
-    if (result_.error.empty()) result_.error = what;
+  bool fail(const std::string& what, StatusCode why = StatusCode::kCorrupt) {
+    if (result_.error.empty()) {
+      result_.error = what;
+      result_.code = why;
+    }
     result_.ok = false;
     return false;
   }
@@ -169,6 +172,17 @@ class ReplayEngine {
     const TraceHeader& h = reader_.header();
     if (event.block_dim == 0 || event.block_dim > h.max_threads_per_sm)
       return fail("replay: kernel block_dim outside the machine's limits");
+    // The event's heap and shadow fields size real allocations below; a
+    // bit-flipped kKernelBegin must become a structured failure, not an
+    // out-of-memory crash. Computed in 64 bits: the u32 fields can sum
+    // past 4 GiB. Legitimate traces use tens of MiB.
+    constexpr u64 kMaxReplayFootprint = u64{1} << 30;  // 1 GiB
+    const u32 gran = h.global_granularity;
+    const u64 shadow_bytes =
+        (u64{event.app_heap_bytes} + gran - 1) / gran * rd::GlobalRdu::kEntryBytes;
+    if (event.app_heap_bytes > kMaxReplayFootprint ||
+        u64{event.shadow_base} + shadow_bytes + 8 > kMaxReplayFootprint)
+      return fail("replay: kernel memory footprint exceeds the replay cap");
     state_ = std::make_unique<KernelState>(h, event, opts_);
     current_.label = event.label;
     current_.grid_dim = event.grid_dim;
@@ -437,6 +451,7 @@ ReplayResult replay_events(TraceReader& reader, const ReplayOptions& opts) {
   if (!reader.ok()) {
     ReplayResult result;
     result.error = reader.error();
+    result.code = reader.status().code();
     return result;
   }
   return ReplayEngine(reader, opts).run();

@@ -80,6 +80,11 @@ struct KernelReplay {
 struct ReplayResult {
   bool ok = false;
   std::string error;
+  /// Structured form of error(): the reader's code for decode failures
+  /// (kNotFound/kIoError/kBadMagic/kVersionMismatch/kCorrupt), kCorrupt
+  /// for events that decoded but carry impossible state. kOk on success.
+  StatusCode code = StatusCode::kOk;
+  Status status() const { return ok ? Status() : Status(code, error); }
   TraceHeader header;
   std::vector<KernelReplay> kernels;
   u64 total_events = 0;

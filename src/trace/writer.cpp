@@ -25,7 +25,21 @@ bool TraceWriter::write_header(const TraceHeader& header) {
 
 bool TraceWriter::write_event(const Event& event) {
   if (!ok() || file_ == nullptr) return false;
+  const size_t record_start = buffer_.size();
   encode_event(event, last_cycle_, buffer_);
+  if (faults_ != nullptr && buffer_.size() > record_start) {
+    // Damage this record in place: one byte XOR'd with a non-zero mask.
+    // write_event runs only in serial engine phases, so the draw order
+    // (and therefore the corrupted byte stream) is thread-count
+    // invariant like the rest of the trace.
+    u64 pick = 0;
+    if (faults_->trace_corrupt(pick)) {
+      const size_t record_len = buffer_.size() - record_start;
+      const size_t offset = record_start + static_cast<size_t>(pick % record_len);
+      const u8 mask = static_cast<u8>((pick >> 32) % 255 + 1);
+      buffer_[offset] ^= mask;
+    }
+  }
   ++events_;
   if (buffer_.size() >= kFlushThreshold) flush_buffer();
   return ok();

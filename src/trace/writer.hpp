@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "trace/format.hpp"
 
 namespace haccrg::trace {
@@ -26,6 +27,13 @@ class TraceWriter {
   bool write_header(const TraceHeader& header);
   bool write_event(const Event& event);
 
+  /// Arm trace-stream fault injection (null = off): each written record
+  /// may get one byte XOR-corrupted after encoding. Models a damaged
+  /// capture channel; the reader's resync path is the counterpart. The
+  /// injector outlives one launch only, so the Gpu clears this at the
+  /// end of every launch.
+  void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
   /// Flush and close; returns ok(). Idempotent (the dtor calls it too).
   bool finish();
 
@@ -40,6 +48,7 @@ class TraceWriter {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
   std::vector<u8> buffer_;
   std::string error_;
   Cycle last_cycle_ = 0;

@@ -59,9 +59,11 @@ std::string race_signature(const rd::RaceLog& log) {
   return sig;
 }
 
-Signature run_once(const std::string& name, u32 num_threads, u32 seed) {
+Signature run_once(const std::string& name, u32 num_threads, u32 seed,
+                   const fault::FaultPlan& faults = {}) {
   sim::SimConfig sim;
   sim.num_threads = num_threads;
+  sim.faults = faults;
   sim::Gpu gpu(test_gpu(), detection_combined(), sim);
   BenchOptions opts;
   opts.seed = seed;
@@ -133,6 +135,76 @@ TEST(DeterminismInjection, SampleCasesThreadInvariant) {
       EXPECT_EQ(base.races_in_space, par.races_in_space) << cases[i].label();
       EXPECT_EQ(base.races_total, par.races_total) << cases[i].label();
     }
+  }
+}
+
+// --- Fault campaigns ---------------------------------------------------------
+//
+// The fault injector draws from one RNG stream per (site, unit), and
+// cross-SM sites roll only in serial engine phases, so an identical
+// FaultPlan seed must reproduce the identical campaign — same stats
+// fingerprint, same race set — at any worker-thread count.
+
+fault::FaultPlan sample_plan(u64 seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.set_rate(fault::FaultSite::kSharedShadowFlip, 2000);
+  plan.set_rate(fault::FaultSite::kGlobalShadowFlip, 2000);
+  plan.set_rate(fault::FaultSite::kBloomFlip, 1000);
+  plan.set_rate(fault::FaultSite::kRaceRegDrop, 1000);
+  plan.set_rate(fault::FaultSite::kIcntDrop, 20000);
+  plan.set_rate(fault::FaultSite::kIcntDup, 10000);
+  plan.set_rate(fault::FaultSite::kIcntDelay, 20000);
+  plan.set_rate(fault::FaultSite::kDramShadowFlip, 5000);
+  return plan;
+}
+
+class FaultDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultDeterminism, CampaignThreadInvariant) {
+  const std::string name = GetParam();
+  for (u64 fault_seed : {42ull, 1337ull}) {
+    const Signature base = run_once(name, 1, 0, sample_plan(fault_seed));
+    ASSERT_TRUE(base.completed) << base.error;
+    for (u32 threads : {2u, 8u}) {
+      const Signature par = run_once(name, threads, 0, sample_plan(fault_seed));
+      ASSERT_TRUE(par.completed) << par.error;
+      EXPECT_EQ(base.cycles, par.cycles)
+          << name << " fault seed " << fault_seed << ": drift at " << threads << " threads";
+      EXPECT_EQ(base.stats, par.stats)
+          << name << " fault seed " << fault_seed << ": drift at " << threads << " threads";
+      EXPECT_EQ(base.races, par.races)
+          << name << " fault seed " << fault_seed << ": drift at " << threads << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, FaultDeterminism, ::testing::Values("REDUCE", "HIST", "HASH"));
+
+TEST(FaultDeterminism, FaultSeedChangesCampaign) {
+  // Different fault seeds must place injections differently (otherwise
+  // the seed is dead plumbing and the sweep in bench_resilience is one
+  // campaign repeated).
+  const Signature a = run_once("REDUCE", 1, 0, sample_plan(1));
+  const Signature b = run_once("REDUCE", 1, 0, sample_plan(2));
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_TRUE(a.stats != b.stats || a.cycles != b.cycles || a.races != b.races)
+      << "fault seed does not reach the injector";
+}
+
+TEST(FaultDeterminism, ZeroRatePlanIsByteIdenticalToNoPlan) {
+  // A plan whose rates are all zero must not perturb anything — not one
+  // stat, not one cycle — even with a nonzero seed. This is the
+  // "zero-fault config stays golden" guarantee.
+  fault::FaultPlan zero;
+  zero.seed = 0xdeadbeef;
+  for (const char* name : {"REDUCE", "HASH"}) {
+    const Signature plain = run_once(name, 2, 0);
+    const Signature armed = run_once(name, 2, 0, zero);
+    ASSERT_TRUE(plain.completed && armed.completed);
+    EXPECT_EQ(plain.cycles, armed.cycles) << name;
+    EXPECT_EQ(plain.stats, armed.stats) << name;
+    EXPECT_EQ(plain.races, armed.races) << name;
   }
 }
 

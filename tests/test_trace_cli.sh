@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Exit-code contract test for the haccrg-trace CLI.
+#
+#   0 success            3 missing/unreadable file   5 version mismatch
+#   1 diff mismatch      4 bad magic                 6 corrupt/truncated
+#   2 usage/other error
+#
+# Every failure must be a clean diagnosed exit — no aborts, no uncaught
+# throws (exit codes >= 128 would betray a signal), and a non-empty
+# stderr diagnosis on every non-zero path.
+set -u
+
+BIN=$1
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+cd "$WORK" || exit 99
+
+fails=0
+
+# expect_exit WANT [--quiet-ok] CMD...: run CMD, check the exit code, and
+# on non-zero codes check stderr carries a diagnosis.
+expect_exit() {
+  local want=$1
+  shift
+  "$@" >cli_stdout.txt 2>cli_stderr.txt
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*"
+    sed 's/^/  stderr: /' cli_stderr.txt
+    fails=$((fails + 1))
+    return
+  fi
+  # diff's mismatch verdict (1) is reported on stdout; every other
+  # failure must carry a stderr diagnosis.
+  if [ "$want" -ge 2 ] && [ ! -s cli_stderr.txt ]; then
+    echo "FAIL: exit $want with empty stderr: $*"
+    fails=$((fails + 1))
+  fi
+}
+
+# patch_byte FILE OFFSET HEXBYTE: overwrite one byte in place.
+patch_byte() {
+  printf "$(printf '\\x%s' "$3")" |
+    dd of="$1" bs=1 seek="$2" count=1 conv=notrunc status=none
+}
+
+# --- Usage errors (2) --------------------------------------------------------
+expect_exit 2 "$BIN"
+expect_exit 2 "$BIN" frobnicate
+expect_exit 2 "$BIN" info
+expect_exit 2 "$BIN" dump good.trc --bogus-flag
+
+# --- Missing file (3) --------------------------------------------------------
+expect_exit 3 "$BIN" info ./does_not_exist.trc
+expect_exit 3 "$BIN" dump ./does_not_exist.trc
+expect_exit 3 "$BIN" replay ./does_not_exist.trc
+
+# --- A good recording to mutate ----------------------------------------------
+expect_exit 0 "$BIN" record --kernel REDUCE --out good.trc
+expect_exit 0 "$BIN" info good.trc
+expect_exit 0 "$BIN" dump good.trc --limit 5
+expect_exit 0 "$BIN" replay good.trc
+expect_exit 0 "$BIN" diff good.trc good.trc
+
+# --- Bad magic (4) -----------------------------------------------------------
+printf 'this is not a haccrg trace at all\n' > notatrace.trc
+expect_exit 4 "$BIN" info notatrace.trc
+expect_exit 4 "$BIN" replay notatrace.trc
+
+# --- Version mismatch (5) ----------------------------------------------------
+cp good.trc version.trc
+patch_byte version.trc 8 63  # version low byte (magic is 8 bytes)
+expect_exit 5 "$BIN" info version.trc
+expect_exit 5 "$BIN" dump version.trc
+
+# --- Corrupt / truncated stream (6) ------------------------------------------
+size=$(wc -c < good.trc)
+head -c $((size - 4)) good.trc > truncated.trc
+expect_exit 6 "$BIN" info truncated.trc
+expect_exit 6 "$BIN" replay truncated.trc
+
+# Stomp a 16-byte run in the middle of the event stream: dump fails with
+# the corruption code, dump --resync skips the damage, reports the loss
+# on stderr, and exits 0.
+cp good.trc damaged.trc
+mid=$((size / 2))
+for i in $(seq 0 15); do patch_byte damaged.trc $((mid + i)) ff; done
+expect_exit 6 "$BIN" dump damaged.trc
+expect_exit 0 "$BIN" dump damaged.trc --resync
+if ! grep -q "recovered" cli_stderr.txt; then
+  echo "FAIL: dump --resync did not report its recovery"
+  fails=$((fails + 1))
+fi
+
+# --- diff: readable inputs, differing race sets (1) --------------------------
+printf '# race set A\n' > races_a.txt
+printf '# race set B\nspace=0 type=1 mech=0 granule=0x10 sm=0 first=1 second=2 pc=3 cycle=4\n' \
+  > races_b.txt
+expect_exit 0 "$BIN" diff races_a.txt races_a.txt
+expect_exit 1 "$BIN" diff races_a.txt races_b.txt
+expect_exit 3 "$BIN" replay ./still_missing.trc
+
+# --- Env validation on the record path (2) -----------------------------------
+expect_exit 2 env HACCRG_FAULTS="bogus_key=1" "$BIN" record --kernel REDUCE --out env.trc
+if ! grep -q "HACCRG_FAULTS" cli_stderr.txt; then
+  echo "FAIL: bad HACCRG_FAULTS not diagnosed by name"
+  fails=$((fails + 1))
+fi
+expect_exit 2 env HACCRG_THREADS="notanumber" "$BIN" record --kernel REDUCE --out env.trc
+
+# A valid fault plan on the record path must still produce a recording
+# (possibly a damaged one when trace_corrupt is armed — that is the point).
+expect_exit 0 env HACCRG_FAULTS="seed=5,icnt_delay=1000" \
+  "$BIN" record --kernel REDUCE --out faulty.trc
+expect_exit 0 "$BIN" info faulty.trc
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed"
+  exit 1
+fi
+echo "all exit-code checks passed"
+exit 0

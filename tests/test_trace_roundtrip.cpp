@@ -13,6 +13,7 @@
 
 #include "trace/format.hpp"
 #include "trace/reader.hpp"
+#include "trace/replay.hpp"
 #include "trace/writer.hpp"
 
 namespace haccrg {
@@ -53,6 +54,8 @@ TraceHeader sample_header() {
   h.enable_global = true;
   h.shared_granularity = 16;
   h.global_granularity = 4;
+  h.bloom_bits = 16;
+  h.bloom_bins = 2;
   h.max_recorded_races = 4096;
   return h;
 }
@@ -323,6 +326,133 @@ TEST(TraceProperty, BitFlipsNeverCrash) {
     while (reader.next(e) && seen < 10000) ++seen;
     EXPECT_LT(seen, 10000u) << "decoder failed to terminate on corrupt input";
   }
+}
+
+TEST(TraceProperty, BitFlipCorpusResyncsOrFailsCleanly) {
+  // Seeded multi-bit-flip corpus: every mutated stream must produce
+  // either a structured Status error or a successful resync — never a
+  // crash, a hang, or an unreported loss. Stronger than BitFlipsNeverCrash
+  // above: it drives the recovery path, not just the failure path.
+  Rng rng(29);
+  const TraceHeader header = sample_header();
+  std::vector<u8> encoded;
+  trace::encode_header(header, encoded);
+  Cycle cycle = 0;
+  Cycle last = 0;
+  for (u32 i = 0; i < 60; ++i) trace::encode_event(random_event(rng, cycle), last, encoded);
+
+  Rng flips(0xfeedbeef);
+  for (u32 trial = 0; trial < 300; ++trial) {
+    std::vector<u8> mutated = encoded;
+    const u32 num_flips = 1 + flips.below(4);
+    for (u32 f = 0; f < num_flips; ++f)
+      mutated[flips.below(static_cast<u32>(mutated.size()))] ^=
+          static_cast<u8>(1u << flips.below(8));
+    trace::TraceReader reader(std::move(mutated));
+    if (!reader.ok()) {
+      EXPECT_NE(reader.status().code(), StatusCode::kOk) << "trial " << trial;
+      EXPECT_FALSE(reader.status().to_string().empty());
+      continue;
+    }
+    Event e;
+    u64 seen = 0;
+    while (seen < 20000) {
+      if (reader.next(e)) {
+        ++seen;
+        continue;
+      }
+      if (reader.error().empty()) break;  // clean end of stream
+      EXPECT_NE(reader.status().code(), StatusCode::kOk) << "trial " << trial;
+      if (!reader.resync()) break;  // unrecoverable: reported, not silent
+    }
+    EXPECT_LT(seen, 20000u) << "trial " << trial << ": reader failed to terminate";
+    if (reader.resyncs() != 0) {
+      EXPECT_GT(reader.bytes_skipped(), 0u) << "trial " << trial << ": silent resync";
+    }
+  }
+}
+
+TEST(TraceProperty, BitFlipReplayFailsCleanly) {
+  // The same corpus through the full replay engine: a damaged stream must
+  // end in ReplayResult{ok=false, structured code} or succeed — the
+  // detectors may see garbage events but must never index out of range
+  // (replay bounds-checks every identifier) or over-allocate (the
+  // kernel-begin footprint cap).
+  Rng rng(31);
+  const TraceHeader header = sample_header();
+  std::vector<u8> encoded;
+  trace::encode_header(header, encoded);
+  Cycle cycle = 0;
+  Cycle last = 0;
+  for (u32 i = 0; i < 40; ++i) trace::encode_event(random_event(rng, cycle), last, encoded);
+
+  Rng flips(0xabcd1234);
+  for (u32 trial = 0; trial < 120; ++trial) {
+    std::vector<u8> mutated = encoded;
+    const u32 num_flips = 1 + flips.below(3);
+    for (u32 f = 0; f < num_flips; ++f)
+      mutated[flips.below(static_cast<u32>(mutated.size()))] ^=
+          static_cast<u8>(1u << flips.below(8));
+    trace::TraceReader reader(std::move(mutated));
+    const trace::ReplayResult result = trace::replay_events(reader, trace::ReplayOptions{});
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty()) << "trial " << trial;
+      EXPECT_NE(result.status().code(), StatusCode::kOk) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TraceResync, RecoversAfterDamagedRecord) {
+  // Deterministic recovery: clobber one whole record in the middle of a
+  // stream of well-formed events and check the reader resynchronizes,
+  // loses only a bounded region, and reports exactly what it skipped.
+  const TraceHeader header = sample_header();
+  std::vector<u8> encoded;
+  trace::encode_header(header, encoded);
+  std::vector<size_t> starts;
+  Cycle last = 0;
+  const u32 kEvents = 60;
+  for (u32 i = 0; i < kEvents; ++i) {
+    Event e;
+    e.kind = EventKind::kSharedStore;
+    e.cycle = 10 * (i + 1);
+    e.sm = i % 8;
+    e.block_slot = i % 4;
+    e.warp_slot = i % 16;
+    e.warp_in_block = i % 4;
+    e.pc = 100 + i;
+    e.width = 4;
+    e.checked = true;
+    for (u32 lane = 0; lane < 4; ++lane) e.lanes.push_back({static_cast<u8>(lane),
+                                                            0x100u + 4 * lane, false, 0});
+    starts.push_back(encoded.size());
+    trace::encode_event(e, last, encoded);
+  }
+  // Stomp the 30th record (and nothing after it) with 0xff bytes.
+  const size_t victim = starts[30];
+  const size_t victim_end = starts[31];
+  for (size_t pos = victim; pos < victim_end; ++pos) encoded[pos] = 0xff;
+
+  trace::TraceReader reader(encoded);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  Event e;
+  u64 seen = 0;
+  u64 rounds = 0;
+  while (rounds < 100) {
+    if (reader.next(e)) {
+      ++seen;
+      continue;
+    }
+    if (reader.error().empty()) break;
+    ++rounds;
+    if (!reader.resync()) break;
+  }
+  EXPECT_TRUE(reader.error().empty()) << reader.error();
+  EXPECT_GE(reader.resyncs(), 1u);
+  EXPECT_GT(reader.bytes_skipped(), 0u);
+  // At most a handful of records around the damage are lost.
+  EXPECT_GE(seen, kEvents - 5);
+  EXPECT_LT(seen, kEvents);
 }
 
 TEST(TraceWriterReader, FileRoundTrip) {
