@@ -1,0 +1,160 @@
+// Static-verifier precision: the PR-1 straight-line pair test vs the
+// loop-aware dependence solver with launch geometry. Two tables:
+//
+//   1. Per-kernel classification counts for both modes, over all ten
+//      registry kernels. Loop-aware must never classify fewer accesses
+//      safe (monotonicity), and must classify strictly more on at least
+//      one kernel (the whole point of the upgrade).
+//   2. For the kernels that improved, the downstream effect on software
+//      instrumentation: sites instrumented and run cycles with the old
+//      report vs the new one. Both must strictly decrease.
+//
+// Writes BENCH_static.json; exits 1 when either gate fails.
+//
+//   bench_static [--json BENCH_static.json]
+#include <cstring>
+#include <fstream>
+
+#include "bench/harness.hpp"
+#include "swrace/sw_haccrg.hpp"
+
+namespace {
+
+using namespace haccrg;
+
+struct StaticPoint {
+  std::string name;
+  u32 accesses = 0;
+  u32 safe_old = 0, safe_new = 0;
+  u32 witnesses = 0;  ///< unsafe accesses carrying a concrete witness
+  // Filled for improved kernels only.
+  bool measured = false;
+  u32 sites_old = 0, sites_new = 0;
+  Cycle cycles_old = 0, cycles_new = 0;
+
+  bool improved() const { return safe_new > safe_old; }
+};
+
+analysis::AnalyzeOptions old_options() {
+  analysis::AnalyzeOptions o;
+  o.loop_aware = false;
+  return o;
+}
+
+analysis::AnalyzeOptions new_options(const kernels::PreparedKernel& prep) {
+  analysis::AnalyzeOptions o;
+  o.block_dim = prep.block_dim;
+  o.grid_dim = prep.grid_dim;
+  return o;
+}
+
+/// One software-HAccRG run instrumented against `report`; returns the
+/// instrumented-site count and cycles.
+std::pair<u32, Cycle> sw_run(const std::string& name, const analysis::StaticRaceReport& report) {
+  sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
+  kernels::BenchOptions opts;
+  opts.scale = bench::kExperimentScale;
+  kernels::PreparedKernel prep = kernels::find_benchmark(name)->prepare(gpu, opts);
+  swrace::InstrumentOptions iopts;
+  iopts.report = &report;
+  swrace::InstrumentStats stats;
+  swrace::attach_sw_haccrg(gpu, prep, iopts, &stats);
+  sim::SimResult r = gpu.launch(prep.launch());
+  if (!r.completed) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(), r.error.c_str());
+    std::abort();
+  }
+  return {stats.sites_instrumented, r.cycles};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace haccrg;
+  std::string json_path = "BENCH_static.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  bench::print_header("Loop-aware static race verification",
+                      "the analysis front-end of the static-filter ablation");
+
+  std::vector<StaticPoint> points;
+  bool monotone = true;
+  for (const auto& info : kernels::all_benchmarks()) {
+    sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
+    kernels::BenchOptions opts;
+    opts.scale = bench::kExperimentScale;
+    kernels::PreparedKernel prep = info.prepare(gpu, opts);
+    const auto r0 = analysis::analyze(prep.program, old_options());
+    const auto r1 = analysis::analyze(prep.program, new_options(prep));
+    StaticPoint pt;
+    pt.name = info.name;
+    pt.accesses = static_cast<u32>(r0.accesses.size());
+    pt.safe_old = r0.count(analysis::AccessClass::kProvablySafe);
+    pt.safe_new = r1.count(analysis::AccessClass::kProvablySafe);
+    for (const analysis::StaticAccess& a : r1.accesses)
+      if (a.cls != analysis::AccessClass::kProvablySafe && a.witness.found) ++pt.witnesses;
+    // Monotonicity: anything the straight-line test proved must stay
+    // proven under the loop-aware test.
+    for (u32 pc = 0; pc < r0.classes.size(); ++pc)
+      if (r0.is_safe(pc) && !r1.is_safe(pc)) monotone = false;
+    points.push_back(pt);
+  }
+
+  TablePrinter table({"Benchmark", "Accesses", "Safe (PR-1)", "Safe (loop-aware)", "Witnesses"});
+  u32 improved_kernels = 0;
+  for (const StaticPoint& pt : points) {
+    table.add_row({pt.name, std::to_string(pt.accesses), std::to_string(pt.safe_old),
+                   std::to_string(pt.safe_new) + (pt.improved() ? " (+)" : ""),
+                   std::to_string(pt.witnesses)});
+    if (pt.improved()) ++improved_kernels;
+  }
+  table.print();
+
+  bench::print_header("Downstream pruning effect on software HAccRG",
+                      "instrumented sites and cycles, old report vs new");
+  TablePrinter effect({"Benchmark", "Sites (old)", "Sites (new)", "Cycles (old)", "Cycles (new)"});
+  bool strict_ok = improved_kernels > 0;
+  for (StaticPoint& pt : points) {
+    if (!pt.improved()) continue;
+    sim::Gpu gpu(bench::experiment_gpu(), bench::detection_off());
+    kernels::BenchOptions opts;
+    opts.scale = bench::kExperimentScale;
+    kernels::PreparedKernel prep = kernels::find_benchmark(pt.name)->prepare(gpu, opts);
+    const auto r0 = analysis::analyze(prep.program, old_options());
+    const auto r1 = analysis::analyze(prep.program, new_options(prep));
+    std::tie(pt.sites_old, pt.cycles_old) = sw_run(pt.name, r0);
+    std::tie(pt.sites_new, pt.cycles_new) = sw_run(pt.name, r1);
+    pt.measured = true;
+    effect.add_row({pt.name, std::to_string(pt.sites_old), std::to_string(pt.sites_new),
+                    std::to_string(pt.cycles_old), std::to_string(pt.cycles_new)});
+    if (pt.sites_new >= pt.sites_old || pt.cycles_new >= pt.cycles_old) strict_ok = false;
+  }
+  effect.print();
+  std::printf("\nMonotone (loop-aware never loses a proof): %s\n", monotone ? "yes" : "NO");
+  std::printf("Strict site+cycle decrease on every improved kernel (%u): %s\n", improved_kernels,
+              strict_ok ? "yes" : "NO (regression!)");
+
+  std::ofstream json(json_path);
+  json << "{\"benchmark\":\"static_analysis\",\"improved_kernels\":" << improved_kernels
+       << ",\"monotone\":" << (monotone ? "true" : "false")
+       << ",\"strict_decrease\":" << (strict_ok ? "true" : "false") << ",\"kernels\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const StaticPoint& pt = points[i];
+    if (i) json << ",";
+    json << "{\"name\":\"" << pt.name << "\",\"accesses\":" << pt.accesses
+         << ",\"safe_pr1\":" << pt.safe_old << ",\"safe_loop_aware\":" << pt.safe_new
+         << ",\"witnesses\":" << pt.witnesses;
+    if (pt.measured) {
+      json << ",\"sw_sites_pr1\":" << pt.sites_old << ",\"sw_sites_loop_aware\":" << pt.sites_new
+           << ",\"sw_cycles_pr1\":" << pt.cycles_old
+           << ",\"sw_cycles_loop_aware\":" << pt.cycles_new;
+    }
+    json << "}";
+  }
+  json << "]}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return (monotone && strict_ok) ? 0 : 1;
+}

@@ -32,6 +32,10 @@ SwRun run_with(const std::string& name, AttachFn attach, bool prune) {
   if (attach != nullptr) {
     swrace::InstrumentOptions iopts;
     iopts.static_prune = prune;
+    // Launch geometry is known here, so let the self-run analysis use it
+    // for the loop-aware dependence tests.
+    iopts.analyze.block_dim = prep.block_dim;
+    iopts.analyze.grid_dim = prep.grid_dim;
     attach(gpu, prep, iopts, &out.stats);
   }
   sim::SimResult r = gpu.launch(prep.launch());

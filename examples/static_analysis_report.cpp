@@ -1,38 +1,160 @@
-// Static race-analysis lint report: run the compile-time analyzer over
-// every registry benchmark and print the annotated disassembly — each
-// memory access classified as provably safe / may-race / definite race,
-// plus structural lints (divergent barriers, atomics outside critical
-// sections). No simulation happens; this is the front-end alone.
+// Static race-verifier tour: run the loop-aware analyzer over every
+// registry benchmark and print the annotated disassembly — each memory
+// access classified as provably safe / may-race / definite race with a
+// concrete witness where one exists — then demonstrate the error
+// pipeline (dedup, suppressions, stable JSON) and close the loop by
+// replaying a witness through the hardware detectors. No full kernel
+// simulation happens; only the two-access witness traces are replayed.
 //
 //   $ ./examples/static_analysis_report            # summaries only
 //   $ ./examples/static_analysis_report SCAN       # full annotated listing
+//   $ ./examples/static_analysis_report --json     # machine-readable report
 #include <cstdio>
 #include <string>
 
+#include "analysis/report.hpp"
 #include "analysis/static_race.hpp"
 #include "isa/builder.hpp"
 #include "kernels/common.hpp"
+#include "trace/witness_check.hpp"
 
 using namespace haccrg;
 
-int main(int argc, char** argv) {
-  const std::string only = argc > 1 ? argv[1] : "";
+namespace {
 
-  // Also demonstrate the lint layer on a deliberately broken kernel: a
-  // barrier under a thread-dependent branch plus an unconditional
-  // all-thread store to one shared word.
-  {
-    isa::KernelBuilder kb("lint_demo");
-    isa::Reg tid = kb.special(isa::SpecialReg::kTid);
-    isa::Reg zero = kb.imm(0);
-    kb.st_shared(zero, tid);  // every thread stores to word 0
-    isa::Pred low = kb.pred();
-    kb.setp(low, isa::CmpOp::kLtU, tid, 16u);
-    kb.if_(low, [&] { kb.barrier(); });  // divergent barrier
-    isa::Program prog = kb.build();
-    analysis::StaticRaceReport rep = analysis::analyze(prog);
+/// A deliberately broken kernel for the lint layer: a barrier under a
+/// thread-dependent branch plus an unconditional all-thread store to one
+/// shared word.
+isa::Program lint_demo() {
+  isa::KernelBuilder kb("lint_demo");
+  isa::Reg tid = kb.special(isa::SpecialReg::kTid);
+  isa::Reg zero = kb.imm(0);
+  kb.st_shared(zero, tid);  // every thread stores to word 0
+  isa::Pred low = kb.pred();
+  kb.setp(low, isa::CmpOp::kLtU, tid, 16u);
+  kb.if_(low, [&] { kb.barrier(); });  // divergent barrier
+  return kb.build();
+}
+
+/// A loop-carried race: every thread walks the same shared accumulator
+/// array a[i] for i in [0, 8) with no synchronization. Iteration
+/// disjointness does not help — distinct threads collide on every
+/// element. Contrast with the strided twin a[8*tid + i] in the same
+/// kernel, which the loop-aware dependence test proves safe.
+isa::Program loop_carried_demo() {
+  isa::KernelBuilder kb("loop_carried");
+  isa::Reg tid = kb.special(isa::SpecialReg::kTid);
+  isa::Reg i = kb.reg();
+  kb.for_range(i, 0u, 8u, 1u, [&] {
+    isa::Reg addr = kb.reg();
+    kb.mul(addr, i, 4u);
+    isa::Reg v = kb.reg();
+    kb.ld_shared(v, addr);
+    kb.add(v, v, tid);
+    kb.st_shared(addr, v);  // read-modify-write, raced by all threads
+  });
+  // The safe variant: per-thread 32-byte stripes, same loop shape. The
+  // barrier separates it from the racy loop's accesses; within its own
+  // interval the stripes are iteration- and thread-disjoint.
+  kb.barrier();
+  isa::Reg stripe = kb.reg();
+  kb.mul(stripe, tid, 32u);
+  isa::Reg j = kb.reg();
+  kb.for_range(j, 0u, 8u, 1u, [&] {
+    isa::Reg off = kb.reg();
+    kb.mul(off, j, 4u);
+    isa::Reg addr = kb.reg();
+    kb.add(addr, stripe, off);
+    kb.st_shared(addr, tid);
+  });
+  return kb.build();
+}
+
+/// Replay one rdu-visible witness from `rep` through the hardware
+/// detectors (the same validation `haccrg-analyze soundness` runs).
+void replay_first_witness(const analysis::StaticRaceReport& rep, u32 block_dim) {
+  for (const analysis::StaticAccess& a : rep.accesses) {
+    if (!a.witness.found || !a.witness.rdu_visible || a.is_atomic) continue;
+    const analysis::StaticAccess* other = rep.access_at(a.witness.other_pc);
+    if (other == nullptr || other->is_atomic) continue;
+    trace::WitnessSpec spec;
+    spec.shared_space = a.shared_space;
+    spec.pc1 = a.witness.pc;
+    spec.pc2 = a.witness.other_pc;
+    spec.store1 = a.is_store;
+    spec.store2 = other->is_store;
+    spec.width1 = a.width;
+    spec.width2 = other->width;
+    spec.tid1 = a.witness.tid1;
+    spec.cta1 = a.witness.cta1;
+    spec.tid2 = a.witness.tid2;
+    spec.cta2 = a.witness.cta2;
+    spec.addr1 = a.witness.addr1;
+    spec.addr2 = a.witness.addr2;
+    spec.block_dim = block_dim;
+    spec.granularity =
+        a.shared_space ? rep.options.shared_granularity : rep.options.global_granularity;
+    trace::WitnessCheckResult result;
+    const std::string scratch = "/tmp/haccrg-example-witness.trace";
+    const Status st = trace::check_witness(spec, scratch, result);
+    std::remove(scratch.c_str());
+    if (!st.ok()) {
+      std::printf("witness replay error: %s\n", st.to_string().c_str());
+      return;
+    }
+    std::printf("witness %s\n  -> replayed through the hardware detectors: %s (%s)\n",
+                a.witness.describe().c_str(), result.reproduced ? "REPRODUCED" : "not reproduced",
+                result.detail.c_str());
+    return;
+  }
+  std::printf("(no hardware-visible witness to replay)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      only = argv[i];
+    }
+  }
+
+  if (!json) {
+    isa::Program lint_prog = lint_demo();
+    analysis::StaticRaceReport rep = analysis::analyze(lint_prog);
     std::printf("=== lint_demo (deliberately broken) ===\n%s\n\n",
-                rep.annotate(prog).c_str());
+                rep.annotate(lint_prog).c_str());
+
+    // The loop-carried race next to its iteration-disjoint twin, with a
+    // concrete witness and its replay validation.
+    isa::Program lc_prog = loop_carried_demo();
+    analysis::AnalyzeOptions lc_opts;
+    lc_opts.block_dim = 64;
+    analysis::StaticRaceReport lc_rep = analysis::analyze(lc_prog, lc_opts);
+    std::printf("=== loop_carried (racy loop + safe strided twin) ===\n%s\n",
+                lc_rep.annotate(lc_prog).c_str());
+    replay_first_witness(lc_rep, lc_opts.block_dim);
+
+    // The suppression pipeline: dedup the findings, mute the may-races
+    // by name, and show what remains active.
+    analysis::ErrorReport errors = analysis::build_error_report(lc_rep);
+    std::vector<analysis::Suppression> sups;
+    const std::string supp_text =
+        "# examples/static_analysis_report.cpp demo suppression\n"
+        "{\n"
+        "  loop-carried-known\n"
+        "  kernel:loop_carried\n"
+        "  kind:may-race\n"
+        "}\n";
+    if (analysis::parse_suppressions(supp_text, sups).ok()) {
+      const u32 muted = analysis::apply_suppressions(errors, sups, lc_rep.kernel);
+      std::printf("\nsuppressions: %u finding(s) muted by 'loop-carried-known', %u active\n\n",
+                  muted, errors.active());
+    }
   }
 
   arch::GpuConfig gpu_config;
@@ -40,20 +162,31 @@ int main(int argc, char** argv) {
   sim::Gpu gpu(gpu_config, rd::HaccrgConfig{});
   kernels::BenchOptions opts;  // scale 1: analysis only depends on the program
   bool matched = false;
+  bool first = true;
+  if (json) std::printf("[");
   for (const auto& info : kernels::all_benchmarks()) {
     if (!only.empty() && info.name != only) continue;
     matched = true;
     kernels::PreparedKernel prep = info.prepare(gpu, opts);
-    analysis::StaticRaceReport rep = analysis::analyze(prep.program);
-    if (only.empty()) {
+    analysis::AnalyzeOptions aopts;
+    aopts.block_dim = prep.block_dim;  // geometry enables the loop-aware tests
+    aopts.grid_dim = prep.grid_dim;
+    analysis::StaticRaceReport rep = analysis::analyze(prep.program, aopts);
+    if (json) {
+      analysis::ErrorReport errors = analysis::build_error_report(rep);
+      std::printf("%s%s", first ? "" : ",\n", analysis::to_json(rep, errors).c_str());
+      first = false;
+    } else if (only.empty()) {
       std::printf("%-8s %s\n", info.name.c_str(), rep.summary().c_str());
     } else {
       std::printf("=== %s ===\n%s\n", info.name.c_str(), rep.annotate(prep.program).c_str());
     }
   }
-  if (only.empty()) {
-    std::printf("\n(pass a benchmark name for its full annotated listing)\n");
-  } else if (!matched) {
+  if (json) std::printf("]\n");
+  if (only.empty() && !json) {
+    std::printf("\n(pass a benchmark name for its full annotated listing, --json for the\n"
+                " machine-readable report haccrg-analyze emits)\n");
+  } else if (!matched && !only.empty()) {
     std::fprintf(stderr, "unknown benchmark '%s'; known names:", only.c_str());
     for (const auto& info : kernels::all_benchmarks())
       std::fprintf(stderr, " %s", info.name.c_str());

@@ -7,6 +7,7 @@
 # pre-merge, not just determinism violations.
 #
 #   scripts/check.sh            # all three builds + ctest runs
+#   scripts/check.sh --tier1    # only the tier-1 build + test run
 #   scripts/check.sh --strict   # only the -Werror + ASan/UBSan build
 #   scripts/check.sh --tsan     # only the ThreadSanitizer build
 #
@@ -19,7 +20,10 @@ cd "$(dirname "$0")/.."
 run_tier1=1
 run_strict=1
 run_tsan=1
-if [[ "${1:-}" == "--strict" ]]; then
+if [[ "${1:-}" == "--tier1" ]]; then
+  run_strict=0
+  run_tsan=0
+elif [[ "${1:-}" == "--strict" ]]; then
   run_tier1=0
   run_tsan=0
 elif [[ "${1:-}" == "--tsan" ]]; then
@@ -49,6 +53,25 @@ trace_equivalence() {
   rm -rf "$tmp"
 }
 
+# Static-soundness gate: every registry kernel plus the 41-case
+# injection suite — no provably-safe access may appear in a dynamic
+# race set, and every hardware-visible witness must reproduce under
+# trace replay. haccrg-analyze exits 1 on any violation.
+static_soundness() {
+  "$1/src/analysis/haccrg-analyze" soundness --seeds "${2:-1}"
+}
+
+# Static-precision gate: the loop-aware dependence tests must never
+# lose a PR-1 proof (monotone) and must strictly reduce instrumented
+# sites AND cycles on every kernel they improve. Writes BENCH_static.json
+# into a scratch dir — the checked-in copy is regenerated explicitly.
+static_precision() {
+  local tmp
+  tmp=$(mktemp -d)
+  "$1/bench/bench_static" --json "$tmp/BENCH_static.json" >/dev/null
+  rm -rf "$tmp"
+}
+
 # Fault-campaign smoke: one low-rate pass per fault site over a sample
 # of the injection campaign. bench_resilience exits non-zero if a
 # zero-rate FaultPlan perturbs the baseline, if any point misses a race
@@ -74,6 +97,16 @@ if [[ $run_tier1 == 1 ]]; then
   if ! scripts/perf_smoke.sh build; then
     echo "WARNING: perf smoke reported a hot-path regression (non-fatal here)."
   fi
+  echo "--- static-soundness gate (tier-1 build) ---"
+  static_soundness build 1
+  echo "--- static-precision gate (tier-1 build) ---"
+  static_precision build
+  # Tidy is warn-only: findings are cleanup candidates, not gate failures
+  # (and the reference toolchain may lack clang-tidy entirely).
+  echo "--- clang-tidy (warn-only) ---"
+  if ! scripts/tidy.sh build; then
+    echo "WARNING: clang-tidy reported findings (non-fatal here)."
+  fi
 fi
 
 if [[ $run_strict == 1 ]]; then
@@ -88,6 +121,8 @@ if [[ $run_strict == 1 ]]; then
   trace_equivalence build-strict
   echo "--- fault-campaign smoke (strict build) ---"
   fault_smoke build-strict
+  echo "--- static-soundness gate (strict build, 3 seeds) ---"
+  static_soundness build-strict 3
 fi
 
 if [[ $run_tsan == 1 ]]; then
@@ -106,6 +141,8 @@ if [[ $run_tsan == 1 ]]; then
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" trace_equivalence build-tsan
   echo "--- fault-campaign smoke (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" fault_smoke build-tsan
+  echo "--- static-soundness gate (TSan build, HACCRG_THREADS=2) ---"
+  HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" static_soundness build-tsan 1
 fi
 
 echo "=== all checks passed ==="

@@ -114,6 +114,11 @@ class AffineAnalysis {
   /// The fixpoint state at block entry (exposed for tests).
   const AffineState& entry_state(u32 block) const { return entry_[block]; }
 
+  /// The fixpoint state just before `pc` executes. Used by the
+  /// loop-aware symbolic walk as the sound widening value for registers
+  /// a loop mutates in ways it cannot track.
+  const AffineState& state_at(u32 pc) const { return at_[pc]; }
+
   /// One instruction's transfer function (exposed for tests).
   static void transfer(const isa::Instr& ins, AffineState& state);
 

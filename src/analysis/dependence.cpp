@@ -1,0 +1,1112 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+namespace haccrg::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::SpecialReg;
+
+namespace {
+
+i64 floor_div(i64 a, i64 b) {
+  i64 q = a / b;
+  i64 r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+i64 ceil_div_i(i64 a, i64 b) { return -floor_div(-a, b); }
+
+i64 mod_floor(i64 a, i64 g) {
+  i64 r = a % g;
+  return r < 0 ? r + g : r;
+}
+
+/// Merge two sorted iter-term vectors (sign = +1/-1 applied to `b`).
+std::vector<IterTerm> merge_iters(const std::vector<IterTerm>& a, const std::vector<IterTerm>& b,
+                                  i64 sign) {
+  std::vector<IterTerm> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].loop < b[j].loop)) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j].loop < a[i].loop) {
+      IterTerm t = b[j++];
+      t.coeff *= sign;
+      if (t.coeff != 0) out.push_back(t);
+      continue;
+    } else {
+      IterTerm t = a[i++];
+      const IterTerm& u = b[j++];
+      t.coeff += sign * u.coeff;
+      if (t.trip != u.trip) t.trip = -1;  // disagreeing bounds: widen
+      if (t.coeff != 0) out.push_back(t);
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SymAddr
+// ---------------------------------------------------------------------------
+
+SymAddr SymAddr::from_affine(const AffineVal& v) {
+  if (v.top) return make_top();
+  SymAddr s;
+  s.uniform_unknown = v.uniform_unknown;
+  s.base = v.base;
+  s.c_tid = v.c_tid;
+  s.c_cta = v.c_cta;
+  s.c_gtid = v.c_gtid;
+  s.param_slot = v.param_slot;
+  return s;
+}
+
+AffineVal SymAddr::to_affine() const {
+  if (top || !iters.empty()) return AffineVal::make_top();
+  AffineVal v;
+  v.uniform_unknown = uniform_unknown;
+  v.base = base;
+  v.c_tid = c_tid;
+  v.c_cta = c_cta;
+  v.c_gtid = c_gtid;
+  v.param_slot = param_slot;
+  return v;
+}
+
+bool SymAddr::operator==(const SymAddr& o) const {
+  if (top != o.top) return false;
+  if (top) return true;
+  return uniform_unknown == o.uniform_unknown && base == o.base && c_tid == o.c_tid &&
+         c_cta == o.c_cta && c_gtid == o.c_gtid && param_slot == o.param_slot && iters == o.iters;
+}
+
+SymAddr SymAddr::operator+(const SymAddr& o) const {
+  if (top || o.top) return make_top();
+  if (param_slot >= 0 && o.param_slot >= 0) return make_top();
+  SymAddr r;
+  r.param_slot = param_slot >= 0 ? param_slot : o.param_slot;
+  r.base = base + o.base;
+  r.c_tid = c_tid + o.c_tid;
+  r.c_cta = c_cta + o.c_cta;
+  r.c_gtid = c_gtid + o.c_gtid;
+  r.uniform_unknown = uniform_unknown || o.uniform_unknown;
+  r.iters = merge_iters(iters, o.iters, +1);
+  return r;
+}
+
+SymAddr SymAddr::operator-(const SymAddr& o) const {
+  if (top || o.top) return make_top();
+  SymAddr r;
+  if (o.param_slot >= 0) {
+    if (param_slot != o.param_slot) return make_top();
+    r.param_slot = -1;  // same symbolic base cancels
+  } else {
+    r.param_slot = param_slot;
+  }
+  r.base = base - o.base;
+  r.c_tid = c_tid - o.c_tid;
+  r.c_cta = c_cta - o.c_cta;
+  r.c_gtid = c_gtid - o.c_gtid;
+  r.uniform_unknown = uniform_unknown || o.uniform_unknown;
+  r.iters = merge_iters(iters, o.iters, -1);
+  return r;
+}
+
+SymAddr SymAddr::scaled(i64 k) const {
+  if (top) return make_top();
+  if (k == 0) return constant(0);
+  if (param_slot >= 0 && k != 1) return make_top();
+  SymAddr r = *this;
+  r.base *= k;
+  r.c_tid *= k;
+  r.c_cta *= k;
+  r.c_gtid *= k;
+  for (IterTerm& t : r.iters) t.coeff *= k;
+  return r;
+}
+
+SymAddr SymAddr::join(const SymAddr& a, const SymAddr& b) {
+  if (a == b) return a;
+  if (a.top || b.top) return make_top();
+  // Iteration terms are thread-varying in general (two threads sit at
+  // different iterations), so a structural mismatch cannot fall back to
+  // "uniform": it must widen all the way.
+  bool iters_match = a.iters.size() == b.iters.size();
+  for (size_t i = 0; iters_match && i < a.iters.size(); ++i)
+    iters_match = a.iters[i].loop == b.iters[i].loop && a.iters[i].coeff == b.iters[i].coeff;
+  if (!iters_match) return make_top();
+
+  if (a.c_tid == b.c_tid && a.c_cta == b.c_cta && a.c_gtid == b.c_gtid &&
+      a.param_slot == b.param_slot) {
+    SymAddr r = a;
+    for (size_t i = 0; i < r.iters.size(); ++i)
+      if (r.iters[i].trip != b.iters[i].trip) r.iters[i].trip = -1;
+    if (a.base != b.base) {
+      r.base = 0;
+      r.uniform_unknown = true;
+    }
+    r.uniform_unknown = r.uniform_unknown || b.uniform_unknown;
+    return r;
+  }
+  if (a.grid_invariant() && b.grid_invariant()) return uniform();
+  return make_top();
+}
+
+std::string to_string(const SymAddr& v) {
+  if (v.top) return "top";
+  std::ostringstream out;
+  bool first = true;
+  auto term = [&](i64 c, const std::string& name) {
+    if (c == 0) return;
+    if (!first) out << (c > 0 ? "+" : "");
+    if (c == 1)
+      out << name;
+    else if (c == -1)
+      out << "-" << name;
+    else
+      out << c << "*" << name;
+    first = false;
+  };
+  if (v.param_slot >= 0) {
+    out << "param" << v.param_slot;
+    first = false;
+  }
+  term(v.c_tid, "tid");
+  term(v.c_cta, "ctaid");
+  term(v.c_gtid, "gtid");
+  for (const IterTerm& t : v.iters) term(t.coeff, "iter@" + std::to_string(t.begin_pc));
+  if (v.uniform_unknown) {
+    out << (first ? "U" : "+U");
+    first = false;
+  }
+  if (v.base != 0 || first) {
+    if (!first && v.base > 0) out << "+";
+    out << v.base;
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SymbolicAddresses: the structural walk
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Exact u32 fold of the interpreter's integer ALU semantics (mirrors
+/// affine.cpp so the walk is never weaker on constant code).
+u32 fold_int(Opcode op, u32 a, u32 b) {
+  switch (op) {
+    case Opcode::kAdd: return a + b;
+    case Opcode::kSub: return a - b;
+    case Opcode::kMul: return a * b;
+    case Opcode::kMulHi: return static_cast<u32>((u64(a) * u64(b)) >> 32);
+    case Opcode::kDiv: return b == 0 ? 0 : a / b;
+    case Opcode::kRem: return b == 0 ? 0 : a % b;
+    case Opcode::kMin: return a < b ? a : b;
+    case Opcode::kMax: return a > b ? a : b;
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kNot: return ~a;
+    case Opcode::kShl: return a << (b & 31);
+    case Opcode::kShr: return a >> (b & 31);
+    case Opcode::kSra: return static_cast<u32>(static_cast<i32>(a) >> (b & 31));
+    default: return 0;
+  }
+}
+
+bool foldable_int(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kMulHi:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kNot:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+      return true;
+    default:
+      return false;
+  }
+}
+
+using SymRegs = std::array<SymAddr, isa::kMaxRegs>;
+
+SymAddr sym_operand(const Instr& ins, const SymRegs& regs) {
+  return ins.src1_is_imm ? SymAddr::constant(static_cast<i64>(ins.imm)) : regs[ins.src1];
+}
+
+/// One instruction's transfer on the symbolic registers. Mirrors
+/// AffineAnalysis::transfer; predicate facts come from the affine
+/// fixpoint (they are loop-independent).
+void sym_transfer(const Instr& ins, SymRegs& regs, const AffineAnalysis& affine, u32 pc) {
+  switch (ins.op) {
+    case Opcode::kMov:
+      regs[ins.dst] = ins.src1_is_imm ? SymAddr::constant(static_cast<i64>(ins.imm))
+                                      : regs[ins.src0];
+      return;
+    case Opcode::kSpecial:
+      switch (static_cast<SpecialReg>(ins.imm)) {
+        case SpecialReg::kTid: {
+          SymAddr v;
+          v.c_tid = 1;
+          regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kCtaId: {
+          SymAddr v;
+          v.c_cta = 1;
+          regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kGTid: {
+          SymAddr v;
+          v.c_gtid = 1;
+          regs[ins.dst] = v;
+          return;
+        }
+        case SpecialReg::kNTid:
+        case SpecialReg::kNCtaId:
+          regs[ins.dst] = SymAddr::uniform();
+          return;
+        default:
+          regs[ins.dst] = SymAddr::make_top();
+          return;
+      }
+    case Opcode::kParam: {
+      SymAddr v;
+      v.param_slot = static_cast<int>(ins.imm);
+      regs[ins.dst] = v;
+      return;
+    }
+    case Opcode::kSetp:
+      return;  // predicates tracked by the affine fixpoint
+    case Opcode::kSel: {
+      const SymAddr a = regs[ins.src0];
+      const SymAddr b = regs[ins.src1];
+      if (affine.pred_at(pc, ins.aux).uniform) {
+        regs[ins.dst] = SymAddr::join(a, b);
+      } else {
+        regs[ins.dst] = a == b ? a : SymAddr::make_top();
+      }
+      return;
+    }
+    case Opcode::kLdGlobal:
+    case Opcode::kLdShared:
+    case Opcode::kAtomGlobal:
+    case Opcode::kAtomShared:
+      regs[ins.dst] = SymAddr::make_top();
+      return;
+    case Opcode::kStGlobal:
+    case Opcode::kStShared:
+    case Opcode::kBar:
+    case Opcode::kMemBar:
+    case Opcode::kMemBarBlock:
+    case Opcode::kLockAcqMark:
+    case Opcode::kLockRelMark:
+    case Opcode::kIf:
+    case Opcode::kElse:
+    case Opcode::kEndIf:
+    case Opcode::kLoopBegin:
+    case Opcode::kLoopEnd:
+    case Opcode::kBreakIf:
+    case Opcode::kBreakIfNot:
+    case Opcode::kJump:
+    case Opcode::kExit:
+    case Opcode::kNop:
+      return;
+    default:
+      break;
+  }
+
+  const SymAddr a = regs[ins.src0];
+  const SymAddr b = sym_operand(ins, regs);
+  if (foldable_int(ins.op) && a.is_const() && b.is_const()) {
+    regs[ins.dst] = SymAddr::constant(static_cast<i64>(
+        fold_int(ins.op, static_cast<u32>(a.base), static_cast<u32>(b.base))));
+    return;
+  }
+  switch (ins.op) {
+    case Opcode::kAdd:
+      regs[ins.dst] = a + b;
+      return;
+    case Opcode::kSub:
+      regs[ins.dst] = a - b;
+      return;
+    case Opcode::kMul:
+      if (b.is_const()) {
+        regs[ins.dst] = a.scaled(b.base);
+        return;
+      }
+      if (a.is_const()) {
+        regs[ins.dst] = b.scaled(a.base);
+        return;
+      }
+      break;
+    case Opcode::kShl:
+      if (b.is_const() && b.base >= 0 && b.base < 32) {
+        regs[ins.dst] = a.scaled(i64{1} << b.base);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  regs[ins.dst] =
+      a.grid_invariant() && b.grid_invariant() ? SymAddr::uniform() : SymAddr::make_top();
+}
+
+}  // namespace
+
+SymbolicAddresses::SymbolicAddresses(const isa::Program& program, const LoopNest& nest,
+                                     const AffineAnalysis& affine) {
+  const u32 n = program.size();
+  addresses_.assign(n, SymAddr::make_top());
+  if (n == 0) return;
+
+  std::vector<int> loop_at(n, -1);
+  for (u32 i = 0; i < nest.size(); ++i)
+    if (nest.loop(i).begin_pc < n) loop_at[nest.loop(i).begin_pc] = static_cast<int>(i);
+
+  SymRegs regs{};  // all-zero constants, matching AffineState's init
+  struct IfFrame {
+    SymRegs pre;
+    SymRegs then_exit;
+    bool has_else = false;
+  };
+  std::vector<IfFrame> ifs;
+  std::vector<u32> loop_stack;
+
+  // Sound widening value for a register the loop mutates beyond what we
+  // track: the plain affine fixpoint just before `pc`.
+  auto havoc = [&](u8 reg, u32 pc) {
+    regs[reg] = SymAddr::from_affine(affine.state_at(pc).regs[reg]);
+  };
+
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = program.at(pc);
+    switch (ins.op) {
+      case Opcode::kIf: {
+        IfFrame f;
+        f.pre = regs;
+        ifs.push_back(std::move(f));
+        continue;
+      }
+      case Opcode::kElse:
+        if (!ifs.empty()) {
+          ifs.back().then_exit = regs;
+          ifs.back().has_else = true;
+          regs = ifs.back().pre;
+        }
+        continue;
+      case Opcode::kEndIf:
+        if (!ifs.empty()) {
+          const IfFrame& f = ifs.back();
+          const SymRegs& other = f.has_else ? f.then_exit : f.pre;
+          for (u32 r = 0; r < isa::kMaxRegs; ++r)
+            regs[r] = SymAddr::join(regs[r], other[r]);
+          ifs.pop_back();
+        }
+        continue;
+      case Opcode::kLoopBegin: {
+        const int li = loop_at[pc];
+        if (li >= 0 && nest.loop(li).end_pc > pc) {
+          const Loop& l = nest.loop(li);
+          const u32 head = pc + 1 < n ? pc + 1 : pc;
+          // Trip count from the for_range header guard, when the IV's
+          // initial value and the bound are known small constants.
+          i64 trip = -1;
+          if (l.has_guard) {
+            const LoopIv* giv = l.iv_of(l.guard_iv);
+            const SymAddr& v0 = regs[l.guard_iv];
+            i64 bound = -1;
+            bool bound_known = false;
+            if (l.guard_bound_is_imm) {
+              bound = static_cast<i64>(l.guard_bound_imm);
+              bound_known = true;
+            } else if (regs[l.guard_bound_reg].is_const()) {
+              bound = regs[l.guard_bound_reg].base;
+              bound_known = true;
+            }
+            // kLtU compares unsigned; stay where unsigned == signed.
+            if (giv != nullptr && giv->step > 0 && bound_known && v0.is_const() &&
+                v0.base >= 0 && v0.base < (i64{1} << 31) && bound >= 0 &&
+                bound < (i64{1} << 31)) {
+              trip = v0.base >= bound ? 0 : ceil_div_i(bound - v0.base, giv->step);
+            }
+          }
+          // IVs advance from their entry value; everything else the loop
+          // writes widens to the affine fixpoint at the loop header
+          // (which joins the back edge).
+          for (u8 w : l.written)
+            if (l.iv_of(w) == nullptr) havoc(w, head);
+          for (const LoopIv& iv : l.ivs) {
+            SymAddr v = regs[iv.reg];
+            if (!v.top) {
+              IterTerm t;
+              t.loop = static_cast<u32>(li);
+              t.begin_pc = l.begin_pc;
+              t.coeff = iv.step;
+              t.trip = trip;
+              v.iters = merge_iters(v.iters, {t}, +1);
+            }
+            regs[iv.reg] = v;
+          }
+          loop_stack.push_back(static_cast<u32>(li));
+        }
+        continue;
+      }
+      case Opcode::kLoopEnd:
+        if (!loop_stack.empty()) {
+          const Loop& l = nest.loop(loop_stack.back());
+          loop_stack.pop_back();
+          // After the loop every written register (IVs included) holds
+          // the affine fixpoint at the kLoopEnd join of the break exits.
+          for (u8 w : l.written) havoc(w, pc);
+        }
+        continue;
+      default:
+        break;
+    }
+    if (isa::is_memory_op(ins.op))
+      addresses_[pc] = regs[ins.src0] + SymAddr::constant(static_cast<i64>(ins.imm));
+    sym_transfer(ins, regs, affine, pc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RaceWitness
+// ---------------------------------------------------------------------------
+
+std::string RaceWitness::describe() const {
+  if (!found) return "(no witness)";
+  std::ostringstream out;
+  auto side = [&](u32 tid, u32 cta, u32 p, const std::vector<std::pair<u32, i64>>& its, u64 addr) {
+    out << "t" << tid << "@cta" << cta << " pc " << p;
+    for (const auto& [loop_pc, it] : its) out << " iter@" << loop_pc << "=" << it;
+    out << " addr 0x" << std::hex << addr << std::dec;
+  };
+  side(tid1, cta1, pc, iters1, addr1);
+  out << " x ";
+  side(tid2, cta2, other_pc, iters2, addr2);
+  out << " granule 0x" << std::hex << granule << std::dec;
+  if (!rdu_visible) out << " (intra-warp)";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// The integer-linear solver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum VarTag : u8 {
+  kTagDt,    // thread delta t1 - t2 (or gtid delta in gtid mode)
+  kTagT2,    // second thread id (or gtid)
+  kTagDc,    // block delta cta1 - cta2 (global pairs)
+  kTagC2,    // second block id; for shared pairs: the common block id
+  kTagIterA, // iteration of A's term #aux
+  kTagIterB, // iteration of B's term #aux
+};
+
+struct Var {
+  i64 coeff = 0;
+  i64 lo = 0, hi = 0;
+  bool has_lo = false, has_hi = false;
+  u8 tag = kTagDt;
+  u32 aux = 0;
+};
+
+Var bounded(i64 coeff, i64 lo, i64 hi, u8 tag, u32 aux = 0) {
+  return {coeff, lo, hi, true, true, tag, aux};
+}
+Var lower(i64 coeff, i64 lo, u8 tag, u32 aux = 0) { return {coeff, lo, 0, true, false, tag, aux}; }
+Var upper(i64 coeff, i64 hi, u8 tag, u32 aux = 0) { return {coeff, 0, hi, false, true, tag, aux}; }
+Var free_var(i64 coeff, u8 tag) { return {coeff, 0, 0, false, false, tag, 0}; }
+
+/// One feasibility case: does d0 + sum coeff_i * x_i land in
+/// [win_lo, win_hi] for some x in the boxes?
+struct System {
+  i64 base = 0;
+  std::vector<Var> vars;
+  i64 win_lo = 0, win_hi = 0;
+};
+
+/// Sound infeasibility test: interval (Banerjee) bounds + a GCD check.
+/// `true` means "might be solvable" — pruning keys off `false` only.
+bool feasible(const System& s) {
+  if (s.win_lo > s.win_hi) return false;
+  for (const Var& v : s.vars)
+    if (v.has_lo && v.has_hi && v.lo > v.hi) return false;  // empty box
+  i64 lo = s.base, hi = s.base;
+  bool lo_inf = false, hi_inf = false;
+  i64 g = 0;
+  for (const Var& v : s.vars) {
+    if (v.coeff == 0) continue;
+    g = std::gcd(g, v.coeff < 0 ? -v.coeff : v.coeff);
+    i64 cmin = 0, cmax = 0;
+    bool cmin_inf, cmax_inf;
+    if (v.coeff > 0) {
+      cmin_inf = !v.has_lo;
+      cmax_inf = !v.has_hi;
+      if (!cmin_inf) cmin = v.coeff * v.lo;
+      if (!cmax_inf) cmax = v.coeff * v.hi;
+    } else {
+      cmin_inf = !v.has_hi;
+      cmax_inf = !v.has_lo;
+      if (!cmin_inf) cmin = v.coeff * v.hi;
+      if (!cmax_inf) cmax = v.coeff * v.lo;
+    }
+    lo_inf = lo_inf || cmin_inf;
+    hi_inf = hi_inf || cmax_inf;
+    if (!lo_inf) lo += cmin;
+    if (!hi_inf) hi += cmax;
+  }
+  if (!hi_inf && hi < s.win_lo) return false;
+  if (!lo_inf && lo > s.win_hi) return false;
+  if (g == 0) return s.base >= s.win_lo && s.base <= s.win_hi;
+  if (g > 1 && floor_div(s.win_hi - s.base, g) < ceil_div_i(s.win_lo - s.base, g)) return false;
+  return true;
+}
+
+constexpr i64 kEnumClamp = 4096;    // stand-in bound for unbounded vars
+constexpr u32 kMaxPerVar = 192;     // candidate values tried per variable
+constexpr u32 kEnumBudget = 1u << 17;
+
+/// Bounded branch-and-bound enumeration over a System. Calls `accept`
+/// with a full assignment whose sum lands in the window; stops at the
+/// first accepted one. Near-zero values are tried first so witnesses
+/// come out small.
+class Enumerator {
+ public:
+  explicit Enumerator(const System& s) : sys_(s) {
+    const size_t n = s.vars.size();
+    sufmin_.assign(n + 1, 0);
+    sufmax_.assign(n + 1, 0);
+    sufmin_inf_.assign(n + 1, 0);
+    sufmax_inf_.assign(n + 1, 0);
+    for (size_t i = n; i-- > 0;) {
+      const Var& v = s.vars[i];
+      i64 cmin = 0, cmax = 0;
+      bool cmin_inf = false, cmax_inf = false;
+      if (v.coeff > 0) {
+        cmin_inf = !v.has_lo;
+        cmax_inf = !v.has_hi;
+        if (!cmin_inf) cmin = v.coeff * v.lo;
+        if (!cmax_inf) cmax = v.coeff * v.hi;
+      } else if (v.coeff < 0) {
+        cmin_inf = !v.has_hi;
+        cmax_inf = !v.has_lo;
+        if (!cmin_inf) cmin = v.coeff * v.hi;
+        if (!cmax_inf) cmax = v.coeff * v.lo;
+      }
+      sufmin_inf_[i] = sufmin_inf_[i + 1] || cmin_inf;
+      sufmax_inf_[i] = sufmax_inf_[i + 1] || cmax_inf;
+      sufmin_[i] = sufmin_inf_[i] ? 0 : sufmin_[i + 1] + cmin;
+      sufmax_[i] = sufmax_inf_[i] ? 0 : sufmax_[i + 1] + cmax;
+    }
+  }
+
+  bool run(const std::function<bool(const std::vector<i64>&)>& accept) {
+    vals_.assign(sys_.vars.size(), 0);
+    budget_ = kEnumBudget;
+    return rec(0, sys_.base, accept);
+  }
+
+ private:
+  bool rec(size_t i, i64 acc, const std::function<bool(const std::vector<i64>&)>& accept) {
+    if (budget_ == 0) return false;
+    --budget_;
+    if (i == sys_.vars.size())
+      return acc >= sys_.win_lo && acc <= sys_.win_hi && accept(vals_);
+    const Var& v = sys_.vars[i];
+    if (v.coeff == 0) {
+      // Free variable (placement only): one representative; accept()
+      // re-places it if needed.
+      if (v.has_lo && v.has_hi && v.lo > v.hi) return false;
+      i64 x0 = 0;
+      if (v.has_lo && x0 < v.lo) x0 = v.lo;
+      if (v.has_hi && x0 > v.hi) x0 = v.hi;
+      vals_[i] = x0;
+      return rec(i + 1, acc, accept);
+    }
+
+    // Candidate range for x: need coeff*x in [nlo, nhi] given the
+    // best/worst the remaining variables can contribute.
+    i64 xlo = 0, xhi = 0;
+    bool xlo_inf = true, xhi_inf = true;
+    if (v.coeff != 0) {
+      const bool nlo_inf = sufmax_inf_[i + 1] != 0;
+      const bool nhi_inf = sufmin_inf_[i + 1] != 0;
+      const i64 nlo = sys_.win_lo - acc - sufmax_[i + 1];
+      const i64 nhi = sys_.win_hi - acc - sufmin_[i + 1];
+      if (v.coeff > 0) {
+        if (!nlo_inf) { xlo = ceil_div_i(nlo, v.coeff); xlo_inf = false; }
+        if (!nhi_inf) { xhi = floor_div(nhi, v.coeff); xhi_inf = false; }
+      } else {
+        if (!nlo_inf) { xhi = floor_div(nlo, v.coeff); xhi_inf = false; }
+        if (!nhi_inf) { xlo = ceil_div_i(nhi, v.coeff); xlo_inf = false; }
+      }
+    }
+    if (v.has_lo && (xlo_inf || v.lo > xlo)) { xlo = v.lo; xlo_inf = false; }
+    if (v.has_hi && (xhi_inf || v.hi < xhi)) { xhi = v.hi; xhi_inf = false; }
+    if (xlo_inf) xlo = -kEnumClamp;
+    if (xhi_inf) xhi = kEnumClamp;
+    if (xlo > xhi) return false;
+
+    // Near-zero-first candidate order.
+    std::vector<i64> cands;
+    cands.reserve(kMaxPerVar);
+    if (xlo >= 0) {
+      for (i64 x = xlo; x <= xhi && cands.size() < kMaxPerVar; ++x) cands.push_back(x);
+    } else if (xhi <= 0) {
+      for (i64 x = xhi; x >= xlo && cands.size() < kMaxPerVar; --x) cands.push_back(x);
+    } else {
+      cands.push_back(0);
+      for (i64 d = 1; cands.size() < kMaxPerVar && (d <= xhi || -d >= xlo); ++d) {
+        if (d <= xhi) cands.push_back(d);
+        if (cands.size() < kMaxPerVar && -d >= xlo) cands.push_back(-d);
+      }
+    }
+    for (i64 x : cands) {
+      vals_[i] = x;
+      if (rec(i + 1, acc + v.coeff * x, accept)) return true;
+      if (budget_ == 0) return false;
+    }
+    return false;
+  }
+
+  const System& sys_;
+  std::vector<i64> sufmin_, sufmax_;
+  std::vector<u8> sufmin_inf_, sufmax_inf_;
+  std::vector<i64> vals_;
+  u32 budget_ = 0;
+};
+
+/// Every coefficient that multiplies a (thread/block/iteration) variable
+/// on this side vanishes modulo g, so the side's absolute granule
+/// residue is its base residue.
+bool side_residue_known(const SymAddr& s, i64 g, bool aligned_params) {
+  if (s.uniform_unknown) return false;
+  if (s.param_slot >= 0 && !aligned_params) return false;
+  if (mod_floor(s.c_tid, g) != 0 || mod_floor(s.c_cta, g) != 0 || mod_floor(s.c_gtid, g) != 0)
+    return false;
+  for (const IterTerm& t : s.iters)
+    if (mod_floor(t.coeff, g) != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// test_pair
+// ---------------------------------------------------------------------------
+
+PairVerdict test_pair(const DepAccess& A, const DepAccess& B, bool self, bool shares_unique,
+                      bool shared_space, const DependenceOptions& opts) {
+  PairVerdict out;  // conflict = true until proven otherwise
+
+  SymAddr a = A.sym;
+  SymAddr b = B.sym;
+  if (a.top || b.top) return out;
+
+  // A loop whose guard proves zero iterations never runs its body.
+  for (const IterTerm& t : a.iters)
+    if (t.trip == 0) { out.conflict = false; return out; }
+  for (const IterTerm& t : b.iters)
+    if (t.trip == 0) { out.conflict = false; return out; }
+
+  if (a.param_slot != b.param_slot) {
+    if (a.param_slot >= 0 && b.param_slot >= 0) out.conflict = !opts.assume_noalias_params;
+    return out;  // param vs absolute: incomparable, conservative
+  }
+
+  // Unknown grid-invariant terms can differ between two dynamic
+  // executions — except for a non-repeatable access every thread runs
+  // once along the same path, where both sides carry the *same* unknown
+  // and it cancels in the delta. Otherwise the conflict answer is forced
+  // and the solver only hunts for a witness (with U instantiated to 0).
+  bool exact_ok = true;
+  bool force_conflict = false;
+  if (a.uniform_unknown || b.uniform_unknown) {
+    if (!(self && !A.repeatable && A.exec_uniform)) force_conflict = true;
+    exact_ok = false;
+  }
+
+  if (shared_space && shares_unique) {
+    // One fixed thread per block executes both sides; a thread cannot
+    // race with itself and shared memory never crosses blocks.
+    out.conflict = force_conflict;
+    return out;
+  }
+
+  const i64 g = opts.granularity;
+  const u32 bdim = opts.block_dim;
+  const u32 gdim = opts.grid_dim;
+  const bool b_known = bdim > 0;
+  const bool g_known = gdim > 0;
+
+  // Global accesses indexed purely by gtid keep the single-variable
+  // form even when the geometry is known: folding gtid into tid/cta
+  // splits one exact delta (e*dgtid) into two coupled terms the
+  // interval/GCD tests can only check independently, losing e.g.
+  // `out[gtid]` self-disjointness.
+  const bool pure_gtid = !shared_space && a.c_tid == 0 && a.c_cta == 0 && b.c_tid == 0 &&
+                         b.c_cta == 0 && (a.c_gtid != 0 || b.c_gtid != 0);
+
+  // Fold gtid = cta*bdim + tid when the block size is known.
+  if (b_known && !pure_gtid) {
+    a.c_tid += a.c_gtid;
+    a.c_cta += static_cast<i64>(bdim) * a.c_gtid;
+    a.c_gtid = 0;
+    b.c_tid += b.c_gtid;
+    b.c_cta += static_cast<i64>(bdim) * b.c_gtid;
+    b.c_gtid = 0;
+  }
+
+  const i64 wa = A.width, wb = B.width;
+  const i64 d0 = self ? 0 : a.base - b.base;
+
+  // Granule window for the address delta. Exact boundaries need both
+  // sides' absolute residues; otherwise widen by g-1 on each side
+  // (sound for any alignment).
+  const bool exact = exact_ok && side_residue_known(a, g, opts.assume_aligned_params) &&
+                     side_residue_known(b, g, opts.assume_aligned_params);
+  i64 win_lo, win_hi;
+  if (exact) {
+    const i64 rB = mod_floor(b.base, g);
+    const i64 fB = (rB + wb - 1) / g;
+    win_lo = 1 - wa - rB;
+    win_hi = g * (fB + 1) - 1 - rB;
+  } else {
+    win_lo = -(wa + g - 2);
+    win_hi = wb + g - 2;
+  }
+
+  const i64 bmax = b_known ? static_cast<i64>(bdim) - 1 : 0;
+  const i64 gmax = g_known ? static_cast<i64>(gdim) - 1 : 0;
+
+  std::vector<System> systems;
+  bool gtid_mode = false;
+  i64 se1 = 0, se2 = 0;  // shared thread coefficients (for warp confinement)
+
+  auto add_iter_vars = [&](System& s) {
+    for (u32 i = 0; i < a.iters.size(); ++i) {
+      const IterTerm& t = a.iters[i];
+      s.vars.push_back(t.trip > 0 ? bounded(t.coeff, 0, t.trip - 1, kTagIterA, i)
+                                  : lower(t.coeff, 0, kTagIterA, i));
+    }
+    for (u32 i = 0; i < b.iters.size(); ++i) {
+      const IterTerm& t = b.iters[i];
+      s.vars.push_back(t.trip > 0 ? bounded(-t.coeff, 0, t.trip - 1, kTagIterB, i)
+                                  : lower(-t.coeff, 0, kTagIterB, i));
+    }
+  };
+  auto base_system = [&]() {
+    System s;
+    s.base = d0;
+    s.win_lo = win_lo;
+    s.win_hi = win_hi;
+    return s;
+  };
+
+  if (shared_space) {
+    // Both threads live in one block; block-level terms take a common
+    // value. With bdim unknown the split gtid = (block base) + tid keeps
+    // the delta computable only when the gtid coefficients agree.
+    if (b_known) {
+      se1 = a.c_tid;
+      se2 = b.c_tid;
+    } else if (a.c_gtid == b.c_gtid) {
+      se1 = a.c_tid + a.c_gtid;
+      se2 = b.c_tid + b.c_gtid;
+    } else {
+      return out;  // conflict; no refutation possible
+    }
+    for (int sign = 0; sign < 2; ++sign) {
+      System s = base_system();
+      // dt = t1 - t2 != 0: two distinct threads of one block.
+      s.vars.push_back(b_known ? bounded(se1, sign ? -bmax : 1, sign ? -1 : bmax, kTagDt)
+                               : (sign ? upper(se1, -1, kTagDt) : lower(se1, 1, kTagDt)));
+      s.vars.push_back(b_known ? bounded(se1 - se2, 0, bmax, kTagT2)
+                               : lower(se1 - se2, 0, kTagT2));
+      // The common block id (affects the delta when the cta coefficients
+      // differ; kept otherwise so witnesses can read it).
+      s.vars.push_back(g_known ? bounded(a.c_cta - b.c_cta, 0, gmax, kTagC2)
+                               : lower(a.c_cta - b.c_cta, 0, kTagC2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+      if (self && se1 == se2) break;  // sign cases are symmetric
+    }
+  } else if (pure_gtid) {
+    // Global, pure gtid forms: gtid is globally unique, so distinctness
+    // is exactly dgtid != 0 (bounded by the total thread count when the
+    // geometry is known).
+    gtid_mode = true;
+    const i64 g1 = a.c_gtid, g2 = b.c_gtid;
+    const i64 tmax = (b_known && g_known) ? static_cast<i64>(bdim) * gdim - 1 : 0;
+    for (int sign = 0; sign < 2; ++sign) {
+      System s = base_system();
+      s.vars.push_back(tmax ? bounded(g1, sign ? -tmax : 1, sign ? -1 : tmax, kTagDt)
+                            : (sign ? upper(g1, -1, kTagDt) : lower(g1, 1, kTagDt)));
+      s.vars.push_back(tmax ? bounded(g1 - g2, 0, tmax, kTagT2) : lower(g1 - g2, 0, kTagT2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+      if (self && g1 == g2) break;
+    }
+  } else if (b_known) {
+    // Global, geometry known: delta = e1*dt + (e1-e2)*t2 + f1*dc +
+    // (f1-f2)*c2 + iter terms, with (t1,cta1) != (t2,cta2) split into
+    // dt>0, dt<0, and dt=0 with dc>0 / dc<0.
+    const i64 e1 = a.c_tid, e2 = b.c_tid;
+    const i64 f1 = a.c_cta, f2 = b.c_cta;
+    for (int c = 0; c < 4; ++c) {
+      if (shares_unique && c < 2) continue;  // tid pinned per block: t1 == t2
+      System s = base_system();
+      if (c < 2) {
+        s.vars.push_back(bounded(e1, c ? -bmax : 1, c ? -1 : bmax, kTagDt));
+        s.vars.push_back(g_known ? bounded(f1, -gmax, gmax, kTagDc) : free_var(f1, kTagDc));
+      } else {
+        s.vars.push_back(g_known ? bounded(f1, c == 2 ? 1 : -gmax, c == 2 ? gmax : -1, kTagDc)
+                                 : (c == 2 ? lower(f1, 1, kTagDc) : upper(f1, -1, kTagDc)));
+      }
+      s.vars.push_back(bounded(e1 - e2, 0, bmax, kTagT2));
+      s.vars.push_back(g_known ? bounded(f1 - f2, 0, gmax, kTagC2) : lower(f1 - f2, 0, kTagC2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+    }
+  } else if (a.c_tid == 0 && a.c_cta == 0 && b.c_tid == 0 && b.c_cta == 0) {
+    // Global, pure gtid forms: gtid is globally unique, so distinctness
+    // is exactly dgtid != 0.
+    gtid_mode = true;
+    const i64 g1 = a.c_gtid, g2 = b.c_gtid;
+    for (int sign = 0; sign < 2; ++sign) {
+      System s = base_system();
+      s.vars.push_back(sign ? upper(g1, -1, kTagDt) : lower(g1, 1, kTagDt));
+      s.vars.push_back(lower(g1 - g2, 0, kTagT2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+      if (self && g1 == g2) break;
+    }
+  } else if (a.c_tid == 0 && a.c_gtid == 0 && b.c_tid == 0 && b.c_gtid == 0) {
+    // Global, block-indexed forms with bdim unknown.
+    const i64 f1 = a.c_cta, f2 = b.c_cta;
+    if (!shares_unique) {
+      // Two distinct threads of one block (thread terms are all zero).
+      System s = base_system();
+      s.vars.push_back(g_known ? bounded(f1 - f2, 0, gmax, kTagC2) : lower(f1 - f2, 0, kTagC2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+    }
+    for (int sign = 0; sign < 2; ++sign) {
+      System s = base_system();
+      s.vars.push_back(g_known ? bounded(f1, sign ? -gmax : 1, sign ? -1 : gmax, kTagDc)
+                               : (sign ? upper(f1, -1, kTagDc) : lower(f1, 1, kTagDc)));
+      s.vars.push_back(g_known ? bounded(f1 - f2, 0, gmax, kTagC2) : lower(f1 - f2, 0, kTagC2));
+      add_iter_vars(s);
+      systems.push_back(std::move(s));
+      if (self && f1 == f2) break;
+    }
+  } else {
+    // Mixed tid/block forms with unknown geometry: the delta depends on
+    // the unknown block size — give up (conflict).
+    return out;
+  }
+
+  if (systems.empty()) return out;
+
+  bool any_feasible = false;
+  for (const System& s : systems)
+    if (feasible(s)) {
+      any_feasible = true;
+      break;
+    }
+  if (!force_conflict) out.conflict = any_feasible;
+  if (!out.conflict) return out;
+
+  // Warp confinement (shared space, hardware view): under the structural
+  // conditions below every collision with equal non-thread parts lands
+  // in one q-aligned thread group inside one warp — SIMD-ordered and
+  // invisible to the shared RDU; the per-issue intra-warp WAW check
+  // cannot fire either because distinct lanes are >= e >= width bytes
+  // apart. Collisions with different non-thread parts shift the thread
+  // groups by K granule rows and must be refuted separately.
+  if (shared_space && opts.warp_synchronous) {
+    const i64 W = opts.warp_size;
+    bool ok = se1 == se2 && se1 > 0 && a.c_cta == 0 && b.c_cta == 0 &&
+              (b_known || (a.c_gtid == 0 && b.c_gtid == 0)) && !a.uniform_unknown &&
+              !b.uniform_unknown && (a.param_slot < 0 || opts.assume_aligned_params) &&
+              g % se1 == 0 && W % (g / se1) == 0 && mod_floor(a.base, g) == 0 &&
+              mod_floor(b.base, g) == 0 && wa <= se1 && wb <= se1;
+    for (const IterTerm& t : a.iters) ok = ok && mod_floor(t.coeff, g) == 0;
+    for (const IterTerm& t : b.iters) ok = ok && mod_floor(t.coeff, g) == 0;
+    if (ok) {
+      const i64 q = g / se1;
+      // K = (b.base - a.base)/g + sum(cB/g)*iB - sum(cA/g)*iA; a
+      // cross-group collision needs K != 0 with |K| <= (bdim-1) div q.
+      const i64 k0 = (b.base - a.base) / g;
+      if (b_known) {
+        const i64 kQ = (static_cast<i64>(bdim) - 1) / q;
+        bool confined = true;
+        for (int sign = 0; sign < 2 && confined; ++sign) {
+          System ks;
+          ks.base = k0;
+          ks.win_lo = sign ? -kQ : 1;
+          ks.win_hi = sign ? -1 : kQ;
+          for (u32 i = 0; i < a.iters.size(); ++i) {
+            const IterTerm& t = a.iters[i];
+            ks.vars.push_back(t.trip > 0 ? bounded(-t.coeff / g, 0, t.trip - 1, kTagIterA, i)
+                                         : lower(-t.coeff / g, 0, kTagIterA, i));
+          }
+          for (u32 i = 0; i < b.iters.size(); ++i) {
+            const IterTerm& t = b.iters[i];
+            ks.vars.push_back(t.trip > 0 ? bounded(t.coeff / g, 0, t.trip - 1, kTagIterB, i)
+                                         : lower(t.coeff / g, 0, kTagIterB, i));
+          }
+          confined = !feasible(ks);
+        }
+        out.warp_confined = confined;
+      } else {
+        out.warp_confined = k0 == 0 && a.iters.empty() && b.iters.empty();
+      }
+    }
+    if (out.warp_confined) return out;  // hw-invisible: no witness needed
+  }
+
+  // Witness: enumerate concrete assignments, preferring RDU-visible
+  // (cross-warp / cross-block) pairs so the witness reproduces under
+  // hardware-model replay.
+  const i64 beff = b_known ? bdim : 256;
+  const i64 geff = g_known ? gdim : 16;
+  const i64 W = opts.warp_size;
+
+  auto accept_with = [&](const System& s, bool require_rdu) {
+    return [&, require_rdu](const std::vector<i64>& vals) -> bool {
+      i64 dt = 0, t2v = 0, dc = 0, c2v = 0, shared_cta_val = 0;
+      bool t2_fixed = false, c2_fixed = false, has_dt = false, has_dc = false;
+      std::vector<i64> ita(a.iters.size(), 0), itb(b.iters.size(), 0);
+      for (size_t i = 0; i < s.vars.size(); ++i) {
+        const Var& v = s.vars[i];
+        switch (v.tag) {
+          case kTagDt: dt = vals[i]; has_dt = true; break;
+          case kTagT2: t2v = vals[i]; t2_fixed = v.coeff != 0; break;
+          case kTagDc: dc = vals[i]; has_dc = true; break;
+          case kTagC2:
+            if (shared_space)
+              shared_cta_val = vals[i];
+            else {
+              c2v = vals[i];
+              c2_fixed = v.coeff != 0;
+            }
+            break;
+          case kTagIterA: ita[v.aux] = vals[i]; break;
+          case kTagIterB: itb[v.aux] = vals[i]; break;
+          default: break;
+        }
+      }
+      // Zero-coefficient position variables are free: place them so both
+      // sides land in range.
+      if (!t2_fixed) t2v = std::max<i64>(0, -dt);
+      if (require_rdu && !t2_fixed) {
+        // The thread position does not affect the addresses, so slide the
+        // pair across a warp boundary: a |dt| < W collision at position 0
+        // is intra-warp, the same collision straddling tid W-1/W is not.
+        const i64 adt = dt < 0 ? -dt : dt;
+        if (adt > 0 && adt < W && beff > W) t2v = dt > 0 ? W - dt : W;
+      }
+      if (!c2_fixed && !shared_space) c2v = std::max<i64>(0, -dc);
+      i64 tid1, tid2, cta1, cta2, gt1, gt2;
+      if (gtid_mode) {
+        gt2 = t2v;
+        gt1 = t2v + dt;
+        if (gt1 < 0 || gt2 < 0) return false;
+        tid1 = gt1 % beff;
+        cta1 = gt1 / beff;
+        tid2 = gt2 % beff;
+        cta2 = gt2 / beff;
+      } else {
+        tid2 = t2v;
+        tid1 = t2v + dt;
+        if (shared_space) {
+          cta1 = cta2 = shared_cta_val;
+        } else {
+          cta2 = c2v;
+          cta1 = c2v + dc;
+          // Same-block case with all thread coefficients zero: any two
+          // distinct threads do.
+          if (!has_dt && !has_dc && tid1 == tid2 && cta1 == cta2) tid2 = tid1 == 0 ? 1 : 0;
+        }
+        gt1 = cta1 * beff + tid1;
+        gt2 = cta2 * beff + tid2;
+      }
+      if (tid1 < 0 || tid2 < 0 || tid1 >= beff || tid2 >= beff) return false;
+      if (cta1 < 0 || cta2 < 0 || cta1 >= geff || cta2 >= geff) return false;
+      if (tid1 == tid2 && cta1 == cta2) return false;  // not distinct
+      if (shared_space && tid1 == tid2) return false;
+
+      auto addr_of = [&](const SymAddr& sa, i64 tid, i64 cta, i64 gt,
+                         const std::vector<i64>& its) {
+        i64 v = sa.base + sa.c_tid * tid + sa.c_cta * cta + sa.c_gtid * gt;
+        for (size_t k = 0; k < sa.iters.size(); ++k) v += sa.iters[k].coeff * its[k];
+        return v;  // params and unknown uniform terms read as 0
+      };
+      const i64 a1 = addr_of(a, tid1, cta1, gt1, ita);
+      const i64 a2 = addr_of(b, tid2, cta2, gt2, itb);
+      if (a1 < 0 || a2 < 0) return false;
+      const i64 glo = std::max(a1 / g, a2 / g);
+      const i64 ghi = std::min((a1 + wa - 1) / g, (a2 + wb - 1) / g);
+      if (glo > ghi) return false;  // the boxes miss: no common granule
+
+      const bool same_warp = cta1 == cta2 && tid1 / W == tid2 / W;
+      const bool lockstep_waw = self && A.is_store && B.is_store && a1 == a2 && ita == itb;
+      const bool rdu = !same_warp || lockstep_waw;
+      if (require_rdu && !rdu) return false;
+
+      RaceWitness w;
+      w.found = true;
+      w.rdu_visible = rdu;
+      w.pc = A.pc;
+      w.other_pc = B.pc;
+      w.tid1 = static_cast<u32>(tid1);
+      w.tid2 = static_cast<u32>(tid2);
+      w.cta1 = static_cast<u32>(cta1);
+      w.cta2 = static_cast<u32>(cta2);
+      for (size_t k = 0; k < a.iters.size(); ++k)
+        w.iters1.emplace_back(a.iters[k].begin_pc, ita[k]);
+      for (size_t k = 0; k < b.iters.size(); ++k)
+        w.iters2.emplace_back(b.iters[k].begin_pc, itb[k]);
+      w.addr1 = static_cast<u64>(a1);
+      w.addr2 = static_cast<u64>(a2);
+      w.granule = static_cast<u64>((glo)*g);
+      out.witness = std::move(w);
+      return true;
+    };
+  };
+
+  for (int pass = 0; pass < 2 && !out.witness.found; ++pass) {
+    for (const System& s : systems) {
+      if (!feasible(s)) continue;
+      if (Enumerator(s).run(accept_with(s, pass == 0))) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace haccrg::analysis

@@ -1,0 +1,189 @@
+// Loop-aware symbolic addresses and the dependence tests over them.
+//
+// SymAddr extends the affine domain of affine.hpp with per-loop
+// iteration terms:
+//
+//     value = base + c_tid*tid + c_cta*ctaid + c_gtid*gtid
+//             [+ param[slot]] [+ U] + sum_k coeff_k * iter_k
+//
+// where iter_k counts executed iterations of loop k (0-based) and is
+// bounded by the loop's trip count when the for_range header guard pins
+// it. SymbolicAddresses computes one SymAddr per memory pc by a
+// structural walk of the program: induction variables (LoopNest) become
+// `init + step*iter`, every other register a loop writes is widened to
+// the plain affine fixpoint value at the loop header — so the walk is
+// never less precise than AffineAnalysis alone.
+//
+// test_pair is the dependence test: could two accesses touch the same
+// shadow granule from two distinct threads, for ANY pair of iteration
+// vectors? Iteration variables of the two sides are quantified
+// independently (warps progress at different rates between barriers, so
+// thread 1 at iteration i and thread 2 at iteration j can be concurrent
+// — assuming lockstep iterations would be unsound). The conflict system
+// is a small integer-linear feasibility problem solved with interval
+// (Banerjee-style) bounds plus a GCD divisibility test; the distinct-
+// thread constraint is a case split on the sign of the thread delta.
+// Pruning happens only on a proof of infeasibility, so every `no
+// conflict` answer is sound; `conflict` answers carry a concrete
+// enumerated witness when one exists within the search budget.
+//
+// Warp-synchronous mode (DependenceOptions::warp_synchronous) classifies
+// pairs the way the hardware RDUs order them: intra-warp accesses are
+// SIMD-ordered and never reported by the shared-RDU state machine, and
+// the pre-issue intra-warp WAW check compares exact addresses at the
+// access width. A pair whose every colliding thread pair provably falls
+// inside one warp (and can never byte-overlap within one issue) is
+// therefore invisible to hw-HAccRG and may be filtered for it — but NOT
+// for the software detectors, which do report intra-warp pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "analysis/loops.hpp"
+
+namespace haccrg::analysis {
+
+/// One loop-iteration term of a SymAddr.
+struct IterTerm {
+  u32 loop = 0;      ///< loop index in the LoopNest
+  u32 begin_pc = 0;  ///< the loop's kLoopBegin pc (for reports)
+  i64 coeff = 0;     ///< bytes per iteration
+  i64 trip = -1;     ///< iter in [0, trip); -1 = unbounded
+
+  bool operator==(const IterTerm& o) const {
+    return loop == o.loop && coeff == o.coeff && trip == o.trip;
+  }
+};
+
+/// Affine address form extended with loop-iteration terms.
+struct SymAddr {
+  bool top = false;
+  bool uniform_unknown = false;
+  i64 base = 0;
+  i64 c_tid = 0;
+  i64 c_cta = 0;
+  i64 c_gtid = 0;
+  int param_slot = -1;
+  std::vector<IterTerm> iters;  ///< sorted by loop index, coeff != 0
+
+  static SymAddr make_top() {
+    SymAddr s;
+    s.top = true;
+    return s;
+  }
+  static SymAddr uniform() {
+    SymAddr s;
+    s.uniform_unknown = true;
+    return s;
+  }
+  static SymAddr constant(i64 v) {
+    SymAddr s;
+    s.base = v;
+    return s;
+  }
+  static SymAddr from_affine(const AffineVal& v);
+  /// Projection back onto the plain affine domain (iteration terms
+  /// widen to an unknown thread-varying contribution -> top, unless
+  /// absent).
+  AffineVal to_affine() const;
+
+  bool is_const() const {
+    return !top && !uniform_unknown && c_tid == 0 && c_cta == 0 && c_gtid == 0 &&
+           param_slot < 0 && iters.empty();
+  }
+  bool grid_invariant() const {
+    return !top && c_tid == 0 && c_cta == 0 && c_gtid == 0 && iters.empty();
+  }
+
+  bool operator==(const SymAddr& o) const;
+  SymAddr operator+(const SymAddr& o) const;
+  SymAddr operator-(const SymAddr& o) const;
+  SymAddr scaled(i64 k) const;
+  static SymAddr join(const SymAddr& a, const SymAddr& b);
+};
+
+/// Render for reports/tests, e.g. "4*tid+256*iter@3+16".
+std::string to_string(const SymAddr& v);
+
+/// Loop-aware per-pc address forms (one structural walk, no fixpoint —
+/// the only joins are the if/else merges and the pre-widened loop
+/// entries).
+class SymbolicAddresses {
+ public:
+  SymbolicAddresses(const isa::Program& program, const LoopNest& nest,
+                    const AffineAnalysis& affine);
+
+  /// Address form of the memory instruction at `pc` (top elsewhere).
+  const SymAddr& address_of(u32 pc) const { return addresses_[pc]; }
+
+ private:
+  std::vector<SymAddr> addresses_;
+};
+
+/// A concrete racing candidate produced by the dependence solver:
+/// two block-local thread ids (with block ids for global pairs), one
+/// iteration vector per side, and the byte addresses / shared granule
+/// they collide on. Addresses treat parameter bases and unknown
+/// grid-invariant terms as 0 (the documented alignment assumption).
+struct RaceWitness {
+  bool found = false;
+  /// True when the pair is visible to the hardware RDUs as written:
+  /// the threads sit in different warps (or different blocks), or the
+  /// pair is a same-instruction exact-address store collision (the
+  /// intra-warp WAW check catches those). Witnesses with this flag are
+  /// expected to reproduce under trace replay.
+  bool rdu_visible = false;
+  u32 pc = 0;
+  u32 other_pc = 0;
+  u32 tid1 = 0, tid2 = 0;
+  u32 cta1 = 0, cta2 = 0;
+  std::vector<std::pair<u32, i64>> iters1;  ///< (loop begin pc, iteration)
+  std::vector<std::pair<u32, i64>> iters2;
+  u64 addr1 = 0, addr2 = 0;
+  u64 granule = 0;
+
+  /// e.g. "t5@cta0 pc 7 addr 0x14 x t9@cta0 pc 12 addr 0x16 granule 0x10"
+  std::string describe() const;
+};
+
+/// Knobs of one dependence query (a projection of AnalyzeOptions onto
+/// one address space).
+struct DependenceOptions {
+  i64 granularity = 4;
+  u32 block_dim = 0;  ///< threads per block; 0 = unknown
+  u32 grid_dim = 0;   ///< blocks; 0 = unknown
+  u32 warp_size = 32;
+  bool assume_noalias_params = true;
+  bool assume_aligned_params = true;
+  bool warp_synchronous = false;
+};
+
+/// One side of a dependence query.
+struct DepAccess {
+  u32 pc = 0;
+  bool is_store = false;
+  u32 width = 4;
+  SymAddr sym;
+  bool exec_uniform = false;
+  bool repeatable = false;
+};
+
+struct PairVerdict {
+  /// Two distinct threads could touch one granule (for some iteration
+  /// pair). False only on a proof of infeasibility.
+  bool conflict = true;
+  /// All colliding thread pairs provably sit inside one warp and can
+  /// never byte-overlap within one issue: invisible to the hardware
+  /// RDUs (meaningful only when warp_synchronous was requested).
+  bool warp_confined = false;
+  RaceWitness witness;
+};
+
+/// The dependence test. `self` = same pc on both sides; `shares_unique`
+/// = both accesses sit under one `tid == c` unique-thread scope.
+PairVerdict test_pair(const DepAccess& A, const DepAccess& B, bool self, bool shares_unique,
+                      bool shared_space, const DependenceOptions& opts);
+
+}  // namespace haccrg::analysis

@@ -1,0 +1,406 @@
+// haccrg-analyze: the static race verifier's front door. Runs the
+// loop-aware analysis over registry kernels, renders reports (text,
+// annotated disassembly, stable JSON), applies suppression files, diffs
+// static verdicts against a dynamic detection run, and drives the
+// static-soundness gate CI relies on.
+//
+// Exit codes: 0 clean; 1 findings remain after suppressions, a static/
+// dynamic soundness violation, or a witness that fails to reproduce;
+// 2 usage error; 3 I/O failure; 4 malformed suppression file; 5 unknown
+// kernel name. The code space is append-only — scripts branch on it.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/static_race.hpp"
+#include "kernels/common.hpp"
+#include "kernels/injection.hpp"
+#include "sim/gpu.hpp"
+#include "trace/witness_check.hpp"
+
+namespace {
+
+using namespace haccrg;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "haccrg-analyze: %s\n\n", error);
+  std::fprintf(
+      stderr, "%s",
+      "usage: haccrg-analyze <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  analyze [--kernel NAME] [--json] [--suppressions FILE] [options]\n"
+      "      Verify a registry kernel (all kernels when --kernel is\n"
+      "      omitted). Exits 1 when unsuppressed findings remain.\n"
+      "  annotate --kernel NAME [options]\n"
+      "      Print the kernel's disassembly annotated with per-access\n"
+      "      verdicts and witnesses.\n"
+      "  diff --kernel NAME [options]\n"
+      "      Compare static verdicts against a dynamic detection run.\n"
+      "      Exits 1 if a dynamic race fires at a provably-safe pc.\n"
+      "  soundness [--seeds N] [options]\n"
+      "      The full gate: every registry kernel plus all 41 injection\n"
+      "      cases, N workload seeds each. Asserts (a) no provably-safe\n"
+      "      access appears in any dynamic race set and (b) every\n"
+      "      hardware-visible witness reproduces under trace replay.\n"
+      "\n"
+      "options:\n"
+      "  --word | --hw        granularity preset: software word (4/4,\n"
+      "                       default) or hardware RDU (16/4)\n"
+      "  --shared-gran N, --global-gran N   explicit granularities\n"
+      "  --block-dim N, --grid-dim N        override launch geometry\n"
+      "  --no-geometry        analyze with unknown launch geometry\n"
+      "  --no-loop-aware      straight-line pair test only\n"
+      "  --warp-sync          hardware warp-synchronous classification\n"
+      "  --seeds N            workload seeds for diff/soundness (default 1)\n");
+  return 2;
+}
+
+bool parse_u32(const std::string& s, u32& out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) return false;
+  out = static_cast<u32>(std::stoul(s));
+  return true;
+}
+
+struct Cli {
+  std::string command;
+  std::string kernel;
+  std::string suppressions_path;
+  analysis::AnalyzeOptions opts;  // block_dim/grid_dim 0 = take registry geometry
+  bool geometry = true;
+  bool json = false;
+  u32 seeds = 1;
+};
+
+/// Build one registry kernel (no detection; prepare only allocates and
+/// assembles). The Gpu must outlive nothing — the program is copied out.
+kernels::PreparedKernel prepare(const kernels::BenchmarkInfo& info,
+                                const kernels::BenchOptions& bopts) {
+  arch::GpuConfig gc;
+  rd::HaccrgConfig hc;
+  sim::Gpu gpu(gc, hc);
+  return info.prepare(gpu, bopts);
+}
+
+analysis::AnalyzeOptions options_for_kernel(const Cli& cli, const kernels::PreparedKernel& prep) {
+  analysis::AnalyzeOptions o = cli.opts;
+  if (cli.geometry) {
+    if (o.block_dim == 0) o.block_dim = prep.block_dim;
+    if (o.grid_dim == 0) o.grid_dim = prep.grid_dim;
+  } else {
+    o.block_dim = 0;
+    o.grid_dim = 0;
+  }
+  return o;
+}
+
+void print_report(const analysis::StaticRaceReport& report, const analysis::ErrorReport& er) {
+  std::printf("%s: %s\n", report.kernel.c_str(), report.summary().c_str());
+  for (const analysis::Issue& issue : er.issues) {
+    std::printf("  [%s] pc %u", issue.kind.c_str(), issue.pc);
+    if (issue.other_pc >= 0) std::printf(" <-> pc %d", issue.other_pc);
+    std::printf(" (%s): %s", issue.shared_space ? "shared" : "global", issue.message.c_str());
+    if (issue.suppressed) std::printf("  [suppressed by %s]", issue.suppressed_by.c_str());
+    std::printf("\n");
+    if (issue.witness.found) std::printf("      witness: %s\n", issue.witness.describe().c_str());
+  }
+  if (er.num_suppressed > 0)
+    std::printf("  %u issue(s) suppressed, %u active\n", er.num_suppressed, er.active());
+}
+
+/// Detector configuration matching the analysis options (both spaces on,
+/// no filtering — the gate compares raw dynamic behavior).
+rd::HaccrgConfig detector_for(const analysis::AnalyzeOptions& opts) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = opts.shared_granularity;
+  det.global_granularity = opts.global_granularity;
+  return det;
+}
+
+/// Dynamic pcs that raced, from one live run.
+std::set<u32> dynamic_race_pcs(const sim::SimResult& result) {
+  std::set<u32> pcs;
+  for (const rd::RaceRecord& r : result.races.races()) pcs.insert(r.pc);
+  return pcs;
+}
+
+/// Validate every hardware-visible witness in `report` by synthesizing
+/// its two-access trace and replaying the detectors. Returns failures.
+u32 check_witnesses(const std::string& label, const analysis::StaticRaceReport& report,
+                    const analysis::AnalyzeOptions& opts, bool verbose, u32* checked = nullptr) {
+  u32 failures = 0;
+  const std::string scratch =
+      "/tmp/haccrg-witness-" + std::to_string(static_cast<unsigned>(getpid())) + ".trace";
+  for (const analysis::StaticAccess& a : report.accesses) {
+    if (!a.witness.found || !a.witness.rdu_visible || a.is_atomic) continue;
+    const analysis::StaticAccess* other = report.access_at(a.witness.other_pc);
+    trace::WitnessSpec spec;
+    spec.shared_space = a.shared_space;
+    spec.pc1 = a.witness.pc;
+    spec.pc2 = a.witness.other_pc;
+    spec.store1 = a.is_store;
+    spec.store2 = other != nullptr ? other->is_store : a.is_store;
+    if (other != nullptr && other->is_atomic) continue;
+    spec.width1 = a.width;
+    spec.width2 = other != nullptr ? other->width : a.width;
+    spec.tid1 = a.witness.tid1;
+    spec.cta1 = a.witness.cta1;
+    spec.tid2 = a.witness.tid2;
+    spec.cta2 = a.witness.cta2;
+    spec.addr1 = static_cast<u64>(a.witness.addr1);
+    spec.addr2 = static_cast<u64>(a.witness.addr2);
+    spec.block_dim = opts.block_dim != 0 ? opts.block_dim : 2 * opts.warp_size;
+    spec.warp_size = opts.warp_size;
+    spec.granularity =
+        a.shared_space ? opts.shared_granularity : opts.global_granularity;
+    if (spec.tid1 >= spec.block_dim || spec.tid2 >= spec.block_dim)
+      spec.block_dim = std::max(spec.tid1, spec.tid2) + 1;
+    trace::WitnessCheckResult wr;
+    if (checked != nullptr) ++*checked;
+    const Status st = trace::check_witness(spec, scratch, wr);
+    if (!st.ok()) {
+      std::printf("WITNESS ERROR %s pc %u: %s\n", label.c_str(), a.pc, st.to_string().c_str());
+      ++failures;
+      continue;
+    }
+    if (!wr.reproduced) {
+      std::printf("WITNESS FAILED %s pc %u<->%u: %s (%s)\n", label.c_str(), spec.pc1, spec.pc2,
+                  a.witness.describe().c_str(), wr.detail.c_str());
+      ++failures;
+    } else if (verbose) {
+      std::printf("  witness ok %s pc %u<->%u: %s\n", label.c_str(), spec.pc1, spec.pc2,
+                  wr.detail.c_str());
+    }
+  }
+  std::remove(scratch.c_str());
+  return failures;
+}
+
+int cmd_analyze(const Cli& cli) {
+  std::vector<analysis::Suppression> sups;
+  if (!cli.suppressions_path.empty()) {
+    const Status st = analysis::load_suppressions(cli.suppressions_path, sups);
+    if (!st.ok()) {
+      std::fprintf(stderr, "haccrg-analyze: %s\n", st.to_string().c_str());
+      return st.code() == StatusCode::kNotFound ? 3 : 4;
+    }
+  }
+  u32 active = 0;
+  bool first = true;
+  if (cli.json) std::printf("[");
+  for (const kernels::BenchmarkInfo& info : kernels::all_benchmarks()) {
+    if (!cli.kernel.empty() && info.name != cli.kernel) continue;
+    kernels::PreparedKernel prep = prepare(info, kernels::BenchOptions{});
+    const analysis::AnalyzeOptions opts = options_for_kernel(cli, prep);
+    const analysis::StaticRaceReport report = analysis::analyze(prep.program, opts);
+    analysis::ErrorReport er = analysis::build_error_report(report);
+    analysis::apply_suppressions(er, sups, report.kernel);
+    if (cli.json) {
+      std::printf("%s%s", first ? "" : ",\n", analysis::to_json(report, er).c_str());
+    } else {
+      print_report(report, er);
+    }
+    first = false;
+    active += er.active();
+  }
+  if (cli.json) std::printf("]\n");
+  if (first) {
+    std::fprintf(stderr, "haccrg-analyze: unknown kernel '%s'\n", cli.kernel.c_str());
+    return 5;
+  }
+  return active > 0 ? 1 : 0;
+}
+
+int cmd_annotate(const Cli& cli) {
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(cli.kernel);
+  if (info == nullptr) {
+    std::fprintf(stderr, "haccrg-analyze: unknown kernel '%s'\n", cli.kernel.c_str());
+    return 5;
+  }
+  kernels::PreparedKernel prep = prepare(*info, kernels::BenchOptions{});
+  const analysis::AnalyzeOptions opts = options_for_kernel(cli, prep);
+  const analysis::StaticRaceReport report = analysis::analyze(prep.program, opts);
+  std::printf("%s", report.annotate(prep.program).c_str());
+  return 0;
+}
+
+int cmd_diff(const Cli& cli) {
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark(cli.kernel);
+  if (info == nullptr) {
+    std::fprintf(stderr, "haccrg-analyze: unknown kernel '%s'\n", cli.kernel.c_str());
+    return 5;
+  }
+  u32 violations = 0;
+  for (u32 seed = 0; seed < cli.seeds; ++seed) {
+    kernels::BenchOptions bopts;
+    bopts.seed = seed;
+    arch::GpuConfig gc;
+    rd::HaccrgConfig det;
+    sim::Gpu analysis_gpu(gc, det);
+    kernels::PreparedKernel prep = info->prepare(analysis_gpu, bopts);
+    const analysis::AnalyzeOptions opts = options_for_kernel(cli, prep);
+    const analysis::StaticRaceReport report = analysis::analyze(prep.program, opts);
+
+    sim::Gpu gpu(gc, detector_for(opts));
+    kernels::PreparedKernel run_prep = info->prepare(gpu, bopts);
+    sim::SimResult result = gpu.launch(run_prep.launch());
+    if (!result.completed) {
+      std::fprintf(stderr, "haccrg-analyze: run failed: %s\n", result.error.c_str());
+      return 3;
+    }
+    const std::set<u32> dynamic = dynamic_race_pcs(result);
+    std::printf("%s seed %u: %s; dynamic races at %zu pc(s)\n", cli.kernel.c_str(), seed,
+                report.summary().c_str(), dynamic.size());
+    for (const u32 pc : dynamic) {
+      const analysis::StaticAccess* a = report.access_at(pc);
+      const char* verdict = report.is_safe(pc)          ? "PROVABLY-SAFE (VIOLATION)"
+                            : a == nullptr              ? "unclassified"
+                            : a->cls == analysis::AccessClass::kDefiniteRace ? "definite-race"
+                                                                             : "may-race";
+      std::printf("  dynamic pc %u: static verdict %s\n", pc, verdict);
+      if (report.is_safe(pc)) ++violations;
+    }
+    for (const analysis::StaticAccess& a : report.accesses) {
+      if (a.cls != analysis::AccessClass::kProvablySafe && dynamic.count(a.pc) == 0)
+        std::printf("  static-only pc %u: %s (no dynamic race this run)\n", a.pc,
+                    a.reason.c_str());
+    }
+  }
+  return violations > 0 ? 1 : 0;
+}
+
+int cmd_soundness(const Cli& cli) {
+  u32 violations = 0, witness_failures = 0, witnesses_checked = 0, runs = 0;
+  auto gate_one = [&](const std::string& label, const kernels::BenchmarkInfo& info,
+                      const kernels::BenchOptions& bopts) {
+    arch::GpuConfig gc;
+    kernels::PreparedKernel prep;
+    analysis::AnalyzeOptions opts;
+    analysis::StaticRaceReport report;
+    {
+      rd::HaccrgConfig plain;
+      sim::Gpu gpu(gc, plain);
+      prep = info.prepare(gpu, bopts);
+      opts = options_for_kernel(cli, prep);
+      report = analysis::analyze(prep.program, opts);
+    }
+    // Dynamic leg: fresh Gpu so the workload lives in its memory.
+    {
+      sim::Gpu gpu(gc, detector_for(opts));
+      kernels::PreparedKernel run_prep = info.prepare(gpu, bopts);
+      sim::SimResult result = gpu.launch(run_prep.launch());
+      if (!result.completed) {
+        std::fprintf(stderr, "haccrg-analyze: %s: run failed: %s\n", label.c_str(),
+                     result.error.c_str());
+        ++violations;
+        return;
+      }
+      for (const u32 pc : dynamic_race_pcs(result)) {
+        if (report.is_safe(pc)) {
+          std::printf("SOUNDNESS VIOLATION %s: dynamic race at pc %u classified provably-safe\n",
+                      label.c_str(), pc);
+          ++violations;
+        }
+      }
+    }
+    witness_failures += check_witnesses(label, report, opts, /*verbose=*/false,
+                                        &witnesses_checked);
+    ++runs;
+  };
+
+  for (u32 seed = 0; seed < cli.seeds; ++seed) {
+    kernels::BenchOptions bopts;
+    bopts.seed = seed;
+    for (const kernels::BenchmarkInfo& info : kernels::all_benchmarks())
+      gate_one(info.name + " seed " + std::to_string(seed), info, bopts);
+    for (const kernels::InjectionCase& test : kernels::all_injection_cases()) {
+      const kernels::BenchmarkInfo* info = kernels::find_benchmark(test.benchmark);
+      kernels::BenchOptions bopts_inj = bopts;
+      bopts_inj.injection = test.injection;
+      gate_one(test.label() + " seed " + std::to_string(seed), *info, bopts_inj);
+    }
+  }
+  std::printf("soundness: %u runs, %u violations, %u/%u witnesses failed to reproduce\n", runs,
+              violations, witness_failures, witnesses_checked);
+  return (violations > 0 || witness_failures > 0) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Cli cli;
+  cli.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag, std::string& out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "haccrg-analyze: %s needs a value\n", flag);
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    auto bad = [](const char* flag) {
+      std::fprintf(stderr, "haccrg-analyze: bad value for %s\n", flag);
+      return 2;
+    };
+    std::string v;
+    if (arg == "--kernel") {
+      if (!value("--kernel", cli.kernel)) return 2;
+    } else if (arg == "--suppressions") {
+      if (!value("--suppressions", cli.suppressions_path)) return 2;
+    } else if (arg == "--word") {
+      cli.opts.shared_granularity = 4;
+      cli.opts.global_granularity = 4;
+    } else if (arg == "--hw") {
+      const rd::HaccrgConfig hw;
+      cli.opts = analysis::options_for(hw, cli.opts.block_dim, cli.opts.grid_dim);
+    } else if (arg == "--shared-gran") {
+      if (!value("--shared-gran", v)) return 2;
+      if (!parse_u32(v, cli.opts.shared_granularity)) return bad("--shared-gran");
+    } else if (arg == "--global-gran") {
+      if (!value("--global-gran", v)) return 2;
+      if (!parse_u32(v, cli.opts.global_granularity)) return bad("--global-gran");
+    } else if (arg == "--block-dim") {
+      if (!value("--block-dim", v)) return 2;
+      if (!parse_u32(v, cli.opts.block_dim)) return bad("--block-dim");
+    } else if (arg == "--grid-dim") {
+      if (!value("--grid-dim", v)) return 2;
+      if (!parse_u32(v, cli.opts.grid_dim)) return bad("--grid-dim");
+    } else if (arg == "--no-geometry") {
+      cli.geometry = false;
+    } else if (arg == "--no-loop-aware") {
+      cli.opts.loop_aware = false;
+    } else if (arg == "--warp-sync") {
+      cli.opts.warp_synchronous = true;
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--seeds") {
+      if (!value("--seeds", v)) return 2;
+      if (!parse_u32(v, cli.seeds) || cli.seeds == 0) return bad("--seeds");
+    } else {
+      return usage(("unknown option '" + arg + "'").c_str());
+    }
+  }
+
+  if (cli.command == "analyze") return cmd_analyze(cli);
+  if (cli.command == "annotate") {
+    if (cli.kernel.empty()) return usage("annotate needs --kernel");
+    return cmd_annotate(cli);
+  }
+  if (cli.command == "diff") {
+    if (cli.kernel.empty()) return usage("diff needs --kernel");
+    return cmd_diff(cli);
+  }
+  if (cli.command == "soundness") return cmd_soundness(cli);
+  return usage(("unknown command '" + cli.command + "'").c_str());
+}

@@ -1,0 +1,129 @@
+#include "analysis/loops.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace haccrg::analysis {
+
+using isa::CmpOp;
+using isa::Instr;
+using isa::Opcode;
+
+bool LoopNest::writes_reg(const Instr& ins) {
+  switch (ins.op) {
+    case Opcode::kSetp:       // writes a predicate, not a register
+    case Opcode::kStGlobal:
+    case Opcode::kStShared:
+    case Opcode::kBar:
+    case Opcode::kMemBar:
+    case Opcode::kMemBarBlock:
+    case Opcode::kLockAcqMark:
+    case Opcode::kLockRelMark:
+    case Opcode::kIf:
+    case Opcode::kElse:
+    case Opcode::kEndIf:
+    case Opcode::kLoopBegin:
+    case Opcode::kLoopEnd:
+    case Opcode::kBreakIf:
+    case Opcode::kBreakIfNot:
+    case Opcode::kJump:
+    case Opcode::kExit:
+    case Opcode::kNop:
+      return false;
+    default:
+      return true;  // ALU, moves, special/param reads, sel, loads, atomics
+  }
+}
+
+LoopNest::LoopNest(const isa::Program& program) {
+  const u32 n = program.size();
+  innermost_.assign(n, -1);
+
+  // Pass 1: match begin/end pairs and nesting off a scope stack.
+  std::vector<u32> stack;  // loop indices
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = program.at(pc);
+    if (ins.op == Opcode::kLoopBegin) {
+      Loop l;
+      l.begin_pc = pc;
+      l.parent = stack.empty() ? -1 : static_cast<int>(stack.back());
+      l.depth = static_cast<u32>(stack.size());
+      stack.push_back(static_cast<u32>(loops_.size()));
+      loops_.push_back(l);
+    } else if (ins.op == Opcode::kLoopEnd && !stack.empty()) {
+      loops_[stack.back()].end_pc = pc;
+      stack.pop_back();
+    }
+    if (!stack.empty()) innermost_[pc] = static_cast<int>(stack.back());
+  }
+
+  for (Loop& l : loops_) {
+    if (l.end_pc <= l.begin_pc) continue;  // malformed; leave empty facts
+
+    // Written registers (whole body, nested loops included) and IV
+    // candidates. An IV must be updated by exactly one instruction in
+    // the body, a top-level `add/sub r, r, #imm` — top-level meaning not
+    // inside a nested loop or a kIf scope of this loop, so the step is
+    // applied unconditionally once per iteration.
+    struct Cand {
+      u32 writes = 0;
+      bool top_level_step = false;
+      i64 step = 0;
+      u32 add_pc = 0;
+    };
+    std::array<Cand, isa::kMaxRegs> cands{};
+    u32 inner_depth = 0;  // nested loop / if depth relative to this loop
+    for (u32 pc = l.begin_pc + 1; pc < l.end_pc; ++pc) {
+      const Instr& ins = program.at(pc);
+      switch (ins.op) {
+        case Opcode::kLoopBegin:
+        case Opcode::kIf:
+          ++inner_depth;
+          break;
+        case Opcode::kLoopEnd:
+        case Opcode::kEndIf:
+          if (inner_depth > 0) --inner_depth;
+          break;
+        default:
+          break;
+      }
+      if (!writes_reg(ins)) continue;
+      if (std::find(l.written.begin(), l.written.end(), ins.dst) == l.written.end())
+        l.written.push_back(ins.dst);
+      Cand& c = cands[ins.dst];
+      ++c.writes;
+      const bool is_step = (ins.op == Opcode::kAdd || ins.op == Opcode::kSub) &&
+                           ins.src1_is_imm && ins.src0 == ins.dst;
+      if (is_step && inner_depth == 0) {
+        c.top_level_step = true;
+        c.step = ins.op == Opcode::kAdd ? static_cast<i64>(static_cast<i32>(ins.imm))
+                                        : -static_cast<i64>(static_cast<i32>(ins.imm));
+        c.add_pc = pc;
+      }
+    }
+    std::sort(l.written.begin(), l.written.end());
+    for (u32 r = 0; r < isa::kMaxRegs; ++r) {
+      const Cand& c = cands[r];
+      if (c.writes == 1 && c.top_level_step)
+        l.ivs.push_back({static_cast<u8>(r), c.step, c.add_pc});
+    }
+
+    // Header guard (for_range shape): `setp p, ltu, iv, bound` right
+    // after kLoopBegin, then `breakifnot p`.
+    if (l.begin_pc + 2 < l.end_pc) {
+      const Instr& setp = program.at(l.begin_pc + 1);
+      const Instr& brk = program.at(l.begin_pc + 2);
+      if (setp.op == Opcode::kSetp && setp.cmp() == CmpOp::kLtU &&
+          brk.op == Opcode::kBreakIfNot && brk.aux == setp.dst &&
+          l.iv_of(setp.src0) != nullptr) {
+        l.has_guard = true;
+        l.guard_iv = setp.src0;
+        l.guard_bound_is_imm = setp.src1_is_imm;
+        l.guard_bound_imm = setp.imm;
+        l.guard_bound_reg = setp.src1;
+      }
+    }
+  }
+}
+
+}  // namespace haccrg::analysis

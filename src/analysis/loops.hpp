@@ -1,0 +1,87 @@
+// Structured loop-nest recognition over a sealed Program. The mini-PTX
+// machine only forms loops through kLoopBegin/kLoopEnd scopes, so loops
+// are contiguous, properly nested pc ranges; this pass recovers that
+// nest plus the two syntactic facts the loop-aware dependence analysis
+// needs:
+//
+//   1. Basic induction variables: registers whose only update inside the
+//      loop is a single top-level `add r, r, #imm` (or `sub`), i.e. they
+//      advance by a fixed step once per iteration. The canonical
+//      KernelBuilder::for_range codegen produces exactly this shape.
+//   2. The header guard: for_range emits `setp p, ltu, iv, bound;
+//      breakifnot p` as the first two body instructions, which bounds
+//      the iteration count when the bound and the IV's initial value are
+//      known constants.
+//
+// Everything here is purely structural — no symbolic evaluation. The
+// symbolic side (initial values, trip counts, per-iteration address
+// forms) lives in dependence.cpp.
+#pragma once
+
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace haccrg::analysis {
+
+/// A basic induction variable of one loop.
+struct LoopIv {
+  u8 reg = 0;      ///< register index
+  i64 step = 0;    ///< signed per-iteration increment
+  u32 add_pc = 0;  ///< pc of the single `add/sub r, r, #imm`
+};
+
+struct Loop {
+  u32 begin_pc = 0;  ///< pc of kLoopBegin
+  u32 end_pc = 0;    ///< pc of kLoopEnd
+  int parent = -1;   ///< enclosing loop index, -1 for outermost
+  u32 depth = 0;     ///< nesting depth (outermost = 0)
+  std::vector<LoopIv> ivs;
+  /// Registers written by any instruction in (begin_pc, end_pc),
+  /// including nested loops. Sorted, unique.
+  std::vector<u8> written;
+
+  // Header guard `setp p, ltu, iv, bound; breakifnot p` at
+  // begin_pc+1 / begin_pc+2, with `iv` one of this loop's IVs.
+  bool has_guard = false;
+  u8 guard_iv = 0;
+  bool guard_bound_is_imm = false;
+  u32 guard_bound_imm = 0;
+  u8 guard_bound_reg = 0;
+
+  bool writes(u8 reg) const {
+    for (u8 w : written)
+      if (w == reg) return true;
+    return false;
+  }
+  const LoopIv* iv_of(u8 reg) const {
+    for (const LoopIv& iv : ivs)
+      if (iv.reg == reg) return &iv;
+    return nullptr;
+  }
+  bool contains(u32 pc) const { return pc > begin_pc && pc < end_pc; }
+};
+
+/// The program's loop nest, in kLoopBegin order (so a parent always
+/// precedes its children).
+class LoopNest {
+ public:
+  explicit LoopNest(const isa::Program& program);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+  u32 size() const { return static_cast<u32>(loops_.size()); }
+  const Loop& loop(u32 idx) const { return loops_[idx]; }
+
+  /// Index of the innermost loop whose body contains `pc`, or -1.
+  int innermost_at(u32 pc) const { return pc < innermost_.size() ? innermost_[pc] : -1; }
+
+  /// Does any instruction at Opcode level write `reg`? (Helper shared
+  /// with the symbolic walk.)
+  static bool writes_reg(const isa::Instr& ins);
+
+ private:
+  std::vector<Loop> loops_;
+  std::vector<int> innermost_;  // per pc
+};
+
+}  // namespace haccrg::analysis

@@ -1,0 +1,295 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace haccrg::analysis {
+
+namespace {
+
+const char* lint_kind_name(LintKind k) {
+  switch (k) {
+    case LintKind::kDivergentBarrier: return "lint:divergent-barrier";
+    case LintKind::kAtomicOutsideCritical: return "lint:atomic-outside-critical";
+    case LintKind::kDefiniteRace: return "lint:definite-race";
+  }
+  return "lint:?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void witness_json(std::ostringstream& out, const RaceWitness& w) {
+  if (!w.found) {
+    out << "null";
+    return;
+  }
+  auto iters = [&](const std::vector<std::pair<u32, i64>>& its) {
+    out << "[";
+    for (size_t i = 0; i < its.size(); ++i) {
+      if (i) out << ",";
+      out << "[" << its[i].first << "," << its[i].second << "]";
+    }
+    out << "]";
+  };
+  out << "{\"tid1\":" << w.tid1 << ",\"cta1\":" << w.cta1 << ",\"tid2\":" << w.tid2
+      << ",\"cta2\":" << w.cta2 << ",\"addr1\":" << w.addr1 << ",\"addr2\":" << w.addr2
+      << ",\"granule\":" << w.granule << ",\"rdu_visible\":" << (w.rdu_visible ? "true" : "false")
+      << ",\"iters1\":";
+  iters(w.iters1);
+  out << ",\"iters2\":";
+  iters(w.iters2);
+  out << "}";
+}
+
+const char* class_name(AccessClass c) {
+  switch (c) {
+    case AccessClass::kProvablySafe: return "safe";
+    case AccessClass::kMayRace: return "may-race";
+    case AccessClass::kDefiniteRace: return "definite-race";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ErrorReport build_error_report(const StaticRaceReport& report) {
+  ErrorReport er;
+  er.kernel = report.kernel;
+  // Dedup key: (low pc, high pc, space, kind string).
+  std::set<std::tuple<u32, i64, bool, std::string>> seen;
+  auto add = [&](Issue&& issue) {
+    const u32 lo = issue.other_pc >= 0 ? std::min(issue.pc, static_cast<u32>(issue.other_pc))
+                                       : issue.pc;
+    const i64 hi = issue.other_pc >= 0
+                       ? static_cast<i64>(std::max(issue.pc, static_cast<u32>(issue.other_pc)))
+                       : -1;
+    if (!seen.insert({lo, hi, issue.shared_space, issue.kind}).second) return;
+    er.issues.push_back(std::move(issue));
+  };
+
+  for (const StaticAccess& a : report.accesses) {
+    if (a.cls == AccessClass::kProvablySafe) continue;
+    Issue issue;
+    issue.kind = class_name(a.cls);
+    issue.pc = a.pc;
+    issue.other_pc = a.cls == AccessClass::kMayRace ? a.conflict_pc : -1;
+    issue.shared_space = a.shared_space;
+    issue.message = a.reason;
+    issue.witness = a.witness;
+    add(std::move(issue));
+  }
+  for (const Lint& l : report.lints) {
+    if (l.kind == LintKind::kDefiniteRace) continue;  // covered by the access issue
+    Issue issue;
+    issue.kind = lint_kind_name(l.kind);
+    issue.pc = l.pc;
+    issue.message = l.message;
+    add(std::move(issue));
+  }
+  std::stable_sort(er.issues.begin(), er.issues.end(), [](const Issue& x, const Issue& y) {
+    return std::tie(x.pc, x.kind) < std::tie(y.pc, y.kind);
+  });
+  return er;
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative '*'/'?' match with backtracking to the last star.
+  size_t p = 0, t = 0, star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+Status parse_suppressions(const std::string& text, std::vector<Suppression>& out) {
+  std::vector<Suppression> parsed;
+  std::istringstream in(text);
+  std::string line;
+  bool in_block = false;
+  Suppression cur;
+  bool have_name = false;
+  u32 lineno = 0;
+  auto trim = [](std::string s) {
+    const char* ws = " \t\r";
+    const size_t b = s.find_first_not_of(ws);
+    if (b == std::string::npos) return std::string();
+    const size_t e = s.find_last_not_of(ws);
+    return s.substr(b, e - b + 1);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line == "{") {
+      if (in_block)
+        return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                               ": nested '{'");
+      in_block = true;
+      cur = Suppression{};
+      have_name = false;
+      continue;
+    }
+    if (line == "}") {
+      if (!in_block)
+        return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                               ": '}' outside a block");
+      if (!have_name)
+        return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                               ": block has no name");
+      parsed.push_back(cur);
+      in_block = false;
+      continue;
+    }
+    if (!in_block)
+      return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                             ": content outside '{...}' block");
+    const size_t colon = line.find(':');
+    const std::string key = colon == std::string::npos ? "" : trim(line.substr(0, colon));
+    if (key == "kernel" || key == "kind" || key == "pc") {
+      const std::string val = trim(line.substr(colon + 1));
+      if (val.empty())
+        return Status::corrupt("suppressions line " + std::to_string(lineno) + ": empty " +
+                               key + " value");
+      if (key == "kernel") {
+        cur.kernel_glob = val;
+      } else if (key == "kind") {
+        cur.kind_glob = val;
+      } else {
+        if (val != "*" && val.find_first_not_of("0123456789") != std::string::npos)
+          return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                                 ": pc must be '*' or a decimal pc, got '" + val + "'");
+        cur.pc = val;
+      }
+    } else if (have_name) {
+      return Status::corrupt("suppressions line " + std::to_string(lineno) +
+                             ": unknown directive '" + line + "'");
+    } else {
+      cur.name = line;
+      have_name = true;
+    }
+  }
+  if (in_block) return Status::corrupt("suppressions: unterminated '{' block");
+  out.insert(out.end(), parsed.begin(), parsed.end());
+  return {};
+}
+
+Status load_suppressions(const std::string& path, std::vector<Suppression>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::not_found("cannot open suppressions file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_suppressions(buf.str(), out);
+}
+
+u32 apply_suppressions(ErrorReport& report, const std::vector<Suppression>& sups,
+                       const std::string& kernel_name) {
+  u32 newly = 0;
+  for (Issue& issue : report.issues) {
+    if (issue.suppressed) continue;
+    for (const Suppression& s : sups) {
+      if (!glob_match(s.kernel_glob, kernel_name)) continue;
+      if (!glob_match(s.kind_glob, issue.kind)) continue;
+      if (s.pc != "*") {
+        const u32 pc = static_cast<u32>(std::stoul(s.pc));
+        if (issue.pc != pc && issue.other_pc != static_cast<int>(pc)) continue;
+      }
+      issue.suppressed = true;
+      issue.suppressed_by = s.name;
+      ++newly;
+      break;
+    }
+  }
+  report.num_suppressed += newly;
+  return newly;
+}
+
+std::string to_json(const StaticRaceReport& report, const ErrorReport& errors) {
+  std::ostringstream out;
+  const AnalyzeOptions& o = report.options;
+  out << "{\"kernel\":\"" << json_escape(report.kernel) << "\",";
+  out << "\"options\":{\"shared_granularity\":" << o.shared_granularity
+      << ",\"global_granularity\":" << o.global_granularity
+      << ",\"assume_noalias_params\":" << (o.assume_noalias_params ? "true" : "false")
+      << ",\"assume_aligned_params\":" << (o.assume_aligned_params ? "true" : "false")
+      << ",\"block_dim\":" << o.block_dim << ",\"grid_dim\":" << o.grid_dim
+      << ",\"warp_size\":" << o.warp_size
+      << ",\"loop_aware\":" << (o.loop_aware ? "true" : "false")
+      << ",\"warp_synchronous\":" << (o.warp_synchronous ? "true" : "false") << "},";
+  out << "\"summary\":{\"accesses\":" << report.accesses.size()
+      << ",\"safe\":" << report.count(AccessClass::kProvablySafe)
+      << ",\"may_race\":" << report.count(AccessClass::kMayRace)
+      << ",\"definite_race\":" << report.count(AccessClass::kDefiniteRace)
+      << ",\"barriers\":" << report.num_barriers
+      << ",\"divergent_barriers\":" << report.num_divergent_barriers
+      << ",\"lints\":" << report.lints.size() << ",\"issues\":" << errors.issues.size()
+      << ",\"suppressed\":" << errors.num_suppressed << ",\"active\":" << errors.active()
+      << "},";
+  out << "\"accesses\":[";
+  for (size_t i = 0; i < report.accesses.size(); ++i) {
+    const StaticAccess& a = report.accesses[i];
+    if (i) out << ",";
+    out << "{\"pc\":" << a.pc << ",\"space\":\"" << (a.shared_space ? "shared" : "global")
+        << "\",\"op\":\"" << (a.is_atomic ? "atomic" : (a.is_store ? "store" : "load"))
+        << "\",\"width\":" << a.width << ",\"class\":\"" << class_name(a.cls) << "\",\"addr\":\""
+        << json_escape(to_string(a.addr)) << "\",\"sym\":\"" << json_escape(to_string(a.sym))
+        << "\",\"conflict_pc\":" << a.conflict_pc << ",\"reason\":\"" << json_escape(a.reason)
+        << "\",\"witness\":";
+    witness_json(out, a.witness);
+    out << "}";
+  }
+  out << "],\"issues\":[";
+  for (size_t i = 0; i < errors.issues.size(); ++i) {
+    const Issue& issue = errors.issues[i];
+    if (i) out << ",";
+    out << "{\"kind\":\"" << json_escape(issue.kind) << "\",\"pc\":" << issue.pc
+        << ",\"other_pc\":" << issue.other_pc << ",\"space\":\""
+        << (issue.shared_space ? "shared" : "global") << "\",\"message\":\""
+        << json_escape(issue.message) << "\",\"suppressed\":"
+        << (issue.suppressed ? "true" : "false") << ",\"suppressed_by\":\""
+        << json_escape(issue.suppressed_by) << "\",\"witness\":";
+    witness_json(out, issue.witness);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace haccrg::analysis

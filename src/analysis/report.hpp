@@ -1,0 +1,88 @@
+// Valgrind-grade error management over a StaticRaceReport: findings are
+// deduplicated into stable Issues keyed by (pc-pair, address space,
+// class), a Valgrind-style suppression file can mute known ones, and the
+// whole report serializes to a stable machine-readable JSON document —
+// the shape `haccrg-analyze` emits and CI diffs against.
+//
+// Suppression file format ('#' starts a comment, blocks in braces):
+//
+//     # histogram's intentional benign race
+//     {
+//       hist-merge-benign
+//       kernel:histogram*
+//       kind:may-race
+//       pc:17
+//     }
+//
+// The first non-directive line of a block is the suppression's name;
+// `kernel:` and `kind:` take globs ('*' and '?'), `pc:` takes a decimal
+// pc or '*' (the default for all three). `kind` matches an Issue's kind
+// string: "may-race", "definite-race", "lint:divergent-barrier",
+// "lint:atomic-outside-critical".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static_race.hpp"
+#include "common/status.hpp"
+
+namespace haccrg::analysis {
+
+/// One deduplicated finding (a racing pair, a definite race, or a lint).
+struct Issue {
+  std::string kind;       ///< "may-race" | "definite-race" | "lint:..."
+  u32 pc = 0;             ///< primary pc (lower of the pair)
+  int other_pc = -1;      ///< conflict partner, -1 when not a pair
+  bool shared_space = false;
+  std::string message;
+  RaceWitness witness;
+  bool suppressed = false;
+  std::string suppressed_by;  ///< name of the matching suppression
+};
+
+struct Suppression {
+  std::string name;
+  std::string kernel_glob = "*";
+  std::string kind_glob = "*";
+  std::string pc = "*";  ///< "*" or a decimal pc (matches either side)
+};
+
+/// Deduplicated, suppression-aware view of one kernel's findings.
+struct ErrorReport {
+  std::string kernel;
+  std::vector<Issue> issues;  ///< stable order: by pc, then kind
+  u32 num_suppressed = 0;
+
+  /// Unsuppressed findings remaining (the CLI's exit-code signal).
+  u32 active() const {
+    u32 n = 0;
+    for (const Issue& i : issues)
+      if (!i.suppressed) ++n;
+    return n;
+  }
+};
+
+/// Dedup a StaticRaceReport's findings by (pc-pair, space, class).
+ErrorReport build_error_report(const StaticRaceReport& report);
+
+/// '*'/'?' glob match (full-string).
+bool glob_match(const std::string& pattern, const std::string& text);
+
+/// Parse suppression text / load a suppression file. On error the out
+/// vector is left untouched.
+Status parse_suppressions(const std::string& text, std::vector<Suppression>& out);
+Status load_suppressions(const std::string& path, std::vector<Suppression>& out);
+
+/// Mark matching issues suppressed (first matching suppression wins).
+/// Returns the number of newly suppressed issues.
+u32 apply_suppressions(ErrorReport& report, const std::vector<Suppression>& sups,
+                       const std::string& kernel_name);
+
+/// Stable machine-readable JSON of the full analysis: options, per-pc
+/// access table (with witnesses), and the deduplicated issue list. Key
+/// order is fixed; no timestamps or absolute paths, so output is
+/// byte-reproducible.
+std::string to_json(const StaticRaceReport& report, const ErrorReport& errors);
+
+}  // namespace haccrg::analysis

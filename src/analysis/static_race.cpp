@@ -327,6 +327,8 @@ std::string StaticRaceReport::annotate(const isa::Program& program) const {
 
 StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts) {
   StaticRaceReport report;
+  report.kernel = program.name();
+  report.options = opts;
   const u32 n = program.size();
   report.classes.assign(n, AccessClass::kProvablySafe);
   if (n == 0) return report;
@@ -334,6 +336,11 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
   const Cfg cfg(program);
   const AffineAnalysis affine(program, cfg);
   const ScopeFacts facts = scan_scopes(program, affine);
+
+  // Loop-aware symbolic address forms (falls back to the affine form
+  // per access when the walk loses more than the fixpoint did).
+  const LoopNest nest(program);
+  const SymbolicAddresses symaddrs(program, nest, affine);
 
   // Barriers: only block-uniform ones separate intervals.
   std::vector<u8> separating(n, 0);
@@ -362,6 +369,11 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
     a.is_store = ins.op == Opcode::kStGlobal || ins.op == Opcode::kStShared;
     a.width = a.is_atomic ? 4 : ins.width();
     a.addr = affine.address_of(pc);
+    a.sym = SymAddr::from_affine(a.addr);
+    if (opts.loop_aware) {
+      const SymAddr& s = symaddrs.address_of(pc);
+      if (!s.top) a.sym = s;
+    }
     Ctx c;
     c.exec_uniform = facts.exec_uniform[pc] != 0;
     c.unique_scopes = facts.unique[pc];
@@ -420,8 +432,10 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
                           A.addr.block_coeff() == 0 && ctxs[i].unique_scopes.empty();
 
     bool conflict = false;
-    int witness = -1;
-    for (u32 j = 0; j < na && !conflict; ++j) {
+    int witness_pc = -1;
+    RaceWitness found_witness;
+    for (u32 j = 0; j < na; ++j) {
+      if (conflict && (!opts.loop_aware || found_witness.rdu_visible)) break;
       const StaticAccess& B = report.accesses[j];
       if (B.shared_space != A.shared_space) continue;
       if (B.is_atomic) continue;  // detectors treat atomics as synchronization
@@ -435,9 +449,36 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
             i == j || reach[i][B.pc] != 0 || reach[j][A.pc] != 0;
         if (!same_interval) continue;
       }
-      if (may_conflict(A, B, ctxs[i], ctxs[j], opts)) {
+      if (opts.loop_aware) {
+        DepAccess da{A.pc, A.is_store, A.width, A.sym, ctxs[i].exec_uniform,
+                     ctxs[i].repeatable};
+        DepAccess db{B.pc, B.is_store, B.width, B.sym, ctxs[j].exec_uniform,
+                     ctxs[j].repeatable};
+        DependenceOptions dop;
+        dop.granularity = A.shared_space ? opts.shared_granularity : opts.global_granularity;
+        dop.block_dim = opts.block_dim;
+        dop.grid_dim = opts.grid_dim;
+        dop.warp_size = opts.warp_size;
+        dop.assume_noalias_params = opts.assume_noalias_params;
+        dop.assume_aligned_params = opts.assume_aligned_params;
+        dop.warp_synchronous = opts.warp_synchronous;
+        PairVerdict v = test_pair(da, db, /*self=*/i == j,
+                                  shares_unique_scope(ctxs[i], ctxs[j]), A.shared_space, dop);
+        if (v.conflict && !v.warp_confined) {
+          if (!conflict) {
+            conflict = true;
+            witness_pc = static_cast<int>(B.pc);
+          }
+          // Keep scanning for a better (RDU-visible) witness.
+          if (v.witness.found && (!found_witness.found ||
+                                  (v.witness.rdu_visible && !found_witness.rdu_visible))) {
+            found_witness = v.witness;
+            witness_pc = static_cast<int>(B.pc);
+          }
+        }
+      } else if (may_conflict(A, B, ctxs[i], ctxs[j], opts)) {
         conflict = true;
-        witness = static_cast<int>(B.pc);
+        witness_pc = static_cast<int>(B.pc);
       }
     }
 
@@ -445,11 +486,37 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
       A.cls = AccessClass::kDefiniteRace;
       A.reason = "all threads of a block store " + to_string(A.addr);
       report.lints.push_back({A.pc, LintKind::kDefiniteRace, A.reason});
+      // Trivial witness: every thread of one block stores the granule;
+      // pick thread 0 against one in another warp when the block holds
+      // one (the same-pc exact-address store pair is RDU-visible either
+      // way through the intra-warp WAW check).
+      if (!A.sym.top) {
+        const u32 bd = opts.block_dim ? opts.block_dim : 2 * opts.warp_size;
+        const i64 addr = A.sym.base;  // params/U read as 0, iterations at 0
+        if (addr >= 0 && bd >= 2) {
+          RaceWitness w;
+          w.found = true;
+          w.rdu_visible = true;
+          w.pc = A.pc;
+          w.other_pc = A.pc;
+          w.tid1 = 0;
+          w.tid2 = bd > opts.warp_size ? opts.warp_size : bd - 1;
+          for (const IterTerm& t : A.sym.iters) {
+            w.iters1.emplace_back(t.begin_pc, 0);
+            w.iters2.emplace_back(t.begin_pc, 0);
+          }
+          w.addr1 = w.addr2 = static_cast<u64>(addr);
+          const i64 g = A.shared_space ? opts.shared_granularity : opts.global_granularity;
+          w.granule = static_cast<u64>(addr / g * g);
+          A.witness = std::move(w);
+        }
+      }
     } else if (conflict) {
       A.cls = AccessClass::kMayRace;
-      A.conflict_pc = witness;
+      A.conflict_pc = witness_pc;
+      A.witness = std::move(found_witness);
       A.reason = A.addr.top ? "address not statically known"
-                            : "conflicts with pc " + std::to_string(witness);
+                            : "conflicts with pc " + std::to_string(witness_pc);
     } else {
       A.cls = AccessClass::kProvablySafe;
       if (A.addr.top) {
@@ -464,6 +531,42 @@ StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts
   }
 
   return report;
+}
+
+AnalyzeOptions options_for(const rd::HaccrgConfig& cfg, u32 block_dim, u32 grid_dim) {
+  AnalyzeOptions opts;
+  opts.shared_granularity = cfg.shared_granularity;
+  opts.global_granularity = cfg.global_granularity;
+  opts.block_dim = block_dim;
+  opts.grid_dim = grid_dim;
+  return opts;
+}
+
+Status filter_compatible(const AnalyzeOptions& opts, const rd::HaccrgConfig& cfg,
+                         u32 block_dim, u32 grid_dim) {
+  if (cfg.enable_shared && opts.shared_granularity != cfg.shared_granularity)
+    return Status::invalid_argument(
+        "static report computed at shared granularity " +
+        std::to_string(opts.shared_granularity) + " cannot filter a detector tracking " +
+        std::to_string(cfg.shared_granularity) + "-byte shared granules");
+  if (cfg.enable_global && opts.global_granularity != cfg.global_granularity)
+    return Status::invalid_argument(
+        "static report computed at global granularity " +
+        std::to_string(opts.global_granularity) + " cannot filter a detector tracking " +
+        std::to_string(cfg.global_granularity) + "-byte global granules");
+  if (opts.warp_synchronous && cfg.warp_regrouping)
+    return Status::invalid_argument(
+        "warp-synchronous pruning assumes the fixed warp grouping; it cannot filter a "
+        "detector running with warp regrouping");
+  if (opts.block_dim != 0 && block_dim != 0 && opts.block_dim != block_dim)
+    return Status::invalid_argument("static report assumed block_dim " +
+                                    std::to_string(opts.block_dim) + " but the launch uses " +
+                                    std::to_string(block_dim));
+  if (opts.grid_dim != 0 && grid_dim != 0 && opts.grid_dim != grid_dim)
+    return Status::invalid_argument("static report assumed grid_dim " +
+                                    std::to_string(opts.grid_dim) + " but the launch uses " +
+                                    std::to_string(grid_dim));
+  return {};
 }
 
 }  // namespace haccrg::analysis

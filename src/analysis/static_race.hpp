@@ -27,6 +27,9 @@
 
 #include "analysis/affine.hpp"
 #include "analysis/cfg.hpp"
+#include "analysis/dependence.hpp"
+#include "common/status.hpp"
+#include "haccrg/options.hpp"
 #include "isa/program.hpp"
 
 namespace haccrg::analysis {
@@ -55,6 +58,22 @@ struct AnalyzeOptions {
   /// Parameter base pointers are aligned to the shadow granularity
   /// (device allocators align far coarser in practice).
   bool assume_aligned_params = true;
+  /// Launch geometry, when known. Bounding the thread/block variables
+  /// lets the dependence tests refute conflicts that are launch-size
+  /// dependent (e.g. strided loop inits that only collide for huge
+  /// blocks). 0 = unknown (ranges stay unbounded — always sound).
+  u32 block_dim = 0;
+  u32 grid_dim = 0;
+  u32 warp_size = 32;
+  /// Loop-aware symbolic addresses + dependence solver (dependence.hpp).
+  /// Off = the PR-1 straight-line pair test, kept as the bench baseline.
+  bool loop_aware = true;
+  /// Classify pairs the way the hardware RDUs order them: provably
+  /// intra-warp shared pairs are warp-ordered and never reported, so
+  /// they count as safe. ONLY sound when filtering the hardware
+  /// detector with warp regrouping disabled; software detectors do
+  /// report intra-warp pairs.
+  bool warp_synchronous = false;
 };
 
 /// Classification record for one memory instruction.
@@ -66,8 +85,13 @@ struct StaticAccess {
   bool is_atomic = false;
   u32 width = 4;
   AffineVal addr;        ///< affine address form at the access
+  SymAddr sym;           ///< loop-aware symbolic form (== addr when loops are off)
   int conflict_pc = -1;  ///< witness partner for kMayRace (or -1)
   std::string reason;    ///< human-readable justification
+  /// Concrete racing candidate for kMayRace/kDefiniteRace (solver
+  /// enumerated, replay-checkable). found=false when the solver budget
+  /// ran out or the addresses aren't concretely realizable.
+  RaceWitness witness;
 };
 
 struct Lint {
@@ -77,6 +101,8 @@ struct Lint {
 };
 
 struct StaticRaceReport {
+  std::string kernel;                ///< program name the report was built from
+  AnalyzeOptions options;            ///< the options the pass ran with
   std::vector<AccessClass> classes;  ///< per pc; meaningful at memory pcs
   std::vector<StaticAccess> accesses;
   std::vector<Lint> lints;
@@ -100,6 +126,21 @@ struct StaticRaceReport {
 
 /// Run the full pass. The program must be sealed and valid.
 StaticRaceReport analyze(const isa::Program& program, const AnalyzeOptions& opts = {});
+
+/// AnalyzeOptions matched to a detector configuration: granularities
+/// copied from `cfg` so pruning is sound for that detector, geometry
+/// filled in when the caller knows it. The safe way to build options for
+/// a HaccrgConfig::static_filter report — hand-rolled options with the
+/// wrong granularity silently prune accesses the detector would check.
+AnalyzeOptions options_for(const rd::HaccrgConfig& cfg, u32 block_dim = 0, u32 grid_dim = 0);
+
+/// Can a report computed with `opts` soundly filter a detector running
+/// `cfg`? Rejects per-space granularity mismatches (for each enabled
+/// space), warp-synchronous pruning under warp regrouping, and geometry
+/// recorded in the report that contradicts the launch (`block_dim` /
+/// `grid_dim`; pass 0 to skip the launch-geometry check).
+Status filter_compatible(const AnalyzeOptions& opts, const rd::HaccrgConfig& cfg,
+                         u32 block_dim = 0, u32 grid_dim = 0);
 
 /// Render an AffineVal for reports/tests, e.g. "4*tid+16" or "param2+4*gtid".
 std::string to_string(const AffineVal& v);

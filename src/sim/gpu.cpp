@@ -62,6 +62,18 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
     result.error = "shared memory request exceeds capacity";
     return result;
   }
+  if (haccrg_config_.static_filter && launch.static_report != nullptr) {
+    // A report built for the wrong granularity (or warp grouping, or
+    // geometry) silently skips checks the detector needed — reject the
+    // launch instead of running unsound.
+    if (const Status st = analysis::filter_compatible(launch.static_report->options,
+                                                      haccrg_config_, launch.block_dim,
+                                                      launch.grid_dim);
+        !st.ok()) {
+      result.error = "incompatible static report: " + st.message();
+      return result;
+    }
+  }
 
   rd::RaceLog race_log(haccrg_config_.max_recorded_races);
   race_log.set_max_unique(haccrg_config_.max_unique_races);
@@ -292,6 +304,12 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   // non-zero to keep zero-fault golden stat sets byte-identical.
   if (race_log.saturated() != 0)
     result.stats.add("rd.race_log_saturated", race_log.saturated());
+  // Static-filter accounting: how many pcs the report proved safe. Only
+  // when the filter is actually driving skips, so unfiltered golden stat
+  // sets are unchanged.
+  if (haccrg_config_.static_filter && launch.static_report != nullptr)
+    result.stats.add("rd.static_safe_pcs",
+                     launch.static_report->count(analysis::AccessClass::kProvablySafe));
   u64 coverage_lost = race_log.saturated();
   if (result.stats.has("rd.evictions")) coverage_lost += result.stats.get("rd.evictions");
   if (faults != nullptr) {

@@ -484,7 +484,10 @@ void Sm::exec_shared_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   // static filter (opt-in) additionally skips accesses the compile-time
   // analysis proved race-free at the detector's granularity.
   const bool shared_static_skip = shared_rdu_ && !is_atomic && static_filtered(warp.pc);
-  if (shared_static_skip) static_filtered_ += scratch_accesses_.size();
+  if (shared_static_skip) {
+    static_filtered_ += scratch_accesses_.size();
+    static_filtered_shared_ += scratch_accesses_.size();
+  }
   if (env_.trace != nullptr && !scratch_accesses_.empty()) {
     trace::Event e;
     e.kind = trace_kind_for(ins.op);
@@ -590,7 +593,10 @@ void Sm::exec_global_mem(WarpContext& warp, const Instr& ins, Cycle now) {
   // check is statically filtered: they drive sync-ID ordering for the
   // *other* accesses' checks.
   if (detect_cfg && !scratch_accesses_.empty()) ids_.note_global_access(warp.block_slot());
-  if (global_static_skip) static_filtered_ += scratch_accesses_.size();
+  if (global_static_skip) {
+    static_filtered_ += scratch_accesses_.size();
+    static_filtered_global_ += scratch_accesses_.size();
+  }
 
   if (env_.trace != nullptr && !scratch_accesses_.empty()) {
     op.has_trace_event = true;
@@ -1000,6 +1006,10 @@ void Sm::export_stats(StatSet& stats) const {
   if (shared_rdu_) shared_rdu_->export_stats(stats);
   stats.add("sm.bank_conflict_cycles", bank_conflict_cycles_);
   stats.add("rd.static_filtered", static_filtered_);
+  // Per-space shares, only when the filter fired (keeps unfiltered
+  // golden stat sets byte-identical).
+  if (static_filtered_shared_ != 0) stats.add("rd.static_filtered_shared", static_filtered_shared_);
+  if (static_filtered_global_ != 0) stats.add("rd.static_filtered_global", static_filtered_global_);
   stats.add("sm.barrier_reset_cycles", barrier_reset_cycles_);
   stats.add("ids.barrier_events", ids_.barrier_events());
   stats.add("ids.sync_increments", ids_.sync_increments());

@@ -241,6 +241,8 @@ class Sm {
   u64 bank_conflict_cycles_ = 0;
   u64 barrier_reset_cycles_ = 0;
   u64 static_filtered_ = 0;  ///< lane accesses whose RDU check was filtered
+  u64 static_filtered_shared_ = 0;  ///< the shared-space share of the above
+  u64 static_filtered_global_ = 0;  ///< the global-space share
 };
 
 }  // namespace haccrg::sim

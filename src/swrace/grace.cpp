@@ -108,7 +108,7 @@ Program instrument_grace(const Program& program, const InstrumentOptions& opts,
   analysis::StaticRaceReport local_report;
   const analysis::StaticRaceReport* report = opts.report;
   if (opts.static_prune && report == nullptr) {
-    local_report = analysis::analyze(program);
+    local_report = analysis::analyze(program, opts.analyze);
     report = &local_report;
   }
 

@@ -17,6 +17,12 @@ struct InstrumentOptions {
   /// Precomputed report for the *original* program; when null and
   /// pruning is enabled, the pass runs the analysis itself.
   const analysis::StaticRaceReport* report = nullptr;
+  /// Options for the self-run analysis when `report` is null. The
+  /// defaults (4-byte granularity, no geometry) match the software
+  /// detectors; callers that know the launch shape can pass block_dim/
+  /// grid_dim for sharper pruning. warp_synchronous must stay false:
+  /// the software detectors do report intra-warp pairs.
+  analysis::AnalyzeOptions analyze{};
 };
 
 /// Site counts produced during one instrumentation pass.

@@ -1,0 +1,166 @@
+#include "trace/witness_check.hpp"
+
+#include <algorithm>
+
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
+
+namespace haccrg::trace {
+
+namespace {
+
+u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
+
+}  // namespace
+
+Status check_witness(const WitnessSpec& spec, const std::string& scratch_path,
+                     WitnessCheckResult& out) {
+  out = WitnessCheckResult{};
+  const u32 W = spec.warp_size;
+  if (W == 0 || (W & (W - 1)) != 0 || W > 64)
+    return Status::invalid_argument("witness: warp_size must be a power of two <= 64");
+  if (spec.block_dim == 0)
+    return Status::invalid_argument("witness: block_dim must be positive");
+  if (spec.width1 == 0 || spec.width2 == 0)
+    return Status::invalid_argument("witness: access widths must be positive");
+  if (spec.tid1 >= spec.block_dim || spec.tid2 >= spec.block_dim)
+    return Status::invalid_argument("witness: tid outside the block");
+  if (spec.shared_space && spec.cta1 != spec.cta2)
+    return Status::invalid_argument("witness: shared-space pair must share a block");
+  if (spec.tid1 == spec.tid2 && spec.cta1 == spec.cta2)
+    return Status::invalid_argument("witness: the two accesses name one thread");
+
+  // Host geometry: one SM, the pair's block(s) resident side by side.
+  const bool two_blocks = spec.cta1 != spec.cta2;
+  const u32 padded = static_cast<u32>(round_up(spec.block_dim, W));
+  const u32 warps_per_block = padded / W;
+  const u64 max_end = std::max(spec.addr1 + spec.width1, spec.addr2 + spec.width2);
+  constexpr u64 kMaxHostedBytes = u64{1} << 28;  // far under replay's 1 GiB cap
+  if (max_end > kMaxHostedBytes)
+    return Status::invalid_argument("witness: addresses exceed the hosted-memory cap");
+  const u32 smem = spec.shared_space ? static_cast<u32>(round_up(max_end, 256)) : 0;
+  const u32 heap = spec.shared_space ? 256 : static_cast<u32>(round_up(max_end, 256));
+
+  TraceHeader h;
+  h.num_sms = 1;
+  h.warp_size = W;
+  h.max_blocks_per_sm = two_blocks ? 2 : 1;
+  h.max_threads_per_sm = padded * (two_blocks ? 2 : 1);
+  h.shared_mem_per_sm = std::max<u32>(smem, 256);
+  h.shared_mem_banks = 32;
+  h.l1_line = 128;
+  h.device_mem_bytes = u64{heap} + (u64{heap} / spec.granularity + 2) * 16;
+  h.enable_shared = spec.shared_space;
+  h.enable_global = !spec.shared_space;
+  h.warp_regrouping = false;
+  h.disable_fence_gate = false;
+  h.static_filter = false;
+  h.shared_shadow = 0;  // rd::SharedShadowPlacement::kHardware
+  h.shared_granularity = spec.shared_space ? spec.granularity : 16;
+  h.global_granularity = spec.shared_space ? 4 : spec.granularity;
+  h.bloom_bits = 16;
+  h.bloom_bins = 2;
+  h.max_recorded_races = 64;
+
+  TraceWriter writer(scratch_path);
+  if (!writer.write_header(h))
+    return Status::io_error("witness: cannot write scratch trace '" + scratch_path +
+                            "': " + writer.error());
+
+  Event begin;
+  begin.kind = EventKind::kKernelBegin;
+  begin.cycle = 0;
+  begin.grid_dim = std::max(spec.cta1, spec.cta2) + 1;
+  begin.block_dim = spec.block_dim;
+  begin.shared_mem_bytes = smem;
+  begin.app_heap_bytes = heap;
+  begin.shadow_base = round_up(heap, 8);
+  begin.label = "witness-check";
+  writer.write_event(begin);
+
+  // Map the pair's blocks onto slots 0 (cta1) and, if distinct, 1 (cta2).
+  auto launch = [&](u32 slot, u32 block_id) {
+    Event e;
+    e.kind = EventKind::kBlockLaunch;
+    e.cycle = 1;
+    e.sm = 0;
+    e.block_slot = slot;
+    e.block_id = block_id;
+    e.thread_base = slot * padded;
+    e.num_warps = warps_per_block;
+    e.smem_base = 0;  // both hosted blocks share the window; the pair's
+                      // addresses are block-1-local and block 2 never
+                      // touches shared memory in a valid witness.
+    e.smem_bytes = smem;
+    writer.write_event(e);
+  };
+  launch(0, spec.cta1);
+  if (two_blocks) launch(1, spec.cta2);
+
+  auto access_kind = [&](bool store) {
+    if (spec.shared_space) return store ? EventKind::kSharedStore : EventKind::kSharedLoad;
+    return store ? EventKind::kGlobalStore : EventKind::kGlobalLoad;
+  };
+  auto make_access = [&](u32 pc, bool store, u32 width, u32 tid, u32 cta, u64 addr,
+                         Cycle cycle) {
+    Event e;
+    e.kind = access_kind(store);
+    e.cycle = cycle;
+    e.sm = 0;
+    e.block_slot = (two_blocks && cta == spec.cta2) ? 1 : 0;
+    e.warp_in_block = tid / W;
+    e.warp_slot = e.block_slot * warps_per_block + e.warp_in_block;
+    e.pc = pc;
+    e.width = static_cast<u8>(std::min<u32>(width, 255));
+    e.checked = true;
+    e.lanes.push_back({static_cast<u8>(tid % W), addr, false, 0});
+    return e;
+  };
+
+  // An intra-warp same-pc store pair is one lockstep issue: emit a single
+  // two-lane event so replay's intra-warp WAW staging sees it the way the
+  // hardware does.
+  const bool lockstep = spec.cta1 == spec.cta2 && spec.tid1 / W == spec.tid2 / W &&
+                        spec.pc1 == spec.pc2 && spec.store1 && spec.store2 &&
+                        spec.width1 == spec.width2;
+  if (lockstep) {
+    Event e = make_access(spec.pc1, true, spec.width1, spec.tid1, spec.cta1, spec.addr1, 2);
+    e.lanes.push_back({static_cast<u8>(spec.tid2 % W), spec.addr2, false, 0});
+    std::sort(e.lanes.begin(), e.lanes.end(),
+              [](const TraceLane& x, const TraceLane& y) { return x.lane < y.lane; });
+    writer.write_event(e);
+  } else {
+    writer.write_event(
+        make_access(spec.pc1, spec.store1, spec.width1, spec.tid1, spec.cta1, spec.addr1, 2));
+    writer.write_event(
+        make_access(spec.pc2, spec.store2, spec.width2, spec.tid2, spec.cta2, spec.addr2, 3));
+  }
+
+  Event end;
+  end.kind = EventKind::kKernelEnd;
+  end.cycle = 4;
+  writer.write_event(end);
+  if (!writer.finish())
+    return Status::io_error("witness: scratch trace write failed: " + writer.error());
+
+  ReplayOptions ropts;
+  ropts.hw = true;
+  ReplayResult rr = replay_trace(scratch_path, ropts);
+  if (!rr.ok) return Status(rr.code, "witness: replay failed: " + rr.error);
+
+  for (const KernelReplay& k : rr.kernels) {
+    for (const rd::RaceRecord& r : k.races.races()) {
+      ++out.races;
+      if (r.pc == spec.pc1 || r.pc == spec.pc2) {
+        if (!out.reproduced) out.detail = race_key_line(race_key(r));
+        out.reproduced = true;
+      }
+    }
+  }
+  if (!out.reproduced && out.detail.empty())
+    out.detail = out.races == 0 ? "detectors stayed silent"
+                                : "races fired but none at the witness pcs";
+  return {};
+}
+
+}  // namespace haccrg::trace

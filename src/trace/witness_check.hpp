@@ -1,0 +1,57 @@
+// Witness validation: turn a solver-produced race witness (two concrete
+// accesses — thread ids, block ids, byte addresses) into a minimal
+// synthetic access trace and replay the hardware detectors over it. A
+// witness is *reproduced* when the two-access trace makes an RDU report
+// a race between the pair's pcs — closing the loop between the static
+// verifier's claim ("these two accesses can collide") and the dynamic
+// machinery that defines what a race is in this codebase.
+//
+// The synthetic kernel is the smallest machine state that can host the
+// pair: one SM, one or two resident blocks, the two access events (one
+// combined two-lane event when the witness is an intra-warp same-pc
+// store pair, which is how the hardware sees a lockstep WAW), no
+// barriers or fences. Addresses are witness addresses verbatim: shared
+// offsets are SM-local (block 1's smem window starts at 0), global
+// addresses are heap offsets with parameter bases at 0 — the same
+// normalization the dependence solver enumerates under.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haccrg::trace {
+
+/// One concrete access pair to validate. Self-contained (no dependency
+/// on the analysis layer); callers map a RaceWitness + its two
+/// StaticAccesses onto these fields.
+struct WitnessSpec {
+  bool shared_space = false;
+  u32 pc1 = 0, pc2 = 0;
+  bool store1 = true, store2 = true;
+  u32 width1 = 4, width2 = 4;
+  u32 tid1 = 0, cta1 = 0;  ///< first access: thread id + block id
+  u32 tid2 = 0, cta2 = 0;
+  u64 addr1 = 0, addr2 = 0;  ///< byte addresses (space-local, see above)
+  u32 block_dim = 32;
+  u32 warp_size = 32;
+  u32 granularity = 4;  ///< detector granularity for the pair's space
+};
+
+struct WitnessCheckResult {
+  bool reproduced = false;  ///< the replayed detectors flagged the pair
+  u32 races = 0;            ///< total race records the replay produced
+  std::string detail;       ///< first race line, or why nothing fired
+};
+
+/// Synthesize the two-access trace at `scratch_path` (overwritten; the
+/// caller owns cleanup), replay the hardware detectors over it, and
+/// report whether the pair races. Returns non-OK only for structural
+/// failures (unwritable scratch file, spec that cannot be hosted —
+/// tid >= block_dim, zero widths); "the detectors stayed silent" is a
+/// successful check with reproduced=false.
+Status check_witness(const WitnessSpec& spec, const std::string& scratch_path,
+                     WitnessCheckResult& out);
+
+}  // namespace haccrg::trace

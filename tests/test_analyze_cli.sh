@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Exit-code contract test for the haccrg-analyze CLI.
+#
+#   0 clean / all findings suppressed    3 I/O failure
+#   1 unsuppressed findings remain       4 malformed suppression file
+#   2 usage error                        5 unknown kernel
+#
+# Every failure must be a clean diagnosed exit — no aborts, no uncaught
+# throws (exit codes >= 128 would betray a signal), and a non-empty
+# stderr diagnosis on the usage/I-O/suppression/kernel paths.
+set -u
+
+BIN=$1
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+cd "$WORK" || exit 99
+
+fails=0
+
+expect_exit() {
+  local want=$1
+  shift
+  "$@" >cli_stdout.txt 2>cli_stderr.txt
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*"
+    sed 's/^/  stderr: /' cli_stderr.txt
+    fails=$((fails + 1))
+    return
+  fi
+  # Findings (1) are reported on stdout; every other non-zero path must
+  # carry a stderr diagnosis.
+  if [ "$want" -ge 2 ] && [ ! -s cli_stderr.txt ]; then
+    echo "FAIL: exit $want with empty stderr: $*"
+    fails=$((fails + 1))
+  fi
+}
+
+# --- Usage errors (2) --------------------------------------------------------
+expect_exit 2 "$BIN"
+expect_exit 2 "$BIN" frobnicate
+expect_exit 2 "$BIN" analyze --bogus-flag
+expect_exit 2 "$BIN" analyze --block-dim notanumber
+expect_exit 2 "$BIN" analyze --suppressions
+expect_exit 2 "$BIN" annotate
+expect_exit 2 "$BIN" diff
+expect_exit 2 "$BIN" soundness --seeds 0
+
+# --- Unknown kernel (5) ------------------------------------------------------
+expect_exit 5 "$BIN" analyze --kernel NOSUCH
+expect_exit 5 "$BIN" annotate --kernel NOSUCH
+expect_exit 5 "$BIN" diff --kernel NOSUCH
+
+# --- Findings (1) and clean runs (0) -----------------------------------------
+# HIST's histogram update is a real may-race: findings -> 1.
+expect_exit 1 "$BIN" analyze --kernel HIST
+# Annotation and static-vs-dynamic diff are informational on sound kernels.
+expect_exit 0 "$BIN" annotate --kernel REDUCE
+expect_exit 0 "$BIN" diff --kernel REDUCE
+
+# JSON mode emits a machine-readable array even when findings exist.
+expect_exit 1 "$BIN" analyze --kernel HIST --json
+head -c1 cli_stdout.txt | grep -q '\[' || {
+  echo "FAIL: --json did not emit a JSON array"
+  fails=$((fails + 1))
+}
+
+# --- Suppressions: missing (3), malformed (4), catch-all (0) -----------------
+expect_exit 3 "$BIN" analyze --kernel HIST --suppressions ./does_not_exist.supp
+printf '{\n  unclosed block\n' > bad.supp
+expect_exit 4 "$BIN" analyze --kernel HIST --suppressions bad.supp
+printf '# mute everything\n{\n  catch-all\n}\n' > all.supp
+expect_exit 0 "$BIN" analyze --kernel HIST --suppressions all.supp
+grep -q "suppressed" cli_stdout.txt || {
+  echo "FAIL: catch-all suppression not reported in the text output"
+  fails=$((fails + 1))
+}
+
+# --- The soundness gate itself (0) -------------------------------------------
+expect_exit 0 "$BIN" soundness --seeds 1
+grep -q "0 violations" cli_stdout.txt || {
+  echo "FAIL: soundness summary missing '0 violations'"
+  sed 's/^/  stdout: /' cli_stdout.txt | tail -5
+  fails=$((fails + 1))
+}
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed"
+  exit 1
+fi
+echo "all exit-code checks passed"
+exit 0

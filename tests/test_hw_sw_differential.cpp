@@ -55,6 +55,7 @@ using LocationSet = std::set<std::tuple<int, u32, Addr>>;
 struct HwRun {
   bool completed = false;
   LocationSet locations;
+  std::set<u32> race_pcs;
   u64 unique_races = 0;
   u64 filtered_checks = 0;
 };
@@ -63,9 +64,10 @@ HwRun run_hw(const std::string& name, bool static_filter) {
   sim::Gpu gpu(test_gpu(), detection_word(static_filter));
   PreparedKernel prep = find_benchmark(name)->prepare(gpu, BenchOptions{});
   if (static_filter) {
-    analysis::AnalyzeOptions aopts;
-    aopts.shared_granularity = 4;
-    aopts.global_granularity = 4;
+    // options_for + launch geometry: the filtered leg runs the full
+    // loop-aware analysis and passes the launch-time compatibility check.
+    const analysis::AnalyzeOptions aopts =
+        analysis::options_for(detection_word(true), prep.block_dim, prep.grid_dim);
     prep.static_report =
         std::make_shared<analysis::StaticRaceReport>(analysis::analyze(prep.program, aopts));
   }
@@ -78,6 +80,7 @@ HwRun run_hw(const std::string& name, bool static_filter) {
   for (const rd::RaceRecord& race : r.races.races()) {
     const u32 sm = race.space == rd::MemSpace::kShared ? race.sm_id : 0;
     run.locations.insert({static_cast<int>(race.space), sm, race.granule_addr});
+    run.race_pcs.insert(race.pc);
   }
   return run;
 }
@@ -105,6 +108,23 @@ TEST_P(HwSwDifferential, StaticFilterPreservesHwLocations) {
       << name << ": the static filter changed which locations are reported racy";
   EXPECT_EQ(unfiltered.unique_races, filtered.unique_races) << name;
   EXPECT_EQ(unfiltered.filtered_checks, 0u) << name << ": filter fired while disabled";
+}
+
+TEST_P(HwSwDifferential, StaticSafePcsNeverInHwRaceSet) {
+  // The static verifier's core claim, checked against the hardware
+  // implementation directly: a kProvablySafe pc never triggers a race.
+  const std::string name = GetParam();
+  sim::Gpu gpu(test_gpu(), rd::HaccrgConfig{});
+  PreparedKernel prep = find_benchmark(name)->prepare(gpu, BenchOptions{});
+  const analysis::AnalyzeOptions aopts =
+      analysis::options_for(detection_word(false), prep.block_dim, prep.grid_dim);
+  const analysis::StaticRaceReport report = analysis::analyze(prep.program, aopts);
+  const HwRun hw = run_hw(name, false);
+  ASSERT_TRUE(hw.completed);
+  for (u32 pc : hw.race_pcs) {
+    EXPECT_FALSE(report.is_safe(pc))
+        << name << ": pc " << pc << " raced in hardware but was classified provably safe";
+  }
 }
 
 TEST_P(HwSwDifferential, StaticPrunePreservesSwVerdict) {

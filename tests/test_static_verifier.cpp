@@ -1,0 +1,560 @@
+// The static race verifier as a standalone subsystem: loop-nest
+// recognition, loop-aware symbolic addresses, the dependence tests
+// (iteration disjointness, pure-gtid self pairs, warp-synchronous
+// confinement), witness generation + replay validation, the
+// AnalyzeOptions/HaccrgConfig compatibility contract, and the
+// Valgrind-grade error pipeline (dedup, suppressions, stable JSON).
+//
+// The two soundness properties at the end are the subsystem's contract:
+// no kProvablySafe access ever shows up in a dynamic race set (kernels +
+// the 41-case injection suite, three workload seeds), and every
+// rdu-visible witness reproduces under synthesized-trace replay.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/dependence.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/report.hpp"
+#include "analysis/static_race.hpp"
+#include "isa/builder.hpp"
+#include "kernels/injection.hpp"
+#include "trace/witness_check.hpp"
+
+namespace haccrg {
+namespace {
+
+using analysis::AccessClass;
+using analysis::AnalyzeOptions;
+using analysis::StaticAccess;
+using analysis::StaticRaceReport;
+using kernels::BenchOptions;
+using kernels::InjectionCase;
+using kernels::InjectionKind;
+using kernels::PreparedKernel;
+using kernels::all_injection_cases;
+using kernels::find_benchmark;
+using isa::KernelBuilder;
+using isa::Program;
+using isa::Reg;
+using isa::SpecialReg;
+
+arch::GpuConfig test_gpu() {
+  arch::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.device_mem_bytes = 32 * 1024 * 1024;
+  return cfg;
+}
+
+std::string scratch_trace(const char* tag) {
+  return ::testing::TempDir() + "witness_" + tag + ".trace";
+}
+
+// --- Loop-nest recognition ---------------------------------------------------
+
+TEST(LoopNest, ForRangeYieldsGuardedInductionVariable) {
+  KernelBuilder kb("iv");
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, 8u, 2u, [&] {
+    Reg t = kb.reg();
+    kb.add(t, i, 1u);
+  });
+  Program prog = kb.build();
+  analysis::LoopNest nest(prog);
+  ASSERT_EQ(nest.size(), 1u);
+  const analysis::Loop& loop = nest.loop(0);
+  EXPECT_EQ(loop.parent, -1);
+  EXPECT_EQ(loop.depth, 0u);
+  const analysis::LoopIv* iv = loop.iv_of(i.idx);
+  ASSERT_NE(iv, nullptr);
+  EXPECT_EQ(iv->step, 2);
+  EXPECT_TRUE(loop.has_guard);
+  EXPECT_EQ(loop.guard_iv, i.idx);
+  ASSERT_TRUE(loop.guard_bound_is_imm);
+  EXPECT_EQ(loop.guard_bound_imm, 8u);
+}
+
+TEST(LoopNest, NestedLoopsRecordParentAndDepth) {
+  KernelBuilder kb("nest");
+  Reg i = kb.reg();
+  Reg j = kb.reg();
+  kb.for_range(i, 0u, 4u, 1u, [&] {
+    kb.for_range(j, 0u, 2u, 1u, [&] {
+      Reg t = kb.reg();
+      kb.add(t, j, i);
+    });
+  });
+  Program prog = kb.build();
+  analysis::LoopNest nest(prog);
+  ASSERT_EQ(nest.size(), 2u);
+  EXPECT_EQ(nest.loop(0).parent, -1);
+  EXPECT_EQ(nest.loop(1).parent, 0);
+  EXPECT_EQ(nest.loop(1).depth, 1u);
+  EXPECT_TRUE(nest.loop(0).contains(nest.loop(1).begin_pc));
+  // The outer loop sees the inner loop's writes (j is written inside).
+  EXPECT_TRUE(nest.loop(0).writes(j.idx));
+  // innermost_at resolves to the inner loop inside its body.
+  EXPECT_EQ(nest.innermost_at(nest.loop(1).begin_pc + 3), 1);
+}
+
+// --- Loop-aware symbolic addresses -------------------------------------------
+
+TEST(SymbolicAddresses, StridedLoopStoreCarriesIterTerm) {
+  // addr = 32*tid + 4*i, i in [0, 8): per-thread 32-byte stripes.
+  KernelBuilder kb("stripes");
+  Reg tid = kb.special(SpecialReg::kTid);
+  Reg stripe = kb.reg();
+  kb.mul(stripe, tid, 32u);
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, 8u, 1u, [&] {
+    Reg off = kb.reg();
+    kb.mul(off, i, 4u);
+    Reg addr = kb.reg();
+    kb.add(addr, stripe, off);
+    kb.st_shared(addr, tid);
+  });
+  Program prog = kb.build();
+  u32 store_pc = prog.size();
+  for (u32 pc = 0; pc < prog.size(); ++pc) {
+    if (prog.at(pc).op == isa::Opcode::kStShared) store_pc = pc;
+  }
+  ASSERT_LT(store_pc, prog.size());
+
+  analysis::Cfg cfg(prog);
+  analysis::LoopNest nest(prog);
+  analysis::AffineAnalysis affine(prog, cfg);
+  analysis::SymbolicAddresses sym(prog, nest, affine);
+  const analysis::SymAddr& s = sym.address_of(store_pc);
+  EXPECT_FALSE(s.top);
+  EXPECT_EQ(s.c_tid, 32);
+  ASSERT_EQ(s.iters.size(), 1u);
+  EXPECT_EQ(s.iters[0].coeff, 4);
+  EXPECT_EQ(s.iters[0].trip, 8);
+  // The plain affine domain widens the loop-varying offset to an
+  // unknown uniform term — it cannot express the iteration bound.
+  EXPECT_TRUE(affine.address_of(store_pc).uniform_unknown || affine.address_of(store_pc).top);
+
+  // Loop-aware analysis proves the stripes disjoint; the PR-1
+  // straight-line test cannot (the address is top for it).
+  StaticRaceReport aware = analysis::analyze(prog);
+  EXPECT_TRUE(aware.is_safe(store_pc)) << aware.annotate(prog);
+  AnalyzeOptions pr1;
+  pr1.loop_aware = false;
+  StaticRaceReport straight = analysis::analyze(prog, pr1);
+  EXPECT_FALSE(straight.is_safe(store_pc));
+}
+
+TEST(StaticRace, LoopCarriedUniformStoreIsNotSafe) {
+  // Every thread stores a[4*i] for i in [0, 4): same granule from all
+  // threads at every iteration — a loop-carried definite conflict.
+  KernelBuilder kb("carried");
+  Reg i = kb.reg();
+  kb.for_range(i, 0u, 4u, 1u, [&] {
+    Reg addr = kb.reg();
+    kb.mul(addr, i, 4u);
+    kb.st_shared(addr, i);
+  });
+  Program prog = kb.build();
+  StaticRaceReport rep = analysis::analyze(prog);
+  EXPECT_EQ(rep.count(AccessClass::kProvablySafe), 0u) << rep.annotate(prog);
+}
+
+TEST(StaticRace, PureGtidGlobalStoreSelfPairIsSafe) {
+  // out[gtid]: folding gtid into (tid, cta) defeats the independent
+  // interval/GCD tests; the single-variable gtid system proves it.
+  KernelBuilder kb("gtid");
+  Reg gtid = kb.special(SpecialReg::kGTid);
+  Reg base = kb.param(0);
+  Reg off = kb.reg();
+  kb.mul(off, gtid, 4u);
+  Reg addr = kb.reg();
+  kb.add(addr, base, off);
+  kb.st_global(addr, gtid);
+  Program prog = kb.build();
+  AnalyzeOptions opts;
+  opts.block_dim = 256;
+  opts.grid_dim = 4;
+  StaticRaceReport rep = analysis::analyze(prog, opts);
+  EXPECT_EQ(rep.count(AccessClass::kProvablySafe), 1u) << rep.annotate(prog);
+}
+
+TEST(StaticRace, WarpSynchronousConfinesIntraWarpSharedPair) {
+  // word[tid] store + load at the 16-byte RDU granularity: threads
+  // 4t..4t+3 share a granule, so collisions stay inside one aligned
+  // group of four lanes — SIMD-ordered, invisible to the shared RDU.
+  KernelBuilder kb("warp");
+  Reg tid = kb.special(SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  Reg v = kb.reg();
+  kb.ld_shared(v, slot);
+  Program prog = kb.build();
+
+  AnalyzeOptions sw;
+  sw.block_dim = 64;
+  sw.shared_granularity = 16;
+  StaticRaceReport sw_rep = analysis::analyze(prog, sw);
+  EXPECT_EQ(sw_rep.count(AccessClass::kMayRace), 2u) << sw_rep.annotate(prog);
+
+  AnalyzeOptions hw = sw;
+  hw.warp_synchronous = true;
+  StaticRaceReport hw_rep = analysis::analyze(prog, hw);
+  EXPECT_EQ(hw_rep.count(AccessClass::kProvablySafe), 2u) << hw_rep.annotate(prog);
+
+  // Shift the load one granule row up: collisions now cross group
+  // boundaries, so warp-synchronous mode must NOT filter them.
+  KernelBuilder kb2("warp2");
+  Reg tid2 = kb2.special(SpecialReg::kTid);
+  Reg slot2 = kb2.reg();
+  kb2.mul(slot2, tid2, 4u);
+  kb2.st_shared(slot2, tid2);
+  Reg v2 = kb2.reg();
+  kb2.ld_shared(v2, slot2, 16);
+  Program prog2 = kb2.build();
+  StaticRaceReport cross_rep = analysis::analyze(prog2, hw);
+  EXPECT_EQ(cross_rep.count(AccessClass::kMayRace), 2u) << cross_rep.annotate(prog2);
+}
+
+// --- Witness generation + replay validation ----------------------------------
+
+Program neighbor_read_kernel() {
+  KernelBuilder kb("neighbor");
+  Reg tid = kb.special(SpecialReg::kTid);
+  Reg slot = kb.reg();
+  kb.mul(slot, tid, 4u);
+  kb.st_shared(slot, tid);
+  Reg v = kb.reg();
+  kb.ld_shared(v, slot, 4);
+  return kb.build();
+}
+
+TEST(Witness, MayRacePairCarriesConcreteWitness) {
+  Program prog = neighbor_read_kernel();
+  AnalyzeOptions opts;
+  opts.block_dim = 64;
+  StaticRaceReport rep = analysis::analyze(prog, opts);
+  u32 with_witness = 0;
+  for (const StaticAccess& a : rep.accesses) {
+    if (a.cls == AccessClass::kProvablySafe) continue;
+    ASSERT_TRUE(a.witness.found) << "pc " << a.pc << ": " << a.reason;
+    const analysis::RaceWitness& w = a.witness;
+    // Distinct threads colliding on one granule of the shared window.
+    EXPECT_TRUE(w.tid1 != w.tid2 || w.cta1 != w.cta2) << w.describe();
+    EXPECT_EQ(w.addr1 / opts.shared_granularity, w.addr2 / opts.shared_granularity)
+        << w.describe();
+    EXPECT_EQ(w.granule, w.addr1 - w.addr1 % opts.shared_granularity) << w.describe();
+    EXPECT_LT(w.tid1, opts.block_dim);
+    EXPECT_LT(w.tid2, opts.block_dim);
+    ++with_witness;
+  }
+  EXPECT_EQ(with_witness, 2u);
+}
+
+TEST(Witness, RduVisibleWitnessesReproduceUnderReplay) {
+  Program prog = neighbor_read_kernel();
+  AnalyzeOptions opts;
+  opts.block_dim = 64;
+  StaticRaceReport rep = analysis::analyze(prog, opts);
+  u32 checked = 0;
+  for (const StaticAccess& a : rep.accesses) {
+    if (a.cls == AccessClass::kProvablySafe || !a.witness.found) continue;
+    if (!a.witness.rdu_visible || a.is_atomic) continue;
+    const StaticAccess* other = rep.access_at(a.witness.other_pc);
+    ASSERT_NE(other, nullptr);
+    if (other->is_atomic) continue;
+    trace::WitnessSpec spec;
+    spec.shared_space = a.shared_space;
+    spec.pc1 = a.witness.pc;
+    spec.pc2 = a.witness.other_pc;
+    spec.store1 = a.is_store;
+    spec.store2 = other->is_store;
+    spec.width1 = a.width;
+    spec.width2 = other->width;
+    spec.tid1 = a.witness.tid1;
+    spec.cta1 = a.witness.cta1;
+    spec.tid2 = a.witness.tid2;
+    spec.cta2 = a.witness.cta2;
+    spec.addr1 = a.witness.addr1;
+    spec.addr2 = a.witness.addr2;
+    spec.block_dim = opts.block_dim;
+    spec.granularity = opts.shared_granularity;
+    trace::WitnessCheckResult result;
+    Status st = trace::check_witness(spec, scratch_trace("mayrace"), result);
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    EXPECT_TRUE(result.reproduced) << a.witness.describe() << " — " << result.detail;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Witness, DefiniteRaceWitnessReproducesUnderReplay) {
+  // Every thread of the block stores granule 0: a definite race whose
+  // trivial witness (lockstep same-pc WAW) the intra-warp check catches.
+  KernelBuilder kb("uniform");
+  Reg tid = kb.special(SpecialReg::kTid);
+  Reg addr = kb.imm(0);
+  kb.st_shared(addr, tid);
+  Program prog = kb.build();
+  AnalyzeOptions opts;
+  opts.block_dim = 64;
+  StaticRaceReport rep = analysis::analyze(prog, opts);
+  ASSERT_EQ(rep.count(AccessClass::kDefiniteRace), 1u) << rep.annotate(prog);
+  const StaticAccess& a = rep.accesses[0];
+  ASSERT_TRUE(a.witness.found);
+  ASSERT_TRUE(a.witness.rdu_visible);
+  trace::WitnessSpec spec;
+  spec.shared_space = true;
+  spec.pc1 = a.witness.pc;
+  spec.pc2 = a.witness.other_pc;
+  spec.tid1 = a.witness.tid1;
+  spec.tid2 = a.witness.tid2;
+  spec.addr1 = a.witness.addr1;
+  spec.addr2 = a.witness.addr2;
+  spec.block_dim = opts.block_dim;
+  trace::WitnessCheckResult result;
+  Status st = trace::check_witness(spec, scratch_trace("definite"), result);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_TRUE(result.reproduced) << a.witness.describe() << " — " << result.detail;
+}
+
+TEST(Witness, CheckRejectsUnhostableSpecs) {
+  trace::WitnessSpec spec;
+  spec.tid1 = 40;  // >= block_dim
+  spec.tid2 = 1;
+  spec.block_dim = 32;
+  trace::WitnessCheckResult result;
+  EXPECT_FALSE(trace::check_witness(spec, scratch_trace("bad"), result).ok());
+
+  trace::WitnessSpec same;
+  same.tid1 = same.tid2 = 3;  // one thread cannot race with itself
+  EXPECT_FALSE(trace::check_witness(same, scratch_trace("bad"), result).ok());
+}
+
+// --- AnalyzeOptions / HaccrgConfig compatibility -----------------------------
+
+TEST(FilterCompat, OptionsForCopiesDetectorGranularities) {
+  rd::HaccrgConfig cfg;
+  cfg.shared_granularity = 16;
+  cfg.global_granularity = 64;
+  AnalyzeOptions opts = analysis::options_for(cfg, 128, 4);
+  EXPECT_EQ(opts.shared_granularity, 16u);
+  EXPECT_EQ(opts.global_granularity, 64u);
+  EXPECT_EQ(opts.block_dim, 128u);
+  EXPECT_EQ(opts.grid_dim, 4u);
+  EXPECT_TRUE(analysis::filter_compatible(opts, cfg, 128, 4).ok());
+}
+
+TEST(FilterCompat, RejectsGranularityMismatchPerEnabledSpace) {
+  rd::HaccrgConfig cfg;
+  cfg.enable_shared = true;
+  cfg.enable_global = true;
+  cfg.shared_granularity = 16;
+  cfg.global_granularity = 4;
+  AnalyzeOptions opts = analysis::options_for(cfg);
+  opts.shared_granularity = 4;
+  Status st = analysis::filter_compatible(opts, cfg);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("granularity"), std::string::npos) << st.message();
+
+  // A mismatch in a disabled space is fine: the detector never checks it.
+  cfg.enable_shared = false;
+  EXPECT_TRUE(analysis::filter_compatible(opts, cfg).ok());
+}
+
+TEST(FilterCompat, RejectsWarpSynchronousUnderWarpRegrouping) {
+  rd::HaccrgConfig cfg;
+  cfg.warp_regrouping = true;
+  AnalyzeOptions opts = analysis::options_for(cfg);
+  opts.warp_synchronous = true;
+  EXPECT_FALSE(analysis::filter_compatible(opts, cfg).ok());
+  cfg.warp_regrouping = false;
+  EXPECT_TRUE(analysis::filter_compatible(opts, cfg).ok());
+}
+
+TEST(FilterCompat, RejectsGeometryContradictingTheLaunch) {
+  rd::HaccrgConfig cfg;
+  AnalyzeOptions opts = analysis::options_for(cfg, 128, 8);
+  EXPECT_TRUE(analysis::filter_compatible(opts, cfg, 128, 8).ok());
+  EXPECT_FALSE(analysis::filter_compatible(opts, cfg, 256, 8).ok());
+  EXPECT_FALSE(analysis::filter_compatible(opts, cfg, 128, 16).ok());
+  // Geometry-free reports and geometry-free checks always pass.
+  EXPECT_TRUE(analysis::filter_compatible(opts, cfg, 0, 0).ok());
+  EXPECT_TRUE(analysis::filter_compatible(analysis::options_for(cfg), cfg, 256, 16).ok());
+}
+
+TEST(FilterCompat, LaunchRejectsIncompatibleStaticReport) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.shared_granularity = 16;
+  det.static_filter = true;
+  sim::Gpu gpu(test_gpu(), det);
+  PreparedKernel prep = find_benchmark("REDUCE")->prepare(gpu, BenchOptions{});
+  AnalyzeOptions wrong;
+  wrong.shared_granularity = 4;  // finer than the detector — unsound to prune with
+  prep.static_report =
+      std::make_shared<const StaticRaceReport>(analysis::analyze(prep.program, wrong));
+  sim::SimResult r = gpu.launch(prep.launch());
+  ASSERT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("incompatible static report"), std::string::npos) << r.error;
+}
+
+// --- Error pipeline: dedup, suppressions, JSON -------------------------------
+
+TEST(ErrorReport, DedupsPairsByPcPairSpaceAndClass) {
+  Program prog = neighbor_read_kernel();
+  StaticRaceReport rep = analysis::analyze(prog);
+  analysis::ErrorReport errors = analysis::build_error_report(rep);
+  // The store/load pair appears once, not once per side.
+  u32 may_race = 0;
+  for (const analysis::Issue& i : errors.issues)
+    if (i.kind == "may-race") ++may_race;
+  EXPECT_EQ(may_race, 1u);
+  EXPECT_EQ(errors.active(), static_cast<u32>(errors.issues.size()));
+}
+
+TEST(ErrorReport, GlobMatch) {
+  EXPECT_TRUE(analysis::glob_match("*", "anything"));
+  EXPECT_TRUE(analysis::glob_match("hist*", "histogram"));
+  EXPECT_FALSE(analysis::glob_match("hist*", "whist"));
+  EXPECT_TRUE(analysis::glob_match("may-race", "may-race"));
+  EXPECT_TRUE(analysis::glob_match("lint:?ivergent-barrier", "lint:divergent-barrier"));
+  EXPECT_FALSE(analysis::glob_match("", "x"));
+  EXPECT_TRUE(analysis::glob_match("", ""));
+}
+
+TEST(ErrorReport, ParseAndApplySuppressions) {
+  const std::string text =
+      "# comment\n"
+      "{\n"
+      "  neighbor-benign\n"
+      "  kernel:neigh*\n"
+      "  kind:may-race\n"
+      "}\n"
+      "{\n"
+      "  elsewhere\n"
+      "  kernel:other\n"
+      "}\n";
+  std::vector<analysis::Suppression> sups;
+  ASSERT_TRUE(analysis::parse_suppressions(text, sups).ok());
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].name, "neighbor-benign");
+  EXPECT_EQ(sups[0].kernel_glob, "neigh*");
+  EXPECT_EQ(sups[0].kind_glob, "may-race");
+  EXPECT_EQ(sups[0].pc, "*");
+
+  Program prog = neighbor_read_kernel();
+  StaticRaceReport rep = analysis::analyze(prog);
+  analysis::ErrorReport errors = analysis::build_error_report(rep);
+  const u32 before = errors.active();
+  ASSERT_GT(before, 0u);
+  const u32 muted = analysis::apply_suppressions(errors, sups, "neighbor");
+  EXPECT_GT(muted, 0u);
+  EXPECT_EQ(errors.active(), before - muted);
+  for (const analysis::Issue& i : errors.issues) {
+    if (i.suppressed) {
+      EXPECT_EQ(i.suppressed_by, "neighbor-benign");
+    }
+  }
+  // Wrong kernel name: nothing matches.
+  analysis::ErrorReport fresh = analysis::build_error_report(rep);
+  EXPECT_EQ(analysis::apply_suppressions(fresh, sups, "unrelated"), 0u);
+}
+
+TEST(ErrorReport, ParseRejectsMalformedSuppressionText) {
+  std::vector<analysis::Suppression> out;
+  EXPECT_FALSE(analysis::parse_suppressions("{\n  unclosed\n", out).ok());
+  EXPECT_FALSE(analysis::parse_suppressions("{\n}\n", out).ok());  // nameless block
+  EXPECT_FALSE(analysis::parse_suppressions("stray line\n", out).ok());
+  EXPECT_TRUE(out.empty());  // failed parses never half-fill the output
+}
+
+TEST(ErrorReport, JsonIsStableAndStructured) {
+  Program prog = neighbor_read_kernel();
+  StaticRaceReport rep = analysis::analyze(prog);
+  analysis::ErrorReport errors = analysis::build_error_report(rep);
+  const std::string a = analysis::to_json(rep, errors);
+  const std::string b = analysis::to_json(rep, errors);
+  EXPECT_EQ(a, b);
+  for (const char* key : {"\"kernel\"", "\"options\"", "\"accesses\"", "\"issues\"",
+                          "\"witness\"", "\"kind\":\"may-race\""}) {
+    EXPECT_NE(a.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// --- The soundness gate: static claims vs dynamic race sets ------------------
+
+/// Dynamic race pcs of one run under the word-granularity detectors.
+std::set<u32> dynamic_race_pcs(const sim::SimResult& r) {
+  std::set<u32> pcs;
+  for (const rd::RaceRecord& rec : r.races.races()) pcs.insert(rec.pc);
+  return pcs;
+}
+
+rd::HaccrgConfig word_detector() {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 4;
+  det.global_granularity = 4;
+  return det;
+}
+
+/// One gate run: analyze `prep`'s program with geometry, run it live, and
+/// assert no dynamically racing pc was classified kProvablySafe.
+void expect_no_safe_pc_races(const kernels::BenchmarkInfo* info, const BenchOptions& opts,
+                             const std::string& label) {
+  sim::Gpu gpu(test_gpu(), word_detector());
+  PreparedKernel prep = info->prepare(gpu, opts);
+  AnalyzeOptions aopts = analysis::options_for(word_detector(), prep.block_dim, prep.grid_dim);
+  StaticRaceReport rep = analysis::analyze(prep.program, aopts);
+  sim::SimResult r = gpu.launch(prep.launch());
+  ASSERT_TRUE(r.completed) << label << ": " << r.error;
+  for (u32 pc : dynamic_race_pcs(r)) {
+    EXPECT_FALSE(rep.is_safe(pc))
+        << label << ": pc " << pc << " raced dynamically but was classified provably safe";
+  }
+}
+
+TEST(StaticSoundness, SafePcsNeverRaceOnRegistryKernels) {
+  for (const auto& info : kernels::all_benchmarks()) {
+    for (u32 seed : {0u, 1u, 2u}) {
+      BenchOptions opts;
+      opts.seed = seed;
+      expect_no_safe_pc_races(&info, opts, std::string(info.name) + "/seed" + std::to_string(seed));
+    }
+  }
+}
+
+class StaticSoundnessInjection : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StaticSoundnessInjection, SafePcsNeverRaceUnderInjection) {
+  const auto cases = all_injection_cases();
+  ASSERT_LT(GetParam(), cases.size());
+  const InjectionCase& test = cases[GetParam()];
+  const kernels::BenchmarkInfo* info = find_benchmark(test.benchmark);
+  ASSERT_NE(info, nullptr);
+  for (u32 seed : {0u, 1u, 2u}) {
+    BenchOptions opts;
+    opts.seed = seed;
+    opts.injection = test.injection;
+    if (info->real_race_multiblock && test.injection.kind == InjectionKind::kRemoveBarrier) {
+      opts.single_block = true;
+    }
+    expect_no_safe_pc_races(info, opts, test.label() + "/seed" + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFortyOne, StaticSoundnessInjection, ::testing::Range<size_t>(0, 41),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           auto cases = all_injection_cases();
+                           std::string label = cases[info.param].label();
+                           for (char& c : label) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return label;
+                         });
+
+}  // namespace
+}  // namespace haccrg
