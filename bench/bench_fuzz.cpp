@@ -1,0 +1,93 @@
+// Fuzz campaign throughput: generates a seeded batch of kernels and
+// drives each through the full differential campaign (hardware HAccRG
+// with determinism sweep and static-filter ablation, sw-HAccRG, GRace,
+// the static verifier, sampled fault injection — replay checks are the
+// CLI's, they need a scratch dir). Reports kernels/sec end to end and
+// the oracle-pair coverage per detection class; a campaign violation is
+// a hard failure, so this doubles as a larger nightly-sized gate.
+//
+//   bench_fuzz [--seed N] [--count N] [--smoke] [--json BENCH_fuzz.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "fuzz/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haccrg;
+
+  u64 seed = 1;
+  u32 count = 100;
+  std::string json_path = "BENCH_fuzz.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v >= 1) count = static_cast<u32>(v);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      count = 20;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  bench::print_header("Seeded fuzz campaign throughput", "every detector in the repo");
+
+  fuzz::CampaignConfig config;
+  config.scratch_dir = "";
+  config.check_replay = false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fuzz::CampaignSummary summary =
+      fuzz::run_campaign(seed, count, fuzz::FuzzConfig{}, config, /*progress_every=*/50);
+  const auto t1 = std::chrono::steady_clock::now();
+  const f64 secs = std::chrono::duration<f64>(t1 - t0).count();
+  const f64 kernels_per_sec = secs > 0.0 ? summary.cases / secs : 0.0;
+
+  std::printf("  seed %llu, %u kernels in %.1f s  (%.2f kernels/sec)\n",
+              static_cast<unsigned long long>(seed), summary.cases, secs, kernels_per_sec);
+  std::printf("  %-16s %s\n", "oracle class", "pairs");
+  u32 covered = 0;
+  for (u32 c = 0; c < fuzz::kNumOracleClasses; ++c) {
+    const auto cls = static_cast<fuzz::OracleClass>(c);
+    std::printf("  %-16s %llu\n", std::string(fuzz::oracle_class_name(cls)).c_str(),
+                static_cast<unsigned long long>(summary.class_pairs[c]));
+    if (summary.class_pairs[c] > 0) ++covered;
+  }
+  std::printf("  class coverage: %u/%u\n", covered, fuzz::kNumOracleClasses);
+
+  for (const fuzz::FailedCase& failed : summary.failed) {
+    for (const std::string& v : failed.violations)
+      std::fprintf(stderr, "VIOLATION %s: %s\n", failed.spec.name.c_str(), v.c_str());
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"fuzz\",\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"kernels\": " << summary.cases << ",\n";
+  json << "  \"violations\": " << summary.failures << ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", kernels_per_sec);
+  json << "  \"kernels_per_sec\": " << buf << ",\n";
+  json << "  \"class_coverage\": \"" << covered << "/" << fuzz::kNumOracleClasses << "\",\n";
+  json << "  \"oracle_pairs\": {";
+  for (u32 c = 0; c < fuzz::kNumOracleClasses; ++c) {
+    const auto cls = static_cast<fuzz::OracleClass>(c);
+    json << (c ? ", " : "") << "\"" << fuzz::oracle_class_name(cls)
+         << "\": " << summary.class_pairs[c];
+  }
+  json << "}\n}\n";
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  if (!summary.ok()) {
+    std::fprintf(stderr, "bench_fuzz: %u/%u kernels failed the campaign\n", summary.failures,
+                 summary.cases);
+    return 1;
+  }
+  return 0;
+}

@@ -84,11 +84,38 @@ fault_smoke() {
   rm -rf "$tmp"
 }
 
+# Fuzz smoke: a fixed-seed campaign of generated kernels through every
+# detector (soundness vs the ground-truth oracle, differential
+# agreement, determinism at HACCRG_THREADS 1/2/8, trace replay, sampled
+# fault feeds). haccrg-fuzz exits 1 on any violation and prints the
+# auto-shrunk repro. The per-build budget is fixed so merges pay a
+# known cost; the nightly CI job runs the extended campaign.
+fuzz_smoke() {
+  "$1/src/fuzz/haccrg-fuzz" run --seed 1 --count "$2" --progress 50 | tail -n 3
+}
+
+# CLI exit-code contracts: run the damaged-input suites for the
+# haccrg-trace and haccrg-analyze CLIs against this build explicitly.
+# ctest already covers them, but sanitizer builds are where an abort
+# hides behind a documented exit code — keep them visible as a named
+# gate rather than two lines in a 300-test run.
+cli_contracts() {
+  local tmp
+  tmp=$(mktemp -d)
+  bash tests/test_trace_cli.sh "$1/src/trace/haccrg-trace" "$tmp/trace_cli"
+  bash tests/test_analyze_cli.sh "$1/src/analysis/haccrg-analyze" "$tmp/analyze_cli"
+  rm -rf "$tmp"
+}
+
 if [[ $run_tier1 == 1 ]]; then
   echo "=== tier-1 build (build/) ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
-  ctest --test-dir build --output-on-failure -j "$jobs"
+  # --schedule-random shuffles test order to flush hidden inter-test
+  # state; until-pass:1 keeps it strict (a failure is a failure, no
+  # retry masking).
+  ctest --test-dir build --output-on-failure -j "$jobs" \
+    --schedule-random --repeat until-pass:1
   # Perf smoke is warn-only: absolute KIPS depend on the host, and a loaded
   # or slower machine must not fail the correctness gate. Investigate any
   # warning before merging; re-record the baseline on the reference host
@@ -101,6 +128,8 @@ if [[ $run_tier1 == 1 ]]; then
   static_soundness build 1
   echo "--- static-precision gate (tier-1 build) ---"
   static_precision build
+  echo "--- fuzz smoke (tier-1 build, 200 kernels) ---"
+  fuzz_smoke build 200
   # Tidy is warn-only: findings are cleanup candidates, not gate failures
   # (and the reference toolchain may lack clang-tidy entirely).
   echo "--- clang-tidy (warn-only) ---"
@@ -116,11 +145,16 @@ if [[ $run_strict == 1 ]]; then
     -DCMAKE_CXX_FLAGS="-Werror -fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
   cmake --build build-strict -j "$jobs"
-  ctest --test-dir build-strict --output-on-failure -j "$jobs"
+  ctest --test-dir build-strict --output-on-failure -j "$jobs" \
+    --schedule-random --repeat until-pass:1
   echo "--- trace equivalence (strict build) ---"
   trace_equivalence build-strict
+  echo "--- CLI exit-code contracts (strict build) ---"
+  cli_contracts build-strict
   echo "--- fault-campaign smoke (strict build) ---"
   fault_smoke build-strict
+  echo "--- fuzz smoke (strict build, 40 kernels) ---"
+  fuzz_smoke build-strict 40
   echo "--- static-soundness gate (strict build, 3 seeds) ---"
   static_soundness build-strict 3
 fi
@@ -136,11 +170,14 @@ if [[ $run_tsan == 1 ]]; then
   # parallel engine so TSan sees the worker pool on the whole suite.
   # halt_on_error: a simulator data race is a gate failure, not a warning.
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    --schedule-random --repeat until-pass:1
   echo "--- trace equivalence (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" trace_equivalence build-tsan
   echo "--- fault-campaign smoke (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" fault_smoke build-tsan
+  echo "--- fuzz smoke (TSan build, 20 kernels) ---"
+  TSAN_OPTIONS="halt_on_error=1" fuzz_smoke build-tsan 20
   echo "--- static-soundness gate (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" static_soundness build-tsan 1
 fi

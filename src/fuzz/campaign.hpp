@@ -1,0 +1,89 @@
+// Campaign runner: one generated kernel through every detector in the
+// repo, asserting the oracle both ways. Per case it runs
+//  - hardware HAccRG live at HACCRG_THREADS 1/2/8 (byte-identical race
+//    sets required), the first run recording an access trace,
+//  - the static filter ablation (filter on must preserve the unfiltered
+//    racy location set),
+//  - trace replay through the hardware RDUs and both software emulators
+//    (replay race identities must equal the live run's),
+//  - sw-HAccRG and GRace-add live instrumentation (boolean verdicts
+//    must match both the oracle envelope and their trace emulators),
+//  - the static verifier (no oracle-racy pc may be provably safe),
+//  - on sampled cases, the PR-5 fault layer: a zero-rate plan must be
+//    byte-identical to baseline, and an armed plan may only miss oracle
+//    races while reporting rd.coverage_lost.
+// Any deviation is a violation string; zero strings means the case
+// passed every check.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/spec.hpp"
+
+namespace haccrg::fuzz {
+
+struct CampaignConfig {
+  /// Directory for scratch traces. Empty disables the replay checks
+  /// (the only checks that need a filesystem).
+  std::string scratch_dir;
+  bool check_determinism = true;
+  bool check_replay = true;
+  bool check_sw = true;
+  bool check_grace = true;
+  bool check_static = true;
+  /// Feed every Nth case through the fault-injection layer (0 = never).
+  u32 fault_every = 8;
+  /// Watchdog for generated kernels; generously above any legal kernel,
+  /// far below the engine's 2e9-cycle default.
+  u64 max_cycles = 20'000'000;
+};
+
+struct CaseResult {
+  std::string name;
+  std::vector<std::string> violations;
+  u64 hw_races = 0;
+  u64 sw_races = 0;
+  u64 grace_races = 0;
+  u64 cycles = 0;
+  /// Oracle pairs contributed per OracleClass (coverage accounting).
+  std::array<u32, kNumOracleClasses> class_pairs{};
+  bool ok() const { return violations.empty(); }
+};
+
+/// Run every check on one spec. `case_index` drives fault sampling and
+/// the fault plan seed.
+CaseResult run_case(const KernelSpec& spec, const CampaignConfig& config, u32 case_index = 0);
+
+struct FailedCase {
+  KernelSpec spec;
+  KernelSpec shrunk;
+  std::vector<std::string> violations;
+};
+
+struct CampaignSummary {
+  u32 cases = 0;
+  u32 failures = 0;
+  std::array<u64, kNumOracleClasses> class_pairs{};
+  std::vector<FailedCase> failed;
+  bool ok() const { return failures == 0; }
+};
+
+/// Seeded campaign: `count` specs from `base_seed`, each through
+/// run_case; failures are auto-shrunk against "still violates" before
+/// being reported. `progress_every` > 0 prints a one-line heartbeat.
+CampaignSummary run_campaign(u64 base_seed, u32 count, const FuzzConfig& fuzz_config,
+                             const CampaignConfig& config, u32 progress_every = 0);
+
+/// Shrink predicate used for failure minimization: the candidate still
+/// produces at least one violation under `config`.
+SpecPredicate violation_predicate(const CampaignConfig& config);
+
+/// Shrink predicate for corpus construction: the hardware detector
+/// still reports at least one race of `cls` on a live run.
+SpecPredicate detects_class_predicate(OracleClass cls);
+
+}  // namespace haccrg::fuzz

@@ -1,0 +1,45 @@
+// Expands a KernelSpec into a runnable program plus its ground-truth
+// RaceOracle. Generation is a pure function of the spec: no RNG, no
+// host state — so corpus repros and shrinker steps always rebuild the
+// exact same program and oracle.
+//
+// Layout contract the oracle's correctness rests on:
+//  - Every fragment gets a private shared-memory window (word-aligned)
+//    and a private global arena window aligned to one L1 line (32
+//    words), so fragments can never alias each other's granules or pull
+//    each other's lines into a stale L1 state.
+//  - A uniform barrier separates consecutive fragments, so shared-RDU
+//    epochs never span fragments.
+//  - The whole arena is a single launch parameter (slot 0), leaving the
+//    instrumentation slots (12..14) and the sw/GRace register scratch
+//    untouched; KernelSpec's packing budget guarantees instrumented
+//    rebuilds always fit the register file.
+#pragma once
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+#include "isa/program.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::fuzz {
+
+struct GeneratedKernel {
+  isa::Program program;
+  RaceOracle oracle;
+  u32 grid_dim = 2;
+  u32 block_dim = 64;
+  u32 shared_mem_bytes = 0;
+  u32 arena_words = 0;  ///< global words to allocate behind param 0
+};
+
+/// Build program + oracle from a spec. The spec must be valid
+/// (KernelSpec::validate) — generation aborts on a malformed spec, the
+/// same contract as KernelBuilder::build.
+GeneratedKernel generate(const KernelSpec& spec);
+
+/// Allocate the arena on `gpu` and wrap the generated kernel in the
+/// benchmark framework's launch type (verify stays empty: fuzz kernels
+/// assert detector behaviour, not output values).
+kernels::PreparedKernel prepare_generated(sim::Gpu& gpu, const GeneratedKernel& kernel);
+
+}  // namespace haccrg::fuzz

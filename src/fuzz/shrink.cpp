@@ -1,0 +1,62 @@
+#include "fuzz/shrink.hpp"
+
+namespace haccrg::fuzz {
+
+namespace {
+
+bool accept(const KernelSpec& candidate, const SpecPredicate& pred, ShrinkResult& state) {
+  if (!candidate.validate().ok()) return false;
+  ++state.evaluations;
+  if (!pred(candidate)) return false;
+  state.spec = candidate;
+  ++state.steps;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const KernelSpec& start, const SpecPredicate& still_interesting) {
+  ShrinkResult state;
+  state.spec = start;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Pass 1: drop one fragment at a time.
+    for (size_t i = 0; i < state.spec.fragments.size() && state.spec.fragments.size() > 1;) {
+      KernelSpec candidate = state.spec;
+      candidate.fragments.erase(candidate.fragments.begin() + static_cast<long>(i));
+      if (accept(candidate, still_interesting, state)) {
+        progress = true;  // same index now names the next fragment
+      } else {
+        ++i;
+      }
+    }
+
+    // Pass 2: zero the tuning args (simplify-expression).
+    for (size_t i = 0; i < state.spec.fragments.size(); ++i) {
+      for (int a = 0; a < 2; ++a) {
+        if (state.spec.fragments[i].arg[a] == 0) continue;
+        KernelSpec candidate = state.spec;
+        candidate.fragments[i].arg[a] = 0;
+        if (accept(candidate, still_interesting, state)) progress = true;
+      }
+    }
+
+    // Pass 3: shrink the geometry.
+    if (state.spec.grid_dim > 2) {
+      KernelSpec candidate = state.spec;
+      candidate.grid_dim = 2;
+      if (accept(candidate, still_interesting, state)) progress = true;
+    }
+    if (state.spec.block_dim > 64) {
+      KernelSpec candidate = state.spec;
+      candidate.block_dim = 64;
+      if (accept(candidate, still_interesting, state)) progress = true;
+    }
+  }
+  return state;
+}
+
+}  // namespace haccrg::fuzz

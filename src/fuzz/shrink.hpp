@@ -1,0 +1,35 @@
+// Spec-level shrinking: given a spec whose generated kernel exhibits
+// some property (a campaign violation, a specific detected race class),
+// find a smaller spec that still exhibits it. All passes operate on the
+// KernelSpec — every candidate is re-expanded through generate(), so
+// the oracle is rebuilt and re-validated at each step; a shrink can
+// never drift away from the ground truth the way instruction-level
+// splicing could.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/spec.hpp"
+
+namespace haccrg::fuzz {
+
+/// Returns true while the (valid) candidate still exhibits the property
+/// being minimized.
+using SpecPredicate = std::function<bool(const KernelSpec&)>;
+
+struct ShrinkResult {
+  KernelSpec spec;      ///< smallest spec still satisfying the predicate
+  u32 steps = 0;        ///< accepted shrink steps
+  u32 evaluations = 0;  ///< predicate evaluations spent
+};
+
+/// Greedy fixpoint over three passes, re-run until none makes progress:
+///  1. delete-fragment (the delete-instruction analog: drop one
+///     fragment, front to back),
+///  2. simplify-expression (zero a fragment's tuning args: xor masks
+///     become affine, loop trips collapse),
+///  3. shrink geometry (grid 4 -> 2, block 128 -> 64).
+/// `start` must satisfy the predicate; the result always does.
+ShrinkResult shrink(const KernelSpec& start, const SpecPredicate& still_interesting);
+
+}  // namespace haccrg::fuzz

@@ -1,0 +1,198 @@
+#include "fuzz/spec.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace haccrg::fuzz {
+
+namespace {
+
+struct KindRow {
+  std::string_view name;
+  FragmentTraits traits;
+};
+
+// Budgets are worst-case counts the emitters may allocate (block_dim
+// 128, grid 4); test_fuzz_generator pins them against the builder so a
+// drifting emitter fails loudly instead of overflowing the register
+// file under instrumentation.
+constexpr u32 kArenaSlotStride = 32;  // one L1 line, see generator.cpp
+
+const KindRow kKinds[kNumFragmentKinds] = {
+    {"global_affine", {4, 0, 0, 512, false, false, false}},
+    {"shared_xor", {3, 0, 128, 0, false, false, true}},
+    {"reduce_tree", {10, 2, 128, 0, false, false, true}},
+    {"warp_reduce", {9, 2, 128, 0, false, true, true}},
+    {"atomic_counter", {4, 0, 1, 1, false, false, false}},
+    {"locked_rmw", {12, 3, 0, 2, false, true, false}},
+    // The publish fragments stay sw-silent either way: the software tag
+    // scheme's per-block barrier epochs order the producer store before
+    // the post-barrier consume loads, fenced or not.
+    {"fence_publish", {14, 3, 1, 5 * kArenaSlotStride, false, false, true}},
+    {"divergent_halves", {5, 1, 128, 512, false, false, true}},
+    {"uniform_if_barrier", {6, 1, 128, 0, false, false, true}},
+    {"loop_nest_affine", {9, 2, 0, 4096, false, false, false}},
+    {"broadcast_read", {4, 1, 1, 0, false, false, true}},
+    {"lane_mask_barrier", {2, 1, 0, 0, false, false, false}},
+    {"shared_waw", {3, 0, 32, 0, true, true, true}},
+    {"missing_barrier", {6, 0, 128, 0, true, true, true}},
+    {"cross_block_waw", {6, 1, 0, 4, true, true, false}},
+    {"missing_fence", {14, 3, 1, 5 * kArenaSlotStride, true, false, true}},
+    {"rogue_unlocked", {24, 8, 0, 3, true, true, false}},
+    {"loop_carried_waw", {7, 1, 128, 0, true, true, true}},
+    {"warp_collision", {3, 0, 64, 0, true, true, true}},
+    {"atomic_plain_mix", {5, 1, 0, 1, true, false, false}},
+};
+
+}  // namespace
+
+std::string_view fragment_kind_name(FragmentKind kind) {
+  return kKinds[static_cast<u32>(kind)].name;
+}
+
+bool fragment_kind_from_name(std::string_view name, FragmentKind& out) {
+  for (u32 i = 0; i < kNumFragmentKinds; ++i) {
+    if (kKinds[i].name == name) {
+      out = static_cast<FragmentKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const FragmentTraits& fragment_traits(FragmentKind kind) {
+  return kKinds[static_cast<u32>(kind)].traits;
+}
+
+Status KernelSpec::validate() const {
+  if (grid_dim != 2 && grid_dim != 4)
+    return Status::invalid_argument("spec: grid_dim must be 2 or 4");
+  if (block_dim != 64 && block_dim != 128)
+    return Status::invalid_argument("spec: block_dim must be 64 or 128");
+  if (fragments.empty()) return Status::invalid_argument("spec: no fragments");
+  if (fragments.size() > kMaxFragmentsPerKernel)
+    return Status::invalid_argument("spec: more than " + std::to_string(kMaxFragmentsPerKernel) +
+                                    " fragments");
+  u32 regs = 0;
+  u32 preds = 0;
+  for (const FragmentSpec& f : fragments) {
+    if (static_cast<u32>(f.kind) >= kNumFragmentKinds)
+      return Status::invalid_argument("spec: unknown fragment kind");
+    const FragmentTraits& t = fragment_traits(f.kind);
+    regs += t.regs;
+    preds += t.preds;
+  }
+  if (regs > kRegBudget)
+    return Status::invalid_argument("spec: fragment register budget exceeded (" +
+                                    std::to_string(regs) + " > " + std::to_string(kRegBudget) +
+                                    ")");
+  if (preds > kPredBudget)
+    return Status::invalid_argument("spec: fragment predicate budget exceeded (" +
+                                    std::to_string(preds) + " > " + std::to_string(kPredBudget) +
+                                    ")");
+  return Status();
+}
+
+std::string KernelSpec::serialize() const {
+  std::ostringstream out;
+  out << "haccrg-fuzz-spec v1\n";
+  out << "name " << name << "\n";
+  out << "grid " << grid_dim << "\n";
+  out << "block " << block_dim << "\n";
+  for (const FragmentSpec& f : fragments)
+    out << "fragment " << fragment_kind_name(f.kind) << " " << f.arg[0] << " " << f.arg[1] << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+Status KernelSpec::parse(const std::string& text, KernelSpec& out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "haccrg-fuzz-spec v1")
+    return Status::invalid_argument("spec: missing 'haccrg-fuzz-spec v1' header");
+
+  KernelSpec spec;
+  spec.fragments.clear();
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "name") {
+      if (!(fields >> spec.name)) return Status::invalid_argument("spec: name needs a value");
+    } else if (key == "grid") {
+      if (!(fields >> spec.grid_dim)) return Status::invalid_argument("spec: bad grid line");
+    } else if (key == "block") {
+      if (!(fields >> spec.block_dim)) return Status::invalid_argument("spec: bad block line");
+    } else if (key == "fragment") {
+      std::string kind_name;
+      FragmentSpec frag;
+      if (!(fields >> kind_name >> frag.arg[0] >> frag.arg[1]))
+        return Status::invalid_argument("spec: bad fragment line: " + line);
+      if (!fragment_kind_from_name(kind_name, frag.kind))
+        return Status::invalid_argument("spec: unknown fragment kind: " + kind_name);
+      spec.fragments.push_back(frag);
+    } else {
+      return Status::invalid_argument("spec: unknown directive: " + key);
+    }
+  }
+  if (!saw_end) return Status::invalid_argument("spec: missing 'end' line");
+  Status valid = spec.validate();
+  if (!valid.ok()) return valid;
+  out = std::move(spec);
+  return Status();
+}
+
+KernelSpec spec_from_seed(u64 seed, const FuzzConfig& config) {
+  SplitMix64 rng(seed ^ 0x66757a7aULL);  // stream-split from other seed users
+  KernelSpec spec;
+  spec.name = "fuzz-" + std::to_string(seed);
+  spec.grid_dim = (rng.next() & 1) ? 4 : 2;
+  spec.block_dim = (rng.next() & 1) ? 128 : 64;
+
+  std::vector<FragmentKind> pool;
+  for (u32 i = 0; i < kNumFragmentKinds; ++i) {
+    const auto kind = static_cast<FragmentKind>(i);
+    const bool racy = fragment_traits(kind).racy;
+    if ((racy && config.racy_fragments) || (!racy && config.safe_fragments))
+      pool.push_back(kind);
+  }
+  if (pool.empty()) pool.push_back(FragmentKind::kGlobalAffine);
+
+  const u32 max_fragments =
+      std::min(std::max<u32>(config.max_fragments, 1), kMaxFragmentsPerKernel);
+  const u32 want = 1 + static_cast<u32>(rng.next_below(max_fragments));
+  u32 regs = 0;
+  u32 preds = 0;
+  for (u32 i = 0; i < want; ++i) {
+    // Draw until a kind fits the remaining budget; give up after a few
+    // tries so a near-full kernel stays a function of the seed alone.
+    for (u32 attempt = 0; attempt < 8; ++attempt) {
+      const FragmentKind kind = pool[rng.next_below(pool.size())];
+      const FragmentTraits& t = fragment_traits(kind);
+      if (regs + t.regs > kRegBudget || preds + t.preds > kPredBudget) continue;
+      FragmentSpec frag;
+      frag.kind = kind;
+      frag.arg[0] = static_cast<u32>(rng.next() & 0xff);
+      frag.arg[1] = static_cast<u32>(rng.next() & 0xff);
+      spec.fragments.push_back(frag);
+      regs += t.regs;
+      preds += t.preds;
+      break;
+    }
+  }
+  if (spec.fragments.empty()) {
+    FragmentSpec frag;
+    frag.kind = pool[0];
+    spec.fragments.push_back(frag);
+  }
+  return spec;
+}
+
+}  // namespace haccrg::fuzz

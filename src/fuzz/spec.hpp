@@ -1,0 +1,119 @@
+// Kernel-spec layer of the fuzzer: a KernelSpec is the small, fully
+// deterministic description a seed expands into — launch geometry plus a
+// list of fragments drawn from a fixed library. Every fragment kind has
+// known register/predicate/memory budgets and a known race oracle, so
+// generation can pack fragments against the instrumentation headroom
+// (sw-HAccRG and GRace both claim scratch registers) and the oracle can
+// be rebuilt from the spec alone. Specs serialize to a line-oriented
+// text format; the shrinker and the checked-in corpus repros operate on
+// specs, never on raw programs, so every transformation is re-validated
+// through the same generator + oracle path.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace haccrg::fuzz {
+
+/// Every kernel shape the generator can emit. Kinds marked "racy" carry
+/// a by-construction race the oracle records; the rest are safe by
+/// construction (some deliberately beyond the static verifier's proof
+/// power, some deliberately in the software schemes' known-over-report
+/// envelope). The order pins the serialized names — append-only.
+enum class FragmentKind : u8 {
+  // --- safe by construction -------------------------------------------------
+  kGlobalAffine = 0,   ///< per-thread global read-modify-write, affine index
+  kSharedXor,          ///< shared store at tid^mask (bijective, non-affine)
+  kReduceTree,         ///< barrier-per-level shared tree reduction
+  kWarpReduce,         ///< barrier-free final-warp reduction (sw over-reports)
+  kAtomicCounter,      ///< shared + global atomic adds (atomics never checked)
+  kLockedRmw,          ///< with_lock critical section RMW (sw over-reports)
+  kFencePublish,       ///< store / fence / atomic gate / cross-block consume
+  kDivergentHalves,    ///< if/else halves write disjoint shared/global slots
+  kUniformIfBarrier,   ///< barrier inside uniformly-true if
+  kLoopNestAffine,     ///< nested affine loops, per-thread disjoint stores
+  kBroadcastRead,      ///< one writer, barrier, block-wide read sharing
+  kLaneMaskBarrier,    ///< barrier under a lane<32 predicate (lint bait)
+  // --- racy by construction -------------------------------------------------
+  kSharedWaw,          ///< cross-warp shared WAW (tid mod warp_size)
+  kMissingBarrier,     ///< neighbour exchange with the barrier removed
+  kCrossBlockWaw,      ///< rogue store into the next block's global slot
+  kMissingFence,       ///< kFencePublish with the fence removed
+  kRogueUnlocked,      ///< unprotected store onto lock-protected data
+  kLoopCarriedWaw,     ///< loop-carried cross-warp shared WAW (mod index)
+  kWarpCollision,      ///< same-instruction intra-warp WAW (tid/2)
+  kAtomicPlainMix,     ///< atomic writers vs plain reader: detector blind spot
+};
+
+inline constexpr u32 kNumFragmentKinds = 20;
+
+/// Serialized name ("shared_waw") — also the corpus-file vocabulary.
+std::string_view fragment_kind_name(FragmentKind kind);
+
+/// Inverse of fragment_kind_name; false if `name` is unknown.
+bool fragment_kind_from_name(std::string_view name, FragmentKind& out);
+
+/// Static budgets and oracle facts for one fragment kind. Worst-case
+/// register/predicate costs are validated against the builder by the
+/// generator tests, so packing can trust them.
+struct FragmentTraits {
+  u32 regs = 0;            ///< worst-case registers the emitter allocates
+  u32 preds = 0;           ///< worst-case predicate registers
+  u32 shared_words = 0;    ///< shared words used at block_dim 128
+  u32 arena_words = 0;     ///< arena words used at grid 4, block 128
+  bool racy = false;       ///< carries an oracle race pair
+  bool sw_flags = false;   ///< the sw-HAccRG tag scheme reports races
+  bool shared_store = false;  ///< executes a plain shared store (GRace fires)
+};
+
+const FragmentTraits& fragment_traits(FragmentKind kind);
+
+struct FragmentSpec {
+  FragmentKind kind = FragmentKind::kGlobalAffine;
+  /// Kind-specific tuning knobs (xor mask, loop trip counts, ...).
+  /// Always reduced modulo the legal range by the emitter, so any value
+  /// is valid — the shrinker drives them toward zero.
+  std::array<u32, 2> arg{};
+};
+
+/// One fuzz kernel: geometry plus fragments, nothing else. Everything
+/// the generator emits is a deterministic function of this struct.
+struct KernelSpec {
+  std::string name = "fuzz";
+  u32 grid_dim = 2;    ///< 2 or 4 (power of two: index masks, one SM each)
+  u32 block_dim = 64;  ///< 64 or 128 (>= 2 warps so cross-warp races exist)
+  std::vector<FragmentSpec> fragments;
+
+  /// Structural validity: legal geometry, >= 1 fragment, and the
+  /// register/predicate packing budget respected.
+  Status validate() const;
+
+  /// Canonical text form (parse() round-trips it bit-exactly).
+  std::string serialize() const;
+
+  /// Parse the serialized form. On error `out` is untouched.
+  static Status parse(const std::string& text, KernelSpec& out);
+};
+
+/// Packing budgets: the builder's register file minus the larger of the
+/// two instrumentation scratch claims, with margin for the prologue.
+inline constexpr u32 kMaxFragmentsPerKernel = 6;
+inline constexpr u32 kRegBudget = 48;   ///< fragment registers, prologue excluded
+inline constexpr u32 kPredBudget = 10;  ///< fragment predicates
+
+/// Knobs for seed-driven spec construction.
+struct FuzzConfig {
+  u32 max_fragments = 4;        ///< clamped to kMaxFragmentsPerKernel
+  bool racy_fragments = true;   ///< allow the racy half of the library
+  bool safe_fragments = true;   ///< allow the safe half
+};
+
+/// Expand a seed into a spec: geometry and a budget-respecting fragment
+/// list drawn from the library. Same seed + config => identical spec.
+KernelSpec spec_from_seed(u64 seed, const FuzzConfig& config = {});
+
+}  // namespace haccrg::fuzz

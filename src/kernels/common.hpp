@@ -133,8 +133,16 @@ PreparedKernel prepare_offt(sim::Gpu& gpu, const BenchOptions& opts);
 PreparedKernel prepare_kmeans(sim::Gpu& gpu, const BenchOptions& opts);
 PreparedKernel prepare_hash(sim::Gpu& gpu, const BenchOptions& opts);
 
-/// Registry of all ten benchmarks, in the paper's order.
+/// Seeded fuzz kernel (src/fuzz): BenchOptions::seed selects the spec.
+PreparedKernel prepare_fuzz(sim::Gpu& gpu, const BenchOptions& opts);
+
+/// Registry of all ten benchmarks, in the paper's order. Deliberately
+/// excludes the extended entries: every golden-stats snapshot, bench
+/// table, and injection campaign iterates this list.
 const std::vector<BenchmarkInfo>& all_benchmarks();
+/// Name-addressable extras (FUZZ) — reachable through find_benchmark
+/// for the CLIs, never enumerated by the paper suites.
+const std::vector<BenchmarkInfo>& extended_benchmarks();
 const BenchmarkInfo* find_benchmark(const std::string& name);
 
 }  // namespace haccrg::kernels

@@ -1,0 +1,18 @@
+// FUZZ: the seeded fuzz generator as a registry kernel. The workload
+// seed (BenchOptions::seed) is the fuzz seed — `haccrg-trace record
+// --kernel FUZZ --seed N` records exactly the kernel `haccrg-fuzz
+// generate --seed N` describes. Lives in the extended registry only:
+// the golden-stats suites, bench tables, and injection campaigns
+// iterate all_benchmarks() and must not grow a seed-dependent entry.
+#include "fuzz/generator.hpp"
+#include "fuzz/spec.hpp"
+#include "kernels/common.hpp"
+
+namespace haccrg::kernels {
+
+PreparedKernel prepare_fuzz(sim::Gpu& gpu, const BenchOptions& opts) {
+  const fuzz::KernelSpec spec = fuzz::spec_from_seed(opts.seed);
+  return fuzz::prepare_generated(gpu, fuzz::generate(spec));
+}
+
+}  // namespace haccrg::kernels

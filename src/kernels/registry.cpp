@@ -69,8 +69,25 @@ const std::vector<BenchmarkInfo>& all_benchmarks() {
   return registry;
 }
 
+const std::vector<BenchmarkInfo>& extended_benchmarks() {
+  static const std::vector<BenchmarkInfo> registry = [] {
+    std::vector<BenchmarkInfo> list;
+    list.push_back({.name = "FUZZ",
+                    .description = "seeded fuzz kernel (spec from the workload seed; src/fuzz)",
+                    .prepare = &prepare_fuzz,
+                    .uses_shared = true,
+                    .uses_fences = true,
+                    .uses_locks = true});
+    return list;
+  }();
+  return registry;
+}
+
 const BenchmarkInfo* find_benchmark(const std::string& name) {
   for (const auto& info : all_benchmarks()) {
+    if (info.name == name) return &info;
+  }
+  for (const auto& info : extended_benchmarks()) {
     if (info.name == name) return &info;
   }
   return nullptr;

@@ -44,34 +44,54 @@ bool Interconnect::inject_request(u32 sm, Cycle now, Packet pkt, u32 tries) {
   return true;
 }
 
-void Interconnect::commit_requests(u32 sm, Cycle now) {
-  auto& queue = request_staging_[sm];
-  if (faults_ == nullptr) {
-    while (!queue.empty()) {
-      const u32 partition = queue.front().dest_partition;
-      if (!to_partition_[partition].can_push(now)) break;
-      ++request_packets_;
-      to_partition_[partition].push(now, std::move(queue.front()));
-      queue.pop_front();
-    }
-    return;
-  }
+bool Interconnect::inject_one(u32 sm, Cycle now) {
   // Ripe retried packets re-inject before fresh traffic (they are the
   // oldest in flight). Entries are appended with monotonically increasing
-  // ready cycles, so the deque front is always the ripest.
-  auto& retries = retry_[sm];
-  while (!retries.empty() && retries.front().ready <= now) {
-    if (!to_partition_[retries.front().pkt.dest_partition].can_push(now)) return;
-    RetryEntry entry = std::move(retries.front());
-    retries.pop_front();
-    inject_request(sm, now, std::move(entry.pkt), entry.tries);
+  // ready cycles, so the deque front is always the ripest. A ripe retry
+  // whose pipe is rate-limited blocks this SM's fresh traffic too
+  // (head-of-line, like a real injection port).
+  if (!retry_.empty()) {
+    auto& retries = retry_[sm];
+    if (!retries.empty() && retries.front().ready <= now) {
+      if (!to_partition_[retries.front().pkt.dest_partition].can_push(now)) return false;
+      RetryEntry entry = std::move(retries.front());
+      retries.pop_front();
+      inject_request(sm, now, std::move(entry.pkt), entry.tries);
+      return true;
+    }
   }
-  while (!queue.empty()) {
-    const u32 partition = queue.front().dest_partition;
-    if (!to_partition_[partition].can_push(now)) break;
-    Packet pkt = std::move(queue.front());
-    queue.pop_front();
+  auto& queue = request_staging_[sm];
+  if (queue.empty()) return false;
+  if (!to_partition_[queue.front().dest_partition].can_push(now)) return false;
+  Packet pkt = std::move(queue.front());
+  queue.pop_front();
+  if (faults_ == nullptr) {
+    ++request_packets_;
+    to_partition_[pkt.dest_partition].push(now, std::move(pkt));
+  } else {
     inject_request(sm, now, std::move(pkt), 0);
+  }
+  return true;
+}
+
+void Interconnect::commit_requests(Cycle now) {
+  // Fair injection grant: one packet per SM per arbitration round, with
+  // the round's starting SM rotating by cycle, rounds until nothing
+  // moves. Both halves matter: a greedy per-SM drain in fixed id order
+  // lets earlier SMs consume a pipe's entire per-cycle budget every
+  // cycle, and with a budget of one packet even a per-round grant always
+  // hands it to the same first SM — either way the last SM starves and
+  // spin-lock contention livelocks (its CAS packets never leave the
+  // staging queue). Rotating on `now` keeps the grant deterministic and
+  // identical for any engine thread count.
+  const u32 n = static_cast<u32>(request_staging_.size());
+  if (n == 0) return;
+  const u32 start = static_cast<u32>(now % n);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (u32 i = 0; i < n; ++i)
+      if (inject_one((start + i) % n, now)) progress = true;
   }
 }
 

@@ -72,9 +72,9 @@ class Interconnect {
   Interconnect(u32 num_sms, u32 num_partitions, u32 latency, u32 per_cycle);
 
   /// Arm fault injection on the request path (null = off). Faults are
-  /// rolled in commit_requests — a serial, SM-id-ordered phase — using
-  /// the injector's per-SM interconnect streams, so placement depends
-  /// only on each SM's own packet sequence. A dropped or delayed packet
+  /// rolled in commit_requests — a serial phase — using the injector's
+  /// per-SM interconnect streams, so placement depends only on each SM's
+  /// own packet sequence. A dropped or delayed packet
   /// parks in a per-SM retry buffer and is re-injected after the plan's
   /// retry_timeout; after max_retries failed attempts it is forced
   /// through so a 100% fault rate still terminates.
@@ -119,15 +119,15 @@ class Interconnect {
   /// Requests still staged (or back-pressured) for SM `sm`.
   size_t staged_requests(u32 sm) const { return request_staging_[sm].size(); }
   /// Anything left to commit for SM `sm` — staged or awaiting retry.
-  /// Callers gating commit_requests must use this, not staged_requests:
-  /// a retry buffer with no fresh traffic still needs the commit sweep.
   bool has_pending(u32 sm) const {
     return !request_staging_[sm].empty() || (!retry_.empty() && !retry_[sm].empty());
   }
-  /// Push SM `sm`'s staged requests into the partition pipes, oldest
-  /// first, stopping at the first rate-limited packet (head-of-line
-  /// blocking, like a real injection port). Serial phase only.
-  void commit_requests(u32 sm, Cycle now);
+  /// Push every SM's staged requests into the partition pipes with a
+  /// round-robin grant (one packet per SM per round; within an SM oldest
+  /// first, stalling at the first rate-limited packet — head-of-line
+  /// blocking, like a real injection port). Serial phase only; the engine
+  /// calls this once per cycle after the SM commit loop.
+  void commit_requests(Cycle now);
 
   /// Stage a response produced by partition `partition` this cycle.
   /// Safe to call concurrently for distinct `partition`.
@@ -157,6 +157,12 @@ class Interconnect {
   /// has exhausted its retries. Returns false if the packet was parked
   /// in the retry buffer instead of entering the pipe.
   bool inject_request(u32 sm, Cycle now, Packet pkt, u32 tries);
+
+  /// One arbitration-round step for SM `sm`: move its oldest pending
+  /// packet (ripe retry, else staged) into its partition pipe. Returns
+  /// false when the SM has nothing ripe or its head packet's pipe is
+  /// rate-limited this cycle.
+  bool inject_one(u32 sm, Cycle now);
 
   std::vector<LatencyPipe<Packet>> to_partition_;
   std::vector<LatencyPipe<Response>> to_sm_;

@@ -47,6 +47,7 @@ void Engine::step(Cycle now) {
   {
     PhaseProfiler::Scope scope = profiler_.scope(EnginePhase::kCommit);
     for (auto& sm : *sms_) sm->commit_epoch(now);
+    icnt_->commit_requests(now);
   }
   {
     PhaseProfiler::Scope scope = profiler_.scope(EnginePhase::kPartition);

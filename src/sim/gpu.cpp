@@ -216,6 +216,7 @@ SimResult Gpu::launch(const LaunchConfig& launch) {
   for (;; ++now) {
     if (now > max_cycles_) {
       result.error = "watchdog: kernel exceeded max cycles";
+      for (const auto& sm : sms) sm->append_hang_summary(result.error);
       break;
     }
 

@@ -228,7 +228,11 @@ void Sm::commit_epoch(Cycle now) {
   if (!race_staging_.empty()) race_staging_.drain_into(*env_.race_log);
   for (u32 i = 0; i < deferred_count_; ++i) replay(deferred_[i]);
   deferred_count_ = 0;
-  if (env_.icnt->has_pending(sm_id_)) env_.icnt->commit_requests(sm_id_, now);
+  // Staged packets are injected by the engine's single fair
+  // icnt.commit_requests(now) sweep after every SM has committed —
+  // per-SM greedy injection here would let low-id SMs starve high-id
+  // ones under contention.
+  (void)now;
 }
 
 Sm::DeferredGlobalOp& Sm::acquire_deferred() {
@@ -998,6 +1002,22 @@ void Sm::execute(WarpContext& warp, Cycle now) {
       exec_alu(warp, ins);
       ++warp.pc;
       return;
+  }
+}
+
+void Sm::append_hang_summary(std::string& out) const {
+  static constexpr const char* kStateNames[] = {"Invalid", "Ready",     "WaitMem",
+                                                "Barrier", "WaitFence", "Done"};
+  for (const WarpContext& w : warps_) {
+    if (w.state == WarpState::kInvalid || w.state == WarpState::kDone) continue;
+    out += "\n  sm" + std::to_string(sm_id_) + ".w" + std::to_string(w.warp_slot()) +
+           " pc=" + std::to_string(w.pc) +
+           " state=" + kStateNames[static_cast<u8>(w.state)] +
+           " active=" + std::to_string(w.active) +
+           " pend=" + std::to_string(w.pending_responses) +
+           " stores=" + std::to_string(w.outstanding_stores) +
+           " ready_at=" + std::to_string(w.ready_at) +
+           " staged=" + std::to_string(env_.icnt->staged_requests(sm_id_));
   }
 }
 

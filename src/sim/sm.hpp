@@ -116,6 +116,11 @@ class Sm {
   rd::SmIdRegisters& ids() { return ids_; }
   const mem::Cache& l1() const { return l1_; }
 
+  /// One line per live warp ("sm0.w1 pc=33 state=WaitMem pend=1 stores=0"),
+  /// appended to `out`. The watchdog calls this so a hung kernel reports
+  /// where every warp was stuck instead of just "exceeded max cycles".
+  void append_hang_summary(std::string& out) const;
+
  private:
   // --- Scheduling -----------------------------------------------------------
   WarpContext* pick_ready_warp(Cycle now);

@@ -1,0 +1,84 @@
+// End-to-end fuzz campaign smoke: a seeded batch of generated kernels
+// runs through every detector with zero oracle violations, the
+// violation/class predicates behave, and the FUZZ registry entry is
+// reachable by name without appearing in the paper suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/spec.hpp"
+#include "kernels/common.hpp"
+#include "sim/gpu.hpp"
+
+namespace haccrg::fuzz {
+namespace {
+
+CampaignConfig fast_config() {
+  CampaignConfig config;
+  // No scratch dir: replay checks (the only filesystem users) are
+  // exercised by the CLI smoke gate; keep the unit test hermetic.
+  config.scratch_dir = "";
+  config.check_replay = false;
+  config.fault_every = 4;
+  return config;
+}
+
+TEST(FuzzCampaign, SeededBatchHasZeroViolations) {
+  const CampaignSummary summary = run_campaign(1, 12, FuzzConfig{}, fast_config());
+  EXPECT_EQ(summary.cases, 12u);
+  for (const FailedCase& failed : summary.failed) {
+    for (const std::string& v : failed.violations)
+      ADD_FAILURE() << failed.spec.name << ": " << v;
+  }
+  EXPECT_TRUE(summary.ok());
+}
+
+TEST(FuzzCampaign, RacyOnlyBatchCoversDetectionClasses) {
+  FuzzConfig racy;
+  racy.safe_fragments = false;
+  const CampaignSummary summary = run_campaign(100, 10, racy, fast_config());
+  EXPECT_TRUE(summary.ok());
+  u64 total_pairs = 0;
+  for (u32 c = 0; c < kNumOracleClasses; ++c) total_pairs += summary.class_pairs[c];
+  EXPECT_GT(total_pairs, 0u);
+}
+
+TEST(FuzzCampaign, ViolationPredicateIsFalseOnAPassingSpec) {
+  const KernelSpec spec = spec_from_seed(1);
+  EXPECT_FALSE(violation_predicate(fast_config())(spec));
+}
+
+TEST(FuzzCampaign, ClassPredicateSeesTheSharedEpochRace) {
+  KernelSpec spec;
+  FragmentSpec frag;
+  frag.kind = FragmentKind::kSharedWaw;
+  spec.fragments.push_back(frag);
+  EXPECT_TRUE(detects_class_predicate(OracleClass::kSharedEpoch)(spec));
+  EXPECT_FALSE(detects_class_predicate(OracleClass::kLockset)(spec));
+}
+
+TEST(FuzzCampaign, FuzzRegistryEntryIsNameOnly) {
+  const kernels::BenchmarkInfo* info = kernels::find_benchmark("FUZZ");
+  ASSERT_NE(info, nullptr);
+  for (const kernels::BenchmarkInfo& listed : kernels::all_benchmarks())
+    EXPECT_NE(listed.name, "FUZZ") << "FUZZ must not join the paper suites";
+
+  // The registry entry reproduces the generator's kernel for the same seed.
+  arch::GpuConfig gc;
+  rd::HaccrgConfig det;
+  sim::Gpu gpu(gc, det);
+  kernels::BenchOptions opts;
+  opts.seed = 42;
+  kernels::PreparedKernel prep = info->prepare(gpu, opts);
+  const GeneratedKernel direct = generate(spec_from_seed(42));
+  EXPECT_EQ(prep.program.disassemble(), direct.program.disassemble());
+  EXPECT_EQ(prep.grid_dim, direct.grid_dim);
+  EXPECT_EQ(prep.block_dim, direct.block_dim);
+  EXPECT_EQ(prep.shared_mem_bytes, direct.shared_mem_bytes);
+}
+
+}  // namespace
+}  // namespace haccrg::fuzz

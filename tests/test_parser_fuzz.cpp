@@ -1,0 +1,239 @@
+// Table-driven + seeded-mutation malformed-input suite for every
+// Status-returning parser a user can feed bytes into: HACCRG_FAULTS
+// plans, suppression files, the strict environment parser, analyze-
+// options compatibility, and the fuzz spec format. The contract under
+// test is uniform: never crash, never abort, and on failure leave the
+// out-parameter untouched. Mutations reuse the fuzzer's seed machinery
+// (SplitMix64), so a failing case is reproducible from its seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/static_race.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "fuzz/spec.hpp"
+#include "haccrg/options.hpp"
+#include "sim/sim_config.hpp"
+
+namespace haccrg {
+namespace {
+
+/// One seeded byte-level mutation: replace, insert, or delete at a
+/// random position (the classic dumb-fuzz trio).
+std::string mutate(const std::string& input, SplitMix64& rng) {
+  std::string s = input;
+  const u64 roll = rng.next();
+  const size_t pos = s.empty() ? 0 : rng.next() % s.size();
+  const char byte = static_cast<char>(rng.next() & 0xff);
+  switch (roll % 3) {
+    case 0:
+      if (!s.empty()) s[pos] = byte;
+      break;
+    case 1: s.insert(pos, 1, byte); break;
+    default:
+      if (!s.empty()) s.erase(pos, 1);
+      break;
+  }
+  return s;
+}
+
+// --- FaultPlan::parse --------------------------------------------------------
+
+TEST(ParserFuzzFaultPlan, MalformedTable) {
+  const char* cases[] = {
+      "seed",             // no '='
+      "seed=",            // empty value
+      "seed=abc",         // non-numeric
+      "=5",               // empty key
+      "bogus=1",          // unknown key
+      "shared_flip=-1",   // negative
+      "shared_flip=1000001",  // > 1e6 ppm
+      "seed=1 icnt_drop=5",   // wrong separator
+      "shared_flip=999999999999999999999",  // overflow
+  };
+  for (const char* text : cases) {
+    fault::FaultPlan plan;
+    plan.seed = 123;
+    plan.set_rate(fault::FaultSite::kIcntDup, 77);
+    EXPECT_FALSE(fault::FaultPlan::parse(text, plan).ok()) << text;
+    EXPECT_EQ(plan.seed, 123u) << "out must be untouched: " << text;
+    EXPECT_EQ(plan.rate(fault::FaultSite::kIcntDup), 77u) << text;
+  }
+}
+
+TEST(ParserFuzzFaultPlan, EmptyPairsAreTolerated) {
+  // Documented leniency: "a=1,,b=2" and trailing commas parse.
+  fault::FaultPlan plan;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=1,,icnt_drop=5,", plan).ok());
+  EXPECT_EQ(plan.seed, 1u);
+  EXPECT_EQ(plan.rate(fault::FaultSite::kIcntDrop), 5u);
+}
+
+TEST(ParserFuzzFaultPlan, SeededMutationsNeverCrash) {
+  const std::string valid =
+      "seed=7,shared_flip=100,global_flip=200,bloom_flip=300,racereg_drop=400,"
+      "icnt_drop=500,icnt_dup=600,icnt_delay=700,dram_flip=800,trace_corrupt=900";
+  SplitMix64 rng(0x66757a7aULL);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = valid;
+    const u32 rounds = 1 + static_cast<u32>(rng.next() % 4);
+    for (u32 r = 0; r < rounds; ++r) text = mutate(text, rng);
+    fault::FaultPlan plan;
+    plan.seed = 31337;
+    const Status st = fault::FaultPlan::parse(text, plan);
+    if (!st.ok()) {
+      EXPECT_EQ(plan.seed, 31337u) << "iteration " << i << ": " << text;
+    }
+  }
+}
+
+// --- Suppression files -------------------------------------------------------
+
+TEST(ParserFuzzSuppressions, MalformedTable) {
+  const char* cases[] = {
+      "{",                          // unterminated block
+      "}",                          // close without open
+      "{\n}\n",                     // block without a name
+      "{\n{\n",                     // nested open
+      "stray content\n",            // content outside a block
+      "{\nname\nkernel:\n}\n",      // empty value
+      "{\nname\npc: 12x\n}\n",      // non-decimal pc
+      "{\nname\nsecond name\n}\n",  // two names
+  };
+  for (const char* text : cases) {
+    std::vector<analysis::Suppression> out(1);
+    EXPECT_FALSE(analysis::parse_suppressions(text, out).ok()) << text;
+    EXPECT_EQ(out.size(), 1u) << "out must be untouched: " << text;
+  }
+}
+
+TEST(ParserFuzzSuppressions, ValidFileAppends) {
+  const std::string text =
+      "# comment\n{\nknown-hist-race\nkernel: HIST\nkind: may-race\npc: 12\n}\n"
+      "{\ncatch-all\n}\n";
+  std::vector<analysis::Suppression> out(1);
+  ASSERT_TRUE(analysis::parse_suppressions(text, out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].name, "known-hist-race");
+  EXPECT_EQ(out[1].kernel_glob, "HIST");
+  EXPECT_EQ(out[1].pc, "12");
+  EXPECT_EQ(out[2].kernel_glob, "*");
+}
+
+TEST(ParserFuzzSuppressions, SeededMutationsNeverCrash) {
+  const std::string valid = "{\nname-1\nkernel: SCAN\nkind: lint:*\npc: 3\n}\n";
+  SplitMix64 rng(0x73757070ULL);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = valid;
+    const u32 rounds = 1 + static_cast<u32>(rng.next() % 4);
+    for (u32 r = 0; r < rounds; ++r) text = mutate(text, rng);
+    std::vector<analysis::Suppression> out(2);
+    const Status st = analysis::parse_suppressions(text, out);
+    if (!st.ok()) {
+      EXPECT_EQ(out.size(), 2u) << "iteration " << i << ": " << text;
+    }
+  }
+}
+
+TEST(ParserFuzzSuppressions, LoadMissingFileIsNotFound) {
+  std::vector<analysis::Suppression> out;
+  const Status st = analysis::load_suppressions("/nonexistent/suppressions.supp", out);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- SimConfig::parse_env ----------------------------------------------------
+
+class ParserFuzzSimEnv : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("HACCRG_THREADS");
+    unsetenv("HACCRG_FAULTS");
+  }
+};
+
+TEST_F(ParserFuzzSimEnv, MalformedThreadsTable) {
+  const char* cases[] = {"0", "abc", "-3", "65", "1e3", "999999999999"};
+  for (const char* value : cases) {
+    setenv("HACCRG_THREADS", value, 1);
+    sim::SimConfig out;
+    out.num_threads = 31;
+    EXPECT_FALSE(sim::SimConfig::parse_env(out).ok()) << value;
+    EXPECT_EQ(out.num_threads, 31u) << "out must be untouched: " << value;
+  }
+}
+
+TEST_F(ParserFuzzSimEnv, MalformedFaultsRejected) {
+  setenv("HACCRG_THREADS", "2", 1);
+  setenv("HACCRG_FAULTS", "seed=oops", 1);
+  sim::SimConfig out;
+  EXPECT_FALSE(sim::SimConfig::parse_env(out).ok());
+  setenv("HACCRG_FAULTS", "seed=9,icnt_drop=100", 1);
+  ASSERT_TRUE(sim::SimConfig::parse_env(out).ok());
+  EXPECT_EQ(out.num_threads, 2u);
+  EXPECT_EQ(out.faults.seed, 9u);
+}
+
+// --- filter_compatible (AnalyzeOptions vs detector config) -------------------
+
+TEST(ParserFuzzFilterCompat, RejectsIncompatibleReports) {
+  rd::HaccrgConfig det;
+  det.enable_shared = true;
+  det.enable_global = true;
+  det.shared_granularity = 16;
+  det.global_granularity = 4;
+
+  analysis::AnalyzeOptions matching = analysis::options_for(det, 64, 2);
+  EXPECT_TRUE(analysis::filter_compatible(matching, det, 64, 2).ok());
+
+  analysis::AnalyzeOptions wrong_gran = matching;
+  wrong_gran.shared_granularity = 4;
+  EXPECT_FALSE(analysis::filter_compatible(wrong_gran, det, 64, 2).ok());
+
+  analysis::AnalyzeOptions wrong_geom = matching;
+  wrong_geom.block_dim = 128;
+  EXPECT_FALSE(analysis::filter_compatible(wrong_geom, det, 64, 2).ok());
+
+  rd::HaccrgConfig regrouped = det;
+  regrouped.warp_regrouping = true;
+  analysis::AnalyzeOptions warp_sync = matching;
+  warp_sync.warp_synchronous = true;
+  EXPECT_FALSE(analysis::filter_compatible(warp_sync, regrouped, 64, 2).ok());
+}
+
+// --- fuzz::KernelSpec::parse -------------------------------------------------
+
+TEST(ParserFuzzKernelSpec, SeededMutationsNeverCrashAndRoundTrip) {
+  const std::string valid = fuzz::spec_from_seed(5).serialize();
+  SplitMix64 rng(0x73706563ULL);
+  u32 accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = valid;
+    const u32 rounds = 1 + static_cast<u32>(rng.next() % 4);
+    for (u32 r = 0; r < rounds; ++r) text = mutate(text, rng);
+    fuzz::KernelSpec out;
+    out.name = "sentinel";
+    const Status st = fuzz::KernelSpec::parse(text, out);
+    if (st.ok()) {
+      // Whatever survived mutation must re-serialize losslessly and
+      // stay inside the validated envelope.
+      ++accepted;
+      EXPECT_TRUE(out.validate().ok());
+      fuzz::KernelSpec again;
+      ASSERT_TRUE(fuzz::KernelSpec::parse(out.serialize(), again).ok());
+      EXPECT_EQ(again.serialize(), out.serialize());
+    } else {
+      EXPECT_EQ(out.name, "sentinel") << "iteration " << i << ": " << text;
+    }
+  }
+  // The format is line-oriented and forgiving of whitespace, so some
+  // mutants must still parse — otherwise the harness tests nothing.
+  EXPECT_GT(accepted, 0u);
+}
+
+}  // namespace
+}  // namespace haccrg
