@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
 
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"fuzz\",\n";
+  json << "  " << bench::host_concurrency_json() << ",\n";
   json << "  \"seed\": " << seed << ",\n";
   json << "  \"kernels\": " << summary.cases << ",\n";
   json << "  \"violations\": " << summary.failures << ",\n";

@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
       return;
     }
     json << "{\n  \"bench\": \"hotpath\",\n";
-    json << "  \"host_hardware_threads\": " << hw_threads << ",\n";
+    json << "  " << bench::host_concurrency_json() << ",\n";
     json << "  \"kernels\": [\n";
     for (size_t i = 0; i < points.size(); ++i) {
       const KernelPoint& pt = points[i];

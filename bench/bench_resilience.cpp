@@ -218,7 +218,8 @@ int main(int argc, char** argv) {
   // --- JSON ------------------------------------------------------------------
   std::ofstream json(json_path, std::ios::trunc);
   if (json.good()) {
-    json << "{\n  \"bench\": \"resilience\",\n  \"seed\": " << seed
+    json << "{\n  \"bench\": \"resilience\",\n  " << bench::host_concurrency_json()
+         << ",\n  \"seed\": " << seed
          << ",\n  \"smoke\": " << (smoke ? "true" : "false")
          << ",\n  \"cases\": " << cases.size()
          << ",\n  \"baseline_detected\": " << baseline_detected

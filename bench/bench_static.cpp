@@ -137,7 +137,8 @@ int main(int argc, char** argv) {
               strict_ok ? "yes" : "NO (regression!)");
 
   std::ofstream json(json_path);
-  json << "{\"benchmark\":\"static_analysis\",\"improved_kernels\":" << improved_kernels
+  json << "{\"benchmark\":\"static_analysis\"," << bench::host_concurrency_json()
+       << ",\"improved_kernels\":" << improved_kernels
        << ",\"monotone\":" << (monotone ? "true" : "false")
        << ",\"strict_decrease\":" << (strict_ok ? "true" : "false") << ",\"kernels\":[";
   for (size_t i = 0; i < points.size(); ++i) {

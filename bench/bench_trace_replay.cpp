@@ -115,7 +115,8 @@ int main(int argc, char** argv) {
 
   std::ofstream json(json_path, std::ios::trunc);
   if (json.good()) {
-    json << "{\n  \"bench\": \"trace_replay\",\n  \"repeat\": " << repeat << ",\n";
+    json << "{\n  \"bench\": \"trace_replay\",\n  " << bench::host_concurrency_json()
+         << ",\n  \"repeat\": " << repeat << ",\n";
     json << "  \"geomean_speedup\": " << gm << ",\n  \"kernels\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];

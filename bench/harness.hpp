@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include <memory>
 
@@ -130,6 +131,26 @@ inline sim::SimResult run_benchmark_static_filtered(const std::string& name,
     std::abort();
   }
   return result;
+}
+
+/// Host-concurrency provenance for BENCH_*.json writers. Throughput
+/// numbers are meaningless without knowing how many hardware threads
+/// backed them, and whether the run oversubscribed the host (threads
+/// beyond the hardware count measure scheduler churn, not speedup) —
+/// every writer embeds these fields next to its timing data.
+/// `threads_used` is the widest worker count the bench configured.
+inline std::string host_concurrency_json(u32 threads_used) {
+  const u32 hw = std::thread::hardware_concurrency();
+  const bool oversubscribed = hw > 0 && threads_used > hw;
+  return "\"host_hardware_threads\": " + std::to_string(hw) +
+         ", \"threads_used\": " + std::to_string(threads_used) +
+         ", \"oversubscribed\": " + (oversubscribed ? "true" : "false");
+}
+
+/// Convenience overload: the engine thread count the environment
+/// (HACCRG_THREADS) selects, which is what most benches run with.
+inline std::string host_concurrency_json() {
+  return host_concurrency_json(sim::SimConfig::from_env().num_threads);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

@@ -107,6 +107,25 @@ cli_contracts() {
   rm -rf "$tmp"
 }
 
+# Serving smoke: a haccrg-served round trip on a golden recorded trace
+# (in-process `once` plus the socket/stdio transports via the CLI
+# contract suite) and bench_serving --smoke, which fails on its own if
+# served reports diverge from the live race sets, if overload is never
+# rejected, or if a drained job loses its result.
+serving_smoke() {
+  local tmp
+  tmp=$(mktemp -d)
+  bash tests/test_serve_cli.sh "$1/src/serve/haccrg-served" \
+    "$1/src/trace/haccrg-trace" "$tmp/serve_cli"
+  "$1/src/trace/haccrg-trace" record --kernel REDUCE --inject barrier:0 \
+    --index --out "$tmp/golden.trc" >/dev/null
+  "$1/src/serve/haccrg-served" once --trace "$tmp/golden.trc" --workers 8 \
+    > "$tmp/report.json"
+  grep -q '"unique_races"' "$tmp/report.json"
+  "$1/bench/bench_serving" --smoke --json "$tmp/BENCH_serving_smoke.json" >/dev/null
+  rm -rf "$tmp"
+}
+
 if [[ $run_tier1 == 1 ]]; then
   echo "=== tier-1 build (build/) ==="
   cmake -B build -S . >/dev/null
@@ -130,6 +149,8 @@ if [[ $run_tier1 == 1 ]]; then
   static_precision build
   echo "--- fuzz smoke (tier-1 build, 200 kernels) ---"
   fuzz_smoke build 200
+  echo "--- serving smoke (tier-1 build) ---"
+  serving_smoke build
   # Tidy is warn-only: findings are cleanup candidates, not gate failures
   # (and the reference toolchain may lack clang-tidy entirely).
   echo "--- clang-tidy (warn-only) ---"
@@ -155,6 +176,8 @@ if [[ $run_strict == 1 ]]; then
   fault_smoke build-strict
   echo "--- fuzz smoke (strict build, 40 kernels) ---"
   fuzz_smoke build-strict 40
+  echo "--- serving smoke (strict build) ---"
+  serving_smoke build-strict
   echo "--- static-soundness gate (strict build, 3 seeds) ---"
   static_soundness build-strict 3
 fi
@@ -178,6 +201,8 @@ if [[ $run_tsan == 1 ]]; then
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" fault_smoke build-tsan
   echo "--- fuzz smoke (TSan build, 20 kernels) ---"
   TSAN_OPTIONS="halt_on_error=1" fuzz_smoke build-tsan 20
+  echo "--- serving smoke (TSan build) ---"
+  TSAN_OPTIONS="halt_on_error=1" serving_smoke build-tsan
   echo "--- static-soundness gate (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" static_soundness build-tsan 1
 fi

@@ -23,6 +23,7 @@ enum class StatusCode : u8 {
   kBadMagic,          ///< input is not the expected file format at all
   kVersionMismatch,   ///< right format, wrong version
   kCorrupt,           ///< right format+version, damaged content
+  kUnavailable,       ///< a bounded resource is full right now; retry later
 };
 
 std::string_view status_code_name(StatusCode code);
@@ -54,6 +55,9 @@ class Status {
     return {StatusCode::kVersionMismatch, std::move(msg)};
   }
   static Status corrupt(std::string msg) { return {StatusCode::kCorrupt, std::move(msg)}; }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
 
  private:
   StatusCode code_ = StatusCode::kOk;
@@ -69,6 +73,7 @@ inline std::string_view status_code_name(StatusCode code) {
     case StatusCode::kBadMagic: return "bad magic";
     case StatusCode::kVersionMismatch: return "version mismatch";
     case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "?";
 }

@@ -33,7 +33,7 @@ struct EmitCtx {
   u32 grid_dim;
   u32 block_dim;
 
-  Reg arena_reg;
+  Reg arena_reg{};
   bool have_arena = false;
   Reg arena() {
     if (!have_arena) {
@@ -43,7 +43,7 @@ struct EmitCtx {
     return arena_reg;
   }
 
-  Reg cached[4];
+  Reg cached[4]{};
   bool have[4] = {false, false, false, false};
   Reg special(int slot, SpecialReg which) {
     if (!have[slot]) {
@@ -57,7 +57,7 @@ struct EmitCtx {
   Reg gtid() { return special(2, SpecialReg::kGTid); }
   Reg lane() { return special(3, SpecialReg::kLane); }
 
-  Reg const_reg[2];
+  Reg const_reg[2]{};
   bool have_const[2] = {false, false};
   Reg zero() {
     if (!have_const[0]) {

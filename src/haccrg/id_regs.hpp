@@ -11,6 +11,7 @@
 // replica reads is folded into the RDU's fixed check cost).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.hpp"
@@ -82,6 +83,19 @@ class SmIdRegisters {
   void reset_thread(u32 thread_slot) {
     sigs_[thread_slot].clear();
     cs_depth_[thread_slot] = 0;
+  }
+
+  /// Reset every register to its construction state without touching
+  /// vector capacity — the replay arena's clear-don't-free path between
+  /// kernels.
+  void reset() {
+    barrier_events_ = 0;
+    sync_increments_ = 0;
+    std::fill(sync_ids_.begin(), sync_ids_.end(), u8{0});
+    std::fill(global_touched_.begin(), global_touched_.end(), false);
+    std::fill(fence_ids_.begin(), fence_ids_.end(), u8{0});
+    for (BloomSignature& sig : sigs_) sig.clear();
+    std::fill(cs_depth_.begin(), cs_depth_.end(), u8{0});
   }
 
   // --- Fault-injection mutators (src/fault) ---

@@ -55,6 +55,9 @@ class RaceStaging {
   bool empty() const { return records_.empty(); }
   const std::vector<RaceRecord>& records() const { return records_; }
 
+  /// Drop staged records, keeping capacity (arena reuse between kernels).
+  void clear() { records_.clear(); }
+
   /// Replay every staged record into `log` (in staging order) and clear.
   void drain_into(RaceLog& log);
 

@@ -95,7 +95,7 @@ struct BenchmarkInfo {
   std::string name;         ///< paper's name (MCARLO, SCAN, ...)
   std::string description;
   PrepareFn prepare = nullptr;
-  InjectionSites sites;
+  InjectionSites sites{};
   bool uses_shared = false;
   bool uses_fences = false;
   bool uses_locks = false;

@@ -1,0 +1,352 @@
+// haccrg-served — the sharded trace-replay detection service daemon.
+//
+//   haccrg-served serve --socket PATH [--workers N] [--queue N]
+//   haccrg-served serve --stdio [--workers N] [--queue N]
+//   haccrg-served once --trace FILE [--workers N] [--kernel N]
+//   haccrg-served client --socket PATH submit FILE [--workers N] [--kernel N]
+//   haccrg-served client --socket PATH status|result|cancel JOB [--wait]
+//   haccrg-served client --socket PATH stats|shutdown
+//
+// Transport is length-prefixed frames (serve/protocol.hpp) over a unix
+// domain socket or stdin/stdout. `once` runs a single job through an
+// in-process server — no socket, same code path — and prints the report
+// JSON; it is the smoke-test entry point.
+//
+// Exit codes: 0 success, 1 job/request failed (message on stderr),
+// 2 usage, 3 transport/io error.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace haccrg;
+using namespace haccrg::serve;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "haccrg-served: %s\n\n", error);
+  std::fprintf(stderr, "%s",
+               "usage: haccrg-served <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  serve --socket PATH | --stdio   run the daemon\n"
+               "    [--workers N]                 worker threads (default 2)\n"
+               "    [--queue N]                   queued-job bound (default 64)\n"
+               "  once --trace FILE               one in-process job, report on stdout\n"
+               "    [--workers N] [--kernel N]\n"
+               "  client --socket PATH <verb>     one request against a daemon\n"
+               "    submit FILE [--workers N] [--kernel N]\n"
+               "    status JOB | result JOB [--wait] | cancel JOB\n"
+               "    stats | shutdown\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::vector<u8>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+// --- Frame transport over a file descriptor --------------------------------
+
+bool read_exact(int fd, u8* buffer, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, buffer + done, size - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const u8* buffer, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, buffer + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Read one frame; false on clean EOF or any error (`eof` says which).
+bool read_frame(int fd, std::vector<u8>& payload, bool& eof) {
+  u8 prefix[4];
+  eof = false;
+  {
+    // A clean close between frames shows up as EOF on the first byte.
+    const ssize_t n = ::read(fd, prefix, 1);
+    if (n == 0) {
+      eof = true;
+      return false;
+    }
+    if (n < 0) return false;
+  }
+  if (!read_exact(fd, prefix + 1, 3)) return false;
+  const u64 size = static_cast<u64>(prefix[0]) | static_cast<u64>(prefix[1]) << 8 |
+                   static_cast<u64>(prefix[2]) << 16 | static_cast<u64>(prefix[3]) << 24;
+  if (size == 0 || size > kMaxFramePayload) return false;
+  payload.resize(size);
+  return read_exact(fd, payload.data(), size);
+}
+
+bool write_frame(int fd, const std::vector<u8>& payload) {
+  std::vector<u8> framed;
+  framed.reserve(payload.size() + 4);
+  encode_frame(payload, framed);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+// --- serve ------------------------------------------------------------------
+
+/// Serve one connection; returns true when a SHUTDOWN was processed.
+bool serve_connection(Server& server, int in_fd, int out_fd) {
+  std::vector<u8> payload;
+  std::vector<u8> reply;
+  bool eof = false;
+  while (read_frame(in_fd, payload, eof)) {
+    Request request;
+    Response response;
+    bool is_shutdown = false;
+    if (Status status = parse_request(payload.data(), payload.size(), request); !status.ok()) {
+      response.ok = false;
+      response.code = status.code();
+      response.body = status.message();
+    } else {
+      is_shutdown = request.verb == Verb::kShutdown;
+      response = server.handle_request(request);
+    }
+    reply.clear();
+    encode_response(response, reply);
+    if (!write_frame(out_fd, reply)) return false;
+    if (is_shutdown && response.ok) return true;
+  }
+  return false;
+}
+
+int cmd_serve_stdio(Server& server) {
+  serve_connection(server, STDIN_FILENO, STDOUT_FILENO);
+  server.shutdown();  // EOF on stdin drains too
+  return 0;
+}
+
+int cmd_serve_socket(Server& server, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "haccrg-served: socket: %s\n", std::strerror(errno));
+    return 3;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "haccrg-served: socket path too long\n");
+    ::close(listener);
+    return 2;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::fprintf(stderr, "haccrg-served: bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return 3;
+  }
+  std::fprintf(stderr, "haccrg-served: listening on %s\n", path.c_str());
+
+  // Connections are served one at a time: the daemon's concurrency lives
+  // in the worker pool (jobs are asynchronous), not in the accept loop,
+  // which keeps the transport free of connection/shutdown races.
+  bool shutdown_seen = false;
+  while (!shutdown_seen) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "haccrg-served: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    shutdown_seen = serve_connection(server, conn, conn);
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  server.shutdown();
+  return 0;
+}
+
+// --- once -------------------------------------------------------------------
+
+int cmd_once(int argc, char** argv) {
+  std::string trace_path;
+  u32 workers = 1;
+  i64 kernel = -1;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (arg == "--workers" && i + 1 < argc) workers = static_cast<u32>(std::atoi(argv[++i]));
+    else if (arg == "--kernel" && i + 1 < argc) kernel = std::atol(argv[++i]);
+    else return usage(("unknown once argument: " + arg).c_str());
+  }
+  if (trace_path.empty()) return usage("once requires --trace");
+  std::vector<u8> bytes;
+  if (!read_file(trace_path, bytes)) {
+    std::fprintf(stderr, "haccrg-served: cannot read %s\n", trace_path.c_str());
+    return 3;
+  }
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  u64 job = 0;
+  if (Status status = server.submit(bytes, workers, kernel, job); !status.ok()) {
+    std::fprintf(stderr, "haccrg-served: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::string report;
+  if (Status status = server.result(job, /*wait=*/true, report); !status.ok()) {
+    std::fprintf(stderr, "haccrg-served: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}
+
+// --- client -----------------------------------------------------------------
+
+int client_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+    else rest.push_back(arg);
+  }
+  if (socket_path.empty() || rest.empty()) return usage("client requires --socket and a verb");
+
+  Request request;
+  const std::string& verb = rest[0];
+  if (verb == "submit") {
+    if (rest.size() < 2) return usage("client submit requires a trace file");
+    request.verb = Verb::kSubmit;
+    if (!read_file(rest[1], request.trace)) {
+      std::fprintf(stderr, "haccrg-served: cannot read %s\n", rest[1].c_str());
+      return 3;
+    }
+    for (size_t i = 2; i < rest.size(); ++i) {
+      if (rest[i] == "--workers" && i + 1 < rest.size())
+        request.workers = static_cast<u32>(std::atoi(rest[++i].c_str()));
+      else if (rest[i] == "--kernel" && i + 1 < rest.size())
+        request.kernel = std::atol(rest[++i].c_str());
+      else return usage(("unknown submit argument: " + rest[i]).c_str());
+    }
+  } else if (verb == "status" || verb == "result" || verb == "cancel") {
+    if (rest.size() < 2) return usage("client needs a job id");
+    request.verb = verb == "status" ? Verb::kStatus
+                   : verb == "result" ? Verb::kResult
+                                      : Verb::kCancel;
+    request.job_id = static_cast<u64>(std::atoll(rest[1].c_str()));
+    if (rest.size() > 2 && rest[2] == "--wait" && verb == "result") request.wait = true;
+  } else if (verb == "stats") {
+    request.verb = Verb::kStats;
+  } else if (verb == "shutdown") {
+    request.verb = Verb::kShutdown;
+  } else {
+    return usage(("unknown client verb: " + verb).c_str());
+  }
+
+  const int fd = client_connect(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "haccrg-served: cannot connect to %s\n", socket_path.c_str());
+    return 3;
+  }
+  std::vector<u8> payload;
+  encode_request(request, payload);
+  std::vector<u8> reply;
+  bool eof = false;
+  if (!write_frame(fd, payload) || !read_frame(fd, reply, eof)) {
+    std::fprintf(stderr, "haccrg-served: transport failure\n");
+    ::close(fd);
+    return 3;
+  }
+  ::close(fd);
+
+  Response response;
+  if (Status status = parse_response(reply.data(), reply.size(), response); !status.ok()) {
+    std::fprintf(stderr, "haccrg-served: bad response: %s\n", status.to_string().c_str());
+    return 3;
+  }
+  if (!response.ok) {
+    std::fprintf(stderr, "haccrg-served: %s: %s\n",
+                 std::string(status_code_name(response.code)).c_str(), response.body.c_str());
+    return 1;
+  }
+  if (response.job_id != 0) std::printf("job: %llu\n", (unsigned long long)response.job_id);
+  if (!response.state.empty()) std::printf("state: %s\n", response.state.c_str());
+  if (!response.body.empty()) std::fputs(response.body.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "serve") {
+    std::string socket_path;
+    bool stdio = false;
+    ServerConfig config;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+      else if (arg == "--stdio") stdio = true;
+      else if (arg == "--workers" && i + 1 < argc)
+        config.workers = static_cast<u32>(std::atoi(argv[++i]));
+      else if (arg == "--queue" && i + 1 < argc)
+        config.max_queue = static_cast<u32>(std::atoi(argv[++i]));
+      else return usage(("unknown serve argument: " + arg).c_str());
+    }
+    if (stdio == !socket_path.empty())
+      return usage("serve needs exactly one of --socket/--stdio");
+    Server server(config);
+    return stdio ? cmd_serve_stdio(server) : cmd_serve_socket(server, socket_path);
+  }
+  if (command == "once") return cmd_once(argc - 2, argv + 2);
+  if (command == "client") return cmd_client(argc - 2, argv + 2);
+  return usage(("unknown command: " + command).c_str());
+}

@@ -1,0 +1,100 @@
+#include "serve/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "haccrg/race.hpp"
+
+namespace haccrg::serve {
+
+namespace {
+
+/// Reporting group key: program location + memory space + failure class.
+using GroupKey = std::tuple<u32 /*pc*/, u8 /*space*/, u8 /*type*/, u8 /*mech*/>;
+
+struct Group {
+  u64 count = 0;
+  trace::RaceKey first;  ///< lowest identity in the group (set is sorted)
+};
+
+void append_kv(std::string& out, const char* key, u64 value, bool comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), comma ? ", " : "");
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string build_report_json(const trace::ReplayResult& result) {
+  std::string out = "{\n  \"kernels\": [\n";
+  u64 unique_total = 0;
+  for (size_t k = 0; k < result.kernels.size(); ++k) {
+    const trace::KernelReplay& kernel = result.kernels[k];
+    unique_total += kernel.races.unique();
+    out += "    {\"label\": \"" + json_escape(kernel.label) + "\", ";
+    append_kv(out, "events", kernel.events);
+    append_kv(out, "cycles", kernel.cycles);
+    append_kv(out, "shared_checks", kernel.shared_checks);
+    append_kv(out, "global_checks", kernel.global_checks);
+    append_kv(out, "unique_races", kernel.races.unique(), /*comma=*/false);
+    out += k + 1 < result.kernels.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n";
+
+  // Group the sorted identity set; std::map keeps group order canonical.
+  std::map<GroupKey, Group> groups;
+  for (const trace::RaceKey& key : result.race_set()) {
+    const GroupKey gk{std::get<7>(key), std::get<0>(key), std::get<1>(key), std::get<2>(key)};
+    auto [it, inserted] = groups.emplace(gk, Group{0, key});
+    ++it->second.count;
+    (void)inserted;  // first insertion keeps the lowest key — set is sorted
+  }
+
+  out += "  \"races\": [\n";
+  size_t emitted = 0;
+  for (const auto& [gk, group] : groups) {
+    const auto& [pc, space, type, mech] = gk;
+    out += "    {";
+    append_kv(out, "pc", pc);
+    out += "\"space\": \"" +
+           std::string(space == static_cast<u8>(rd::MemSpace::kShared) ? "shared" : "global") +
+           "\", ";
+    out += "\"type\": \"" +
+           std::string(rd::race_type_name(static_cast<rd::RaceType>(type))) + "\", ";
+    out += "\"mechanism\": \"" +
+           std::string(rd::race_mechanism_name(static_cast<rd::RaceMechanism>(mech))) + "\", ";
+    append_kv(out, "count", group.count);
+    out += "\"first\": \"" + json_escape(trace::race_key_line(group.first)) + "\"}";
+    out += ++emitted < groups.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  ";
+  append_kv(out, "unique_races", unique_total);
+  append_kv(out, "race_groups", groups.size());
+  append_kv(out, "events", result.total_events, /*comma=*/false);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace haccrg::serve

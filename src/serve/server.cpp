@@ -1,0 +1,451 @@
+#include "serve/server.hpp"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "serve/report.hpp"
+#include "trace/index.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+
+namespace haccrg::serve {
+
+namespace {
+
+/// Content address of a submitted trace. FNV-1a folding eight bytes per
+/// step (the hash is in-process only, never persisted, so the wider
+/// stride is free to differ from canonical byte-wise FNV); the cache key
+/// also carries the byte count, so a collision needs two same-length
+/// traces with the same hash — accepted odds for a cache whose worst
+/// failure is serving the report of the colliding trace. Hashing is the
+/// whole per-request cost of a memoized answer, which is why it strides.
+u64 fnv1a(const u8* data, size_t size) {
+  u64 hash = 0xcbf29ce484222325ull;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    u64 word;
+    std::memcpy(&word, data + i, 8);
+    hash ^= word;
+    hash *= 0x100000001b3ull;
+  }
+  for (; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+struct Server::Impl {
+  /// (content hash, byte count, kernel slice) — the identity replay
+  /// results depend on. Worker count is deliberately absent: sharded
+  /// replay is byte-identical across worker counts.
+  using TraceKey = std::tuple<u64, u64, i64>;
+
+  struct Job {
+    u64 id = 0;
+    JobState state = JobState::kQueued;
+    std::vector<u8> trace;  ///< moved out when the job starts running
+    u64 hash = 0;           ///< content hash, computed once at submit
+    u32 workers = 1;
+    i64 kernel = -1;
+    std::string report;
+    StatusCode error_code = StatusCode::kOk;
+    std::string error;
+  };
+
+  /// Decode-once entry. The per-entry mutex serializes the first decode
+  /// while letting unrelated traces decode concurrently; the server
+  /// mutex is never held across a decode or replay.
+  struct CacheEntry {
+    std::mutex mu;
+    bool ready = false;
+    Status status;
+    std::shared_ptr<const trace::DecodedTrace> decoded;
+  };
+
+  explicit Impl(const ServerConfig& cfg) : config(cfg) {
+    if (config.workers == 0) config.workers = 1;
+    for (u32 w = 0; w < config.workers; ++w)
+      arenas.push_back(std::make_unique<trace::ReplayArena>());
+    for (u32 w = 0; w < config.workers; ++w)
+      threads.emplace_back([this, w] { worker(w); });
+  }
+
+  ServerConfig config;
+  mutable std::mutex mu;
+  std::condition_variable queue_cv;  ///< workers: queue non-empty or draining
+  std::condition_variable done_cv;   ///< waiters: some job settled
+  bool accepting = true;
+  bool draining = false;
+  u64 next_id = 1;
+  std::map<u64, Job> jobs;
+  std::deque<u64> queue;
+  std::map<TraceKey, std::shared_ptr<CacheEntry>> trace_cache;
+  std::map<TraceKey, std::string> memo;
+  std::vector<std::unique_ptr<trace::ReplayArena>> arenas;  ///< one per worker
+  std::vector<std::thread> threads;
+
+  // Counters (guarded by mu).
+  u64 submitted = 0;
+  u64 rejected = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 cancelled = 0;
+  u64 memo_hits = 0;
+  u64 cache_hits = 0;
+  u64 decodes = 0;
+
+  void settle(std::unique_lock<std::mutex>& lock, Job& job, JobState state) {
+    job.state = state;
+    state == JobState::kDone ? ++completed : ++failed;
+    lock.unlock();
+    done_cv.notify_all();
+    lock.lock();
+  }
+
+  Status decode(std::vector<u8> bytes, i64 kernel,
+                std::shared_ptr<const trace::DecodedTrace>& out) {
+    trace::TraceReader reader(std::move(bytes));
+    auto decoded = std::make_shared<trace::DecodedTrace>();
+    if (kernel < 0) {
+      if (Status status = trace::decode_trace(reader, *decoded); !status.ok()) return status;
+    } else {
+      // The seek path: v2 traces use the file-carried index, v1 traces
+      // fall back to a counted linear scan (trace/index.hpp).
+      trace::TraceIndex index;
+      if (Status status = trace::load_or_build_index(reader, index); !status.ok()) return status;
+      if (static_cast<u64>(kernel) >= index.kernels.size())
+        return Status::not_found("serve: trace has no kernel #" + std::to_string(kernel));
+      if (Status status =
+              trace::decode_trace_kernel(reader, index.kernels[static_cast<u64>(kernel)], *decoded);
+          !status.ok())
+        return status;
+    }
+    out = std::move(decoded);
+    return Status();
+  }
+
+  void worker(u32 index) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      queue_cv.wait(lock, [this] { return !queue.empty() || draining; });
+      if (queue.empty()) return;  // draining and nothing left
+      const u64 id = queue.front();
+      queue.pop_front();
+      Job& job = jobs.at(id);
+      if (job.state == JobState::kCancelled) continue;
+      job.state = JobState::kRunning;
+      std::vector<u8> bytes = std::move(job.trace);
+      const u32 workers = job.workers;
+      const i64 kernel = job.kernel;
+      const TraceKey key{job.hash, bytes.size(), kernel};
+
+      // A memo entry may have landed between this job's submit-time memo
+      // check and now (an identical job ahead of it in the queue).
+      if (config.memoize) {
+        auto hit = memo.find(key);
+        if (hit != memo.end()) {
+          ++memo_hits;
+          job.report = hit->second;
+          settle(lock, job, JobState::kDone);
+          continue;
+        }
+      }
+
+      auto [slot, inserted] = trace_cache.emplace(key, nullptr);
+      if (inserted) slot->second = std::make_shared<CacheEntry>();
+      std::shared_ptr<CacheEntry> entry = slot->second;
+      lock.unlock();
+
+      Status job_status;
+      std::shared_ptr<const trace::DecodedTrace> decoded;
+      bool decoded_here = false;
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mu);
+        if (!entry->ready) {
+          entry->status = decode(std::move(bytes), kernel, entry->decoded);
+          entry->ready = true;
+          decoded_here = true;
+        }
+        job_status = entry->status;
+        decoded = entry->decoded;
+      }
+
+      std::string report;
+      if (job_status.ok()) {
+        trace::ReplayOptions opts;
+        opts.arena = arenas[index].get();
+        const trace::ReplayResult result = trace::replay_sharded(*decoded, workers, opts);
+        if (result.ok)
+          report = build_report_json(result);
+        else
+          job_status = result.status();
+      }
+
+      lock.lock();
+      decoded_here ? ++decodes : ++cache_hits;
+      if (job_status.ok()) {
+        if (config.memoize) memo.emplace(key, report);
+        job.report = std::move(report);
+        settle(lock, job, JobState::kDone);
+      } else {
+        job.error_code = job_status.code();
+        job.error = job_status.message();
+        settle(lock, job, JobState::kFailed);
+      }
+    }
+  }
+};
+
+Server::Server(const ServerConfig& config) : impl_(std::make_unique<Impl>(config)) {}
+
+Server::~Server() { shutdown(); }
+
+Status Server::submit(const std::vector<u8>& trace_bytes, u32 workers, i64 kernel,
+                      u64& job_id_out) {
+  if (trace_bytes.empty()) return Status::invalid_argument("serve: empty trace");
+  if (trace_bytes.size() > impl_->config.max_trace_bytes)
+    return Status::invalid_argument("serve: trace exceeds the size cap");
+  if (workers == 0 || workers > 64)
+    return Status::invalid_argument("serve: workers must be 1..64");
+  // Hash outside the lock: for a large trace this is the dominant cost
+  // of a repeated submission and must not serialize the service.
+  const u64 hash = fnv1a(trace_bytes.data(), trace_bytes.size());
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->accepting) {
+    ++impl_->rejected;
+    return Status::unavailable("serve: shutting down");
+  }
+  // Memo fast path: a trace the service has already replayed is answered
+  // at submit time — the job is born settled, never copies the trace,
+  // never occupies a queue slot (so it is immune to queue-full
+  // rejection: answering from cache needs no capacity).
+  if (impl_->config.memoize) {
+    auto hit = impl_->memo.find(Impl::TraceKey{hash, trace_bytes.size(), kernel});
+    if (hit != impl_->memo.end()) {
+      const u64 id = impl_->next_id++;
+      Impl::Job& job = impl_->jobs[id];
+      job.id = id;
+      job.hash = hash;
+      job.workers = workers;
+      job.kernel = kernel;
+      job.state = JobState::kDone;
+      job.report = hit->second;
+      ++impl_->submitted;
+      ++impl_->memo_hits;
+      ++impl_->completed;
+      job_id_out = id;
+      return Status();
+    }
+  }
+  if (impl_->queue.size() >= impl_->config.max_queue) {
+    ++impl_->rejected;
+    return Status::unavailable("serve: job queue is full, retry later");
+  }
+  const u64 id = impl_->next_id++;
+  Impl::Job& job = impl_->jobs[id];
+  job.id = id;
+  job.trace = trace_bytes;  // the one copy a queued job pays
+  job.hash = hash;
+  job.workers = workers;
+  job.kernel = kernel;
+  impl_->queue.push_back(id);
+  ++impl_->submitted;
+  impl_->queue_cv.notify_one();
+  job_id_out = id;
+  return Status();
+}
+
+Status Server::status(u64 job_id, JobInfo& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->jobs.find(job_id);
+  if (it == impl_->jobs.end()) return Status::not_found("serve: no such job");
+  out.id = job_id;
+  out.state = it->second.state;
+  out.error = it->second.error;
+  return Status();
+}
+
+Status Server::result(u64 job_id, bool wait, std::string& json_out) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto it = impl_->jobs.find(job_id);
+  if (it == impl_->jobs.end()) return Status::not_found("serve: no such job");
+  Impl::Job& job = it->second;
+  if (wait) {
+    impl_->done_cv.wait(lock, [&job] {
+      return job.state != JobState::kQueued && job.state != JobState::kRunning;
+    });
+  }
+  switch (job.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return Status::unavailable("serve: job still " +
+                                 std::string(job_state_name(job.state)));
+    case JobState::kCancelled:
+      return Status::invalid_argument("serve: job was cancelled");
+    case JobState::kFailed:
+      return Status(job.error_code, job.error);
+    case JobState::kDone:
+      break;
+  }
+  json_out = job.report;
+  return Status();
+}
+
+Status Server::cancel(u64 job_id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->jobs.find(job_id);
+  if (it == impl_->jobs.end()) return Status::not_found("serve: no such job");
+  Impl::Job& job = it->second;
+  if (job.state != JobState::kQueued)
+    return Status::invalid_argument("serve: job is already " +
+                                    std::string(job_state_name(job.state)));
+  job.state = JobState::kCancelled;  // left in the deque; workers skip it
+  job.trace.clear();
+  job.trace.shrink_to_fit();
+  ++impl_->cancelled;
+  impl_->done_cv.notify_all();  // wake result(wait=true) callers on this job
+  return Status();
+}
+
+std::string Server::stats_json() const {
+  u64 arena_reuses = 0;
+  u64 arena_builds = 0;
+  for (const auto& arena : impl_->arenas) {
+    arena_reuses += arena->reuses();
+    arena_builds += arena->builds();
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{";
+  auto field = [&out](const char* key, u64 value) {
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += std::to_string(value);
+    out += ", ";
+  };
+  field("workers", impl_->config.workers);
+  field("max_queue", impl_->config.max_queue);
+  field("queue_depth", impl_->queue.size());
+  field("submitted", impl_->submitted);
+  field("completed", impl_->completed);
+  field("failed", impl_->failed);
+  field("cancelled", impl_->cancelled);
+  field("rejected", impl_->rejected);
+  field("trace_decodes", impl_->decodes);
+  field("trace_cache_hits", impl_->cache_hits);
+  field("memo_hits", impl_->memo_hits);
+  field("arena_reuses", arena_reuses);
+  field("arena_builds", arena_builds);
+  // Satellite stat: how often an index-less (v1) trace forced the
+  // linear-scan fallback on the seek path (process-wide).
+  out += "\"index_missing\": " + std::to_string(trace::index_missing_count()) + "}";
+  return out;
+}
+
+void Server::shutdown() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->accepting = false;
+    impl_->draining = true;
+    threads = std::move(impl_->threads);
+    impl_->threads.clear();
+  }
+  impl_->queue_cv.notify_all();
+  for (std::thread& t : threads) t.join();
+}
+
+Response Server::handle_request(const Request& request) {
+  Response response;
+  Status status;
+  switch (request.verb) {
+    case Verb::kSubmit: {
+      u64 id = 0;
+      status = submit(request.trace, request.workers, request.kernel, id);
+      if (status.ok()) {
+        response.job_id = id;
+        response.state = "queued";
+      }
+      break;
+    }
+    case Verb::kStatus: {
+      JobInfo info;
+      status = this->status(request.job_id, info);
+      if (status.ok()) {
+        response.job_id = info.id;
+        response.state = std::string(job_state_name(info.state));
+        response.body = info.error;
+      }
+      break;
+    }
+    case Verb::kResult: {
+      std::string json;
+      status = result(request.job_id, request.wait, json);
+      if (status.ok()) {
+        response.job_id = request.job_id;
+        response.state = "done";
+        response.body = std::move(json);
+      }
+      break;
+    }
+    case Verb::kCancel:
+      status = cancel(request.job_id);
+      if (status.ok()) {
+        response.job_id = request.job_id;
+        response.state = "cancelled";
+      }
+      break;
+    case Verb::kStats:
+      response.body = stats_json();
+      break;
+    case Verb::kShutdown:
+      // Drain before answering: an OK here means every accepted job has
+      // settled and its result is queryable.
+      shutdown();
+      response.state = "drained";
+      break;
+  }
+  if (status.ok()) {
+    response.ok = true;
+  } else {
+    response.ok = false;
+    response.code = status.code();
+    response.body = status.message();
+  }
+  return response;
+}
+
+void Server::handle_frame(const u8* data, size_t size, std::vector<u8>& response_payload_out) {
+  Request request;
+  Response response;
+  if (Status status = parse_request(data, size, request); !status.ok()) {
+    response.ok = false;
+    response.code = status.code();
+    response.body = status.message();
+  } else {
+    response = handle_request(request);
+  }
+  response_payload_out.clear();
+  encode_response(response, response_payload_out);
+}
+
+}  // namespace haccrg::serve

@@ -1,0 +1,93 @@
+// The sharded trace-replay detection service. A Server owns a bounded
+// job queue and a pool of worker threads; each worker carries its own
+// pre-warmed ReplayArena (trace/replay.hpp) so steady-state jobs reuse
+// detector state instead of rebuilding it. Traces are decoded once per
+// distinct byte image (content-addressed cache) and, because sharded
+// replay is deterministic and byte-identical across worker counts, the
+// finished report for a (trace, kernel-slice) pair is memoized — a
+// resubmitted trace is answered without replaying at all.
+//
+// Overload is rejected, not absorbed: when `max_queue` jobs are already
+// waiting, submit() returns StatusCode::kUnavailable and the caller is
+// expected to retry. shutdown() drains — no new submissions, every
+// accepted job still runs to completion, workers join — after which
+// results remain queryable.
+//
+// The Server is transport-agnostic: handle_request() maps protocol
+// requests to the methods below, and haccrg_served_main.cpp moves the
+// frames over a unix socket or stdio.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/protocol.hpp"
+
+namespace haccrg::serve {
+
+struct ServerConfig {
+  u32 workers = 2;       ///< worker threads draining the job queue
+  u32 max_queue = 64;    ///< bound on queued (not yet running) jobs
+  u64 max_trace_bytes = 32u << 20;  ///< largest accepted SUBMIT body
+  bool memoize = true;   ///< reuse reports for identical (trace, slice) jobs
+};
+
+enum class JobState : u8 { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+std::string_view job_state_name(JobState state);
+
+struct JobInfo {
+  u64 id = 0;
+  JobState state = JobState::kQueued;
+  std::string error;  ///< failure detail (kFailed only)
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();  ///< implies shutdown()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a replay job over `trace_bytes` (a whole trace file image;
+  /// copied only if the job actually queues — a memoized resubmission is
+  /// answered at submit time without copying or queueing). `kernel` >= 0
+  /// replays only that kernel via the trace index (linear scan fallback
+  /// for v1 traces). Fails with kUnavailable when the queue is full or
+  /// the server is shutting down.
+  Status submit(const std::vector<u8>& trace_bytes, u32 workers, i64 kernel, u64& job_id_out);
+
+  Status status(u64 job_id, JobInfo& out) const;
+
+  /// Fetch a finished job's report JSON. A queued/running job yields
+  /// kUnavailable (poll again), unless `wait` blocks until it settles.
+  Status result(u64 job_id, bool wait, std::string& json_out);
+
+  /// Cancel a job that has not started; running or settled jobs are not
+  /// interrupted (kInvalidArgument names the state).
+  Status cancel(u64 job_id);
+
+  /// Service counters as JSON (queue depth, cache/memo hits, arena
+  /// reuse, index fallbacks, ...).
+  std::string stats_json() const;
+
+  /// Drain: reject new submissions, finish every accepted job, join the
+  /// workers. Idempotent; results stay queryable afterwards.
+  void shutdown();
+
+  /// Protocol dispatch — every verb maps onto one method above.
+  /// SHUTDOWN responds first, then drains.
+  Response handle_request(const Request& request);
+
+  /// Frame-level dispatch: parse + handle + encode. Parse failures
+  /// become ERR responses, never a dropped connection.
+  void handle_frame(const u8* data, size_t size, std::vector<u8>& response_payload_out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace haccrg::serve

@@ -10,6 +10,7 @@ Gpu::Gpu(const arch::GpuConfig& gpu_config, const rd::HaccrgConfig& haccrg_confi
       memory_(gpu_config.device_mem_bytes), allocator_(memory_) {
   if (!sim_config_.trace_path.empty()) {
     trace_writer_ = std::make_unique<trace::TraceWriter>(sim_config_.trace_path);
+    if (sim_config_.trace_index) trace_writer_->enable_index();
     trace::TraceHeader header;
     header.num_sms = gpu_config_.num_sms;
     header.warp_size = gpu_config_.warp_size;

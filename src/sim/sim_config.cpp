@@ -39,6 +39,9 @@ SimConfig SimConfig::from_env() {
   }
   if (const char* env = std::getenv("HACCRG_TRACE"); env != nullptr && env[0] != '\0')
     cfg.trace_path = env;
+  if (const char* env = std::getenv("HACCRG_TRACE_INDEX");
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+    cfg.trace_index = true;
   if (const char* env = std::getenv("HACCRG_PROFILE");
       env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
     cfg.profile = true;
@@ -58,6 +61,9 @@ Status SimConfig::parse_env(SimConfig& out) {
   }
   if (const char* env = std::getenv("HACCRG_TRACE"); env != nullptr && env[0] != '\0')
     cfg.trace_path = env;
+  if (const char* env = std::getenv("HACCRG_TRACE_INDEX");
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+    cfg.trace_index = true;
   if (const char* env = std::getenv("HACCRG_PROFILE");
       env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
     cfg.profile = true;

@@ -23,6 +23,12 @@ struct SimConfig {
   /// num_threads value.
   std::string trace_path;
 
+  /// Record traces in format v2 with a seekable index section (see
+  /// trace/index.hpp). Off by default: v1 output stays byte-identical,
+  /// and index-less traces replay everywhere via the linear-scan
+  /// fallback.
+  bool trace_index = false;
+
   /// Per-phase engine profiling (src/sim/profiler.hpp). When on, runs
   /// export "prof.*" wall-clock stats; off by default so golden stat
   /// sets stay free of host-time noise.
@@ -37,6 +43,8 @@ struct SimConfig {
 
   /// Reads HACCRG_THREADS (clamped to [1, kMaxThreads]; defaults to 1),
   /// HACCRG_TRACE (trace output path; defaults to no tracing),
+  /// HACCRG_TRACE_INDEX (any non-empty value but "0" records indexed v2
+  /// traces),
   /// HACCRG_PROFILE (any non-empty value but "0" enables the per-phase
   /// profiler), and HACCRG_FAULTS (FaultPlan::parse syntax; a malformed
   /// value is ignored with a one-line stderr warning — this lenient

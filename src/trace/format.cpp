@@ -131,7 +131,7 @@ bool decode_header(DecodeCursor& cursor, TraceHeader& out) {
   u8 hi = 0;
   if (!cursor.get_u8(lo) || !cursor.get_u8(hi)) return false;
   out.version = static_cast<u16>(lo | (hi << 8));
-  if (out.version != kFormatVersion)
+  if (out.version < kFormatVersion || out.version > kMaxFormatVersion)
     return cursor.fail("unsupported trace version", StatusCode::kVersionMismatch);
   u64 device_mem = 0;
   u8 flags = 0;

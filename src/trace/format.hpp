@@ -35,6 +35,22 @@ namespace haccrg::trace {
 inline constexpr char kMagic[8] = {'H', 'A', 'C', 'C', 'R', 'G', 'T', 'R'};
 inline constexpr u16 kFormatVersion = 1;
 
+// Version 2 appends a seekable index section after the last event:
+//
+//   event* | 0x00 "IDX0" index-payload | index_offset (u64 LE) "HACCRGIX"
+//
+// The section starts with byte 0 — not a valid event kind, so a decoder
+// that overruns the event stream fails structurally instead of
+// misparsing the index — and the fixed 16-byte footer lets a reader find
+// the section without decoding anything. Version-1 files (the default;
+// golden traces stay byte-identical) simply lack the section, and every
+// index consumer falls back to a linear scan (see trace/index.hpp).
+inline constexpr u16 kIndexedFormatVersion = 2;
+inline constexpr u16 kMaxFormatVersion = kIndexedFormatVersion;
+inline constexpr char kIndexTailMagic[8] = {'H', 'A', 'C', 'C', 'R', 'G', 'I', 'X'};
+inline constexpr char kIndexSectionTag[4] = {'I', 'D', 'X', '0'};
+inline constexpr size_t kIndexFooterBytes = 16;  // u64 offset + tail magic
+
 /// Every record class a trace can contain. Memory events carry the full
 /// active-lane address vector; sync events carry the identifiers the
 /// HAccRG ID registers key on.

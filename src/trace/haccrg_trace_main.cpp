@@ -17,6 +17,7 @@
 
 #include "kernels/common.hpp"
 #include "sim/gpu.hpp"
+#include "trace/index.hpp"
 #include "trace/reader.hpp"
 #include "trace/replay.hpp"
 
@@ -53,6 +54,7 @@ int usage(const char* error = nullptr) {
                "      --threads N    simulator worker threads (default HACCRG_THREADS)\n"
                "      --races FILE   also write the live run's race set\n"
                "      --label STR    kernel label stored in the trace (default NAME)\n"
+               "      --index        write a format-v2 trace with a seekable index\n"
                "  info FILE.trc\n"
                "      Print the header and per-kernel event/cycle counts.\n"
                "  dump FILE.trc [--limit N] [--kind NAME] [--resync]\n"
@@ -175,6 +177,8 @@ int cmd_record(int argc, char** argv) {
       if (!next_arg(argc, argv, i, "--seed", value) || !parse_u32(value, opts.seed)) return 2;
     } else if (arg == "--single-block") {
       opts.single_block = true;
+    } else if (arg == "--index") {
+      sim_cfg.trace_index = true;
     } else if (arg == "--inject") {
       if (!next_arg(argc, argv, i, "--inject", value) || !parse_injection(value, opts.injection))
         return usage("--inject expects KIND:SITE (e.g. barrier:0)");
@@ -237,6 +241,19 @@ int cmd_info(const std::string& path) {
               h.enable_global ? "on" : "off", h.global_granularity,
               h.warp_regrouping ? " regrouping" : "", h.disable_fence_gate ? " no-fence-gate" : "",
               h.static_filter ? " static-filter" : "");
+  if (reader.has_index()) {
+    trace::TraceIndex index;
+    if (const Status st = trace::load_or_build_index(reader, index); !st.ok()) {
+      std::fprintf(stderr, "haccrg-trace: %s\n", st.to_string().c_str());
+      return trace_exit_code(st);
+    }
+    std::printf("index: %llu kernels, %llu chunks (%llu bytes of index)\n",
+                static_cast<unsigned long long>(index.kernels.size()),
+                static_cast<unsigned long long>(index.total_chunks()),
+                static_cast<unsigned long long>(reader.bytes_total() - reader.index_offset()));
+  } else {
+    std::printf("index: none (consumers fall back to a linear scan)\n");
+  }
   trace::Event event;
   u64 kernels_seen = 0;
   u64 events = 0;

@@ -1,0 +1,159 @@
+#include "trace/index.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace haccrg::trace {
+
+namespace {
+
+std::atomic<u64> g_index_missing{0};
+
+constexpr size_t kMaxIndexKernels = 1u << 20;
+constexpr size_t kMaxIndexChunks = 1u << 24;
+constexpr size_t kMaxIndexLabel = 4096;
+
+}  // namespace
+
+u64 index_missing_count() { return g_index_missing.load(std::memory_order_relaxed); }
+
+void encode_index(const TraceIndex& index, u64 index_offset, std::vector<u8>& out) {
+  out.push_back(0);  // marker: invalid event kind
+  out.insert(out.end(), kIndexSectionTag, kIndexSectionTag + sizeof(kIndexSectionTag));
+  put_varint(out, index.kernels.size());
+  for (const TraceIndexKernel& kernel : index.kernels) {
+    put_varint(out, kernel.begin_offset);
+    put_varint(out, kernel.end_offset);
+    put_varint(out, kernel.events);
+    put_varint(out, kernel.label.size());
+    out.insert(out.end(), kernel.label.begin(), kernel.label.end());
+    put_varint(out, kernel.chunks.size());
+    for (const TraceIndexChunk& chunk : kernel.chunks) {
+      put_varint(out, chunk.offset);
+      put_varint(out, chunk.start_cycle);
+      put_varint(out, chunk.event_index);
+    }
+  }
+  for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<u8>(index_offset >> (8 * i)));
+  out.insert(out.end(), kIndexTailMagic, kIndexTailMagic + sizeof(kIndexTailMagic));
+}
+
+Status decode_index(const u8* data, size_t size, u64 index_offset, TraceIndex& out) {
+  if (data == nullptr || index_offset + kIndexFooterBytes > size ||
+      index_offset + 1 + sizeof(kIndexSectionTag) > size)
+    return Status::corrupt("trace index: section offset outside the file");
+  DecodeCursor cursor{data, size - kIndexFooterBytes, static_cast<size_t>(index_offset), {},
+                      StatusCode::kOk};
+  u8 marker = 0xff;
+  if (!cursor.get_u8(marker) || marker != 0)
+    return Status::corrupt("trace index: missing section marker");
+  if (std::memcmp(data + cursor.pos, kIndexSectionTag, sizeof(kIndexSectionTag)) != 0)
+    return Status::corrupt("trace index: bad section tag");
+  cursor.pos += sizeof(kIndexSectionTag);
+
+  TraceIndex parsed;
+  u64 kernel_count = 0;
+  if (!cursor.get_varint(kernel_count))
+    return Status::corrupt("trace index: " + cursor.error);
+  if (kernel_count > kMaxIndexKernels)
+    return Status::corrupt("trace index: implausible kernel count");
+  parsed.kernels.resize(static_cast<size_t>(kernel_count));
+  for (TraceIndexKernel& kernel : parsed.kernels) {
+    u64 label_len = 0;
+    u64 chunk_count = 0;
+    if (!cursor.get_varint(kernel.begin_offset) || !cursor.get_varint(kernel.end_offset) ||
+        !cursor.get_varint(kernel.events) || !cursor.get_varint(label_len))
+      return Status::corrupt("trace index: " + cursor.error);
+    if (label_len > kMaxIndexLabel)
+      return Status::corrupt("trace index: oversized kernel label");
+    if (cursor.size - cursor.pos < label_len)
+      return Status::corrupt("trace index: truncated kernel label");
+    kernel.label.assign(reinterpret_cast<const char*>(data + cursor.pos),
+                        static_cast<size_t>(label_len));
+    cursor.pos += static_cast<size_t>(label_len);
+    if (!cursor.get_varint(chunk_count)) return Status::corrupt("trace index: " + cursor.error);
+    if (chunk_count > kMaxIndexChunks)
+      return Status::corrupt("trace index: implausible chunk count");
+    // Every offset the section hands back is later fed to seek(); bound
+    // them here so a damaged index is a diagnosis up front.
+    if (kernel.begin_offset >= index_offset || kernel.end_offset > index_offset ||
+        kernel.end_offset < kernel.begin_offset)
+      return Status::corrupt("trace index: kernel record range outside the event stream");
+    kernel.chunks.resize(static_cast<size_t>(chunk_count));
+    for (TraceIndexChunk& chunk : kernel.chunks) {
+      u64 cycle = 0;
+      if (!cursor.get_varint(chunk.offset) || !cursor.get_varint(cycle) ||
+          !cursor.get_varint(chunk.event_index))
+        return Status::corrupt("trace index: " + cursor.error);
+      chunk.start_cycle = cycle;
+      if (chunk.offset <= kernel.begin_offset || chunk.offset >= kernel.end_offset)
+        return Status::corrupt("trace index: chunk offset outside its kernel");
+    }
+  }
+  out = std::move(parsed);
+  return Status();
+}
+
+Status build_index_by_scan(TraceReader& reader, TraceIndex& out) {
+  if (!reader.ok()) return reader.status();
+  reader.rewind();
+  TraceIndex built;
+  built.from_scan = true;
+  // The scan needs each record's start offset, which the reader's public
+  // next() hides, so it decodes through a scratch cursor over the raw
+  // image — the same bytes and bounds the reader itself uses.
+  Event event;
+  u64 in_kernel = 0;
+  Cycle cycle_base = 0;
+  auto close_kernel = [&](u64 end) {
+    if (built.kernels.empty()) return;
+    built.kernels.back().end_offset = end;
+    built.kernels.back().events = in_kernel;
+  };
+  DecodeCursor cursor{reader.data(), static_cast<size_t>(reader.events_end()),
+                      static_cast<size_t>(reader.first_event_offset()), {}, StatusCode::kOk};
+  Cycle last_cycle = 0;
+  while (!cursor.at_end()) {
+    const u64 record_start = cursor.pos;
+    if (!decode_event(cursor, last_cycle, event))
+      return Status(StatusCode::kCorrupt, "trace index scan: " + cursor.error);
+    if (event.kind == EventKind::kKernelBegin) {
+      close_kernel(record_start);
+      TraceIndexKernel kernel;
+      kernel.begin_offset = record_start;
+      kernel.label = event.label;
+      built.kernels.push_back(std::move(kernel));
+      in_kernel = 0;
+      continue;
+    }
+    if (!built.kernels.empty()) {
+      if (in_kernel != 0 && in_kernel % kIndexChunkEvents == 0)
+        built.kernels.back().chunks.push_back({record_start, cycle_base, in_kernel});
+      ++in_kernel;
+    }
+    cycle_base = event.cycle;
+  }
+  close_kernel(cursor.pos);
+  out = std::move(built);
+  return Status();
+}
+
+Status load_or_build_index(TraceReader& reader, TraceIndex& out) {
+  if (!reader.ok()) return reader.status();
+  if (reader.has_index()) {
+    TraceIndex parsed;
+    Status st = decode_index(reader.data(), static_cast<size_t>(reader.bytes_total()),
+                             reader.index_offset(), parsed);
+    if (!st.ok()) return st;
+    out = std::move(parsed);
+    return Status();
+  }
+  TraceIndex built;
+  Status st = build_index_by_scan(reader, built);
+  if (!st.ok()) return st;
+  g_index_missing.fetch_add(1, std::memory_order_relaxed);
+  out = std::move(built);
+  return Status();
+}
+
+}  // namespace haccrg::trace

@@ -1,0 +1,95 @@
+// Seekable trace index (format v2). The index section maps every kernel
+// launch in the file to its record range and splits each kernel's event
+// stream into chunks at known record boundaries, so a consumer can
+// replay one kernel — or resume mid-kernel — without decoding the whole
+// stream. Each chunk pins everything decoding needs to restart at its
+// offset: the cycle-delta base in force there and the count of events
+// already consumed (see TraceReader::seek).
+//
+// Layout (appended after the last event; see format.hpp for the framing):
+//
+//   0x00                       marker: not a valid event kind
+//   "IDX0"                     section tag
+//   varint kernel_count
+//   per kernel:
+//     varint begin_offset      absolute offset of the kKernelBegin record
+//     varint end_offset        one past the kernel's last record
+//     varint events            events after the begin record (kKernelEnd incl.)
+//     varint label_len, label
+//     varint chunk_count
+//     per chunk: varint offset, varint start_cycle, varint event_index
+//   u64 LE index_offset        fixed footer: locates the marker byte...
+//   "HACCRGIX"                 ...and identifies an indexed file from the tail
+//
+// A version-1 file has no index. That is never an error: every consumer
+// goes through load_or_build_index(), which falls back to one linear
+// scan and counts the fallback in a process-wide `index_missing` stat so
+// services can report how often they paid for the scan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/reader.hpp"
+
+namespace haccrg::trace {
+
+struct TraceIndexChunk {
+  u64 offset = 0;       ///< absolute file offset of the chunk's first event
+  Cycle start_cycle = 0;  ///< cycle-delta base in force at `offset`
+  u64 event_index = 0;  ///< events after the kernel begin preceding `offset`
+
+  bool operator==(const TraceIndexChunk&) const = default;
+};
+
+struct TraceIndexKernel {
+  u64 begin_offset = 0;  ///< absolute offset of the kKernelBegin record
+  u64 end_offset = 0;    ///< one past the kernel's last record
+  u64 events = 0;        ///< events after the begin record (kKernelEnd inclusive)
+  std::string label;
+  std::vector<TraceIndexChunk> chunks;  ///< intra-kernel resume points
+
+  bool operator==(const TraceIndexKernel&) const = default;
+};
+
+struct TraceIndex {
+  std::vector<TraceIndexKernel> kernels;
+  bool from_scan = false;  ///< built by linear scan (file had no index section)
+
+  u64 total_chunks() const {
+    u64 n = 0;
+    for (const TraceIndexKernel& k : kernels) n += k.chunks.size();
+    return n;
+  }
+
+  bool operator==(const TraceIndex& other) const { return kernels == other.kernels; }
+};
+
+/// Writer-side chunk cadence: one resume point per this many events.
+inline constexpr u32 kIndexChunkEvents = 4096;
+
+/// Append the marker + section + footer for a payload that ends at
+/// `index_offset` (the marker byte's absolute offset).
+void encode_index(const TraceIndex& index, u64 index_offset, std::vector<u8>& out);
+
+/// Decode the index section out of a whole-file image whose footer says
+/// the section starts at `index_offset`. kCorrupt on structural damage.
+Status decode_index(const u8* data, size_t size, u64 index_offset, TraceIndex& out);
+
+/// Build an index by linearly scanning `reader`'s events (rewinds the
+/// reader before and after). Fails if the stream fails to decode.
+Status build_index_by_scan(TraceReader& reader, TraceIndex& out);
+
+/// The file's own index when present, else a linear-scan fallback —
+/// never an error for a well-formed index-less (v1) trace. Each fallback
+/// bumps the process-wide index_missing counter. A present-but-corrupt
+/// index is reported, not silently rescanned. On failure `out` is
+/// untouched.
+Status load_or_build_index(TraceReader& reader, TraceIndex& out);
+
+/// Process-wide count of linear-scan fallbacks taken because a trace
+/// carried no index (the serve stats report this as `index_missing`).
+u64 index_missing_count();
+
+}  // namespace haccrg::trace

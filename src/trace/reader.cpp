@@ -36,6 +36,28 @@ void TraceReader::parse_header() {
   }
   first_event_pos_ = cursor_.pos;
   last_event_start_ = cursor_.pos;
+  events_end_ = bytes_.size();
+  // Format v2: the fixed footer locates the index section, and the event
+  // stream ends where the section begins. A v2 file without the footer is
+  // tolerated (reads like v1); a footer pointing outside the payload or
+  // at a non-marker byte is structural damage.
+  if (header_.version >= kIndexedFormatVersion &&
+      bytes_.size() >= first_event_pos_ + kIndexFooterBytes &&
+      std::memcmp(bytes_.data() + bytes_.size() - sizeof(kIndexTailMagic), kIndexTailMagic,
+                  sizeof(kIndexTailMagic)) == 0) {
+    u64 offset = 0;
+    const u8* p = bytes_.data() + bytes_.size() - kIndexFooterBytes;
+    for (u32 i = 0; i < 8; ++i) offset |= static_cast<u64>(p[i]) << (8 * i);
+    if (offset < first_event_pos_ || offset > bytes_.size() - kIndexFooterBytes ||
+        bytes_[static_cast<size_t>(offset)] != 0) {
+      error_ = "trace: corrupt index footer";
+      code_ = StatusCode::kCorrupt;
+      return;
+    }
+    index_offset_ = offset;
+    events_end_ = static_cast<size_t>(offset);
+  }
+  cursor_.size = events_end_;
 }
 
 bool TraceReader::next(Event& out) {
@@ -55,13 +77,13 @@ bool TraceReader::resync() {
   // file or unreadable header has no known record boundary to resume at.
   if (ok() || first_event_pos_ == 0) return false;
 
-  for (size_t pos = last_event_start_ + 1; pos < bytes_.size(); ++pos) {
+  for (size_t pos = last_event_start_ + 1; pos < events_end_; ++pos) {
     // Probe: a candidate boundary is accepted when several consecutive
     // records decode cleanly from it (or the remaining bytes decode
     // cleanly to the end). A scratch cursor keeps the probe side-effect
     // free; decode correctness checks make random garbage very unlikely
     // to pass three records in a row.
-    DecodeCursor probe{bytes_.data(), bytes_.size(), pos, {}, StatusCode::kOk};
+    DecodeCursor probe{bytes_.data(), events_end_, pos, {}, StatusCode::kOk};
     Cycle probe_cycle = last_cycle_;
     Event scratch;
     u32 good = 0;
@@ -79,6 +101,22 @@ bool TraceReader::resync() {
     }
   }
   return false;
+}
+
+Status TraceReader::seek(u64 offset, Cycle cycle, u64 events_before) {
+  if (!ok() && first_event_pos_ == 0)
+    return Status::corrupt("trace: cannot seek, header never parsed");
+  if (offset < first_event_pos_ || offset > events_end_)
+    return Status::invalid_argument("trace: seek offset outside the event stream");
+  cursor_.pos = static_cast<size_t>(offset);
+  cursor_.error.clear();
+  cursor_.code = StatusCode::kOk;
+  error_.clear();
+  code_ = StatusCode::kOk;
+  last_event_start_ = static_cast<size_t>(offset);
+  last_cycle_ = cycle;
+  events_ = events_before;
+  return Status();
 }
 
 void TraceReader::rewind() {

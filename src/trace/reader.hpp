@@ -55,6 +55,25 @@ class TraceReader {
   /// Rewind to the first event (after the header).
   void rewind();
 
+  // --- Index support (format v2; see trace/index.hpp) ----------------------
+  /// True when the file carries an index section (v2 footer present).
+  bool has_index() const { return index_offset_ != 0; }
+  /// Absolute offset of the index section (0 when absent).
+  u64 index_offset() const { return index_offset_; }
+  /// Offset one past the last event record (== index_offset() on an
+  /// indexed file, file size otherwise).
+  u64 events_end() const { return static_cast<u64>(events_end_); }
+  u64 first_event_offset() const { return static_cast<u64>(first_event_pos_); }
+  /// Raw file image (index decoding; read-only).
+  const u8* data() const { return bytes_.data(); }
+
+  /// Reposition decoding at a record boundary taken from an index chunk:
+  /// `offset` must be the start of an event, `cycle` the delta base in
+  /// force there, `events_before` the number of events preceding it
+  /// (keeps events_read() meaningful). Only bounds are validated — a
+  /// lying index surfaces as a decode error on the next next().
+  Status seek(u64 offset, Cycle cycle, u64 events_before);
+
  private:
   void parse_header();
 
@@ -64,6 +83,8 @@ class TraceReader {
   std::string error_;
   StatusCode code_ = StatusCode::kOk;
   size_t first_event_pos_ = 0;
+  size_t events_end_ = 0;   ///< end of the event stream (excludes index/footer)
+  u64 index_offset_ = 0;    ///< index section offset (0 = no index)
   size_t last_event_start_ = 0;  ///< file offset of the record next() last tried
   Cycle last_cycle_ = 0;
   u64 events_ = 0;

@@ -1,7 +1,12 @@
 #include "trace/replay.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "haccrg/global_rdu.hpp"
 #include "haccrg/id_regs.hpp"
@@ -78,10 +83,12 @@ struct SmState {
 };
 
 /// All state for one kernel launch, torn down and rebuilt at every
-/// kKernelBegin exactly as the live Gpu rebuilds its detectors.
+/// kKernelBegin exactly as the live Gpu rebuilds its detectors — or,
+/// when a ReplayArena is in play, cleared and reused (reset_for).
 struct KernelState {
   rd::HaccrgConfig cfg;
   rd::DetectPolicy policy;
+  TraceHeader built_for;  ///< header the state was sized by (arena matching)
   std::vector<std::unique_ptr<SmState>> sms;
   std::unique_ptr<mem::DeviceMemory> memory;  ///< shadow region only
   std::unique_ptr<rd::RaceLog> log;
@@ -90,7 +97,7 @@ struct KernelState {
   std::unique_ptr<GraceReplay> grace;
 
   KernelState(const TraceHeader& header, const Event& begin, const ReplayOptions& opts)
-      : cfg(header.haccrg_config()) {
+      : cfg(header.haccrg_config()), built_for(header) {
     policy.warp_size = header.warp_size;
     policy.warp_regrouping = header.warp_regrouping;
     policy.fence_gating = !header.disable_fence_gate;
@@ -104,12 +111,7 @@ struct KernelState {
       const u32 shadow_bytes =
           rd::GlobalRdu::shadow_bytes_for(begin.app_heap_bytes, cfg.global_granularity);
       memory = std::make_unique<mem::DeviceMemory>(begin.shadow_base + shadow_bytes + 8);
-      auto* sm_array = &sms;
-      rd::FenceIdReader fence_reader = [sm_array](u32 sm_id, u32 warp_in_sm) -> u8 {
-        return (*sm_array)[sm_id]->ids.fence_id(warp_in_sm);
-      };
-      global_rdu = std::make_unique<rd::GlobalRdu>(*memory, cfg, policy, *log,
-                                                   std::move(fence_reader));
+      make_global_rdu();
       global_rdu->init_shadow(begin.shadow_base, begin.app_heap_bytes);
     }
     if (opts.sw_haccrg)
@@ -117,24 +119,122 @@ struct KernelState {
                                             begin.block_dim, opts.sw_is_safe);
     if (opts.grace)
       grace = std::make_unique<GraceReplay>(begin.grid_dim, begin.block_dim, opts.sw_is_safe);
+    set_shard(opts);
+  }
+
+  void make_global_rdu() {
+    auto* sm_array = &sms;
+    rd::FenceIdReader fence_reader = [sm_array](u32 sm_id, u32 warp_in_sm) -> u8 {
+      return (*sm_array)[sm_id]->ids.fence_id(warp_in_sm);
+    };
+    global_rdu =
+        std::make_unique<rd::GlobalRdu>(*memory, cfg, policy, *log, std::move(fence_reader));
+  }
+
+  void set_shard(const ReplayOptions& opts) {
+    for (auto& sm : sms)
+      if (sm->shared_rdu != nullptr) sm->shared_rdu->set_shard(opts.shard_count, opts.shard_index);
+    if (global_rdu != nullptr) global_rdu->set_shard(opts.shard_count, opts.shard_index);
+  }
+
+  /// Clear-don't-free reuse: reset every piece of detector state to its
+  /// construction value for a new kernel, keeping all heap allocations.
+  /// False when the cached state cannot serve this kernel (different
+  /// machine/detector header, software emulators requested) — the
+  /// caller builds fresh. Only the shadow memory is rebuilt when a
+  /// larger heap shows up.
+  bool reset_for(const TraceHeader& header, const Event& begin, const ReplayOptions& opts) {
+    TraceHeader a = built_for;
+    TraceHeader b = header;
+    // v1 and v2 recordings of the same machine are interchangeable here:
+    // the version picks the file framing, not the detector state.
+    a.version = b.version = 0;
+    if (!(a == b)) return false;
+    if (sw != nullptr || grace != nullptr || opts.sw_haccrg || opts.grace) return false;
+    const bool want_global = opts.hw && cfg.enable_global;
+    if (want_global != (global_rdu != nullptr)) return false;
+    log->clear();
+    for (auto& sm : sms) {
+      sm->staging.clear();
+      sm->ids.reset();
+      std::fill(sm->slots.begin(), sm->slots.end(), SlotState{});
+      if (sm->shared_rdu != nullptr)
+        sm->shared_rdu->reset_region(0, header.shared_mem_per_sm, header.shared_mem_banks);
+    }
+    if (want_global) {
+      const u32 shadow_bytes =
+          rd::GlobalRdu::shadow_bytes_for(begin.app_heap_bytes, cfg.global_granularity);
+      const u64 need = u64{begin.shadow_base} + shadow_bytes + 8;
+      if (memory == nullptr || memory->size() < need) {
+        memory = std::make_unique<mem::DeviceMemory>(static_cast<u32>(need));
+        make_global_rdu();
+      }
+      global_rdu->init_shadow(begin.shadow_base, begin.app_heap_bytes);
+    }
+    set_shard(opts);
+    return true;
   }
 };
 
+}  // namespace
+
+/// Arena internals: cached KernelStates keyed by shard assignment, so
+/// concurrent shard engines sharing one arena never contend for the
+/// same slot. The mutex guards only acquire/release (per kernel, not
+/// per event).
+struct ReplayArena::Impl {
+  struct Slot {
+    std::unique_ptr<KernelState> state;
+  };
+  std::mutex mu;
+  std::map<std::pair<u32, u32>, Slot> slots;
+  u64 reuses = 0;
+  u64 builds = 0;
+};
+
+ReplayArena::ReplayArena() : impl_(std::make_unique<Impl>()) {}
+ReplayArena::~ReplayArena() = default;
+
+u64 ReplayArena::reuses() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->reuses;
+}
+
+u64 ReplayArena::builds() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->builds;
+}
+
+namespace {
+
 class ReplayEngine {
  public:
-  ReplayEngine(TraceReader& reader, const ReplayOptions& opts)
-      : reader_(reader), opts_(opts) {}
+  ReplayEngine(const TraceHeader& header, const ReplayOptions& opts)
+      : header_(header), opts_(opts) {}
 
-  ReplayResult run() {
-    result_.header = reader_.header();
+  /// Streaming replay: decode events from the reader one at a time.
+  ReplayResult run(TraceReader& reader) {
+    result_.header = header_;
     Event event;
-    while (reader_.next(event)) {
+    while (reader.next(event)) {
       ++result_.total_events;
       if (!handle(event)) return std::move(result_);
     }
-    if (!reader_.error().empty()) {
-      fail(reader_.error(), reader_.status().code());
+    if (!reader.error().empty()) {
+      fail(reader.error(), reader.status().code());
       return std::move(result_);
+    }
+    finish_kernel();
+    result_.ok = true;
+    return std::move(result_);
+  }
+
+  /// Pre-decoded replay: the varint layer was paid once by decode_trace.
+  ReplayResult run(const Event* events, size_t count) {
+    result_.header = header_;
+    for (size_t i = 0; i < count; ++i) {
+      ++result_.total_events;
+      if (!handle(events[i])) return std::move(result_);
     }
     finish_kernel();
     result_.ok = true;
@@ -153,7 +253,13 @@ class ReplayEngine {
 
   void finish_kernel() {
     if (state_ == nullptr) return;
-    current_.races = std::move(*state_->log);
+    if (opts_.arena != nullptr) {
+      // The state goes back to the arena for the next kernel, so copy
+      // the log out instead of gutting it.
+      current_.races = *state_->log;
+    } else {
+      current_.races = std::move(*state_->log);
+    }
     if (state_->sw != nullptr) {
       current_.sw_haccrg_races = state_->sw->races();
       current_.sw_haccrg_locations = state_->sw->locations();
@@ -164,12 +270,17 @@ class ReplayEngine {
     }
     result_.kernels.push_back(std::move(current_));
     current_ = KernelReplay();
+    if (opts_.arena != nullptr) {
+      ReplayArena::Impl& arena = opts_.arena->impl();
+      std::lock_guard<std::mutex> lock(arena.mu);
+      arena.slots[{opts_.shard_count, opts_.shard_index}].state = std::move(state_);
+    }
     state_.reset();
   }
 
   bool begin_kernel(const Event& event) {
     finish_kernel();
-    const TraceHeader& h = reader_.header();
+    const TraceHeader& h = header_;
     if (event.block_dim == 0 || event.block_dim > h.max_threads_per_sm)
       return fail("replay: kernel block_dim outside the machine's limits");
     // The event's heap and shadow fields size real allocations below; a
@@ -183,7 +294,27 @@ class ReplayEngine {
     if (event.app_heap_bytes > kMaxReplayFootprint ||
         u64{event.shadow_base} + shadow_bytes + 8 > kMaxReplayFootprint)
       return fail("replay: kernel memory footprint exceeds the replay cap");
-    state_ = std::make_unique<KernelState>(h, event, opts_);
+    if (opts_.arena != nullptr) {
+      ReplayArena::Impl& arena = opts_.arena->impl();
+      std::unique_ptr<KernelState> cached;
+      {
+        std::lock_guard<std::mutex> lock(arena.mu);
+        auto it = arena.slots.find({opts_.shard_count, opts_.shard_index});
+        if (it != arena.slots.end()) cached = std::move(it->second.state);
+      }
+      const bool reused = cached != nullptr && cached->reset_for(h, event, opts_);
+      if (reused) {
+        state_ = std::move(cached);
+      } else {
+        // An incompatible cached state is simply dropped; the fresh
+        // build replaces it in the slot at the next finish_kernel.
+        state_ = std::make_unique<KernelState>(h, event, opts_);
+      }
+      std::lock_guard<std::mutex> lock(arena.mu);
+      reused ? ++arena.reuses : ++arena.builds;
+    } else {
+      state_ = std::make_unique<KernelState>(h, event, opts_);
+    }
     current_.label = event.label;
     current_.grid_dim = event.grid_dim;
     current_.block_dim = event.block_dim;
@@ -196,7 +327,7 @@ class ReplayEngine {
   /// Bounds-check the identifiers a decoded event carries before they
   /// index replay state (a bit-flipped trace must fail, not corrupt).
   bool check_context(const Event& event, bool need_slot) {
-    const TraceHeader& h = reader_.header();
+    const TraceHeader& h = header_;
     if (event.sm >= h.num_sms) return fail("replay: event SM id out of range");
     if (need_slot && event.block_slot >= h.max_blocks_per_sm)
       return fail("replay: event block slot out of range");
@@ -206,7 +337,7 @@ class ReplayEngine {
   }
 
   u32 thread_slot(const SlotState& slot, const Event& event, u8 lane) const {
-    return slot.thread_base + event.warp_in_block * reader_.header().warp_size + lane;
+    return slot.thread_base + event.warp_in_block * header_.warp_size + lane;
   }
 
   rd::AccessInfo make_access(const SmState& sm, const SlotState& slot, const Event& event,
@@ -239,6 +370,12 @@ class ReplayEngine {
     waw_scratch_.clear();
     for (const TraceLane& lane : event.lanes) {
       const Addr granule = lane.addr & ~static_cast<Addr>(width - 1);
+      // Sharded replay: the granule's owner reports its intra-warp WAWs
+      // (same ownership rule as the RDU shadow checks, so per-shard race
+      // sets stay disjoint).
+      if (opts_.shard_count > 1 &&
+          rd::shard_of_addr(granule, opts_.shard_count) != opts_.shard_index)
+        continue;
       WawGranule* found = nullptr;
       for (WawGranule& g : waw_scratch_)
         if (g.addr == granule) {
@@ -271,14 +408,17 @@ class ReplayEngine {
     const bool is_atomic = event.kind == EventKind::kSharedAtomic;
     const bool is_store = event.kind == EventKind::kSharedStore;
     for (const TraceLane& lane : event.lanes)
-      if (thread_slot(slot, event, lane.lane) >= reader_.header().max_threads_per_sm)
+      if (thread_slot(slot, event, lane.lane) >= header_.max_threads_per_sm)
         return fail("replay: shared-access thread slot out of range");
 
     if (opts_.hw && event.checked && sm.shared_rdu != nullptr) {
       if (is_store) stage_waw(sm, slot, event, rd::MemSpace::kShared);
+      // Count granule checks via the RDU's own (shard-filtered) counter
+      // so per-shard counts partition the serial count exactly.
+      const u64 before = sm.shared_rdu->checks();
       for (const TraceLane& lane : event.lanes)
         sm.shared_rdu->check(make_access(sm, slot, event, lane, is_store));
-      current_.shared_checks += event.lanes.size();
+      current_.shared_checks += sm.shared_rdu->checks() - before;
       if (!sm.staging.empty()) sm.staging.drain_into(*state_->log);
     }
     if (!is_atomic) {
@@ -295,7 +435,7 @@ class ReplayEngine {
     const bool is_atomic = event.kind == EventKind::kGlobalAtomic;
     const bool is_store = event.kind == EventKind::kGlobalStore;
     for (const TraceLane& lane : event.lanes)
-      if (thread_slot(slot, event, lane.lane) >= reader_.header().max_threads_per_sm)
+      if (thread_slot(slot, event, lane.lane) >= header_.max_threads_per_sm)
         return fail("replay: global-access thread slot out of range");
 
     // The ID registers see every global access even when the shadow check
@@ -312,7 +452,7 @@ class ReplayEngine {
       // segments in first-touch order, lanes in touch order within each
       // segment. Record (segment index, lane index) pairs in touch
       // order, then walk them segment by segment.
-      const u32 line = reader_.header().l1_line;
+      const u32 line = header_.l1_line;
       seg_scratch_.clear();
       order_scratch_.clear();
       for (u32 i = 0; i < event.lanes.size(); ++i) {
@@ -333,14 +473,17 @@ class ReplayEngine {
         }
       }
       shadow_scratch_.clear();
+      // As with shared checks: the RDU's counter is shard-filtered, so
+      // per-shard counts sum exactly to the serial count.
+      const u64 before = state_->global_rdu->checks();
       for (u32 s = 0; s < seg_scratch_.size(); ++s) {
         for (const auto& [seg_idx, lane_idx] : order_scratch_) {
           if (seg_idx != s) continue;
           state_->global_rdu->check(
               make_access(sm, slot, event, event.lanes[lane_idx], is_store), shadow_scratch_);
-          ++current_.global_checks;
         }
       }
+      current_.global_checks += state_->global_rdu->checks() - before;
     }
     if (!is_atomic && state_->sw != nullptr)
       state_->sw->on_access(event, slot.block_id, slot.smem_base);
@@ -362,13 +505,13 @@ class ReplayEngine {
         SlotState& slot = sm.slots[event.block_slot];
         slot = {true,          event.block_id, event.thread_base,
                 event.num_warps, event.smem_base, event.smem_bytes};
-        if (slot.thread_base + current_.block_dim > reader_.header().max_threads_per_sm)
+        if (slot.thread_base + current_.block_dim > header_.max_threads_per_sm)
           return fail("replay: block launch thread range out of bounds");
         sm.ids.on_block_launch(event.block_slot);
         for (u32 t = 0; t < current_.block_dim; ++t) sm.ids.reset_thread(slot.thread_base + t);
         if (sm.shared_rdu != nullptr && slot.smem_bytes > 0)
           sm.shared_rdu->reset_region(slot.smem_base, slot.smem_bytes,
-                                      reader_.header().shared_mem_banks);
+                                      header_.shared_mem_banks);
         return true;
       }
       case EventKind::kBlockFinish: {
@@ -376,7 +519,7 @@ class ReplayEngine {
         SmState& sm = *state_->sms[event.sm];
         if (sm.shared_rdu != nullptr && event.smem_bytes > 0)
           sm.shared_rdu->reset_region(event.smem_base, event.smem_bytes,
-                                      reader_.header().shared_mem_banks);
+                                      header_.shared_mem_banks);
         sm.slots[event.block_slot].active = false;
         return true;
       }
@@ -387,7 +530,7 @@ class ReplayEngine {
         SmState& sm = *state_->sms[event.sm];
         if (sm.shared_rdu != nullptr && event.smem_bytes > 0)
           sm.shared_rdu->reset_region(event.smem_base, event.smem_bytes,
-                                      reader_.header().shared_mem_banks);
+                                      header_.shared_mem_banks);
         if (state_->cfg.enable_global) sm.ids.on_barrier(event.block_slot);
         const u32 block_id = sm.slots[event.block_slot].block_id;
         if (state_->sw != nullptr) state_->sw->on_barrier_release(block_id);
@@ -408,7 +551,7 @@ class ReplayEngine {
         const rd::BloomGeometry geom{state_->cfg.bloom_bits, state_->cfg.bloom_bins};
         for (const TraceLane& lane : event.lanes) {
           const u32 thread = thread_slot(slot, event, lane.lane);
-          if (thread >= reader_.header().max_threads_per_sm)
+          if (thread >= header_.max_threads_per_sm)
             return fail("replay: lock-event thread slot out of range");
           if (event.kind == EventKind::kLockAcquire)
             sm.ids.on_lock_acquired(thread, lane.addr, geom);
@@ -426,7 +569,7 @@ class ReplayEngine {
     return handle_global(event);
   }
 
-  TraceReader& reader_;
+  const TraceHeader& header_;
   const ReplayOptions& opts_;
   ReplayResult result_;
   KernelReplay current_;
@@ -454,12 +597,100 @@ ReplayResult replay_events(TraceReader& reader, const ReplayOptions& opts) {
     result.code = reader.status().code();
     return result;
   }
-  return ReplayEngine(reader, opts).run();
+  return ReplayEngine(reader.header(), opts).run(reader);
 }
 
 ReplayResult replay_trace(const std::string& path, const ReplayOptions& opts) {
   TraceReader reader(path);
   return replay_events(reader, opts);
+}
+
+Status decode_trace(TraceReader& reader, DecodedTrace& out) {
+  if (!reader.ok()) return reader.status();
+  reader.rewind();
+  DecodedTrace decoded;
+  decoded.header = reader.header();
+  decoded.bytes = reader.bytes_total();
+  Event event;
+  while (reader.next(event)) decoded.events.push_back(event);
+  if (!reader.error().empty()) return reader.status();
+  out = std::move(decoded);
+  return Status();
+}
+
+Status decode_trace_kernel(TraceReader& reader, const TraceIndexKernel& kernel,
+                           DecodedTrace& out) {
+  if (!reader.ok()) return reader.status();
+  // A kernel-begin record resets the cycle delta base to 0 (format.hpp),
+  // so seeking to one needs no carried decode state.
+  if (Status seek = reader.seek(kernel.begin_offset, /*cycle=*/0, /*events_before=*/0);
+      !seek.ok())
+    return seek;
+  DecodedTrace decoded;
+  decoded.header = reader.header();
+  decoded.bytes = kernel.end_offset - kernel.begin_offset;
+  Event event;
+  if (!reader.next(event) || event.kind != EventKind::kKernelBegin)
+    return reader.error().empty()
+               ? Status::corrupt("trace index: kernel offset does not start a kernel")
+               : reader.status();
+  decoded.events.push_back(event);
+  for (u64 i = 0; i < kernel.events; ++i) {
+    if (!reader.next(event))
+      return reader.error().empty() ? Status::corrupt("trace index: kernel shorter than indexed")
+                                    : reader.status();
+    decoded.events.push_back(event);
+  }
+  out = std::move(decoded);
+  return Status();
+}
+
+ReplayResult replay_decoded(const DecodedTrace& trace, const ReplayOptions& opts) {
+  return ReplayEngine(trace.header, opts).run(trace.events.data(), trace.events.size());
+}
+
+ReplayResult replay_sharded(const DecodedTrace& trace, u32 workers, const ReplayOptions& opts) {
+  if (workers <= 1) {
+    ReplayOptions serial = opts;
+    serial.shard_count = 1;
+    serial.shard_index = 0;
+    return replay_decoded(trace, serial);
+  }
+  std::vector<ReplayResult> parts(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    threads.emplace_back([&trace, &parts, &opts, workers, w] {
+      ReplayOptions shard = opts;
+      shard.shard_count = workers;
+      shard.shard_index = w;
+      parts[w] = replay_decoded(trace, shard);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (u32 w = 0; w < workers; ++w)
+    if (!parts[w].ok) return std::move(parts[w]);
+  // Deterministic merge: shard race sets are disjoint (each granule has
+  // exactly one owner), so union-in-shard-order rebuilds the serial
+  // result independent of thread scheduling.
+  ReplayResult merged = std::move(parts[0]);
+  for (u32 w = 1; w < workers; ++w) {
+    ReplayResult& part = parts[w];
+    if (part.kernels.size() != merged.kernels.size()) {
+      merged.ok = false;
+      merged.error = "sharded replay: shard kernel counts diverge";
+      merged.code = StatusCode::kCorrupt;
+      return merged;
+    }
+    for (size_t k = 0; k < merged.kernels.size(); ++k) {
+      KernelReplay& into = merged.kernels[k];
+      const KernelReplay& from = part.kernels[k];
+      for (const rd::RaceRecord& race : from.races.races()) into.races.record(race);
+      into.shared_checks += from.shared_checks;
+      into.global_checks += from.global_checks;
+    }
+  }
+  return merged;
 }
 
 }  // namespace haccrg::trace

@@ -16,12 +16,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "haccrg/race.hpp"
+#include "trace/index.hpp"
 #include "trace/reader.hpp"
 #include "trace/sw_replay.hpp"
 
@@ -44,6 +46,8 @@ std::string race_key_line(const RaceKey& key);
 /// Sorted canonical lines for a whole log.
 std::vector<std::string> race_set_lines(const rd::RaceLog& log);
 
+class ReplayArena;
+
 /// Which detectors to run over the trace.
 struct ReplayOptions {
   bool hw = true;         ///< SharedRdu/GlobalRdu (per the recorded config)
@@ -52,6 +56,45 @@ struct ReplayOptions {
   /// Static-prune predicate for the software emulators (the live runs
   /// pass InstrumentOptions::static_prune); null = instrument everything.
   std::function<bool(u32)> sw_is_safe;
+
+  /// Address-sharded hardware replay (see shard_of_addr in
+  /// haccrg/options.hpp): this engine executes only granule checks owned
+  /// by shard `shard_index` of `shard_count`. Every shard still replays
+  /// all events — ID registers are cheap and globally read — so the
+  /// owner shard's state for its granules evolves exactly as serial
+  /// replay's, and per-shard race sets are disjoint (replay_sharded
+  /// merges them). Sharding applies to the hardware detectors only; the
+  /// software emulators ignore it and should be left off when
+  /// shard_count > 1.
+  u32 shard_count = 1;
+  u32 shard_index = 0;
+
+  /// Pre-warmed replay context (clear-don't-free): when set, per-kernel
+  /// detector state is reset and reused across kernels and across
+  /// replay calls instead of rebuilt, as long as the trace header
+  /// matches. Thread-safe; serving workers share a pool of these.
+  ReplayArena* arena = nullptr;
+};
+
+/// Cache of built per-kernel detector state keyed by shard assignment.
+/// acquire/release are internal to the replay engine; callers just keep
+/// the arena alive across replays and read the reuse counters.
+class ReplayArena {
+ public:
+  ReplayArena();
+  ~ReplayArena();
+  ReplayArena(const ReplayArena&) = delete;
+  ReplayArena& operator=(const ReplayArena&) = delete;
+
+  /// Kernels that reused a cached context / built one from scratch.
+  u64 reuses() const;
+  u64 builds() const;
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Replay outcome for one kernel launch found in the trace.
@@ -98,5 +141,40 @@ ReplayResult replay_trace(const std::string& path, const ReplayOptions& opts = {
 
 /// Replay from an already-open reader (positioned at the first event).
 ReplayResult replay_events(TraceReader& reader, const ReplayOptions& opts = {});
+
+// --- Decode-once, replay-many ------------------------------------------------
+
+/// A fully decoded trace: header plus every event, validated during the
+/// decode. Replaying from this skips the varint layer entirely — the
+/// serving path decodes a trace once and replays it for every job (and
+/// every shard) that references it.
+struct DecodedTrace {
+  TraceHeader header;
+  std::vector<Event> events;
+  u64 bytes = 0;  ///< encoded size (throughput accounting)
+};
+
+/// Decode every event of `reader` into `out` (reader is rewound first).
+/// On failure `out` is untouched.
+Status decode_trace(TraceReader& reader, DecodedTrace& out);
+
+/// Decode a single kernel's event range using its index entry — the
+/// seek path, so nothing before the kernel is touched. Works with both
+/// file-carried and scan-built indexes. On failure `out` is untouched.
+Status decode_trace_kernel(TraceReader& reader, const TraceIndexKernel& kernel,
+                           DecodedTrace& out);
+
+/// Replay a pre-decoded trace.
+ReplayResult replay_decoded(const DecodedTrace& trace, const ReplayOptions& opts = {});
+
+/// Address-sharded parallel replay: run `workers` shard engines (one
+/// thread each) over the same decoded trace and merge the disjoint
+/// per-shard race sets in shard order — a deterministic reduction whose
+/// race identity sets are exactly serial replay's for any worker count.
+/// (The only caveat is the documented RaceLog recording cap: each shard
+/// gets the full cap, so a trace that saturates the serial log can keep
+/// more races sharded.) `opts.shard_count/shard_index` are overridden.
+ReplayResult replay_sharded(const DecodedTrace& trace, u32 workers,
+                            const ReplayOptions& opts = {});
 
 }  // namespace haccrg::trace

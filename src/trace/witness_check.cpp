@@ -113,7 +113,7 @@ Status check_witness(const WitnessSpec& spec, const std::string& scratch_path,
     e.pc = pc;
     e.width = static_cast<u8>(std::min<u32>(width, 255));
     e.checked = true;
-    e.lanes.push_back({static_cast<u8>(tid % W), addr, false, 0});
+    e.lanes.push_back({static_cast<u8>(tid % W), static_cast<Addr>(addr), false, 0});
     return e;
   };
 
@@ -125,7 +125,7 @@ Status check_witness(const WitnessSpec& spec, const std::string& scratch_path,
                         spec.width1 == spec.width2;
   if (lockstep) {
     Event e = make_access(spec.pc1, true, spec.width1, spec.tid1, spec.cta1, spec.addr1, 2);
-    e.lanes.push_back({static_cast<u8>(spec.tid2 % W), spec.addr2, false, 0});
+    e.lanes.push_back({static_cast<u8>(spec.tid2 % W), static_cast<Addr>(spec.addr2), false, 0});
     std::sort(e.lanes.begin(), e.lanes.end(),
               [](const TraceLane& x, const TraceLane& y) { return x.lane < y.lane; });
     writer.write_event(e);

@@ -19,12 +19,36 @@ TraceWriter::~TraceWriter() { finish(); }
 
 bool TraceWriter::write_header(const TraceHeader& header) {
   if (!ok() || file_ == nullptr) return false;
+  if (index_enabled_) {
+    TraceHeader indexed = header;
+    indexed.version = kIndexedFormatVersion;
+    encode_header(indexed, buffer_);
+    return true;
+  }
   encode_header(header, buffer_);
   return true;
 }
 
 bool TraceWriter::write_event(const Event& event) {
   if (!ok() || file_ == nullptr) return false;
+  if (index_enabled_) {
+    const u64 offset = current_offset();
+    if (event.kind == EventKind::kKernelBegin) {
+      if (!index_.kernels.empty()) {
+        index_.kernels.back().end_offset = offset;
+        index_.kernels.back().events = in_kernel_events_;
+      }
+      TraceIndexKernel kernel;
+      kernel.begin_offset = offset;
+      kernel.label = event.label;
+      index_.kernels.push_back(std::move(kernel));
+      in_kernel_events_ = 0;
+    } else if (!index_.kernels.empty()) {
+      if (in_kernel_events_ != 0 && in_kernel_events_ % kIndexChunkEvents == 0)
+        index_.kernels.back().chunks.push_back({offset, last_cycle_, in_kernel_events_});
+      ++in_kernel_events_;
+    }
+  }
   const size_t record_start = buffer_.size();
   encode_event(event, last_cycle_, buffer_);
   if (faults_ != nullptr && buffer_.size() > record_start) {
@@ -55,6 +79,14 @@ void TraceWriter::flush_buffer() {
 
 bool TraceWriter::finish() {
   if (file_ == nullptr) return ok();
+  if (index_enabled_ && !index_written_ && ok()) {
+    index_written_ = true;
+    if (!index_.kernels.empty()) {
+      index_.kernels.back().end_offset = current_offset();
+      index_.kernels.back().events = in_kernel_events_;
+    }
+    encode_index(index_, current_offset(), buffer_);
+  }
   flush_buffer();
   if (std::fclose(file_) != 0 && ok())
     error_ = "trace: close of '" + path_ + "' failed: " + std::strerror(errno);

@@ -12,6 +12,7 @@
 
 #include "fault/fault.hpp"
 #include "trace/format.hpp"
+#include "trace/index.hpp"
 
 namespace haccrg::trace {
 
@@ -22,6 +23,13 @@ class TraceWriter {
 
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Opt into format v2: collect a seekable index while events stream
+  /// through and append the section + footer at finish(). Must be called
+  /// before write_header (the header's version becomes 2). The default
+  /// (v1, no index) keeps existing traces byte-identical.
+  void enable_index() { index_enabled_ = true; }
+  bool index_enabled() const { return index_enabled_; }
 
   /// Must be the first write. False if the file could not be opened.
   bool write_header(const TraceHeader& header);
@@ -46,6 +54,9 @@ class TraceWriter {
  private:
   void flush_buffer();
 
+  /// Absolute file offset the next encoded byte will land at.
+  u64 current_offset() const { return bytes_ + buffer_.size(); }
+
   std::string path_;
   std::FILE* file_ = nullptr;
   fault::FaultInjector* faults_ = nullptr;
@@ -54,6 +65,14 @@ class TraceWriter {
   Cycle last_cycle_ = 0;
   u64 events_ = 0;
   u64 bytes_ = 0;
+
+  // Index collection (enable_index). `in_kernel_events_` counts events
+  // after the current kernel's begin record, mirroring the scan builder
+  // so a written index equals a scanned one exactly.
+  bool index_enabled_ = false;
+  bool index_written_ = false;
+  TraceIndex index_;
+  u64 in_kernel_events_ = 0;
 };
 
 }  // namespace haccrg::trace

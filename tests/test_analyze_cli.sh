@@ -12,6 +12,9 @@ set -u
 
 BIN=$1
 WORK=${2:-$(mktemp -d)}
+# The test runs from inside $WORK, so a relative binary path (as
+# scripts/check.sh passes) must be anchored to the caller's cwd first.
+case "$BIN" in /*) ;; *) BIN="$PWD/$BIN" ;; esac
 mkdir -p "$WORK"
 cd "$WORK" || exit 99
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "fault/fault.hpp"
 #include "fuzz/spec.hpp"
 #include "haccrg/options.hpp"
+#include "serve/protocol.hpp"
 #include "sim/sim_config.hpp"
 
 namespace haccrg {
@@ -203,6 +205,117 @@ TEST(ParserFuzzFilterCompat, RejectsIncompatibleReports) {
   analysis::AnalyzeOptions warp_sync = matching;
   warp_sync.warp_synchronous = true;
   EXPECT_FALSE(analysis::filter_compatible(warp_sync, regrouped, 64, 2).ok());
+}
+
+// --- serve protocol: parse_request / parse_response --------------------------
+
+/// A sentinel-filled request whose every field must survive a failed
+/// parse untouched (the serve parser's documented contract).
+serve::Request sentinel_request() {
+  serve::Request r;
+  r.verb = serve::Verb::kCancel;
+  r.job_id = 424242;
+  r.workers = 17;
+  r.kernel = 99;
+  r.wait = true;
+  r.trace = {0xde, 0xad};
+  return r;
+}
+
+void expect_request_untouched(const serve::Request& r, const std::string& what) {
+  EXPECT_EQ(r.verb, serve::Verb::kCancel) << what;
+  EXPECT_EQ(r.job_id, 424242u) << what;
+  EXPECT_EQ(r.workers, 17u) << what;
+  EXPECT_EQ(r.kernel, 99) << what;
+  EXPECT_TRUE(r.wait) << what;
+  EXPECT_EQ(r.trace, (std::vector<u8>{0xde, 0xad})) << what;
+}
+
+TEST(ParserFuzzServeRequest, MalformedTable) {
+  const char* cases[] = {
+      "",                                // empty payload
+      "\n",                              // no verb
+      "FROBNICATE\n\n",                  // unknown verb
+      "SUBMIT\n\n",                      // SUBMIT without a body
+      "SUBMIT\nworkers: 0\n\nxx",        // workers below range
+      "SUBMIT\nworkers: 65\n\nxx",       // workers above range
+      "SUBMIT\nworkers: -2\n\nxx",       // signed number
+      "SUBMIT\nworkers: 2\nworkers: 2\n\nxx",  // duplicate field
+      "SUBMIT\nkernel: 9999999\n\nxx",   // kernel over the cap
+      "SUBMIT\njob: 5\n\nxx",            // field of another verb
+      "RESULT\n\n",                      // job verbs need a job id
+      "RESULT\njob: 0\n\n",              // job ids start at 1
+      "RESULT\njob: abc\n\n",            // non-numeric
+      "RESULT\njob: 1\nwait: 2\n\n",     // wait is 0/1
+      "RESULT\njob: 1\n\ntrailing",      // body on a bodiless verb
+      "STATS\nbogus: 1\n\n",             // unknown field
+      "STATS\nbogus 1\n\n",              // field without ': '
+      "STATS\n",                         // missing blank-line terminator
+      "CANCEL\njob: 1\x01\n\n",          // non-printable byte in the head
+  };
+  for (const char* text : cases) {
+    serve::Request out = sentinel_request();
+    EXPECT_FALSE(
+        serve::parse_request(reinterpret_cast<const u8*>(text), std::strlen(text), out).ok())
+        << text;
+    expect_request_untouched(out, text);
+  }
+}
+
+TEST(ParserFuzzServeRequest, SeededMutationsNeverCrash) {
+  serve::Request valid;
+  valid.verb = serve::Verb::kSubmit;
+  valid.workers = 4;
+  valid.kernel = 2;
+  valid.trace = {0x10, 0x20, 0x30, 0x40, 0x50};
+  std::vector<u8> encoded;
+  serve::encode_request(valid, encoded);
+  const std::string base(encoded.begin(), encoded.end());
+
+  SplitMix64 rng(0x73657276ULL);
+  u32 accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = base;
+    const u32 rounds = 1 + static_cast<u32>(rng.next() % 4);
+    for (u32 r = 0; r < rounds; ++r) text = mutate(text, rng);
+    serve::Request out = sentinel_request();
+    const Status st =
+        serve::parse_request(reinterpret_cast<const u8*>(text.data()), text.size(), out);
+    if (st.ok()) {
+      ++accepted;  // a mutated body is still a valid SUBMIT
+    } else {
+      expect_request_untouched(out, "iteration " + std::to_string(i));
+    }
+  }
+  // Body bytes are opaque, so plenty of mutants must still parse.
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(ParserFuzzServeResponse, SeededMutationsNeverCrash) {
+  serve::Response valid;
+  valid.ok = true;
+  valid.job_id = 12;
+  valid.state = "done";
+  valid.body = "{\"unique_races\": 3}";
+  std::vector<u8> encoded;
+  serve::encode_response(valid, encoded);
+  const std::string base(encoded.begin(), encoded.end());
+
+  SplitMix64 rng(0x72657370ULL);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = base;
+    const u32 rounds = 1 + static_cast<u32>(rng.next() % 4);
+    for (u32 r = 0; r < rounds; ++r) text = mutate(text, rng);
+    serve::Response out;
+    out.job_id = 777;
+    out.state = "sentinel";
+    const Status st =
+        serve::parse_response(reinterpret_cast<const u8*>(text.data()), text.size(), out);
+    if (!st.ok()) {
+      EXPECT_EQ(out.job_id, 777u) << "iteration " << i;
+      EXPECT_EQ(out.state, "sentinel") << "iteration " << i;
+    }
+  }
 }
 
 // --- fuzz::KernelSpec::parse -------------------------------------------------

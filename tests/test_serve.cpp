@@ -1,0 +1,408 @@
+// Server-level contract of the trace-replay detection service: the job
+// lifecycle (submit / status / result / cancel), bounded-queue overload
+// rejection with kUnavailable, concurrent-job isolation (N jobs over
+// the same and different traces, sharded worker counts {1, 2, 8}, all
+// reports byte-identical to each other and across worker counts),
+// shutdown-under-load draining with no lost or duplicated results, the
+// index-less (v1) kernel-slice fallback, and the wire protocol's
+// request/response round trip through handle_frame.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/common.hpp"
+#include "serve/server.hpp"
+#include "sim/gpu.hpp"
+#include "trace/index.hpp"
+
+namespace haccrg {
+namespace {
+
+using serve::JobInfo;
+using serve::JobState;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServerConfig;
+using serve::Verb;
+
+arch::GpuConfig test_gpu() {
+  arch::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.device_mem_bytes = 32 * 1024 * 1024;
+  return cfg;
+}
+
+rd::HaccrgConfig detection_combined() {
+  rd::HaccrgConfig cfg;
+  cfg.enable_shared = true;
+  cfg.enable_global = true;
+  cfg.shared_granularity = 16;
+  cfg.global_granularity = 4;
+  return cfg;
+}
+
+/// Record one kernel and return the trace file image. `with_index`
+/// selects v2 (indexed) or v1 (linear-fallback) output.
+std::vector<u8> record_trace(const std::string& name, bool with_index, const std::string& tag) {
+  const std::string path = "test_serve_" + tag + ".trc";
+  {
+    sim::SimConfig sim_cfg;
+    sim_cfg.trace_path = path;
+    sim_cfg.trace_index = with_index;
+    sim::Gpu gpu(test_gpu(), detection_combined(), sim_cfg);
+    gpu.set_trace_label(name);
+    kernels::PreparedKernel prep = kernels::find_benchmark(name)->prepare(gpu, {});
+    const sim::SimResult live = gpu.launch(prep.launch());
+    EXPECT_TRUE(live.completed) << tag << ": " << live.error;
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  const std::string bytes = buf.str();
+  return std::vector<u8>(bytes.begin(), bytes.end());
+}
+
+/// Traces are recorded once; every test slices this fixture.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    reduce_trace_ = new std::vector<u8>(record_trace("REDUCE", true, "reduce"));
+    hist_trace_ = new std::vector<u8>(record_trace("HIST", true, "hist"));
+    reduce_v1_trace_ = new std::vector<u8>(record_trace("REDUCE", false, "reduce_v1"));
+  }
+  static void TearDownTestSuite() {
+    delete reduce_trace_;
+    delete hist_trace_;
+    delete reduce_v1_trace_;
+    reduce_trace_ = hist_trace_ = reduce_v1_trace_ = nullptr;
+  }
+  static const std::vector<u8>& reduce_trace() { return *reduce_trace_; }
+  static const std::vector<u8>& hist_trace() { return *hist_trace_; }
+  static const std::vector<u8>& reduce_v1_trace() { return *reduce_v1_trace_; }
+
+ private:
+  static std::vector<u8>* reduce_trace_;
+  static std::vector<u8>* hist_trace_;
+  static std::vector<u8>* reduce_v1_trace_;
+};
+
+std::vector<u8>* ServeTest::reduce_trace_ = nullptr;
+std::vector<u8>* ServeTest::hist_trace_ = nullptr;
+std::vector<u8>* ServeTest::reduce_v1_trace_ = nullptr;
+
+// --- Lifecycle ---------------------------------------------------------------
+
+TEST_F(ServeTest, SubmitResultLifecycle) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  Server server(cfg);
+
+  u64 id = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 2, -1, id).ok());
+  EXPECT_GT(id, 0u);
+
+  std::string report;
+  ASSERT_TRUE(server.result(id, /*wait=*/true, report).ok());
+  EXPECT_NE(report.find("\"unique_races\""), std::string::npos);
+
+  JobInfo info;
+  ASSERT_TRUE(server.status(id, info).ok());
+  EXPECT_EQ(info.state, JobState::kDone);
+
+  // A settled job cannot be cancelled, and its result stays queryable.
+  EXPECT_EQ(server.cancel(id).code(), StatusCode::kInvalidArgument);
+  std::string again;
+  ASSERT_TRUE(server.result(id, false, again).ok());
+  EXPECT_EQ(again, report);
+}
+
+TEST_F(ServeTest, UnknownJobsAndBadSubmissions) {
+  Server server(ServerConfig{});
+  JobInfo info;
+  std::string report;
+  EXPECT_EQ(server.status(999, info).code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.result(999, false, report).code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.cancel(999).code(), StatusCode::kNotFound);
+
+  u64 id = 0;
+  EXPECT_EQ(server.submit({}, 1, -1, id).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.submit(reduce_trace(), 0, -1, id).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.submit(reduce_trace(), 65, -1, id).code(), StatusCode::kInvalidArgument);
+
+  ServerConfig tiny;
+  tiny.max_trace_bytes = 16;
+  Server small(tiny);
+  EXPECT_EQ(small.submit(reduce_trace(), 1, -1, id).code(), StatusCode::kInvalidArgument);
+
+  // Garbage bytes are accepted into the queue and fail at decode time —
+  // a per-job failure, never a worker casualty.
+  std::vector<u8> garbage(256, 0x5a);
+  ASSERT_TRUE(server.submit(garbage, 1, -1, id).ok());
+  EXPECT_FALSE(server.result(id, true, report).ok());
+  ASSERT_TRUE(server.status(id, info).ok());
+  EXPECT_EQ(info.state, JobState::kFailed);
+}
+
+TEST_F(ServeTest, CancelQueuedJob) {
+  // One worker + replay jobs: later submissions stay queued long enough
+  // to cancel. If the race is lost anyway, the job must settle normally
+  // — cancellation is best-effort on a live queue, never corrupting.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.memoize = false;
+  Server server(cfg);
+  std::vector<u64> ids(6);
+  for (u64& id : ids) ASSERT_TRUE(server.submit(hist_trace(), 1, -1, id).ok());
+
+  const Status cancelled = server.cancel(ids.back());
+  std::string report;
+  const Status got = server.result(ids.back(), true, report);
+  if (cancelled.ok()) {
+    EXPECT_EQ(got.code(), StatusCode::kInvalidArgument) << "cancelled job served a result";
+  } else {
+    EXPECT_TRUE(got.ok()) << got.message();
+  }
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_TRUE(server.result(ids[i], true, report).ok()) << "job " << ids[i];
+  }
+}
+
+// --- Overload ---------------------------------------------------------------
+
+TEST_F(ServeTest, OverloadRejectsWithUnavailable) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 2;
+  cfg.memoize = false;  // every job replays; the queue genuinely backs up
+  Server server(cfg);
+
+  u32 accepted = 0;
+  u32 rejected = 0;
+  std::vector<u64> ids;
+  for (u32 i = 0; i < 24; ++i) {
+    u64 id = 0;
+    const Status st = server.submit(reduce_trace(), 1, -1, id);
+    if (st.ok()) {
+      ids.push_back(id);
+      ++accepted;
+    } else {
+      ASSERT_EQ(st.code(), StatusCode::kUnavailable) << st.message();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "a 2-deep queue absorbed 24 replay jobs";
+  EXPECT_GT(accepted, 0u);
+
+  // Every accepted job still completes and yields the same report.
+  std::string reference;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::string report;
+    ASSERT_TRUE(server.result(ids[i], true, report).ok());
+    if (i == 0) reference = report;
+    EXPECT_EQ(report, reference);
+  }
+}
+
+// --- Concurrent-job isolation ------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentJobsAreIsolatedAcrossWorkerCounts) {
+  // Memoization off: identical reports must come from genuinely
+  // independent replays, not from one replay served N times.
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_queue = 64;
+  cfg.memoize = false;
+  Server server(cfg);
+
+  struct Submitted {
+    u64 id;
+    const char* kernel;
+    u32 workers;
+  };
+  std::vector<Submitted> jobs;
+  for (const u32 workers : {1u, 2u, 8u}) {
+    for (int n = 0; n < 3; ++n) {
+      u64 id = 0;
+      ASSERT_TRUE(server.submit(reduce_trace(), workers, -1, id).ok());
+      jobs.push_back({id, "REDUCE", workers});
+      ASSERT_TRUE(server.submit(hist_trace(), workers, -1, id).ok());
+      jobs.push_back({id, "HIST", workers});
+    }
+  }
+
+  // Per kernel, one report must emerge — across interleavings, worker
+  // counts, and queue positions (the sharding determinism contract).
+  std::map<std::string, std::string> reference;
+  for (const Submitted& job : jobs) {
+    std::string report;
+    ASSERT_TRUE(server.result(job.id, true, report).ok()) << job.kernel;
+    auto [it, inserted] = reference.emplace(job.kernel, report);
+    EXPECT_EQ(report, it->second)
+        << job.kernel << " with " << job.workers << " workers diverged";
+  }
+  EXPECT_NE(reference["REDUCE"], reference["HIST"])
+      << "different traces produced the same report — jobs are bleeding state";
+}
+
+// --- Shutdown under load -----------------------------------------------------
+
+TEST_F(ServeTest, ShutdownDrainsWithoutLosingResults) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_queue = 64;
+  cfg.memoize = false;
+  Server server(cfg);
+
+  std::vector<u64> ids(24);
+  for (size_t i = 0; i < ids.size(); ++i)
+    ASSERT_TRUE(server.submit(i % 2 ? hist_trace() : reduce_trace(), 2, -1, ids[i]).ok());
+
+  server.shutdown();  // drain: every accepted job runs to completion
+
+  u64 id = 0;
+  EXPECT_EQ(server.submit(reduce_trace(), 1, -1, id).code(), StatusCode::kUnavailable);
+
+  // No lost results: every job settled kDone with a report. No
+  // duplicated results: job ids are unique and each maps to exactly one
+  // report matching its kernel.
+  std::map<u64, std::string> results;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::string report;
+    ASSERT_TRUE(server.result(ids[i], false, report).ok()) << "job " << ids[i] << " lost";
+    ASSERT_TRUE(results.emplace(ids[i], std::move(report)).second)
+        << "job id " << ids[i] << " duplicated";
+  }
+  for (size_t i = 2; i < ids.size(); ++i)
+    EXPECT_EQ(results[ids[i]], results[ids[i % 2]]) << "job " << ids[i];
+}
+
+// --- Kernel slices and the v1 fallback ---------------------------------------
+
+TEST_F(ServeTest, KernelSliceWorksOnV1TracesViaLinearFallback) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+
+  // Indexed (v2) and index-less (v1) images of the same recording must
+  // serve byte-identical slice reports; the v1 path must bump the
+  // index_missing counter instead of failing.
+  u64 v2_id = 0;
+  u64 v1_id = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, 0, v2_id).ok());
+  const u64 missing_before = trace::index_missing_count();
+  ASSERT_TRUE(server.submit(reduce_v1_trace(), 1, 0, v1_id).ok());
+
+  std::string v2_report;
+  std::string v1_report;
+  ASSERT_TRUE(server.result(v2_id, true, v2_report).ok());
+  ASSERT_TRUE(server.result(v1_id, true, v1_report).ok());
+  EXPECT_EQ(v1_report, v2_report);
+  EXPECT_GT(trace::index_missing_count(), missing_before)
+      << "v1 slice decode did not count its linear-scan fallback";
+
+  // A slice past the end is a per-job not-found, not a server failure.
+  u64 bad_id = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, 5000, bad_id).ok());
+  std::string report;
+  EXPECT_EQ(server.result(bad_id, true, report).code(), StatusCode::kNotFound);
+}
+
+// --- Memoization -------------------------------------------------------------
+
+TEST_F(ServeTest, MemoizedResubmissionMatchesFirstReport) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.memoize = true;
+  Server server(cfg);
+
+  u64 first = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, first).ok());
+  std::string reference;
+  ASSERT_TRUE(server.result(first, true, reference).ok());
+
+  // Resubmissions are answered from the memo — and because reports are
+  // worker-count independent, a different worker count still hits.
+  for (const u32 workers : {1u, 2u, 8u}) {
+    u64 id = 0;
+    ASSERT_TRUE(server.submit(reduce_trace(), workers, -1, id).ok());
+    std::string report;
+    ASSERT_TRUE(server.result(id, true, report).ok());
+    EXPECT_EQ(report, reference);
+  }
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"memo_hits\": 3"), std::string::npos) << stats;
+}
+
+// --- Protocol round trip through handle_frame --------------------------------
+
+TEST_F(ServeTest, ProtocolRoundTripOverFrames) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  Server server(cfg);
+
+  auto roundtrip = [&server](const Request& request, Response& response) {
+    std::vector<u8> payload;
+    serve::encode_request(request, payload);
+    std::vector<u8> reply;
+    server.handle_frame(payload.data(), payload.size(), reply);
+    Response parsed;
+    ASSERT_TRUE(serve::parse_response(reply.data(), reply.size(), parsed).ok());
+    response = parsed;
+  };
+
+  Request submit;
+  submit.verb = Verb::kSubmit;
+  submit.workers = 2;
+  submit.trace = reduce_trace();
+  Response response;
+  roundtrip(submit, response);
+  ASSERT_TRUE(response.ok);
+  const u64 id = response.job_id;
+  EXPECT_GT(id, 0u);
+
+  Request result;
+  result.verb = Verb::kResult;
+  result.job_id = id;
+  result.wait = true;
+  roundtrip(result, response);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.state, "done");
+  EXPECT_NE(response.body.find("\"unique_races\""), std::string::npos);
+
+  Request status;
+  status.verb = Verb::kStatus;
+  status.job_id = id;
+  roundtrip(status, response);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.state, "done");
+
+  Request stats;
+  stats.verb = Verb::kStats;
+  roundtrip(stats, response);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.body.find("\"queue_depth\""), std::string::npos);
+
+  // Malformed frames come back as parseable ERR responses.
+  const char garbage[] = "NONSENSE\r\n\r\n";
+  std::vector<u8> reply;
+  server.handle_frame(reinterpret_cast<const u8*>(garbage), sizeof garbage - 1, reply);
+  Response err;
+  ASSERT_TRUE(serve::parse_response(reply.data(), reply.size(), err).ok());
+  EXPECT_FALSE(err.ok);
+
+  Request shutdown;
+  shutdown.verb = Verb::kShutdown;
+  roundtrip(shutdown, response);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.state, "drained");
+}
+
+}  // namespace
+}  // namespace haccrg
