@@ -30,3 +30,13 @@ fi
 "$bin" --json BENCH_hotpath.json \
        --baseline scripts/perf_baseline.json \
        --max-regress 0.25
+
+# Warn (never fail) when the run oversubscribed the host: every
+# BENCH_*.json writer embeds an "oversubscribed" flag when the engine
+# thread count exceeds hardware_concurrency, and KIPS measured that way
+# quantifies scheduler contention, not the simulator.
+if grep -q '"oversubscribed": true' BENCH_hotpath.json; then
+  echo "perf_smoke: WARNING — BENCH_hotpath.json was recorded with more engine" >&2
+  echo "perf_smoke: threads than this host's hardware concurrency; its KIPS" >&2
+  echo "perf_smoke: numbers are not comparable to the baseline." >&2
+fi

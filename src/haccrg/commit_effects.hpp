@@ -1,0 +1,72 @@
+// Per-shard effect queues for the live engine's sharded commit phase.
+//
+// During kCommitSharded every shard sweeps the cycle's deferred global
+// ops (all SMs, SM-id order) but executes only the granule checks and
+// functional effects its address blocks own (see sharding.hpp). The
+// shared-state outcomes that must land in cross-SM order — race-log
+// records, shadow-line traffic, detector counters — cannot be applied
+// from a shard worker, so they accumulate here, tagged with the op's
+// global ordinal and the check's index within the op.
+//
+// The queues are consumed in two steps. kCommitMerge runs parallel over
+// SMs: because the shard sweep visits SMs in id order, each SM's entries
+// form one contiguous slice of every queue (bounds in sm_race_end /
+// sm_shadow_end), so SM s can gather its own ops' effects — sorting race
+// records into the serial engine's (check index, granule) order and
+// turning shadow entries into the op's deduped kShadow packets — touching
+// only SM-local state. The serial kCommitSerial residue then just appends
+// each SM's pre-ordered records to the RaceLog in SM-id order.
+//
+// The result reproduces the serial engine's exact RaceLog insertion
+// order, not merely its record set: dedup decisions, recording-cap
+// behavior, and the races() vector are byte-identical to a serial commit
+// for ANY shard count, which is what lets the shard count float with the
+// worker count without perturbing goldens.
+#pragma once
+
+#include <vector>
+
+#include "haccrg/race.hpp"
+
+namespace haccrg::rd {
+
+/// Everything one shard accumulated while sweeping one cycle's deferred
+/// ops. Vectors are cleared, not freed, across cycles (arena reuse).
+struct CommitEffects {
+  struct QueuedRace {
+    u32 op_ord = 0;     ///< global deferred-op ordinal (SM-major)
+    u32 check_idx = 0;  ///< index into the op's check list
+    RaceRecord record;
+  };
+  struct QueuedShadow {
+    u32 op_ord = 0;
+    Addr entry_addr = 0;  ///< device address of the shadow entry touched
+  };
+
+  std::vector<QueuedRace> races;
+  std::vector<QueuedShadow> shadow;
+  /// Queue sizes at the end of each SM's sweep: SM s owns the slice
+  /// [sm_*_end[s-1], sm_*_end[s]) of the corresponding queue. Appended by
+  /// the engine's shard worker after each SM so the parallel merge can
+  /// address its slice without scanning.
+  std::vector<u32> sm_race_end;
+  std::vector<u32> sm_shadow_end;
+  // GlobalRdu counter deltas (summed into the unit at the serial phase).
+  u64 checks = 0;
+  u64 races_found = 0;
+  u64 shadow_writes = 0;
+
+  void clear() {
+    races.clear();
+    shadow.clear();
+    sm_race_end.clear();
+    sm_shadow_end.clear();
+    checks = 0;
+    races_found = 0;
+    shadow_writes = 0;
+  }
+
+  bool empty() const { return races.empty() && shadow.empty() && checks == 0; }
+};
+
+}  // namespace haccrg::rd

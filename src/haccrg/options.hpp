@@ -5,22 +5,13 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+// Granule shard ownership (shard_of_addr and friends) lives in its own
+// header so trace replay and the live engine's sharded commit share one
+// definition; re-included here because every sharding call site already
+// pulls in the detector options.
+#include "haccrg/sharding.hpp"
 
 namespace haccrg::rd {
-
-/// Address-sharded replay ownership (src/serve, trace replay): detector
-/// state is confined per granule, so work partitions cleanly by aligned
-/// 4 KiB address blocks. A granule never spans a block (granularities
-/// are powers of two <= 4096), so the shard that owns a granule's block
-/// executes exactly the serial check sequence for that granule and the
-/// per-shard race sets merge disjointly. Shared addresses are SM-local
-/// and global addresses are heap offsets; the two live in separate
-/// detector state, so one ownership function serves both.
-inline constexpr u32 kShardBlockShift = 12;
-
-inline u32 shard_of_addr(Addr addr, u32 shard_count) {
-  return shard_count <= 1 ? 0 : static_cast<u32>((addr >> kShardBlockShift) % shard_count);
-}
 
 /// Where the shared-memory shadow entries live (Figure 8 experiment).
 enum class SharedShadowPlacement {

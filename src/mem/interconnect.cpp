@@ -86,12 +86,40 @@ void Interconnect::commit_requests(Cycle now) {
   // identical for any engine thread count.
   const u32 n = static_cast<u32>(request_staging_.size());
   if (n == 0) return;
+  // Pending census before arbitrating. Most cycles nothing is staged and
+  // this used to cost a full all-SM round of inject_one calls; now it is
+  // n empty() checks and an immediate return. The census also bounds the
+  // rounds below: once every initially-pending packet has been granted,
+  // the only entries left are freshly re-parked retries (ripe strictly
+  // after `now`), so the closing no-progress round is skipped too.
+  // inject_one has no side effects on its false paths, so both cuts are
+  // behavior-identical to the unbounded loop.
+  const u64 pending = pending_requests();
+  if (pending == 0) return;
+  // Active-list arbitration. An SM is dropped the first time inject_one
+  // returns false: the false paths have no side effects, and every false
+  // condition is sticky for the rest of the cycle (a rate-limited pipe's
+  // per-cycle budget only fills, the blocked head packet stays at the
+  // head, an unripe retry front stays unripe, an empty queue stays
+  // empty), so re-polling the SM in later rounds could only return false
+  // again. The grant sequence — and thus every pipe's packet order — is
+  // identical to polling all SMs every round.
   const u32 start = static_cast<u32>(now % n);
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (u32 i = 0; i < n; ++i)
-      if (inject_one((start + i) % n, now)) progress = true;
+  arb_active_.clear();
+  for (u32 i = 0; i < n; ++i) {
+    const u32 sm = (start + i) % n;
+    if (has_pending(sm)) arb_active_.push_back(sm);
+  }
+  u64 granted = 0;
+  while (!arb_active_.empty() && granted < pending) {
+    size_t kept = 0;
+    for (size_t i = 0; i < arb_active_.size() && granted < pending; ++i) {
+      if (inject_one(arb_active_[i], now)) {
+        ++granted;
+        arb_active_[kept++] = arb_active_[i];
+      }
+    }
+    arb_active_.resize(kept);
   }
 }
 

@@ -122,6 +122,16 @@ class Interconnect {
   bool has_pending(u32 sm) const {
     return !request_staging_[sm].empty() || (!retry_.empty() && !retry_[sm].empty());
   }
+  /// Total packets awaiting injection across all SMs (staged + parked
+  /// retries, ripe or not). The engine uses this to skip the serial
+  /// commit sub-phase on idle cycles; it is a pure census, so calling it
+  /// does not perturb arbitration.
+  u64 pending_requests() const {
+    u64 pending = 0;
+    for (const auto& queue : request_staging_) pending += queue.size();
+    for (const auto& retries : retry_) pending += retries.size();
+    return pending;
+  }
   /// Push every SM's staged requests into the partition pipes with a
   /// round-robin grant (one packet per SM per round; within an SM oldest
   /// first, stalling at the first rate-limited packet — head-of-line
@@ -169,6 +179,7 @@ class Interconnect {
   std::vector<std::deque<Packet>> request_staging_;    ///< one queue per SM
   std::vector<std::vector<Response>> response_staging_;  ///< one slot per partition
   std::vector<std::deque<RetryEntry>> retry_;  ///< per SM; allocated when faults arm
+  std::vector<u32> arb_active_;  ///< commit_requests scratch: SMs still in arbitration
   fault::FaultInjector* faults_ = nullptr;
   u64 request_packets_ = 0;
   u64 response_packets_ = 0;

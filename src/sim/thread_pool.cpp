@@ -25,9 +25,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run_chunk(u32 worker_id) const {
-  const u32 chunk = (job_count_ + num_threads_ - 1) / num_threads_;
-  const u32 begin = std::min(worker_id * chunk, job_count_);
-  const u32 end = std::min(begin + chunk, job_count_);
+  const auto [begin, end] = chunk_bounds(worker_id, num_threads_, job_count_);
   if (begin < end) job_fn_(job_ctx_, begin, end);
 }
 

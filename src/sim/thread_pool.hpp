@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -32,6 +33,18 @@ class WorkerPool {
   /// contiguous chunk per worker. Returns after every chunk completes
   /// (full barrier). fn must only touch state disjoint across chunks.
   void run(void (*fn)(void*, u32 begin, u32 end), void* ctx, u32 count);
+
+  /// Balanced contiguous split of [0, count) across `num_threads`
+  /// workers: worker w owns [count*w/n, count*(w+1)/n). Chunk sizes
+  /// differ by at most one — 10 jobs over 4 workers gives 3,3,2,2,
+  /// where the old ceil-chunk split gave 3,3,3,1 and stalled the whole
+  /// barrier on worker 0's oversized chunk. Static so the determinism
+  /// tests can pin the assignment directly.
+  static std::pair<u32, u32> chunk_bounds(u32 worker_id, u32 num_threads, u32 count) {
+    const u32 begin = static_cast<u32>(static_cast<u64>(count) * worker_id / num_threads);
+    const u32 end = static_cast<u32>(static_cast<u64>(count) * (worker_id + 1) / num_threads);
+    return {begin, end};
+  }
 
  private:
   void worker_loop(u32 worker_id);

@@ -10,6 +10,7 @@
 
 #include "haccrg/global_rdu.hpp"
 #include "haccrg/id_regs.hpp"
+#include "haccrg/sharding.hpp"
 #include "haccrg/shared_rdu.hpp"
 #include "mem/device_memory.hpp"
 
@@ -373,9 +374,7 @@ class ReplayEngine {
       // Sharded replay: the granule's owner reports its intra-warp WAWs
       // (same ownership rule as the RDU shadow checks, so per-shard race
       // sets stay disjoint).
-      if (opts_.shard_count > 1 &&
-          rd::shard_of_addr(granule, opts_.shard_count) != opts_.shard_index)
-        continue;
+      if (!rd::shard_owns(granule, opts_.shard_count, opts_.shard_index)) continue;
       WawGranule* found = nullptr;
       for (WawGranule& g : waw_scratch_)
         if (g.addr == granule) {
