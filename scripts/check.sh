@@ -126,6 +126,18 @@ serving_smoke() {
   rm -rf "$tmp"
 }
 
+# Chaos smoke: bench_chaos --smoke runs the serving fault campaign —
+# zero-rate identity across worker counts, bounded deadline overrun,
+# quarantine, timed drain, and seeded storms through all five serve_*
+# fault sites — and exits non-zero if any terminal-state, no-loss, or
+# stats-reconciliation invariant breaks.
+chaos_smoke() {
+  local tmp
+  tmp=$(mktemp -d)
+  "$1/bench/bench_chaos" --smoke --json "$tmp/BENCH_chaos_smoke.json" >/dev/null
+  rm -rf "$tmp"
+}
+
 if [[ $run_tier1 == 1 ]]; then
   echo "=== tier-1 build (build/) ==="
   cmake -B build -S . >/dev/null
@@ -178,6 +190,8 @@ if [[ $run_strict == 1 ]]; then
   fuzz_smoke build-strict 40
   echo "--- serving smoke (strict build) ---"
   serving_smoke build-strict
+  echo "--- chaos smoke (strict build) ---"
+  chaos_smoke build-strict
   echo "--- static-soundness gate (strict build, 3 seeds) ---"
   static_soundness build-strict 3
 fi
@@ -203,6 +217,8 @@ if [[ $run_tsan == 1 ]]; then
   TSAN_OPTIONS="halt_on_error=1" fuzz_smoke build-tsan 20
   echo "--- serving smoke (TSan build) ---"
   TSAN_OPTIONS="halt_on_error=1" serving_smoke build-tsan
+  echo "--- chaos smoke (TSan build) ---"
+  TSAN_OPTIONS="halt_on_error=1" chaos_smoke build-tsan
   echo "--- static-soundness gate (TSan build, HACCRG_THREADS=2) ---"
   HACCRG_THREADS=2 TSAN_OPTIONS="halt_on_error=1" static_soundness build-tsan 1
   # Second thread count for the sharded commit barrier: 4 workers split

@@ -24,6 +24,7 @@ enum class StatusCode : u8 {
   kVersionMismatch,   ///< right format, wrong version
   kCorrupt,           ///< right format+version, damaged content
   kUnavailable,       ///< a bounded resource is full right now; retry later
+  kDeadlineExceeded,  ///< work was cancelled because its deadline passed
 };
 
 std::string_view status_code_name(StatusCode code);
@@ -58,6 +59,9 @@ class Status {
   static Status unavailable(std::string msg) {
     return {StatusCode::kUnavailable, std::move(msg)};
   }
+  static Status deadline_exceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
 
  private:
   StatusCode code_ = StatusCode::kOk;
@@ -74,6 +78,7 @@ inline std::string_view status_code_name(StatusCode code) {
     case StatusCode::kVersionMismatch: return "version mismatch";
     case StatusCode::kCorrupt: return "corrupt";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
   }
   return "?";
 }

@@ -7,14 +7,19 @@ namespace haccrg::fault {
 namespace {
 
 constexpr std::string_view kSiteNames[kNumFaultSites] = {
-    "shared-shadow-flip", "global-shadow-flip", "bloom-flip",
-    "racereg-drop",       "icnt-drop",          "icnt-dup",
-    "icnt-delay",         "dram-shadow-flip",   "trace-corrupt",
+    "shared-shadow-flip",   "global-shadow-flip",  "bloom-flip",
+    "racereg-drop",         "icnt-drop",           "icnt-dup",
+    "icnt-delay",           "dram-shadow-flip",    "trace-corrupt",
+    "serve-frame-truncate", "serve-frame-corrupt", "serve-decode-corrupt",
+    "serve-worker-stall",   "serve-queue-reject",
 };
 
 constexpr std::string_view kSiteKeys[kNumFaultSites] = {
-    "shared_flip", "global_flip", "bloom_flip",   "racereg_drop", "icnt_drop",
-    "icnt_dup",    "icnt_delay",  "dram_flip",    "trace_corrupt",
+    "shared_flip",          "global_flip",         "bloom_flip",
+    "racereg_drop",         "icnt_drop",           "icnt_dup",
+    "icnt_delay",           "dram_flip",           "trace_corrupt",
+    "serve_frame_truncate", "serve_frame_corrupt", "serve_decode_corrupt",
+    "serve_worker_stall",   "serve_queue_reject",
 };
 
 constexpr u32 kMaxPpm = 1'000'000;

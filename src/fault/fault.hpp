@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,9 +41,20 @@ enum class FaultSite : u8 {
   kIcntDelay,             ///< request packet held one retry window
   kDramShadowFlip,        ///< persistent DRAM bit flip, confined to the shadow region
   kTraceCorrupt,          ///< byte corruption of a just-encoded trace record
+
+  // Serving-layer sites (haccrg-served). Rolled by serve::Server through
+  // a ServeFaults instance, never by the simulator's FaultInjector.
+  kServeFrameTruncate,    ///< request frame loses its tail on the transport
+  kServeFrameCorrupt,     ///< request frame takes a byte flip on the transport
+  kServeDecodeCorrupt,    ///< a job's view of the decode cache is corrupted
+  kServeWorkerStall,      ///< worker stalls before replaying a job
+  kServeQueueReject,      ///< submit sees a spurious queue-full burst
 };
 
-inline constexpr u32 kNumFaultSites = 9;
+inline constexpr u32 kNumFaultSites = 14;
+/// First serving-layer site; [kFirstServeSite, kNumFaultSites) are the
+/// sites ServeFaults rolls.
+inline constexpr u32 kFirstServeSite = static_cast<u32>(FaultSite::kServeFrameTruncate);
 
 /// Human name ("shared-shadow-flip") for reports.
 std::string_view fault_site_name(FaultSite site);
@@ -177,6 +189,51 @@ class FaultInjector {
   std::vector<std::vector<DramFlip>> dram_staged_;  ///< one slot per partition
   Addr shadow_base_ = 0;
   u64 shadow_bytes_ = 0;
+};
+
+/// Injector for the serving-layer sites. Unlike FaultInjector's
+/// per-unit advancing streams, every roll here is *stateless*: the
+/// outcome is a pure function of (seed, site, event ordinal), so fault
+/// placement does not depend on which worker thread handles which job
+/// or how requests interleave — a chaos campaign replays bit-identically
+/// from its seed and submission order alone. Counters are atomic; rolls
+/// are safe from any thread.
+class ServeFaults {
+ public:
+  explicit ServeFaults(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Any serving site armed?
+  bool any() const {
+    for (u32 i = kFirstServeSite; i < kNumFaultSites; ++i)
+      if (plan_.rate_ppm[i] != 0) return true;
+    return false;
+  }
+
+  /// Bernoulli trial for `site` at event ordinal `event` (job id, frame
+  /// ordinal, submit sequence — whatever identifies the opportunity).
+  /// On a hit, `pick` (if non-null) receives a deterministic auxiliary
+  /// draw for fault parameters (byte offset, XOR mask, ...).
+  bool roll(FaultSite site, u64 event, u64* pick = nullptr) {
+    const u32 ppm = plan_.rate(site);
+    if (ppm == 0) return false;
+    SplitMix64 rng(plan_.seed ^
+                   (0x9e3779b97f4a7c15ULL * (static_cast<u64>(site) * 0x10001 + 1)) ^
+                   (event * 0xd1342543de82ef95ULL));
+    if (rng.next() % 1'000'000 >= ppm) return false;
+    if (pick != nullptr) *pick = rng.next();
+    injected_[static_cast<u32>(site)].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  u64 injected(FaultSite site) const {
+    return injected_[static_cast<u32>(site)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::atomic<u64>, kNumFaultSites> injected_{};
 };
 
 }  // namespace haccrg::fault

@@ -1,19 +1,23 @@
 // haccrg-served — the sharded trace-replay detection service daemon.
 //
 //   haccrg-served serve --socket PATH [--workers N] [--queue N]
-//   haccrg-served serve --stdio [--workers N] [--queue N]
-//   haccrg-served once --trace FILE [--workers N] [--kernel N]
+//                       [--deadline-ms N] [--drain-timeout MS] [--faults PLAN]
+//   haccrg-served serve --stdio [...same flags]
+//   haccrg-served once --trace FILE [--workers N] [--kernel N] [--deadline-ms N]
 //   haccrg-served client --socket PATH submit FILE [--workers N] [--kernel N]
+//                        [--deadline-ms N] [--retries N]
 //   haccrg-served client --socket PATH status|result|cancel JOB [--wait]
 //   haccrg-served client --socket PATH stats|shutdown
 //
 // Transport is length-prefixed frames (serve/protocol.hpp) over a unix
 // domain socket or stdin/stdout. `once` runs a single job through an
 // in-process server — no socket, same code path — and prints the report
-// JSON; it is the smoke-test entry point.
+// JSON; it is the smoke-test entry point. `client submit` retries
+// kUnavailable rejections with the serve/client.hpp backoff loop.
 //
 // Exit codes: 0 success, 1 job/request failed (message on stderr),
 // 2 usage, 3 transport/io error.
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -27,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -44,10 +50,15 @@ int usage(const char* error = nullptr) {
                "  serve --socket PATH | --stdio   run the daemon\n"
                "    [--workers N]                 worker threads (default 2)\n"
                "    [--queue N]                   queued-job bound (default 64)\n"
+               "    [--deadline-ms N]             default per-job deadline (0 = none)\n"
+               "    [--drain-timeout MS]          SHUTDOWN drain budget; queued jobs\n"
+               "                                  past it are cancelled (default: full drain)\n"
+               "    [--faults PLAN]               serving chaos plan (serve_* keys,\n"
+               "                                  HACCRG_FAULTS syntax)\n"
                "  once --trace FILE               one in-process job, report on stdout\n"
-               "    [--workers N] [--kernel N]\n"
+               "    [--workers N] [--kernel N] [--deadline-ms N]\n"
                "  client --socket PATH <verb>     one request against a daemon\n"
-               "    submit FILE [--workers N] [--kernel N]\n"
+               "    submit FILE [--workers N] [--kernel N] [--deadline-ms N] [--retries N]\n"
                "    status JOB | result JOB [--wait] | cancel JOB\n"
                "    stats | shutdown\n");
   return 2;
@@ -119,6 +130,10 @@ bool write_frame(int fd, const std::vector<u8>& payload) {
 // --- serve ------------------------------------------------------------------
 
 /// Serve one connection; returns true when a SHUTDOWN was processed.
+/// A client that dies mid-frame or mid-reply only ends this connection
+/// — read_frame fails, write_frame sees EPIPE (SIGPIPE is ignored
+/// process-wide), and the accept loop moves on with every accepted job
+/// still owned by the server.
 bool serve_connection(Server& server, int in_fd, int out_fd) {
   std::vector<u8> payload;
   std::vector<u8> reply;
@@ -137,7 +152,7 @@ bool serve_connection(Server& server, int in_fd, int out_fd) {
     }
     reply.clear();
     encode_response(response, reply);
-    if (!write_frame(out_fd, reply)) return false;
+    if (!write_frame(out_fd, reply)) return is_shutdown && response.ok;
     if (is_shutdown && response.ok) return true;
   }
   return false;
@@ -199,11 +214,14 @@ int cmd_once(int argc, char** argv) {
   std::string trace_path;
   u32 workers = 1;
   i64 kernel = -1;
+  u32 deadline_ms = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (arg == "--workers" && i + 1 < argc) workers = static_cast<u32>(std::atoi(argv[++i]));
     else if (arg == "--kernel" && i + 1 < argc) kernel = std::atol(argv[++i]);
+    else if (arg == "--deadline-ms" && i + 1 < argc)
+      deadline_ms = static_cast<u32>(std::atoi(argv[++i]));
     else return usage(("unknown once argument: " + arg).c_str());
   }
   if (trace_path.empty()) return usage("once requires --trace");
@@ -215,13 +233,14 @@ int cmd_once(int argc, char** argv) {
   ServerConfig config;
   config.workers = 1;
   Server server(config);
+  Client client = Client::in_process(server);
   u64 job = 0;
-  if (Status status = server.submit(bytes, workers, kernel, job); !status.ok()) {
+  if (Status status = client.submit(bytes, workers, kernel, deadline_ms, job); !status.ok()) {
     std::fprintf(stderr, "haccrg-served: %s\n", status.to_string().c_str());
     return 1;
   }
   std::string report;
-  if (Status status = server.result(job, /*wait=*/true, report); !status.ok()) {
+  if (Status status = client.result(job, /*wait=*/true, report); !status.ok()) {
     std::fprintf(stderr, "haccrg-served: %s\n", status.to_string().c_str());
     return 1;
   }
@@ -248,6 +267,46 @@ int client_connect(const std::string& path) {
   return fd;
 }
 
+/// Hidden test hook (tests/test_serve_cli.sh): start a SUBMIT frame,
+/// write only half of it, and vanish — a client death mid-body. The
+/// daemon must stay healthy.
+int cmd_abort_mid_submit(const std::string& socket_path, const std::string& trace_path) {
+  std::vector<u8> bytes;
+  if (!read_file(trace_path, bytes)) return 3;
+  Request request;
+  request.verb = Verb::kSubmit;
+  request.trace = std::move(bytes);
+  std::vector<u8> payload;
+  encode_request(request, payload);
+  std::vector<u8> framed;
+  encode_frame(payload, framed);
+  const int fd = client_connect(socket_path);
+  if (fd < 0) return 3;
+  write_all(fd, framed.data(), framed.size() / 2);
+  ::close(fd);
+  return 0;
+}
+
+/// Hidden test hook: send RESULT wait=1 and close without ever reading
+/// the reply — the daemon's write lands on a dead socket (EPIPE, not a
+/// fatal SIGPIPE) after the job settles.
+int cmd_abort_mid_result(const std::string& socket_path, u64 job_id) {
+  Request request;
+  request.verb = Verb::kResult;
+  request.job_id = job_id;
+  request.wait = true;
+  std::vector<u8> payload;
+  encode_request(request, payload);
+  const int fd = client_connect(socket_path);
+  if (fd < 0) return 3;
+  if (!write_frame(fd, payload)) {
+    ::close(fd);
+    return 3;
+  }
+  ::close(fd);
+  return 0;
+}
+
 int cmd_client(int argc, char** argv) {
   std::string socket_path;
   std::vector<std::string> rest;
@@ -258,8 +317,19 @@ int cmd_client(int argc, char** argv) {
   }
   if (socket_path.empty() || rest.empty()) return usage("client requires --socket and a verb");
 
-  Request request;
   const std::string& verb = rest[0];
+  if (verb == "abort-mid-submit") {
+    if (rest.size() < 2) return usage("abort-mid-submit requires a trace file");
+    return cmd_abort_mid_submit(socket_path, rest[1]);
+  }
+  if (verb == "abort-mid-result") {
+    if (rest.size() < 2) return usage("abort-mid-result requires a job id");
+    return cmd_abort_mid_result(socket_path, static_cast<u64>(std::atoll(rest[1].c_str())));
+  }
+
+  Request request;
+  u32 deadline_ms = 0;
+  ClientConfig client_config;
   if (verb == "submit") {
     if (rest.size() < 2) return usage("client submit requires a trace file");
     request.verb = Verb::kSubmit;
@@ -272,6 +342,10 @@ int cmd_client(int argc, char** argv) {
         request.workers = static_cast<u32>(std::atoi(rest[++i].c_str()));
       else if (rest[i] == "--kernel" && i + 1 < rest.size())
         request.kernel = std::atol(rest[++i].c_str());
+      else if (rest[i] == "--deadline-ms" && i + 1 < rest.size())
+        deadline_ms = static_cast<u32>(std::atoi(rest[++i].c_str()));
+      else if (rest[i] == "--retries" && i + 1 < rest.size())
+        client_config.max_attempts = static_cast<u32>(std::atoi(rest[++i].c_str())) + 1;
       else return usage(("unknown submit argument: " + rest[i]).c_str());
     }
   } else if (verb == "status" || verb == "result" || verb == "cancel") {
@@ -294,36 +368,75 @@ int cmd_client(int argc, char** argv) {
     std::fprintf(stderr, "haccrg-served: cannot connect to %s\n", socket_path.c_str());
     return 3;
   }
-  std::vector<u8> payload;
-  encode_request(request, payload);
-  std::vector<u8> reply;
-  bool eof = false;
-  if (!write_frame(fd, payload) || !read_frame(fd, reply, eof)) {
-    std::fprintf(stderr, "haccrg-served: transport failure\n");
-    ::close(fd);
-    return 3;
+  // One connection, many frames: the retry loop (submit only — every
+  // other verb is a single round trip) re-sends over the same socket.
+  bool transport_dead = false;
+  Client client(
+      [fd, &transport_dead](const Request& req, Response& response) -> Status {
+        std::vector<u8> payload;
+        encode_request(req, payload);
+        std::vector<u8> reply;
+        bool eof = false;
+        if (!write_frame(fd, payload) || !read_frame(fd, reply, eof)) {
+          transport_dead = true;
+          return Status::io_error("serve: transport failure");
+        }
+        return parse_response(reply.data(), reply.size(), response);
+      },
+      client_config);
+
+  Status status;
+  Response shown;  // what to print on success
+  if (request.verb == Verb::kSubmit) {
+    u64 job = 0;
+    status = client.submit(request.trace, request.workers, request.kernel, deadline_ms, job);
+    shown.job_id = job;
+    shown.state = "queued";
+  } else if (request.verb == Verb::kStatus) {
+    JobInfo info;
+    status = client.status(request.job_id, info);
+    shown.job_id = info.id;
+    shown.state = std::string(job_state_name(info.state));
+    shown.body = info.error;
+  } else if (request.verb == Verb::kResult) {
+    status = client.result(request.job_id, request.wait, shown.body);
+    shown.job_id = request.job_id;
+    shown.state = "done";
+  } else if (request.verb == Verb::kCancel) {
+    status = client.cancel(request.job_id);
+    shown.job_id = request.job_id;
+    shown.state = "cancelled";
+  } else if (request.verb == Verb::kStats) {
+    status = client.stats(shown.body);
+  } else {
+    status = client.shutdown();
+    shown.state = "drained";
   }
   ::close(fd);
 
-  Response response;
-  if (Status status = parse_response(reply.data(), reply.size(), response); !status.ok()) {
-    std::fprintf(stderr, "haccrg-served: bad response: %s\n", status.to_string().c_str());
-    return 3;
-  }
-  if (!response.ok) {
+  if (!status.ok()) {
+    if (transport_dead || status.code() == StatusCode::kIoError) {
+      std::fprintf(stderr, "haccrg-served: transport failure\n");
+      return 3;
+    }
     std::fprintf(stderr, "haccrg-served: %s: %s\n",
-                 std::string(status_code_name(response.code)).c_str(), response.body.c_str());
+                 std::string(status_code_name(status.code())).c_str(),
+                 status.message().c_str());
     return 1;
   }
-  if (response.job_id != 0) std::printf("job: %llu\n", (unsigned long long)response.job_id);
-  if (!response.state.empty()) std::printf("state: %s\n", response.state.c_str());
-  if (!response.body.empty()) std::fputs(response.body.c_str(), stdout);
+  if (shown.job_id != 0) std::printf("job: %llu\n", (unsigned long long)shown.job_id);
+  if (!shown.state.empty()) std::printf("state: %s\n", shown.state.c_str());
+  if (!shown.body.empty()) std::fputs(shown.body.c_str(), stdout);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client may disconnect while the daemon is mid-write (the
+  // abort-mid-result hook does exactly that); the write must fail with
+  // EPIPE, not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   const std::string command = argv[1];
 
@@ -339,6 +452,16 @@ int main(int argc, char** argv) {
         config.workers = static_cast<u32>(std::atoi(argv[++i]));
       else if (arg == "--queue" && i + 1 < argc)
         config.max_queue = static_cast<u32>(std::atoi(argv[++i]));
+      else if (arg == "--deadline-ms" && i + 1 < argc)
+        config.default_deadline_ms = static_cast<u32>(std::atoi(argv[++i]));
+      else if (arg == "--drain-timeout" && i + 1 < argc)
+        config.drain_timeout_ms = std::atoll(argv[++i]);
+      else if (arg == "--faults" && i + 1 < argc) {
+        if (Status status = fault::FaultPlan::parse(argv[++i], config.faults); !status.ok()) {
+          std::fprintf(stderr, "haccrg-served: %s\n", status.to_string().c_str());
+          return 2;
+        }
+      }
       else return usage(("unknown serve argument: " + arg).c_str());
     }
     if (stdio == !socket_path.empty())

@@ -107,6 +107,8 @@ void encode_request(const Request& request, std::vector<u8>& out) {
     case Verb::kSubmit:
       if (request.workers != 1) append_field(out, "workers", std::to_string(request.workers));
       if (request.kernel >= 0) append_field(out, "kernel", std::to_string(request.kernel));
+      if (request.deadline_ms != 0)
+        append_field(out, "deadline_ms", std::to_string(request.deadline_ms));
       break;
     case Verb::kResult:
       if (request.wait) append_field(out, "wait", "1");
@@ -167,6 +169,12 @@ Status parse_request(const u8* data, size_t size, Request& out) {
       if (!parse_u64(value, u64{1} << 20, number))
         return Status::invalid_argument("serve: bad kernel number");
       request.kernel = static_cast<i64>(number);
+    } else if (key == "deadline_ms" && request.verb == Verb::kSubmit) {
+      // A day bounds the field: deadlines exist to stop runaway jobs,
+      // and 0 (= server default) may not be spelled explicitly.
+      if (!parse_u64(value, 86'400'000, number) || number == 0)
+        return Status::invalid_argument("serve: deadline_ms must be 1..86400000");
+      request.deadline_ms = static_cast<u32>(number);
     } else if (key == "job" && (request.verb == Verb::kStatus || request.verb == Verb::kResult ||
                                 request.verb == Verb::kCancel)) {
       if (!parse_u64(value, ~u64{0} >> 1, number) || number == 0)
@@ -206,7 +214,7 @@ Status parse_response(const u8* data, size_t size, Response& out) {
   for (const auto& [key, value] : head.fields) {
     if (key == "code" && !response.ok) {
       bool known = false;
-      for (u8 c = 0; c <= static_cast<u8>(StatusCode::kUnavailable); ++c) {
+      for (u8 c = 0; c <= static_cast<u8>(StatusCode::kDeadlineExceeded); ++c) {
         if (value == status_code_name(static_cast<StatusCode>(c))) {
           response.code = static_cast<StatusCode>(c);
           known = true;

@@ -52,6 +52,9 @@ struct Request {
   u32 workers = 1;      ///< SUBMIT: shard worker count (key "workers", 1..64)
   i64 kernel = -1;      ///< SUBMIT: replay only kernel #n via the trace
                         ///< index; -1 = whole trace (key "kernel")
+  u32 deadline_ms = 0;  ///< SUBMIT: per-job deadline in milliseconds; 0 =
+                        ///< the server's default (key "deadline_ms",
+                        ///< 1..86400000)
   bool wait = false;    ///< RESULT: block until the job finishes (key "wait")
   std::vector<u8> trace;  ///< SUBMIT body
 };

@@ -218,6 +218,7 @@ class ReplayEngine {
     result_.header = header_;
     Event event;
     while (reader.next(event)) {
+      if (check_cancel()) return std::move(result_);
       ++result_.total_events;
       if (!handle(event)) return std::move(result_);
     }
@@ -234,6 +235,7 @@ class ReplayEngine {
   ReplayResult run(const Event* events, size_t count) {
     result_.header = header_;
     for (size_t i = 0; i < count; ++i) {
+      if (check_cancel()) return std::move(result_);
       ++result_.total_events;
       if (!handle(events[i])) return std::move(result_);
     }
@@ -243,6 +245,17 @@ class ReplayEngine {
   }
 
  private:
+  /// Cooperative cancellation poll, once per kCancelCheckInterval events
+  /// (cheap: one predictable branch on the polled cycles). True when the
+  /// replay must stop — the result is already marked failed.
+  bool check_cancel() {
+    if (opts_.cancel == nullptr || result_.total_events % kCancelCheckInterval != 0)
+      return false;
+    if (!opts_.cancel->cancelled()) return false;
+    fail("replay: cancelled (deadline exceeded)", StatusCode::kDeadlineExceeded);
+    return true;
+  }
+
   bool fail(const std::string& what, StatusCode why = StatusCode::kCorrupt) {
     if (result_.error.empty()) {
       result_.error = what;

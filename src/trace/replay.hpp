@@ -15,6 +15,7 @@
 // none of the registry kernels comes near the cap.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <set>
@@ -48,6 +49,25 @@ std::vector<std::string> race_set_lines(const rd::RaceLog& log);
 
 class ReplayArena;
 
+/// Granule-batch size of the cooperative cancellation poll: the replay
+/// engine checks its CancelToken every this many events (and at kernel
+/// boundaries), so a cancelled replay overruns by at most one batch.
+inline constexpr u64 kCancelCheckInterval = 512;
+
+/// Cooperative cancellation flag for long replays. The owner (the
+/// serving watchdog, a deadline) sets it from any thread; every shard
+/// engine polling it aborts with StatusCode::kDeadlineExceeded at the
+/// next batch boundary. Reusable after reset().
+class CancelToken {
+ public:
+  void cancel() { flag_.store(1, std::memory_order_relaxed); }
+  void reset() { flag_.store(0, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<u32> flag_{0};
+};
+
 /// Which detectors to run over the trace.
 struct ReplayOptions {
   bool hw = true;         ///< SharedRdu/GlobalRdu (per the recorded config)
@@ -74,6 +94,10 @@ struct ReplayOptions {
   /// replay calls instead of rebuilt, as long as the trace header
   /// matches. Thread-safe; serving workers share a pool of these.
   ReplayArena* arena = nullptr;
+
+  /// Cooperative cancellation: polled every kCancelCheckInterval events.
+  /// replay_sharded passes the same token to every shard engine.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Cache of built per-kernel detector state keyed by shard assignment.

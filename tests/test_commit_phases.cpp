@@ -153,6 +153,34 @@ TEST(CommitPhaseProfile, FaultCampaignUsesLegacySerialBucket) {
   EXPECT_GT(r.stats.get("prof.commit.ns"), 0u);
 }
 
+TEST(CommitPhaseProfile, FaultCampaignIsShardCountInvariant) {
+  // The serial fallback makes the shard knob inert under faults: the
+  // injected stream is order-dependent, so a campaign must produce
+  // bit-identical detection results whatever HACCRG_COMMIT_SHARDS says.
+  // Guards against a future "fast path for low fault rates" silently
+  // reintroducing shard-dependent fault placement.
+  u64 reference = 0;
+  bool have_reference = false;
+  for (const u32 shards : {1u, 2u, 8u}) {
+    sim::SimConfig sim;
+    sim.num_threads = 2;
+    sim.commit_shards = shards;
+    sim.faults.seed = 11;
+    sim.faults.set_rate(fault::FaultSite::kGlobalShadowFlip, 2000);
+    sim.faults.set_rate(fault::FaultSite::kIcntDelay, 1000);
+    const sim::SimResult r = profiled_run(sim);
+    ASSERT_TRUE(r.completed) << "shards=" << shards << ": " << r.error;
+    const u64 fp = r.stats.fingerprint();
+    if (!have_reference) {
+      reference = fp;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(fp, reference) << "shards=" << shards
+                               << ": fault campaign diverged from shards=1";
+    }
+  }
+}
+
 // --- HACCRG_COMMIT_SHARDS plumbing -------------------------------------------
 
 TEST(CommitShardsEnv, LenientAndStrictParse) {

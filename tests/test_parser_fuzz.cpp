@@ -75,10 +75,28 @@ TEST(ParserFuzzFaultPlan, EmptyPairsAreTolerated) {
   EXPECT_EQ(plan.rate(fault::FaultSite::kIcntDrop), 5u);
 }
 
+TEST(ParserFuzzFaultPlan, ServeSitesParse) {
+  // The serving chaos sites share the plan grammar and the ppm range
+  // check with the simulator sites.
+  fault::FaultPlan plan;
+  ASSERT_TRUE(fault::FaultPlan::parse(
+                  "seed=3,serve_worker_stall=1000000,serve_queue_reject=250000", plan)
+                  .ok());
+  EXPECT_EQ(plan.rate(fault::FaultSite::kServeWorkerStall), 1'000'000u);
+  EXPECT_EQ(plan.rate(fault::FaultSite::kServeQueueReject), 250'000u);
+
+  fault::FaultPlan untouched;
+  untouched.seed = 55;
+  EXPECT_FALSE(fault::FaultPlan::parse("serve_frame_corrupt=1000001", untouched).ok());
+  EXPECT_EQ(untouched.seed, 55u);
+}
+
 TEST(ParserFuzzFaultPlan, SeededMutationsNeverCrash) {
   const std::string valid =
       "seed=7,shared_flip=100,global_flip=200,bloom_flip=300,racereg_drop=400,"
-      "icnt_drop=500,icnt_dup=600,icnt_delay=700,dram_flip=800,trace_corrupt=900";
+      "icnt_drop=500,icnt_dup=600,icnt_delay=700,dram_flip=800,trace_corrupt=900,"
+      "serve_frame_truncate=50,serve_frame_corrupt=60,serve_decode_corrupt=70,"
+      "serve_worker_stall=80,serve_queue_reject=90";
   SplitMix64 rng(0x66757a7aULL);
   for (int i = 0; i < 2000; ++i) {
     std::string text = valid;
@@ -218,6 +236,7 @@ serve::Request sentinel_request() {
   r.workers = 17;
   r.kernel = 99;
   r.wait = true;
+  r.deadline_ms = 31337;
   r.trace = {0xde, 0xad};
   return r;
 }
@@ -228,6 +247,7 @@ void expect_request_untouched(const serve::Request& r, const std::string& what) 
   EXPECT_EQ(r.workers, 17u) << what;
   EXPECT_EQ(r.kernel, 99) << what;
   EXPECT_TRUE(r.wait) << what;
+  EXPECT_EQ(r.deadline_ms, 31337u) << what;
   EXPECT_EQ(r.trace, (std::vector<u8>{0xde, 0xad})) << what;
 }
 
@@ -252,6 +272,11 @@ TEST(ParserFuzzServeRequest, MalformedTable) {
       "STATS\nbogus 1\n\n",              // field without ': '
       "STATS\n",                         // missing blank-line terminator
       "CANCEL\njob: 1\x01\n\n",          // non-printable byte in the head
+      "SUBMIT\ndeadline_ms: 0\n\nxx",        // deadlines start at 1ms
+      "SUBMIT\ndeadline_ms: 86400001\n\nxx", // above the 24h cap
+      "SUBMIT\ndeadline_ms: abc\n\nxx",      // non-numeric deadline
+      "SUBMIT\ndeadline_ms: -5\n\nxx",       // signed deadline
+      "RESULT\njob: 1\ndeadline_ms: 5\n\n",  // deadline is SUBMIT-only
   };
   for (const char* text : cases) {
     serve::Request out = sentinel_request();
@@ -267,6 +292,7 @@ TEST(ParserFuzzServeRequest, SeededMutationsNeverCrash) {
   valid.verb = serve::Verb::kSubmit;
   valid.workers = 4;
   valid.kernel = 2;
+  valid.deadline_ms = 1500;
   valid.trace = {0x10, 0x20, 0x30, 0x40, 0x50};
   std::vector<u8> encoded;
   serve::encode_request(valid, encoded);

@@ -8,17 +8,24 @@
 // request/response round trip through handle_frame.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "kernels/common.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/gpu.hpp"
 #include "trace/index.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
 
 namespace haccrg {
 namespace {
@@ -402,6 +409,271 @@ TEST_F(ServeTest, ProtocolRoundTripOverFrames) {
   roundtrip(shutdown, response);
   ASSERT_TRUE(response.ok);
   EXPECT_EQ(response.state, "drained");
+}
+
+// --- Deadlines and the watchdog ----------------------------------------------
+
+TEST_F(ServeTest, DeadlineTimesOutStalledJobsAndWorkersSurvive) {
+  // Every job stalls (injected, 50ms) under a 5ms default deadline: the
+  // watchdog cancels at the deadline, the stall loop observes the token,
+  // and the replay aborts at its first batch boundary — kTimedOut, with
+  // the worker alive to serve the next job.
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.memoize = false;
+  cfg.default_deadline_ms = 5;
+  cfg.deadline_grace_ms = 200;
+  cfg.watchdog_interval_ms = 2;
+  cfg.fault_stall_ms = 50;
+  cfg.faults.seed = 3;
+  cfg.faults.rate_ppm[static_cast<u32>(fault::FaultSite::kServeWorkerStall)] = 1'000'000;
+  Server server(cfg);
+
+  std::vector<u64> ids(4);
+  for (u64& id : ids) ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, id).ok());
+  for (const u64 id : ids) {
+    std::string report;
+    EXPECT_EQ(server.result(id, true, report).code(), StatusCode::kDeadlineExceeded);
+    JobInfo info;
+    ASSERT_TRUE(server.status(id, info).ok());
+    EXPECT_EQ(info.state, JobState::kTimedOut);
+  }
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"timed_out\": 4"), std::string::npos) << stats;
+
+  // The pool is healthy: a job with a generous per-SUBMIT deadline
+  // overrides the tight default and completes.
+  u64 ok_id = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, /*deadline_ms=*/60'000, ok_id).ok());
+  std::string report;
+  EXPECT_TRUE(server.result(ok_id, true, report).ok());
+}
+
+TEST_F(ServeTest, CancelledReplayOverrunIsBoundedToOneBatch) {
+  trace::TraceReader reader(reduce_trace());
+  trace::DecodedTrace decoded;
+  ASSERT_TRUE(trace::decode_trace(reader, decoded).ok());
+  trace::CancelToken token;
+  token.cancel();
+  trace::ReplayOptions opts;
+  opts.cancel = &token;
+  const trace::ReplayResult r = trace::replay_decoded(decoded, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, StatusCode::kDeadlineExceeded);
+  EXPECT_LE(r.total_events, trace::kCancelCheckInterval);
+}
+
+// --- Quarantine --------------------------------------------------------------
+
+TEST_F(ServeTest, RepeatedlyFailingImageIsQuarantined) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.quarantine_threshold = 2;
+  Server server(cfg);
+
+  std::vector<u8> poison = reduce_trace();
+  poison.resize(poison.size() / 2);  // truncated mid-stream: decode always fails
+
+  for (u32 i = 0; i < cfg.quarantine_threshold; ++i) {
+    u64 id = 0;
+    ASSERT_TRUE(server.submit(poison, 1, -1, id).ok()) << "attempt " << i;
+    std::string report;
+    EXPECT_FALSE(server.result(id, true, report).ok());
+    JobInfo info;
+    ASSERT_TRUE(server.status(id, info).ok());
+    EXPECT_EQ(info.state, JobState::kFailed);
+  }
+
+  // The image is now a poison pill: rejected at submit time, no queueing.
+  u64 id = 0;
+  EXPECT_EQ(server.submit(poison, 1, -1, id).code(), StatusCode::kCorrupt);
+  EXPECT_EQ(server.submit(poison, 1, -1, id).code(), StatusCode::kCorrupt);
+
+  // Quarantine is per image: the intact trace still serves.
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, id).ok());
+  std::string report;
+  EXPECT_TRUE(server.result(id, true, report).ok());
+
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"quarantined\": 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"quarantine_rejected\": 2"), std::string::npos) << stats;
+}
+
+// --- LRU bounds on the memo and decode cache ---------------------------------
+
+TEST_F(ServeTest, MemoAndDecodeCacheEvictUnderByteBound) {
+  // A budget far below one decoded trace: every new job evicts the
+  // previous entries, and the counters say so. Results stay correct —
+  // eviction costs recomputation, never answers.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_memo_bytes = 4096;
+  Server server(cfg);
+
+  std::string first_report;
+  for (int round = 0; round < 2; ++round) {
+    u64 a = 0, b = 0;
+    ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, a).ok());
+    ASSERT_TRUE(server.submit(hist_trace(), 1, -1, b).ok());
+    std::string ra, rb;
+    ASSERT_TRUE(server.result(a, true, ra).ok());
+    ASSERT_TRUE(server.result(b, true, rb).ok());
+    EXPECT_NE(ra, rb);
+    if (round == 0) first_report = ra;
+    else EXPECT_EQ(ra, first_report) << "re-replay after eviction diverged";
+  }
+  const std::string stats = server.stats_json();
+  auto count = [&stats](const char* key) {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const size_t pos = stats.find(needle);
+    return pos == std::string::npos
+               ? -1ll
+               : std::strtoll(stats.c_str() + pos + needle.size(), nullptr, 10);
+  };
+  EXPECT_GT(count("cache_evictions") + count("memo_evictions"), 0) << stats;
+  EXPECT_LE(count("memo_bytes"), 4096) << stats;
+}
+
+// --- Drain timeout -----------------------------------------------------------
+
+TEST_F(ServeTest, DrainTimeoutCancelsQueuedJobsOnly) {
+  // One worker, every job stalls 50ms, six jobs, a 10ms drain budget:
+  // whatever is still queued when the budget expires settles kCancelled;
+  // nothing is lost, nothing keeps running after shutdown returns.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.memoize = false;
+  cfg.fault_stall_ms = 50;
+  cfg.faults.seed = 5;
+  cfg.faults.rate_ppm[static_cast<u32>(fault::FaultSite::kServeWorkerStall)] = 1'000'000;
+  Server server(cfg);
+
+  std::vector<u64> ids(6);
+  for (u64& id : ids) ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, id).ok());
+  server.shutdown(/*drain_timeout_ms=*/10);
+
+  u32 done = 0, cancelled = 0;
+  for (const u64 id : ids) {
+    JobInfo info;
+    ASSERT_TRUE(server.status(id, info).ok());
+    ASSERT_TRUE(info.state == JobState::kDone || info.state == JobState::kCancelled)
+        << "job " << id << " is " << job_state_name(info.state);
+    info.state == JobState::kDone ? ++done : ++cancelled;
+  }
+  EXPECT_GT(done, 0u) << "the running job should have finished";
+  EXPECT_GT(cancelled, 0u) << "a 10ms budget against 50ms stalls cancelled nothing";
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"drain_cancelled\": " + std::to_string(cancelled)),
+            std::string::npos)
+      << stats;
+}
+
+// --- Client retry/backoff ----------------------------------------------------
+
+TEST_F(ServeTest, ClientRetriesUnavailableWithDeterministicBackoff) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 1;
+  cfg.memoize = false;
+  Server server(cfg);
+
+  serve::ClientConfig ccfg;
+  ccfg.seed = 42;
+  ccfg.max_attempts = 8;
+  ccfg.base_backoff_ms = 4;
+  ccfg.max_backoff_ms = 64;
+  std::vector<u32> slept;
+  ccfg.sleep_ms = [&slept](u32 ms) {
+    slept.push_back(ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  serve::Client client = serve::Client::in_process(server, ccfg);
+
+  // A 1-deep queue with one worker: a burst of submissions forces
+  // retries, and every job is eventually accepted or honestly rejected
+  // as kUnavailable after the attempt budget.
+  std::vector<u64> ids;
+  u32 exhausted = 0;
+  for (u32 i = 0; i < 12; ++i) {
+    u64 id = 0;
+    const Status st = client.submit(reduce_trace(), 1, -1, 0, id);
+    if (st.ok()) ids.push_back(id);
+    else {
+      EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.message();
+      ++exhausted;
+    }
+  }
+  EXPECT_GT(client.retries(), 0u);
+  EXPECT_EQ(client.retries(), slept.size());
+  for (size_t i = 0; i < slept.size(); ++i) {
+    EXPECT_GE(slept[i], ccfg.base_backoff_ms / 2) << "jitter floor violated at " << i;
+    EXPECT_LE(slept[i], ccfg.max_backoff_ms) << "backoff cap violated at " << i;
+  }
+  for (const u64 id : ids) {
+    std::string report;
+    EXPECT_TRUE(client.result(id, true, report).ok()) << "job " << id;
+  }
+
+  // Same seed, same transport behavior => same jitter sequence.
+  SplitMix64 a(42), b(42);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST_F(ServeTest, ClientSurfacesTerminalErrorsWithoutRetry) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+  u32 sleeps = 0;
+  serve::ClientConfig ccfg;
+  ccfg.sleep_ms = [&sleeps](u32) { ++sleeps; };
+  serve::Client client = serve::Client::in_process(server, ccfg);
+
+  u64 id = 0;
+  EXPECT_EQ(client.submit({}, 1, -1, 0, id).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.submit(reduce_trace(), 0, -1, 0, id).code(),
+            StatusCode::kInvalidArgument);
+  std::string json;
+  EXPECT_EQ(client.result(999, false, json).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sleeps, 0u) << "terminal errors must not burn retry budget";
+  EXPECT_EQ(client.retries(), 0u);
+
+  // The happy path through the same client still works end to end.
+  ASSERT_TRUE(client.submit(reduce_trace(), 1, -1, 0, id).ok());
+  EXPECT_TRUE(client.result(id, true, json).ok());
+  EXPECT_NE(json.find("\"unique_races\""), std::string::npos);
+}
+
+// --- Frame-level fault injection ---------------------------------------------
+
+TEST_F(ServeTest, MangledFramesYieldErrResponsesNeverCrashes) {
+  // Truncate or corrupt every incoming frame: requests fail as ERR
+  // responses while the server — queried through the direct API, which
+  // rolls no dice — stays fully functional.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.seed = 9;
+  cfg.faults.rate_ppm[static_cast<u32>(fault::FaultSite::kServeFrameTruncate)] = 1'000'000;
+  cfg.faults.rate_ppm[static_cast<u32>(fault::FaultSite::kServeFrameCorrupt)] = 1'000'000;
+  Server server(cfg);
+
+  for (u32 i = 0; i < 16; ++i) {
+    Request request;
+    request.verb = Verb::kStats;
+    std::vector<u8> payload;
+    serve::encode_request(request, payload);
+    std::vector<u8> reply;
+    server.handle_frame(payload.data(), payload.size(), reply);
+    Response response;
+    ASSERT_TRUE(serve::parse_response(reply.data(), reply.size(), response).ok())
+        << "frame " << i << ": response unparseable";
+  }
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"fault.serve_frame_truncate\""), std::string::npos) << stats;
+
+  u64 id = 0;
+  ASSERT_TRUE(server.submit(reduce_trace(), 1, -1, id).ok());
+  std::string report;
+  EXPECT_TRUE(server.result(id, true, report).ok());
 }
 
 }  // namespace

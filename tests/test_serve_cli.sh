@@ -106,6 +106,25 @@ expect_exit 1 "$BIN" client --socket daemon.s result 424242   # no such job
 expect_exit 0 "$BIN" client --socket daemon.s stats
 expect_stdout '"queue_depth"' "client stats"
 
+# --- transport death mid-request must not kill the daemon --------------------
+# Half a SUBMIT frame, then the connection dies: the daemon must drop the
+# connection and keep serving.
+expect_exit 0 "$BIN" client --socket daemon.s abort-mid-submit good.trc
+expect_exit 0 "$BIN" client --socket daemon.s stats
+expect_stdout '"queue_depth"' "stats after abort-mid-submit"
+
+# RESULT --wait sent, then the client vanishes before the reply: the
+# daemon's write hits EPIPE (not SIGPIPE) and the job stays served.
+expect_exit 0 "$BIN" client --socket daemon.s abort-mid-result "$JOB"
+expect_exit 0 "$BIN" client --socket daemon.s status "$JOB"
+expect_stdout 'state: done' "status after abort-mid-result"
+
+# --- per-job deadline over the wire ------------------------------------------
+expect_exit 0 "$BIN" client --socket daemon.s submit good.trc --deadline-ms 60000
+JOBD=$(sed -n 's/^job: //p' cli_stdout.txt)
+expect_exit 0 "$BIN" client --socket daemon.s result "${JOBD:-3}" --wait
+expect_stdout '"unique_races"' "result of deadlined submit"
+
 # A memoized resubmission must serve the identical report.
 expect_exit 0 "$BIN" client --socket daemon.s submit good.trc
 JOB2=$(sed -n 's/^job: //p' cli_stdout.txt)
@@ -129,6 +148,46 @@ if [ "$DAEMON_EXIT" -ne 0 ]; then
 fi
 if [ -S daemon.s ]; then
   echo "FAIL: daemon left its socket behind"
+  fails=$((fails + 1))
+fi
+
+# --- usage: a malformed fault plan is a usage error, not a crash -------------
+expect_exit 2 "$BIN" serve --socket bad.s --faults "not_a_plan"
+
+# --- deadlines + timed drain under injected stalls ---------------------------
+# Every job stalls 100ms (injected) against a 5ms default deadline: jobs
+# settle timed-out; result --wait reports the deadline error as a job
+# failure (exit 1). A 50ms drain budget bounds shutdown even with jobs
+# still queued behind the single stalled worker.
+"$BIN" serve --socket slow.s --workers 1 --deadline-ms 5 --drain-timeout 50 \
+  --faults "serve_worker_stall=1000000,seed=7" >slow_out.txt 2>slow_err.txt &
+SLOW_PID=$!
+for _ in $(seq 1 100); do
+  [ -S slow.s ] && break
+  sleep 0.1
+done
+if [ ! -S slow.s ]; then
+  echo "FAIL: fault-injected daemon never created its socket"
+  sed 's/^/  daemon: /' slow_err.txt
+  kill "$SLOW_PID" 2>/dev/null
+  exit 1
+fi
+
+expect_exit 0 "$BIN" client --socket slow.s submit good.trc
+SJOB=$(sed -n 's/^job: //p' cli_stdout.txt)
+expect_exit 1 "$BIN" client --socket slow.s result "${SJOB:-1}" --wait
+expect_exit 0 "$BIN" client --socket slow.s status "${SJOB:-1}"
+expect_stdout 'state: timed-out' "status of a deadlined stall"
+
+# Queue a few more, then shut down: the drain budget cancels what the
+# stalled worker cannot reach, and the daemon still exits cleanly.
+expect_exit 0 "$BIN" client --socket slow.s submit good.trc
+expect_exit 0 "$BIN" client --socket slow.s submit good.trc
+expect_exit 0 "$BIN" client --socket slow.s shutdown
+wait "$SLOW_PID"
+if [ $? -ne 0 ]; then
+  echo "FAIL: fault-injected daemon exited non-zero after timed drain"
+  sed 's/^/  daemon: /' slow_err.txt
   fails=$((fails + 1))
 fi
 
